@@ -1,0 +1,354 @@
+// Package repro's root-level benchmarks regenerate every table and figure
+// of the paper's evaluation (one benchmark per artifact, per DESIGN.md §4)
+// plus ablations of the design choices called out in DESIGN.md §5. Run
+//
+//	go test -bench=. -benchmem
+//
+// Reported custom metrics carry the figure's headline quantity (GFlop/s,
+// P_cf, inserts/s, overhead %) so shapes can be compared against the paper
+// without parsing the printed tables; `cmd/ftrma` prints the full series.
+package repro
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/apps/fft"
+	"repro/internal/erasure"
+	"repro/internal/failure"
+	"repro/internal/ftrma"
+	"repro/internal/harness"
+	"repro/internal/machine"
+	"repro/internal/reliability"
+	"repro/internal/resilience"
+	"repro/internal/rma"
+	"repro/internal/trace"
+)
+
+// BenchmarkTable1Categorization reproduces Table 1: the categorization of
+// MPI-3/UPC/Fortran operations in the model.
+func BenchmarkTable1Categorization(b *testing.B) {
+	ops := trace.Table1Ops()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, op := range ops {
+			if trace.Categorize(op) == 0 {
+				b.Fatalf("uncategorized op %s", op)
+			}
+		}
+	}
+	b.ReportMetric(float64(len(ops)), "ops")
+}
+
+// BenchmarkFig10aNodeFailureFit reproduces Fig. 10a: fitting the node
+// concurrent-failure distribution from a (synthetic) failure history.
+func BenchmarkFig10aNodeFailureFit(b *testing.B) {
+	benchFailureFit(b, 1)
+}
+
+// BenchmarkFig10bPSUFailureFit reproduces Fig. 10b for PSUs.
+func BenchmarkFig10bPSUFailureFit(b *testing.B) {
+	benchFailureFit(b, 2)
+}
+
+func benchFailureFit(b *testing.B, level int) {
+	var fitted failure.PDF
+	for i := 0; i < b.N; i++ {
+		res := harness.Fig10ab(level, harness.QuickScale())
+		if len(res.Series) != 2 {
+			b.Fatal("missing fit series")
+		}
+	}
+	pdf := failure.TSUBAMEPDFs()[level-1]
+	b.ReportMetric(pdf.B, "paper-B")
+	_ = fitted
+}
+
+// BenchmarkFig10cPcf reproduces Fig. 10c: P_cf on TSUBAME2.0 with 4000
+// processes across the five t-awareness strategies.
+func BenchmarkFig10cPcf(b *testing.B) {
+	var last float64
+	for i := 0; i < b.N; i++ {
+		res := harness.Fig10c()
+		s := res.Series[len(res.Series)-1] // racks
+		last = s.Points[len(s.Points)-1].Y
+	}
+	b.ReportMetric(last, "Pcf-racks-20pct")
+}
+
+// BenchmarkFig10dFFTCheckpointing reproduces Fig. 10d: NAS FFT fault-free
+// performance under the five checkpointing protocols.
+func BenchmarkFig10dFFTCheckpointing(b *testing.B) {
+	var res harness.Result
+	for i := 0; i < b.N; i++ {
+		res = harness.Fig10d(harness.QuickScale())
+	}
+	reportLastPoints(b, res)
+}
+
+// BenchmarkFig11aDemandCkpt reproduces Fig. 11a: demand checkpointing
+// against the log memory budget.
+func BenchmarkFig11aDemandCkpt(b *testing.B) {
+	var res harness.Result
+	for i := 0; i < b.N; i++ {
+		res = harness.Fig11a(harness.QuickScale())
+	}
+	pts := res.Series[0].Points
+	b.ReportMetric(pts[0].Y, "gflops-tight-budget")
+	b.ReportMetric(pts[len(pts)-1].Y, "gflops-ample-budget")
+}
+
+// BenchmarkFig11bFFTLogging reproduces Fig. 11b: FFT access logging
+// (no-FT, ftRMA, ML).
+func BenchmarkFig11bFFTLogging(b *testing.B) {
+	var res harness.Result
+	for i := 0; i < b.N; i++ {
+		res = harness.Fig11b(harness.QuickScale())
+	}
+	reportLastPoints(b, res)
+}
+
+// BenchmarkFig11cKVStore reproduces Fig. 11c: key-value-store inserts/s
+// under the four logging configurations.
+func BenchmarkFig11cKVStore(b *testing.B) {
+	var res harness.Result
+	for i := 0; i < b.N; i++ {
+		res = harness.Fig11c(harness.QuickScale())
+	}
+	reportLastPoints(b, res)
+}
+
+// BenchmarkFig12Recovery reproduces Fig. 12: per-iteration checksum
+// transfers under |CH| = 12.5% vs 6.25%.
+func BenchmarkFig12Recovery(b *testing.B) {
+	var res harness.Result
+	for i := 0; i < b.N; i++ {
+		res = harness.Fig12(harness.QuickScale())
+	}
+	reportLastPoints(b, res)
+}
+
+// reportLastPoints reports each series' value at the largest process count.
+func reportLastPoints(b *testing.B, res harness.Result) {
+	for _, s := range res.Series {
+		if len(s.Points) == 0 {
+			continue
+		}
+		b.ReportMetric(s.Points[len(s.Points)-1].Y, s.Name)
+	}
+}
+
+// BenchmarkAblationXORvsRS compares the m=1 XOR parity with m=2
+// Reed–Solomon group checkpoints (DESIGN.md §5.4): RS tolerates double
+// failures at a higher checkpoint cost.
+func BenchmarkAblationXORvsRS(b *testing.B) {
+	for _, m := range []int{1, 2} {
+		name := "XOR-m1"
+		if m > 1 {
+			name = "RS-m2"
+		}
+		b.Run(name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				w := rma.NewWorld(rma.Config{N: 8, WindowWords: 1 << 12})
+				sys, err := ftrma.NewSystem(w, ftrma.Config{
+					Groups: 2, ChecksumsPerGroup: m,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				w.Run(func(r int) { sys.Process(r).UCCheckpoint() })
+				b.ReportMetric(w.MaxTime()*1e6, "ckpt-us-virtual")
+			}
+		})
+	}
+}
+
+// BenchmarkAblationStreamingVsBulk compares the two demand-checkpoint
+// variants of §6.2.
+func BenchmarkAblationStreamingVsBulk(b *testing.B) {
+	for _, streaming := range []bool{false, true} {
+		name := "bulk"
+		if streaming {
+			name = "streaming"
+		}
+		b.Run(name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				w := rma.NewWorld(rma.Config{N: 2, WindowWords: 1 << 14})
+				sys, err := ftrma.NewSystem(w, ftrma.Config{
+					Groups: 1, ChecksumsPerGroup: 1,
+					StreamingDemandCheckpoints: streaming,
+					StreamChunkBytes:           4096,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				w.Run(func(r int) { sys.Process(r).UCCheckpoint() })
+				b.ReportMetric(w.MaxTime()*1e6, "ckpt-us-virtual")
+			}
+		})
+	}
+}
+
+// BenchmarkAblationTAwareLevels evaluates P_cf across every t-awareness
+// level (the design knob of §5.1).
+func BenchmarkAblationTAwareLevels(b *testing.B) {
+	fdh := machine.TSUBAME2()
+	pdfs := failure.TSUBAMEPDFs()
+	for i := 0; i < b.N; i++ {
+		for lvl := 0; lvl <= 4; lvl++ {
+			m := reliability.Model{FDH: fdh, PDFs: pdfs, GroupSize: 21, TAwareLevel: lvl}
+			if _, err := m.Pcf(); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+// BenchmarkRecoveryCausalReplay measures end-to-end causal recovery of a
+// failed FFT rank (checkpoint reconstruction + log fetch + re-execution).
+func BenchmarkRecoveryCausalReplay(b *testing.B) {
+	cfg := fft.Config{N: 16, Q: 2, Iters: 3}
+	for i := 0; i < b.N; i++ {
+		w := rma.NewWorld(rma.Config{N: 4, WindowWords: cfg.WindowWords()})
+		sys, err := ftrma.NewSystem(w, ftrma.Config{Groups: 1, ChecksumsPerGroup: 1, LogPuts: true})
+		if err != nil {
+			b.Fatal(err)
+		}
+		w.Run(func(r int) {
+			p := sys.Process(r)
+			fft.Init(p, cfg)
+			fft.Run(p, cfg, 0, cfg.Iters)
+		})
+		w.Kill(3)
+		res, err := sys.Recover(3)
+		if err != nil {
+			b.Fatal(err)
+		}
+		w.RunRank(3, func() { fft.Recover(res.Proc, res.Logs, cfg) })
+	}
+}
+
+// BenchmarkResilienceUnderFailures runs the end-to-end failure-injection
+// simulation (extension experiment): workload + crashes + causal recovery,
+// reporting the achieved efficiency.
+func BenchmarkResilienceUnderFailures(b *testing.B) {
+	var eff float64
+	for i := 0; i < b.N; i++ {
+		rep, err := resilience.Simulate(resilience.Config{
+			Ranks: 6, Iters: 15, MTBF: 5e-4, Seed: 42,
+			FT: ftrma.Config{Groups: 2, ChecksumsPerGroup: 1, LogPuts: true},
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !rep.Verified {
+			b.Fatal("recovered state diverged")
+		}
+		eff = rep.Efficiency
+	}
+	b.ReportMetric(eff, "efficiency")
+}
+
+// BenchmarkAblationMultiLevelPFS compares the diskless protocol with the
+// stable-storage extension (DESIGN.md: multi-level), measuring virtual
+// checkpoint-round cost.
+func BenchmarkAblationMultiLevelPFS(b *testing.B) {
+	for _, every := range []int{0, 1} {
+		name := "diskless"
+		if every > 0 {
+			name = "pfs-every-round"
+		}
+		b.Run(name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				w := rma.NewWorld(rma.Config{N: 4, WindowWords: 1 << 12})
+				sys, err := ftrma.NewSystem(w, ftrma.Config{
+					Groups: 1, ChecksumsPerGroup: 1,
+					FixedInterval: 1e-12, PFSEveryN: every,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				w.Run(func(r int) {
+					p := sys.Process(r)
+					for it := 0; it < 4; it++ {
+						p.Gsync()
+					}
+				})
+				b.ReportMetric(w.MaxTime()*1e6, "run-us-virtual")
+			}
+		})
+	}
+}
+
+// BenchmarkErasureThroughput measures raw encode throughput of the two
+// codes over 1 MiB of group data.
+func BenchmarkErasureThroughput(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	const k, n = 8, 128 << 10
+	shards := make([][]byte, k)
+	for i := range shards {
+		shards[i] = make([]byte, n)
+		rng.Read(shards[i])
+	}
+	b.Run("XOR", func(b *testing.B) {
+		b.SetBytes(int64(k * n))
+		for i := 0; i < b.N; i++ {
+			if _, err := erasure.EncodeXOR(shards); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("RS-m2", func(b *testing.B) {
+		rs, err := erasure.NewRS(k, 2)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.SetBytes(int64(k * n))
+		for i := 0; i < b.N; i++ {
+			if _, err := rs.Encode(shards); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkRMAPrimitives measures the raw runtime: puts, atomics, and
+// gsyncs per second of real (not virtual) time.
+func BenchmarkRMAPrimitives(b *testing.B) {
+	b.Run("Put8KiB+Flush", func(b *testing.B) {
+		w := rma.NewWorld(rma.Config{N: 2, WindowWords: 1 << 12})
+		data := make([]uint64, 1<<10)
+		w.Run(func(r int) {
+			if r != 0 {
+				return
+			}
+			p := w.Proc(0)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				p.Put(1, 0, data)
+				p.Flush(1)
+			}
+		})
+		b.SetBytes(8 << 10)
+	})
+	b.Run("FetchAndOp", func(b *testing.B) {
+		w := rma.NewWorld(rma.Config{N: 2, WindowWords: 8})
+		w.Run(func(r int) {
+			if r != 0 {
+				return
+			}
+			p := w.Proc(0)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				p.FetchAndOp(1, 0, 1, rma.OpSum)
+			}
+		})
+	})
+	b.Run("Gsync16", func(b *testing.B) {
+		w := rma.NewWorld(rma.Config{N: 16, WindowWords: 8})
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			w.Run(func(r int) { w.Proc(r).Gsync() })
+		}
+	})
+}

@@ -1,0 +1,66 @@
+// Command ftrma regenerates the paper's tables and figures. Usage:
+//
+//	ftrma [-quick] [experiment ...]
+//
+// Experiments: table1, fig10a, fig10b, fig10c, fig10d, fig11a, fig11b,
+// fig11c, fig12, overheads, all (default). -quick selects the smoke-test
+// scale used by the benchmarks; the default scale is laptop-sized and takes
+// a few minutes for the FFT figures.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/harness"
+)
+
+func main() {
+	quick := flag.Bool("quick", false, "use the small smoke-test scale")
+	flag.Parse()
+	sc := harness.DefaultScale()
+	if *quick {
+		sc = harness.QuickScale()
+	}
+
+	args := flag.Args()
+	if len(args) == 0 {
+		args = []string{"all"}
+	}
+	run := map[string]bool{}
+	for _, a := range args {
+		run[a] = true
+	}
+	all := run["all"]
+
+	show := func(id string, f func() harness.Result) {
+		if all || run[id] {
+			f().Print(os.Stdout)
+		}
+	}
+	if all || run["table1"] {
+		fmt.Print(harness.Table1())
+		fmt.Println()
+	}
+	show("fig10a", func() harness.Result { return harness.Fig10ab(1, sc) })
+	show("fig10b", func() harness.Result { return harness.Fig10ab(2, sc) })
+	show("fig10c", harness.Fig10c)
+	show("fig10d", func() harness.Result { return harness.Fig10d(sc) })
+	show("fig11a", func() harness.Result { return harness.Fig11a(sc) })
+	show("fig11b", func() harness.Result { return harness.Fig11b(sc) })
+	show("fig11c", func() harness.Result { return harness.Fig11c(sc) })
+	show("fig12", func() harness.Result { return harness.Fig12(sc) })
+	show("overheads", func() harness.Result { return harness.Overheads(sc) })
+	show("resilience", harness.ResilienceCurve)
+
+	known := map[string]bool{"all": true, "table1": true, "fig10a": true, "fig10b": true,
+		"fig10c": true, "fig10d": true, "fig11a": true, "fig11b": true, "fig11c": true,
+		"fig12": true, "overheads": true, "resilience": true}
+	for a := range run {
+		if !known[a] {
+			fmt.Fprintf(os.Stderr, "ftrma: unknown experiment %q\n", a)
+			os.Exit(2)
+		}
+	}
+}

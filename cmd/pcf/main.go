@@ -1,0 +1,64 @@
+// Command pcf evaluates the probability of a catastrophic failure (Eq. 9 of
+// the paper) for a given machine, process count, checksum-process fraction,
+// and t-awareness level. Defaults reproduce the §7.1 study (TSUBAME2.0,
+// N=4000).
+//
+// Usage:
+//
+//	pcf [-n 4000] [-ch 5] [-level nodes] [-m 1]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/failure"
+	"repro/internal/machine"
+	"repro/internal/reliability"
+)
+
+func main() {
+	n := flag.Int("n", 4000, "number of compute processes")
+	chPct := flag.Float64("ch", 5, "checksum processes as % of n")
+	levelName := flag.String("level", "nodes", "t-awareness level: none, nodes, PSUs, switches, racks")
+	m := flag.Int("m", 1, "checksum processes per group")
+	flag.Parse()
+
+	fdh := machine.TSUBAME2()
+	level := 0
+	if *levelName != "none" {
+		level = fdh.LevelIndex(*levelName)
+		if level == 0 {
+			fmt.Fprintf(os.Stderr, "pcf: unknown level %q (use none, nodes, PSUs, switches, racks)\n", *levelName)
+			os.Exit(2)
+		}
+	}
+	numCH := int(float64(*n) * *chPct / 100)
+	if numCH < 1 {
+		numCH = 1
+	}
+	grouping, err := machine.NewGrouping(*n, numCH, *m)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "pcf: %v\n", err)
+		os.Exit(1)
+	}
+	model := reliability.Model{
+		FDH:         fdh,
+		PDFs:        failure.TSUBAMEPDFs(),
+		GroupSize:   grouping.GroupSize(),
+		TAwareLevel: level,
+	}
+	p, err := model.Pcf()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "pcf: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("machine:        TSUBAME2.0 (%d nodes, %d PSUs, %d switches, %d racks)\n",
+		fdh.Count(1), fdh.Count(2), fdh.Count(3), fdh.Count(4))
+	fmt.Printf("processes:      %d CMs + %d CHs (m=%d, |G|=%d)\n",
+		*n, grouping.NumChecksum(), *m, grouping.GroupSize())
+	fmt.Printf("t-awareness:    %s\n", *levelName)
+	fmt.Printf("P_cf per day:   %.6g\n", p)
+	fmt.Printf("MTB-CF:         %.4g days\n", 1/p)
+}

@@ -1,0 +1,69 @@
+// Quickstart: a minimal fault-tolerant RMA program.
+//
+// Eight ranks each publish a value into their right neighbour's window and
+// read one back, under the full ftRMA protocol (put+get logging, XOR group
+// checkpoints). One rank is then fail-stopped; the example recovers it
+// causally — last uncoordinated checkpoint plus a replay of the logged
+// accesses — and verifies its memory came back intact.
+//
+// Run with: go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/core"
+)
+
+func main() {
+	const n = 8
+	w := core.NewWorld(core.WorldConfig{N: n, WindowWords: 64})
+	sys, err := core.NewSystem(w, core.Config{
+		Groups:            2, // two groups, one checksum process each
+		ChecksumsPerGroup: 1,
+		LogPuts:           true,
+		LogGets:           true,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Every rank puts its rank number into its right neighbour's window
+	// and fetches the neighbour's cell back into its own window.
+	w.Run(func(r int) {
+		p := sys.Process(r)
+		right := (r + 1) % n
+		p.PutValue(right, 0, uint64(100+r))
+		p.Flush(right)
+		p.Gsync()
+		p.GetInto(right, 0, 1, 1)
+		p.Flush(right)
+	})
+
+	victim := 3
+	fmt.Printf("before failure: rank %d window[0]=%d window[1]=%d (virtual time %.2fus)\n",
+		victim, w.Proc(victim).Local()[0], w.Proc(victim).Local()[1], w.MaxTime()*1e6)
+
+	// Fail-stop the rank: its volatile memory is gone.
+	w.Kill(victim)
+
+	// Recover: fetch the reconstructed checkpoint, then replay the logged
+	// puts (by the left neighbour) and gets (issued by the victim).
+	res, err := sys.Recover(victim)
+	if err != nil {
+		log.Fatalf("recover: %v", err)
+	}
+	w.RunRank(victim, func() { res.Proc.ReplayAll(res.Logs) })
+
+	got := w.Proc(victim).Local()
+	fmt.Printf("after recovery: rank %d window[0]=%d window[1]=%d (replayed %d accesses)\n",
+		victim, got[0], got[1], res.Logs.Len())
+	if got[0] != uint64(100+victim-1) || got[1] != uint64(100+victim) {
+		log.Fatal("recovered state is wrong")
+	}
+	st := sys.Stats()
+	fmt.Printf("protocol stats: %d puts logged, %d gets logged, %d recoveries\n",
+		st.PutsLogged, st.GetsLogged, st.Recoveries)
+	fmt.Println("OK: memory recovered exactly")
+}

@@ -1,0 +1,91 @@
+// Package counter is a lock-based workload: a distributed set of counters
+// updated under window locks with read-modify-write puts — the
+// "synchronize with locks and communicate with puts" class of codes that
+// §4.3's Algorithm 3 recovers. It complements the other applications (the
+// FFT is gsync-based, the key-value store atomics-based) and exercises the
+// Locks coordinated-checkpointing scheme (§3.1.2) end to end.
+package counter
+
+import (
+	"fmt"
+
+	"repro/internal/ftrma"
+	"repro/internal/rma"
+)
+
+// Config describes a counter workload.
+type Config struct {
+	// Slots is the number of counters per rank.
+	Slots int
+	// Rounds is the number of update rounds. In each round every rank
+	// locks a peer, reads a counter, and writes back an updated value.
+	Rounds int
+	// CheckpointEvery inserts a Locks-scheme coordinated checkpoint after
+	// this many rounds (0 = never). Every rank participates.
+	CheckpointEvery int
+}
+
+// Validate checks the configuration.
+func (c Config) Validate() error {
+	if c.Slots < 1 {
+		return fmt.Errorf("counter: slots = %d", c.Slots)
+	}
+	if c.Rounds < 1 {
+		return fmt.Errorf("counter: rounds = %d", c.Rounds)
+	}
+	return nil
+}
+
+// WindowWords returns the per-rank window size.
+func (c Config) WindowWords() int { return c.Slots }
+
+// Checkpointer matches ftrma's Locks-scheme collective checkpoint.
+type Checkpointer interface{ CheckpointLocks() }
+
+// Run executes rounds [from, to). Each round, rank r updates the counter
+// slot (round mod Slots) at peer (r+round) mod N: lock, get-modify-put,
+// unlock. The lock makes the read-modify-write exclusive; the update
+// function is deterministic in (round, source), so recovery by lock-ordered
+// replay reproduces the exact final values.
+func Run(api rma.API, cfg Config, from, to int) {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	rank, n := api.Rank(), api.N()
+	for round := from; round < to; round++ {
+		// Cycle through every peer but never self: a self-put's log would
+		// die with the rank (Fig. 3), making pure-replay recovery lossy.
+		trg := (rank + 1 + round%(n-1)) % n
+		slot := round % cfg.Slots
+		api.Lock(trg, rma.StrWindow)
+		cur := api.GetBlocking(trg, slot, 1)[0]
+		api.PutValue(trg, slot, cur*3+uint64(rank)+1)
+		api.Unlock(trg, rma.StrWindow)
+		if cfg.CheckpointEvery > 0 && (round+1)%cfg.CheckpointEvery == 0 {
+			if ck, ok := api.(Checkpointer); ok {
+				ck.CheckpointLocks()
+			} else {
+				api.Barrier() // keep schedules aligned without FT
+			}
+		}
+		api.Barrier() // rounds are globally separated
+	}
+}
+
+// Gather collects all counters.
+func Gather(w interface{ Proc(int) *rma.Proc }, cfg Config, n int) []uint64 {
+	out := make([]uint64, 0, n*cfg.Slots)
+	for r := 0; r < n; r++ {
+		out = append(out, w.Proc(r).Local()[:cfg.Slots]...)
+	}
+	return out
+}
+
+// Recover restores a failed rank: the ftRMA layer already reloaded the last
+// checkpoint; the remaining state is rebuilt purely from the lock-ordered
+// replay of the logged puts and gets (Algorithm 3) — unlike the FFT, a
+// counter rank's window is written only through remote accesses, so no
+// re-execution is needed.
+func Recover(p *ftrma.Process, logs *ftrma.ReplayLogs) {
+	p.ReplayAll(logs)
+}

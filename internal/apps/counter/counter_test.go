@@ -1,0 +1,122 @@
+package counter
+
+import (
+	"testing"
+
+	"repro/internal/ftrma"
+	"repro/internal/rma"
+)
+
+func TestConfigValidate(t *testing.T) {
+	if err := (Config{Slots: 2, Rounds: 3}).Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if (Config{Slots: 0, Rounds: 3}).Validate() == nil {
+		t.Error("accepted zero slots")
+	}
+	if (Config{Slots: 1, Rounds: 0}).Validate() == nil {
+		t.Error("accepted zero rounds")
+	}
+}
+
+func runPlain(t *testing.T, cfg Config, n int) *rma.World {
+	t.Helper()
+	w := rma.NewWorld(rma.Config{N: n, WindowWords: cfg.WindowWords()})
+	w.Run(func(r int) { Run(w.Proc(r), cfg, 0, cfg.Rounds) })
+	return w
+}
+
+func TestDeterministic(t *testing.T) {
+	cfg := Config{Slots: 3, Rounds: 9}
+	a := Gather(runPlain(t, cfg, 4), cfg, 4)
+	b := Gather(runPlain(t, cfg, 4), cfg, 4)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("nondeterministic at %d: %d vs %d", i, a[i], b[i])
+		}
+	}
+	// Counters did change.
+	allZero := true
+	for _, v := range a {
+		if v != 0 {
+			allZero = false
+		}
+	}
+	if allZero {
+		t.Fatal("no counter was updated")
+	}
+}
+
+func TestAlgorithm3EndToEndRecovery(t *testing.T) {
+	// The lock-based workload under full logging: kill a rank mid-run,
+	// recover it purely by lock-ordered replay (Algorithm 3), finish, and
+	// compare with a fault-free run.
+	cfg := Config{Slots: 3, Rounds: 12}
+	const n, killAt, victim = 4, 7, 2
+
+	want := Gather(runPlain(t, cfg, n), cfg, n)
+
+	w := rma.NewWorld(rma.Config{N: n, WindowWords: cfg.WindowWords()})
+	sys, err := ftrma.NewSystem(w, ftrma.Config{
+		Groups: 2, ChecksumsPerGroup: 1, LogPuts: true, LogGets: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.Run(func(r int) { Run(sys.Process(r), cfg, 0, killAt) })
+	w.Kill(victim)
+	res, err := sys.Recover(victim)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.FellBack {
+		t.Fatal("unexpected fallback: replacing puts only")
+	}
+	// The replay must be ordered by SC (all records share GNC 0).
+	lastSC := -1
+	for _, rec := range res.Logs.Puts {
+		if rec.GNC != 0 {
+			t.Fatalf("lock-based code has GNC %d", rec.GNC)
+		}
+		if rec.SC < lastSC {
+			t.Fatalf("puts not SC-ordered: %d after %d", rec.SC, lastSC)
+		}
+		lastSC = rec.SC
+	}
+	w.RunRank(victim, func() { Recover(res.Proc, res.Logs) })
+	w.Run(func(r int) { Run(sys.Process(r), cfg, killAt, cfg.Rounds) })
+
+	got := Gather(w, cfg, n)
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("counter %d = %d, want %d", i, got[i], want[i])
+		}
+	}
+}
+
+func TestLocksSchemeCheckpointingDuringRun(t *testing.T) {
+	// The Locks CC scheme embedded in the workload: checkpoints happen
+	// collectively at LC=0 points without deadlock (Theorem 3.2), and the
+	// numbers are unaffected.
+	cfg := Config{Slots: 2, Rounds: 8, CheckpointEvery: 3}
+	const n = 3
+	want := Gather(runPlain(t, cfg, n), cfg, n)
+
+	w := rma.NewWorld(rma.Config{N: n, WindowWords: cfg.WindowWords()})
+	sys, err := ftrma.NewSystem(w, ftrma.Config{
+		Groups: 1, ChecksumsPerGroup: 1, Scheme: ftrma.CCLocks, LogPuts: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.Run(func(r int) { Run(sys.Process(r), cfg, 0, cfg.Rounds) })
+	if sys.Stats().CCCheckpoints == 0 {
+		t.Fatal("no Locks-scheme checkpoints taken")
+	}
+	got := Gather(w, cfg, n)
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("counter %d differs under Locks-scheme checkpointing", i)
+		}
+	}
+}

@@ -1,0 +1,99 @@
+// Package fft implements the NAS-style 3D Fast Fourier Transform benchmark
+// of §7.2.1: a distributed 3D FFT with a 2D (pencil) process decomposition
+// whose transposes are non-blocking RMA puts separated by gsyncs — the
+// exact communication pattern the paper uses to evaluate ftRMA's
+// coordinated checkpointing and logging layers.
+package fft
+
+import (
+	"fmt"
+	"math"
+	"math/bits"
+)
+
+// FFT1D performs an in-place radix-2 decimation-in-time FFT on a; len(a)
+// must be a power of two. inverse selects the inverse transform (without
+// the 1/n scaling; callers scale if they need a round trip).
+func FFT1D(a []complex128, inverse bool) {
+	n := len(a)
+	if n&(n-1) != 0 || n == 0 {
+		panic(fmt.Sprintf("fft: length %d is not a power of two", n))
+	}
+	// Bit-reversal permutation.
+	shift := 64 - uint(bits.Len(uint(n-1)))
+	for i := 1; i < n; i++ {
+		j := int(bits.Reverse64(uint64(i)) >> shift)
+		if j > i {
+			a[i], a[j] = a[j], a[i]
+		}
+	}
+	sign := -1.0
+	if inverse {
+		sign = 1.0
+	}
+	for size := 2; size <= n; size <<= 1 {
+		half := size / 2
+		ang := sign * 2 * math.Pi / float64(size)
+		wStep := complex(math.Cos(ang), math.Sin(ang))
+		for start := 0; start < n; start += size {
+			w := complex(1, 0)
+			for k := 0; k < half; k++ {
+				u := a[start+k]
+				v := a[start+k+half] * w
+				a[start+k] = u + v
+				a[start+k+half] = u - v
+				w *= wStep
+			}
+		}
+	}
+}
+
+// FlopsPerLine returns the conventional 5*n*log2(n) flop count of one
+// length-n FFT line, used for performance accounting.
+func FlopsPerLine(n int) float64 {
+	return 5 * float64(n) * math.Log2(float64(n))
+}
+
+// Serial3D computes a forward 3D FFT of an n^3 cube laid out
+// cube[(z*n+y)*n+x], transforming the x, then y, then z dimension with the
+// same 1D kernel the distributed version uses — so results match
+// bit-for-bit. It is the verification reference.
+func Serial3D(cube []complex128, n int) {
+	if len(cube) != n*n*n {
+		panic(fmt.Sprintf("fft: cube has %d elements, want %d", len(cube), n*n*n))
+	}
+	line := make([]complex128, n)
+	// X lines (contiguous).
+	for z := 0; z < n; z++ {
+		for y := 0; y < n; y++ {
+			base := (z*n + y) * n
+			copy(line, cube[base:base+n])
+			FFT1D(line, false)
+			copy(cube[base:base+n], line)
+		}
+	}
+	// Y lines.
+	for z := 0; z < n; z++ {
+		for x := 0; x < n; x++ {
+			for y := 0; y < n; y++ {
+				line[y] = cube[(z*n+y)*n+x]
+			}
+			FFT1D(line, false)
+			for y := 0; y < n; y++ {
+				cube[(z*n+y)*n+x] = line[y]
+			}
+		}
+	}
+	// Z lines.
+	for y := 0; y < n; y++ {
+		for x := 0; x < n; x++ {
+			for z := 0; z < n; z++ {
+				line[z] = cube[(z*n+y)*n+x]
+			}
+			FFT1D(line, false)
+			for z := 0; z < n; z++ {
+				cube[(z*n+y)*n+x] = line[z]
+			}
+		}
+	}
+}

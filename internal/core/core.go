@@ -1,0 +1,75 @@
+// Package core is the façade over the paper's primary contribution. The
+// implementation lives in the sibling packages; core re-exports the types a
+// downstream user composes:
+//
+//   - rma.World / rma.Proc — the RMA runtime (the substrate, §2);
+//   - ftrma.System / ftrma.Process — the holistic fault-tolerance protocol
+//     (logging, demand and coordinated checkpointing, causal recovery,
+//     §3–§6);
+//   - reliability.Model — the P_cf analysis (§5.2);
+//   - machine.FDH / machine.Grouping — failure domains and process groups.
+//
+// A minimal fault-tolerant program:
+//
+//	w := core.NewWorld(core.WorldConfig{N: 16, WindowWords: 1 << 16})
+//	sys, err := core.NewSystem(w, core.Config{
+//	    Groups: 4, ChecksumsPerGroup: 1,
+//	    UseDaly: true, MTBF: 86400,
+//	    LogPuts: true, LogGets: true,
+//	})
+//	...
+//	w.Run(func(r int) { app(sys.Process(r)) })
+//	// on failure:
+//	w.Kill(victim)
+//	res, err := sys.Recover(victim)
+//	w.RunRank(victim, func() { res.Proc.ReplayAll(res.Logs) })
+package core
+
+import (
+	"repro/internal/ftrma"
+	"repro/internal/machine"
+	"repro/internal/reliability"
+	"repro/internal/rma"
+)
+
+// Runtime substrate.
+type (
+	// World is the simulated RMA machine.
+	World = rma.World
+	// WorldConfig configures a World.
+	WorldConfig = rma.Config
+	// API is the programming interface applications are written against.
+	API = rma.API
+)
+
+// NewWorld builds a simulated RMA machine.
+func NewWorld(cfg WorldConfig) *World { return rma.NewWorld(cfg) }
+
+// Fault-tolerance protocol.
+type (
+	// System is the ftRMA protocol attached to a World.
+	System = ftrma.System
+	// Config tunes the protocol.
+	Config = ftrma.Config
+	// Process is the per-rank protocol wrapper (implements API).
+	Process = ftrma.Process
+	// RecoverResult is the outcome of recovering a failed rank.
+	RecoverResult = ftrma.RecoverResult
+)
+
+// ErrFallback reports a causal recovery that rolled back to the last
+// coordinated checkpoint.
+var ErrFallback = ftrma.ErrFallback
+
+// NewSystem attaches the protocol to a world.
+func NewSystem(w *World, cfg Config) (*System, error) { return ftrma.NewSystem(w, cfg) }
+
+// Reliability analysis.
+type (
+	// ReliabilityModel evaluates the probability of catastrophic failure.
+	ReliabilityModel = reliability.Model
+	// FDH is a hardware failure-domain hierarchy.
+	FDH = machine.FDH
+	// Grouping is the CM/CH process-group structure.
+	Grouping = machine.Grouping
+)

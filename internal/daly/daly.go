@@ -1,0 +1,58 @@
+// Package daly implements optimal checkpoint-interval estimates: Daly's
+// higher-order formula (used by ftRMA's coordinated layer, §6.1 of the
+// paper) and Young's first-order approximation for comparison.
+package daly
+
+import (
+	"errors"
+	"math"
+)
+
+// Interval returns Daly's higher-order estimate of the optimum compute time
+// between checkpoints:
+//
+//	sqrt(2*delta*M) * [1 + 1/3*sqrt(delta/(2M)) + 1/9*(delta/(2M))] - delta
+//
+// for delta < 2M, and M otherwise. delta is the time to take a checkpoint
+// and M is the mean time between failures, both in seconds.
+func Interval(delta, mtbf float64) (float64, error) {
+	if delta < 0 {
+		return 0, errors.New("daly: negative checkpoint cost")
+	}
+	if mtbf <= 0 {
+		return 0, errors.New("daly: non-positive MTBF")
+	}
+	if delta >= 2*mtbf {
+		return mtbf, nil
+	}
+	r := delta / (2 * mtbf)
+	t := math.Sqrt(2*delta*mtbf)*(1+math.Sqrt(r)/3+r/9) - delta
+	if t < 0 {
+		t = 0
+	}
+	return t, nil
+}
+
+// Young returns Young's first-order approximation sqrt(2*delta*M).
+func Young(delta, mtbf float64) (float64, error) {
+	if delta < 0 {
+		return 0, errors.New("daly: negative checkpoint cost")
+	}
+	if mtbf <= 0 {
+		return 0, errors.New("daly: non-positive MTBF")
+	}
+	return math.Sqrt(2 * delta * mtbf), nil
+}
+
+// Overhead returns the expected fraction of run time spent on
+// fault-tolerance bookkeeping when checkpointing every tau seconds with cost
+// delta on a machine with the given MTBF: the checkpoint fraction plus the
+// expected lost-work fraction. Used to sanity-check chosen intervals.
+func Overhead(tau, delta, mtbf float64) float64 {
+	if tau <= 0 || mtbf <= 0 {
+		return math.Inf(1)
+	}
+	ckpt := delta / (tau + delta)
+	lost := (tau + delta) / (2 * mtbf)
+	return ckpt + lost
+}

@@ -1,0 +1,105 @@
+package daly
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestIntervalKnownValue(t *testing.T) {
+	// delta = 2.7s checkpoint on an MTBF of 1 day (the f-no-daly
+	// configuration of §7.2.1 uses ~2.7s).
+	got, err := Interval(2.7, 86400)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// First-order value sqrt(2*2.7*86400) = 683.1s; higher-order terms add
+	// a little and subtracting delta removes 2.7s.
+	young, _ := Young(2.7, 86400)
+	if got < young-3 || got > young*1.05 {
+		t.Fatalf("Interval = %g, Young = %g; want close", got, young)
+	}
+}
+
+func TestIntervalDegenerate(t *testing.T) {
+	// delta >= 2M: the formula saturates at M.
+	got, err := Interval(10, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 4 {
+		t.Fatalf("saturated interval = %g, want MTBF 4", got)
+	}
+	// Zero checkpoint cost: checkpoint continuously (interval 0).
+	got, err = Interval(0, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 0 {
+		t.Fatalf("zero-cost interval = %g, want 0", got)
+	}
+}
+
+func TestIntervalErrors(t *testing.T) {
+	if _, err := Interval(-1, 10); err == nil {
+		t.Error("accepted negative delta")
+	}
+	if _, err := Interval(1, 0); err == nil {
+		t.Error("accepted zero MTBF")
+	}
+	if _, err := Young(-1, 10); err == nil {
+		t.Error("Young accepted negative delta")
+	}
+	if _, err := Young(1, -5); err == nil {
+		t.Error("Young accepted negative MTBF")
+	}
+}
+
+func TestIntervalProperties(t *testing.T) {
+	// Properties: 0 <= interval <= MTBF for delta < 2M; interval grows with
+	// MTBF; Daly >= Young - delta.
+	prop := func(dRaw, mRaw uint16) bool {
+		delta := float64(dRaw)/100 + 0.01 // 0.01 .. 655
+		mtbf := float64(mRaw) + 1         // 1 .. 65536
+		got, err := Interval(delta, mtbf)
+		if err != nil {
+			return false
+		}
+		if got < 0 || math.IsNaN(got) {
+			return false
+		}
+		if delta < 2*mtbf {
+			young, _ := Young(delta, mtbf)
+			if got < young-delta-1e-9 {
+				return false
+			}
+			bigger, err := Interval(delta, mtbf*4)
+			if err != nil || bigger < got {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestOverheadNearOptimum(t *testing.T) {
+	// The Daly interval should give (near-)minimal overhead among a sweep
+	// of candidate intervals.
+	const delta, mtbf = 5.0, 3600.0
+	opt, err := Interval(delta, mtbf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	best := Overhead(opt, delta, mtbf)
+	for _, tau := range []float64{opt / 4, opt / 2, opt * 2, opt * 4} {
+		if Overhead(tau, delta, mtbf) < best*0.98 {
+			t.Errorf("interval %g has lower overhead than Daly's %g", tau, opt)
+		}
+	}
+	if math.IsInf(Overhead(0, delta, mtbf), 1) != true {
+		t.Error("zero interval should have infinite overhead")
+	}
+}

@@ -1,0 +1,359 @@
+package erasure
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestGFAxioms(t *testing.T) {
+	// Field sanity on a pseudo-random sample: commutativity,
+	// associativity, distributivity, inverses.
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 2000; i++ {
+		a, b, c := byte(rng.Intn(256)), byte(rng.Intn(256)), byte(rng.Intn(256))
+		if gfMul(a, b) != gfMul(b, a) {
+			t.Fatalf("mul not commutative for %d,%d", a, b)
+		}
+		if gfMul(gfMul(a, b), c) != gfMul(a, gfMul(b, c)) {
+			t.Fatalf("mul not associative for %d,%d,%d", a, b, c)
+		}
+		if gfMul(a, b^c) != gfMul(a, b)^gfMul(a, c) {
+			t.Fatalf("mul not distributive for %d,%d,%d", a, b, c)
+		}
+		if a != 0 {
+			if gfMul(a, gfInv(a)) != 1 {
+				t.Fatalf("inverse broken for %d", a)
+			}
+			if gfDiv(gfMul(a, b), a) != b {
+				t.Fatalf("div broken for %d,%d", a, b)
+			}
+		}
+		if gfMul(a, 1) != a || gfMul(a, 0) != 0 {
+			t.Fatalf("identity/zero broken for %d", a)
+		}
+	}
+}
+
+func TestGFExpPow(t *testing.T) {
+	for a := 1; a < 256; a++ {
+		if gfExpPow(byte(a), 0) != 1 {
+			t.Fatalf("a^0 != 1 for %d", a)
+		}
+		if gfExpPow(byte(a), 1) != byte(a) {
+			t.Fatalf("a^1 != a for %d", a)
+		}
+		want := gfMul(byte(a), byte(a))
+		if gfExpPow(byte(a), 2) != want {
+			t.Fatalf("a^2 mismatch for %d", a)
+		}
+	}
+	if gfExpPow(0, 0) != 1 || gfExpPow(0, 3) != 0 {
+		t.Fatal("0 powers wrong")
+	}
+}
+
+func TestMatInvert(t *testing.T) {
+	m := [][]byte{{1, 2}, {3, 4}}
+	inv, ok := matInvert([][]byte{{1, 2}, {3, 4}})
+	if !ok {
+		t.Fatal("invertible matrix reported singular")
+	}
+	prod := matMul(m, inv)
+	for i := range prod {
+		for j := range prod[i] {
+			want := byte(0)
+			if i == j {
+				want = 1
+			}
+			if prod[i][j] != want {
+				t.Fatalf("m * inv(m) = %v, not identity", prod)
+			}
+		}
+	}
+	// Singular matrix (duplicate rows).
+	if _, ok := matInvert([][]byte{{1, 2}, {1, 2}}); ok {
+		t.Fatal("singular matrix inverted")
+	}
+}
+
+func randShards(rng *rand.Rand, k, n int) [][]byte {
+	out := make([][]byte, k)
+	for i := range out {
+		out[i] = make([]byte, n)
+		rng.Read(out[i])
+	}
+	return out
+}
+
+func TestXORRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	shards := randShards(rng, 5, 64)
+	parity, err := EncodeXOR(shards)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for lost := 0; lost < 5; lost++ {
+		damaged := make([][]byte, 5)
+		copy(damaged, shards)
+		damaged[lost] = nil
+		got, err := ReconstructXOR(damaged, parity)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got, shards[lost]) {
+			t.Fatalf("reconstruction of shard %d wrong", lost)
+		}
+	}
+}
+
+func TestXORErrors(t *testing.T) {
+	if _, err := EncodeXOR(nil); err == nil {
+		t.Error("accepted no shards")
+	}
+	if _, err := EncodeXOR([][]byte{{}}); err == nil {
+		t.Error("accepted empty shards")
+	}
+	if _, err := EncodeXOR([][]byte{{1, 2}, {3}}); err == nil {
+		t.Error("accepted ragged shards")
+	}
+	if _, err := ReconstructXOR([][]byte{{1}, {2}}, []byte{3}); err == nil {
+		t.Error("accepted reconstruction with nothing missing")
+	}
+	if _, err := ReconstructXOR([][]byte{nil, nil}, []byte{3}); err == nil {
+		t.Error("accepted two missing shards")
+	}
+	if err := UpdateXOR([]byte{1, 2}, []byte{1}); err == nil {
+		t.Error("accepted mismatched update")
+	}
+}
+
+func TestXORIncrementalUpdate(t *testing.T) {
+	// Folding out an old shard and folding in a new one must equal a fresh
+	// encode — the demand-checkpoint integration path of §6.2.
+	rng := rand.New(rand.NewSource(3))
+	shards := randShards(rng, 4, 32)
+	parity, err := EncodeXOR(shards)
+	if err != nil {
+		t.Fatal(err)
+	}
+	newShard := make([]byte, 32)
+	rng.Read(newShard)
+	if err := UpdateXOR(parity, shards[2]); err != nil { // remove old
+		t.Fatal(err)
+	}
+	if err := UpdateXOR(parity, newShard); err != nil { // add new
+		t.Fatal(err)
+	}
+	shards[2] = newShard
+	fresh, err := EncodeXOR(shards)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(parity, fresh) {
+		t.Fatal("incremental parity differs from fresh encode")
+	}
+}
+
+func TestXORProperty(t *testing.T) {
+	prop := func(data [][]byte, lostRaw uint8) bool {
+		var shards [][]byte
+		n := 0
+		for _, d := range data {
+			if len(d) > 0 {
+				if n == 0 {
+					n = len(d)
+				}
+				shards = append(shards, d[:min(len(d), n)])
+			}
+		}
+		// Normalize lengths.
+		for i := range shards {
+			s := make([]byte, n)
+			copy(s, shards[i])
+			shards[i] = s
+		}
+		if len(shards) < 2 || n == 0 {
+			return true
+		}
+		parity, err := EncodeXOR(shards)
+		if err != nil {
+			return false
+		}
+		lost := int(lostRaw) % len(shards)
+		orig := shards[lost]
+		damaged := make([][]byte, len(shards))
+		copy(damaged, shards)
+		damaged[lost] = nil
+		got, err := ReconstructXOR(damaged, parity)
+		if err != nil {
+			return false
+		}
+		return bytes.Equal(got, orig)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRSRoundTripAllErasurePatterns(t *testing.T) {
+	const k, m, n = 6, 3, 48
+	rs, err := NewRS(k, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(4))
+	data := randShards(rng, k, n)
+	parity, err := rs.Encode(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	full := append(append([][]byte{}, data...), parity...)
+	// Try every pattern of up to m erasures.
+	var patterns [][]int
+	total := k + m
+	for a := 0; a < total; a++ {
+		patterns = append(patterns, []int{a})
+		for b := a + 1; b < total; b++ {
+			patterns = append(patterns, []int{a, b})
+			for c := b + 1; c < total; c++ {
+				patterns = append(patterns, []int{a, b, c})
+			}
+		}
+	}
+	for _, pat := range patterns {
+		shards := make([][]byte, total)
+		copy(shards, full)
+		for _, i := range pat {
+			shards[i] = nil
+		}
+		if err := rs.Reconstruct(shards); err != nil {
+			t.Fatalf("pattern %v: %v", pat, err)
+		}
+		for i := range shards {
+			if !bytes.Equal(shards[i], full[i]) {
+				t.Fatalf("pattern %v: shard %d wrong", pat, i)
+			}
+		}
+	}
+}
+
+func TestRSTooManyErasures(t *testing.T) {
+	rs, err := NewRS(4, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(5))
+	data := randShards(rng, 4, 16)
+	parity, err := rs.Encode(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	shards := append(append([][]byte{}, data...), parity...)
+	shards[0], shards[1], shards[2] = nil, nil, nil
+	if err := rs.Reconstruct(shards); err == nil {
+		t.Fatal("repaired more erasures than the code tolerates")
+	}
+}
+
+func TestRSParams(t *testing.T) {
+	if _, err := NewRS(0, 1); err == nil {
+		t.Error("accepted k=0")
+	}
+	if _, err := NewRS(1, 0); err == nil {
+		t.Error("accepted m=0")
+	}
+	if _, err := NewRS(200, 56); err == nil {
+		t.Error("accepted k+m > 255")
+	}
+	rs, err := NewRS(3, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := rs.Encode(randShards(rand.New(rand.NewSource(1)), 2, 8)); err == nil {
+		t.Error("accepted wrong shard count")
+	}
+	if _, err := rs.Encode([][]byte{{1}, {2, 3}, {4}}); err == nil {
+		t.Error("accepted ragged shards")
+	}
+	if err := rs.Reconstruct(make([][]byte, 4)); err == nil {
+		t.Error("accepted wrong total shard count")
+	}
+}
+
+func TestRSMatchesXORForM1(t *testing.T) {
+	// A k+1 systematic RS code's single parity shard must equal the XOR
+	// parity (both are the unique single-erasure-correcting parity).
+	const k, n = 5, 32
+	rs, err := NewRS(k, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(6))
+	data := randShards(rng, k, n)
+	parity, err := rs.Encode(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// RS parity with all-ones generator row equals XOR; with a general
+	// Vandermonde-derived row it may differ, but reconstruction must still
+	// work for any single loss. Verify reconstruction instead of equality.
+	shards := append(append([][]byte{}, data...), parity...)
+	for lost := 0; lost <= k; lost++ {
+		damaged := make([][]byte, len(shards))
+		copy(damaged, shards)
+		damaged[lost] = nil
+		if err := rs.Reconstruct(damaged); err != nil {
+			t.Fatalf("lost %d: %v", lost, err)
+		}
+		if !bytes.Equal(damaged[lost], shards[lost]) {
+			t.Fatalf("lost %d: wrong reconstruction", lost)
+		}
+	}
+}
+
+func TestRSProperty(t *testing.T) {
+	// Property: encode ∘ erase(m random shards) ∘ reconstruct = identity.
+	rng := rand.New(rand.NewSource(7))
+	prop := func(kRaw, mRaw, nRaw uint8, seed int64) bool {
+		k := int(kRaw)%10 + 1
+		m := int(mRaw)%4 + 1
+		n := int(nRaw)%100 + 1
+		rs, err := NewRS(k, m)
+		if err != nil {
+			return false
+		}
+		local := rand.New(rand.NewSource(seed))
+		data := randShards(local, k, n)
+		parity, err := rs.Encode(data)
+		if err != nil {
+			return false
+		}
+		full := append(append([][]byte{}, data...), parity...)
+		shards := make([][]byte, len(full))
+		copy(shards, full)
+		for _, i := range local.Perm(k + m)[:m] {
+			shards[i] = nil
+		}
+		if err := rs.Reconstruct(shards); err != nil {
+			return false
+		}
+		for i := range shards {
+			if !bytes.Equal(shards[i], full[i]) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 80, Rand: rng}); err != nil {
+		t.Error(err)
+	}
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,205 @@
+package erasure
+
+import (
+	"errors"
+	"fmt"
+)
+
+// RS is a systematic Reed–Solomon code with k data shards and m parity
+// shards over GF(2⁸). Any m lost shards (data or parity) can be
+// reconstructed. It generalizes the XOR scheme to groups that must survive
+// m concurrent member crashes (§5: "every group can resist m concurrent
+// process crashes").
+type RS struct {
+	K int
+	M int
+	// gen is the (k+m) x k systematic generator matrix: the top k rows are
+	// the identity, the bottom m rows produce parity.
+	gen [][]byte
+}
+
+// NewRS constructs a code for k data and m parity shards. k+m must not
+// exceed 255 (the field size minus one, so Vandermonde rows stay distinct).
+func NewRS(k, m int) (*RS, error) {
+	if k < 1 || m < 1 {
+		return nil, errors.New("erasure: k and m must be positive")
+	}
+	if k+m > 255 {
+		return nil, fmt.Errorf("erasure: k+m = %d exceeds 255", k+m)
+	}
+	// Build a (k+m) x k Vandermonde matrix with distinct evaluation points,
+	// then normalize the top k x k block to the identity so the code is
+	// systematic. Every square submatrix of a Vandermonde matrix with
+	// distinct points is invertible, and row reduction preserves that.
+	vand := make([][]byte, k+m)
+	for r := range vand {
+		vand[r] = make([]byte, k)
+		for c := 0; c < k; c++ {
+			vand[r][c] = gfExpPow(gfExp[r%255], c)
+		}
+	}
+	top := make([][]byte, k)
+	for i := range top {
+		top[i] = make([]byte, k)
+		copy(top[i], vand[i])
+	}
+	inv, ok := matInvert(top)
+	if !ok {
+		return nil, errors.New("erasure: Vandermonde top block singular")
+	}
+	gen := matMul(vand, inv)
+	return &RS{K: k, M: m, gen: gen}, nil
+}
+
+// UpdateParity folds a data-shard change into parity shard i in place,
+// without touching the other data shards: because the code is linear,
+// parity_i ^= coef(i, j) * (old ^ new) when data shard j changes. delta is
+// old XOR new. This is the Reed–Solomon analogue of the incremental XOR
+// checksum integration of §6.2.
+func (rs *RS) UpdateParity(parity []byte, i, j int, delta []byte) error {
+	if i < 0 || i >= rs.M {
+		return fmt.Errorf("erasure: parity index %d out of range 0..%d", i, rs.M-1)
+	}
+	if j < 0 || j >= rs.K {
+		return fmt.Errorf("erasure: data index %d out of range 0..%d", j, rs.K-1)
+	}
+	if len(parity) != len(delta) {
+		return fmt.Errorf("erasure: parity length %d != delta length %d", len(parity), len(delta))
+	}
+	coef := rs.gen[rs.K+i][j]
+	if coef == 0 {
+		return nil
+	}
+	for b, d := range delta {
+		parity[b] ^= gfMul(coef, d)
+	}
+	return nil
+}
+
+// Encode computes the m parity shards for the k data shards. All data
+// shards must have equal, non-zero length.
+func (rs *RS) Encode(data [][]byte) ([][]byte, error) {
+	if len(data) != rs.K {
+		return nil, fmt.Errorf("erasure: %d data shards, want %d", len(data), rs.K)
+	}
+	n := len(data[0])
+	if n == 0 {
+		return nil, errors.New("erasure: empty shards")
+	}
+	for i, s := range data {
+		if len(s) != n {
+			return nil, fmt.Errorf("erasure: shard %d has length %d, want %d", i, len(s), n)
+		}
+	}
+	parity := make([][]byte, rs.M)
+	for p := 0; p < rs.M; p++ {
+		row := rs.gen[rs.K+p]
+		out := make([]byte, n)
+		for c := 0; c < rs.K; c++ {
+			coef := row[c]
+			if coef == 0 {
+				continue
+			}
+			src := data[c]
+			for j := 0; j < n; j++ {
+				out[j] ^= gfMul(coef, src[j])
+			}
+		}
+		parity[p] = out
+	}
+	return parity, nil
+}
+
+// Reconstruct fills in the missing (nil) shards. shards holds the k data
+// shards followed by the m parity shards; at most m entries may be nil.
+// Present shards are left untouched; missing ones are replaced with
+// reconstructed data.
+func (rs *RS) Reconstruct(shards [][]byte) error {
+	if len(shards) != rs.K+rs.M {
+		return fmt.Errorf("erasure: %d shards, want %d", len(shards), rs.K+rs.M)
+	}
+	var present []int
+	var missing []int
+	n := 0
+	for i, s := range shards {
+		if s == nil {
+			missing = append(missing, i)
+		} else {
+			present = append(present, i)
+			if n == 0 {
+				n = len(s)
+			} else if len(s) != n {
+				return fmt.Errorf("erasure: shard %d has length %d, want %d", i, len(s), n)
+			}
+		}
+	}
+	if len(missing) == 0 {
+		return nil
+	}
+	if len(missing) > rs.M {
+		return fmt.Errorf("erasure: %d shards missing, can repair at most %d", len(missing), rs.M)
+	}
+	if n == 0 {
+		return errors.New("erasure: no surviving shards")
+	}
+	// Pick k surviving rows of the generator, invert, and recompute the
+	// data shards; then re-encode any missing parity.
+	rows := present[:rs.K]
+	sub := make([][]byte, rs.K)
+	for i, r := range rows {
+		sub[i] = rs.gen[r]
+	}
+	inv, ok := matInvert(sub)
+	if !ok {
+		return errors.New("erasure: surviving-row matrix singular")
+	}
+	// data[c] = sum_i inv[c][i] * shards[rows[i]]
+	needData := false
+	for _, mi := range missing {
+		if mi < rs.K {
+			needData = true
+		}
+	}
+	if needData {
+		for _, mi := range missing {
+			if mi >= rs.K {
+				continue
+			}
+			out := make([]byte, n)
+			for i, r := range rows {
+				coef := inv[mi][i]
+				if coef == 0 {
+					continue
+				}
+				src := shards[r]
+				for j := 0; j < n; j++ {
+					out[j] ^= gfMul(coef, src[j])
+				}
+			}
+			shards[mi] = out
+		}
+	}
+	// Recompute missing parity from (now complete) data.
+	for _, mi := range missing {
+		if mi < rs.K {
+			continue
+		}
+		row := rs.gen[mi]
+		out := make([]byte, n)
+		for c := 0; c < rs.K; c++ {
+			coef := row[c]
+			if coef == 0 {
+				continue
+			}
+			src := shards[c]
+			if src == nil {
+				return errors.New("erasure: data shard still missing during parity rebuild")
+			}
+			for j := 0; j < n; j++ {
+				out[j] ^= gfMul(coef, src[j])
+			}
+		}
+		shards[mi] = out
+	}
+	return nil
+}

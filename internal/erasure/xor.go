@@ -1,0 +1,79 @@
+package erasure
+
+import (
+	"errors"
+	"fmt"
+)
+
+// XOR is the m=1 parity code used by the default ftRMA configuration: a
+// single checksum process per group stores the XOR of the members'
+// checkpoints, and any single lost checkpoint is reconstructed from the
+// parity and the surviving members (as in an additional RAID5 disk, §5.2).
+type XOR struct{}
+
+// EncodeXOR returns the byte-wise XOR of the shards. All shards must have
+// equal, non-zero length.
+func EncodeXOR(shards [][]byte) ([]byte, error) {
+	if len(shards) == 0 {
+		return nil, errors.New("erasure: no shards")
+	}
+	n := len(shards[0])
+	if n == 0 {
+		return nil, errors.New("erasure: empty shards")
+	}
+	parity := make([]byte, n)
+	for i, s := range shards {
+		if len(s) != n {
+			return nil, fmt.Errorf("erasure: shard %d has length %d, want %d", i, len(s), n)
+		}
+		for j, b := range s {
+			parity[j] ^= b
+		}
+	}
+	return parity, nil
+}
+
+// UpdateXOR folds a new shard into an existing parity in place (the
+// incremental "integrate the received checkpoint data into the existing XOR
+// checksum" operation of §6.2). To replace a member's old checkpoint, fold
+// the old data out first (XOR is its own inverse).
+func UpdateXOR(parity, shard []byte) error {
+	if len(parity) != len(shard) {
+		return fmt.Errorf("erasure: parity length %d != shard length %d", len(parity), len(shard))
+	}
+	for j, b := range shard {
+		parity[j] ^= b
+	}
+	return nil
+}
+
+// ReconstructXOR recovers the single missing shard (marked nil) from the
+// survivors and the parity. It returns the reconstructed shard.
+func ReconstructXOR(shards [][]byte, parity []byte) ([]byte, error) {
+	missing := -1
+	for i, s := range shards {
+		if s == nil {
+			if missing >= 0 {
+				return nil, errors.New("erasure: XOR can reconstruct only one missing shard")
+			}
+			missing = i
+		}
+	}
+	if missing < 0 {
+		return nil, errors.New("erasure: nothing to reconstruct")
+	}
+	out := make([]byte, len(parity))
+	copy(out, parity)
+	for i, s := range shards {
+		if i == missing {
+			continue
+		}
+		if len(s) != len(parity) {
+			return nil, fmt.Errorf("erasure: shard %d has length %d, want %d", i, len(s), len(parity))
+		}
+		for j, b := range s {
+			out[j] ^= b
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,181 @@
+package failure
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/machine"
+)
+
+func TestPDFAt(t *testing.T) {
+	p := PDF{A: 2, B: math.Ln2}
+	if got := p.At(1); math.Abs(got-1.0) > 1e-12 {
+		t.Fatalf("At(1) = %g, want 1.0", got)
+	}
+	if got := p.At(2); math.Abs(got-0.5) > 1e-12 {
+		t.Fatalf("At(2) = %g, want 0.5", got)
+	}
+}
+
+func TestTSUBAMEPDFValues(t *testing.T) {
+	// Spot-check against the constants printed in Figs. 10a/10b.
+	if got := TSUBAMENodePDF.At(1); math.Abs(got-0.30142e-2*math.Exp(-1.3567)) > 1e-12 {
+		t.Fatalf("node PDF at 1 = %g", got)
+	}
+	pdfs := TSUBAMEPDFs()
+	if len(pdfs) != 4 {
+		t.Fatalf("want 4 level PDFs, got %d", len(pdfs))
+	}
+	// Single-node failures are far more likely than single-rack failures.
+	if pdfs[0].At(1) <= pdfs[3].At(1) {
+		t.Error("node failures should dominate rack failures")
+	}
+	// Probabilities decay with the number of simultaneous failures.
+	for _, p := range pdfs {
+		for x := 1; x < 7; x++ {
+			if p.At(x+1) >= p.At(x) {
+				t.Errorf("%v not decreasing at x=%d", p, x)
+			}
+		}
+	}
+}
+
+func TestFitExponentialRecoversParams(t *testing.T) {
+	// Generate a synthetic history from the node PDF, then fit; the fit
+	// must recover the generating parameters. This is the Fig. 10a pipeline.
+	rng := rand.New(rand.NewSource(42))
+	const days = 400000 // long period so every bin is populated
+	evs := GenerateHistory(rng, []PDF{TSUBAMENodePDF}, days, 7)
+	hist := Histogram(evs, 1, 7)
+	fit, err := FitExponential(hist, days)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rel := math.Abs(fit.B-TSUBAMENodePDF.B) / TSUBAMENodePDF.B; rel > 0.15 {
+		t.Errorf("fitted B = %g, want ~%g (rel err %g)", fit.B, TSUBAMENodePDF.B, rel)
+	}
+	if rel := math.Abs(fit.A-TSUBAMENodePDF.A) / TSUBAMENodePDF.A; rel > 0.25 {
+		t.Errorf("fitted A = %g, want ~%g (rel err %g)", fit.A, TSUBAMENodePDF.A, rel)
+	}
+}
+
+func TestFitExponentialErrors(t *testing.T) {
+	if _, err := FitExponential([]int{0, 5, 3}, 0); err == nil {
+		t.Error("accepted zero-day period")
+	}
+	if _, err := FitExponential([]int{0, 5}, 10); err == nil {
+		t.Error("accepted single-bin histogram")
+	}
+	if _, err := FitExponential([]int{0, 0, 0}, 10); err == nil {
+		t.Error("accepted empty histogram")
+	}
+}
+
+func TestFitExponentialExact(t *testing.T) {
+	// A noiseless exponential histogram must be fitted exactly.
+	days := 1000
+	gen := PDF{A: 0.5, B: 0.8}
+	hist := make([]int, 8)
+	for x := 1; x < len(hist); x++ {
+		hist[x] = int(math.Round(gen.At(x) * float64(days) * 1000))
+	}
+	fit, err := FitExponential(hist, days*1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(fit.B-gen.B) > 0.02 || math.Abs(fit.A-gen.A)/gen.A > 0.02 {
+		t.Errorf("fit = %v, want %v", fit, gen)
+	}
+}
+
+func TestFitExponentialProperty(t *testing.T) {
+	// Property: fitting a noiseless histogram generated from random
+	// parameters recovers them.
+	prop := func(aRaw, bRaw uint8) bool {
+		a := 0.1 + float64(aRaw)/256.0     // 0.1 .. 1.1
+		b := 0.3 + float64(bRaw)/256.0*1.5 // 0.3 .. 1.8
+		gen := PDF{A: a, B: b}
+		const scale = 1e7
+		hist := make([]int, 7)
+		for x := 1; x < len(hist); x++ {
+			hist[x] = int(math.Round(gen.At(x) * scale))
+		}
+		fit, err := FitExponential(hist, int(scale))
+		if err != nil {
+			return false
+		}
+		return math.Abs(fit.B-b) < 0.05 && math.Abs(fit.A-a)/a < 0.05
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestHistogramFilters(t *testing.T) {
+	evs := []Event{
+		{Day: 0, Level: 1, Size: 1},
+		{Day: 1, Level: 1, Size: 1},
+		{Day: 1, Level: 2, Size: 1},
+		{Day: 2, Level: 1, Size: 3},
+		{Day: 2, Level: 1, Size: 99}, // out of range
+	}
+	h := Histogram(evs, 1, 5)
+	if h[1] != 2 || h[3] != 1 {
+		t.Fatalf("histogram = %v", h)
+	}
+	sum := 0
+	for _, c := range h {
+		sum += c
+	}
+	if sum != 3 {
+		t.Fatalf("histogram total = %d, want 3", sum)
+	}
+}
+
+func TestSampleScheduleKillsPlacedRanks(t *testing.T) {
+	// A small fully occupied machine so sampled element failures always
+	// hit placed ranks.
+	fdh := machine.FDH{LevelNames: []string{"nodes"}, Counts: []int{16}}
+	pl, err := machine.BlockPlacement(fdh, 128, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(3))
+	// High-rate PDF so the schedule is non-empty.
+	pdfs := []PDF{{A: 0.5, B: 0.5}}
+	sched := SampleSchedule(rng, pl, pdfs, 100*86400, 3)
+	if len(sched) == 0 {
+		t.Fatal("empty schedule at high failure rate")
+	}
+	prev := 0.0
+	for _, c := range sched {
+		if c.Time < prev {
+			t.Fatal("schedule not time-ordered")
+		}
+		prev = c.Time
+		for _, r := range c.Ranks {
+			if r < 0 || r >= 128 {
+				t.Fatalf("rank %d out of range", r)
+			}
+		}
+	}
+	if sched.TotalRanksKilled() == 0 {
+		t.Fatal("no ranks killed")
+	}
+}
+
+func TestSampleScheduleRespectsRate(t *testing.T) {
+	fdh := machine.TSUBAME2()
+	pl, err := machine.BlockPlacement(fdh, 8, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(9))
+	// Zero rate: no failures ever.
+	sched := SampleSchedule(rng, pl, []PDF{{A: 0, B: 1}}, 365*86400, 4)
+	if len(sched) != 0 {
+		t.Fatalf("zero-rate schedule has %d crashes", len(sched))
+	}
+}

@@ -1,0 +1,72 @@
+package failure
+
+import (
+	"math/rand"
+	"sort"
+
+	"repro/internal/machine"
+)
+
+// Crash is a concrete fail-stop event: the listed ranks die at the given
+// virtual time.
+type Crash struct {
+	Time  float64
+	Ranks []int
+}
+
+// Schedule is a time-ordered list of crashes to inject into a run.
+type Schedule []Crash
+
+// SampleSchedule draws a failure schedule for a run of the given virtual
+// duration (seconds) on the placed machine. For each hierarchy level it
+// samples simultaneous-failure events from the per-level PDFs (interpreting
+// PDF.At(x) as a per-day event rate), picks the failed elements uniformly,
+// and kills every rank placed on them. Ranks are identified through the
+// placement's map M.
+func SampleSchedule(rng *rand.Rand, pl machine.Placement, pdfs []PDF, duration float64, maxSize int) Schedule {
+	const day = 86400.0
+	var sched Schedule
+	days := duration / day
+	for j := 1; j <= pl.FDH.Levels() && j <= len(pdfs); j++ {
+		hj := pl.FDH.Count(j)
+		for x := 1; x <= maxSize && x <= hj; x++ {
+			rate := pdfs[j-1].At(x) // events per day
+			// Poisson arrivals over the run; thin to exponential gaps.
+			t := 0.0
+			for {
+				if rate <= 0 {
+					break
+				}
+				t += rng.ExpFloat64() / rate * day
+				if t > days*day {
+					break
+				}
+				elems := rng.Perm(hj)[:x]
+				var ranks []int
+				for p := range pl.NodeOf {
+					for _, e := range elems {
+						if pl.M(p, j) == e {
+							ranks = append(ranks, p)
+							break
+						}
+					}
+				}
+				if len(ranks) > 0 {
+					sched = append(sched, Crash{Time: t, Ranks: ranks})
+				}
+			}
+		}
+	}
+	sort.Slice(sched, func(a, b int) bool { return sched[a].Time < sched[b].Time })
+	return sched
+}
+
+// TotalRanksKilled counts rank deaths across the schedule (a rank appearing
+// in several crashes is counted each time).
+func (s Schedule) TotalRanksKilled() int {
+	n := 0
+	for _, c := range s {
+		n += len(c.Ranks)
+	}
+	return n
+}

@@ -1,0 +1,278 @@
+package ftrma
+
+import (
+	"fmt"
+
+	"repro/internal/daly"
+	"repro/internal/rma"
+)
+
+// ---- Uncoordinated / demand checkpointing (layer 2, §3.2.2 and §6.2) -------
+
+// maybeDemandCheckpoint runs after log growth: when the log budget is
+// exceeded, first try to trim against peers' existing checkpoints, then
+// request a demand checkpoint of the peer holding the most log bytes here.
+func (p *Process) maybeDemandCheckpoint() {
+	budget := p.sys.cfg.LogBudgetBytes
+	if budget == 0 || p.logs.bytes() <= budget {
+		return
+	}
+	victim, _ := p.logs.largestPeer()
+	if victim < 0 {
+		return
+	}
+	p.trimAgainst(victim)
+	if p.logs.bytes() <= budget {
+		return
+	}
+	vp := p.sys.procs[victim]
+	if victim == p.Rank() {
+		// The biggest logs here protect this very rank (gets others issued
+		// at us): checkpoint ourselves right away.
+		p.takeUCCheckpoint()
+		return
+	}
+	if !vp.demandFlag.Swap(true) {
+		// Request: p -> CH{victim} -> victim (§6.2). The victim services
+		// the flag at its next epoch close; we charge the request round
+		// trip and re-trim opportunistically later.
+		p.inner.AdvanceTime(2 * p.sys.world.Params().NetLatency)
+		p.sys.bumpStats(func(st *Stats) { st.DemandRequests++ })
+	}
+}
+
+// serviceDemand runs at this rank's epoch-close points: if a peer requested
+// a demand checkpoint of this rank, take it now — this naturally satisfies
+// the epoch condition of §3.2.2 (checkpoints are taken right after
+// closing/opening an epoch).
+func (p *Process) serviceDemand() {
+	if p.demandFlag.Swap(false) {
+		p.takeUCCheckpoint()
+	}
+}
+
+// trimAgainst deletes log records about peer q that q's latest
+// uncoordinated checkpoint covers, using the counter snapshot the CH holds
+// (§6.2: delete actions with EC < E(p->q), GNC < GNC_q, GC < GC_q).
+func (p *Process) trimAgainst(q int) {
+	grp := p.sys.groupOf(q)
+	grp.mu.Lock()
+	snap, ok := grp.ucSnaps[q]
+	grp.mu.Unlock()
+	if !ok {
+		return
+	}
+	self := p.Rank()
+	freed := 0
+	p.inner.Lock(self, rma.StrLP)
+	freed += p.logs.trimLP(q, snap.epochs[self])
+	p.inner.Unlock(self, rma.StrLP)
+	p.inner.Lock(self, rma.StrLG)
+	freed += p.logs.trimLG(q, snap.snap.GNC, snap.snap.GC)
+	p.inner.Unlock(self, rma.StrLG)
+	if freed > 0 {
+		p.sys.bumpStats(func(st *Stats) { st.LogBytesTrimmed += freed })
+	}
+}
+
+// takeUCCheckpoint takes an uncoordinated checkpoint of this rank: lock the
+// application data, send the copy to the group's checksum storage, unlock
+// (§3.2.2). The local copy stays in volatile memory; the CH integrates the
+// XOR (or Reed–Solomon) parity and records the counter snapshot that lets
+// peers trim their logs.
+func (p *Process) takeUCCheckpoint() {
+	start := p.Now()
+	words := p.inner.LocalRead(0, len(p.inner.Local())) // locked copy
+	params := p.sys.world.Params()
+	bytes := 8 * len(words)
+	p.inner.AdvanceTime(params.CopyTime(bytes)) // local copy cost
+
+	grp := p.sys.groupOf(p.Rank())
+	p.ckptMu.Lock()
+	old := p.ucData
+	p.ucData = words
+	p.ckptMu.Unlock()
+	grp.update(grp.ucParity, p.Rank(), old, words)
+	p.chargeCHTransfer(grp, bytes)
+
+	grp.mu.Lock()
+	grp.ucSnaps[p.Rank()] = memberSnap{snap: p.snap(), epochs: p.snapEpochs()}
+	grp.mu.Unlock()
+
+	p.sys.world.Emit(rma.TraceAction{Kind: "checkpoint", Src: p.Rank()})
+	p.sys.bumpStats(func(st *Stats) {
+		st.UCCheckpoints++
+		st.CheckpointSeconds += p.Now() - start
+	})
+}
+
+// chargeCHTransfer charges the transfer of a checkpoint to the group's
+// checksum process(es): either one bulk send or a piece-by-piece stream
+// (§6.2 variants (2) and (1)). The CH's shared resource serializes
+// concurrent members, which is what makes |CH| a performance parameter.
+func (p *Process) chargeCHTransfer(grp *chGroup, bytes int) {
+	end := p.Now()
+	for _, res := range grp.res {
+		if p.sys.cfg.StreamingDemandCheckpoints {
+			chunk := p.sys.cfg.StreamChunkBytes
+			t := p.Now()
+			for sent := 0; sent < bytes; sent += chunk {
+				n := chunk
+				if bytes-sent < n {
+					n = bytes - sent
+				}
+				t = res.Transfer(t, n)
+			}
+			if t > end {
+				end = t
+			}
+		} else if t := res.Transfer(p.Now(), bytes); t > end {
+			end = t
+		}
+	}
+	p.inner.AdvanceTo(end)
+}
+
+// ---- Coordinated checkpointing (layer 3, §3.1.2) ----------------------------
+
+// initCCSchedule seeds the Daly interval from an a-priori checkpoint-cost
+// estimate; the real cost is measured at the first round (§6.1: "the user
+// provides M while delta is estimated by our protocol").
+func (p *Process) initCCSchedule() {
+	params := p.sys.world.Params()
+	bytes := 8 * len(p.inner.Local())
+	p.ccDelta = params.CopyTime(bytes) + params.TransferTime(bytes)
+	p.recomputeInterval()
+}
+
+func (p *Process) recomputeInterval() {
+	cfg := p.sys.cfg
+	if !cfg.UseDaly {
+		p.ccInterval = cfg.FixedInterval
+		return
+	}
+	iv, err := daly.Interval(p.ccDelta, cfg.MTBF)
+	if err != nil {
+		panic(fmt.Sprintf("ftrma: daly interval: %v", err))
+	}
+	p.ccInterval = iv
+}
+
+// maybeCCAfterGsync implements the Gsync scheme: right after a gsync — and
+// before any further RMA calls — every rank takes the same deterministic
+// decision (the clocks are equal at tSync) whether the checkpoint interval
+// has elapsed, and if so checkpoints collectively (Theorem 3.1).
+func (p *Process) maybeCCAfterGsync(tSync float64) {
+	if p.sys.cfg.Scheme != CCGsync || p.ccInterval <= 0 {
+		return
+	}
+	if p.lastCC == 0 {
+		// The first gsync anchors the schedule (identically at every
+		// rank: tSync is the synchronized release time).
+		p.lastCC = tSync
+		return
+	}
+	if tSync-p.lastCC < p.ccInterval {
+		return
+	}
+	p.ccRound()
+}
+
+// CheckpointLocks implements the Locks scheme (§3.1.2): legal only when
+// LC_p = 0; (1) flush everything, (2) barrier for the global hb order,
+// (3) checkpoint collectively (Theorem 3.2). Every rank must call it.
+func (p *Process) CheckpointLocks() {
+	if p.lc != 0 {
+		panic(fmt.Sprintf("ftrma: CheckpointLocks with LC=%d (locks held)", p.lc))
+	}
+	p.FlushAll() // phase 1: flush(p -> *)
+	p.ccRound()  // phases 2-3: barrier + collective checkpoint
+}
+
+// ccRound is the collective checkpoint: barrier, snapshot to both the CC
+// and UC stores, clear all logs (the coordinated checkpoint subsumes them),
+// barrier, and reschedule. Both barriers bound a window in which the
+// network is quiet, so the set of per-rank snapshots is RMA-consistent.
+func (p *Process) ccRound() {
+	p.inner.Barrier()
+	t0 := p.Now() // equal at every rank
+	words := p.inner.LocalRead(0, len(p.inner.Local()))
+	params := p.sys.world.Params()
+	bytes := 8 * len(words)
+	p.inner.AdvanceTime(params.CopyTime(bytes))
+
+	grp := p.sys.groupOf(p.Rank())
+	p.ckptMu.Lock()
+	oldCC, oldUC := p.ccData, p.ucData
+	p.ccData = words
+	p.ucData = cloneWords(words)
+	p.ckptMu.Unlock()
+	grp.update(grp.ccParity, p.Rank(), oldCC, words)
+	grp.update(grp.ucParity, p.Rank(), oldUC, words)
+	// One copy travels to the CH; the CH folds it into both parities
+	// locally.
+	p.chargeCHTransfer(grp, bytes)
+
+	snap := memberSnap{snap: p.snap(), epochs: p.snapEpochs()}
+	grp.mu.Lock()
+	grp.ccSnaps[p.Rank()] = snap
+	grp.ucSnaps[p.Rank()] = snap
+	grp.mu.Unlock()
+
+	// Multi-level extension: periodically flush the coordinated state to
+	// stable storage. The decision uses the per-rank round counter, which
+	// is identical at every rank (all ranks execute the same coordinated
+	// rounds).
+	if n := p.sys.cfg.PFSEveryN; n > 0 {
+		p.ccRounds++
+		if p.ccRounds%n == 0 {
+			p.pfsFlush(words, snap)
+			if p.Rank() == 0 {
+				st := p.sys.pfs
+				st.mu.Lock()
+				st.saved++
+				st.mu.Unlock()
+			}
+		}
+	}
+
+	p.clearAllLogs()
+	p.sys.world.Emit(rma.TraceAction{Kind: "checkpoint", Src: p.Rank()})
+
+	p.inner.Barrier()
+	t1 := p.Now() // equal at every rank
+	p.ccDelta = t1 - t0
+	p.lastCC = t1
+	p.recomputeInterval()
+	p.sys.bumpStats(func(st *Stats) {
+		st.CheckpointSeconds += t1 - t0
+		if p.Rank() == 0 {
+			st.CCCheckpoints++
+		}
+	})
+}
+
+// clearAllLogs empties this rank's log store after a coordinated
+// checkpoint: every peer's state is captured, so nothing needs replaying.
+func (p *Process) clearAllLogs() {
+	self := p.Rank()
+	p.inner.Lock(self, rma.StrLP)
+	p.inner.Lock(self, rma.StrLG)
+	p.logs.mu.Lock()
+	freed := p.logs.lpBytes + p.logs.lgBytes
+	for q := range p.logs.lp {
+		delete(p.logs.lp, q)
+		p.logs.mFlag[q] = false
+	}
+	for q := range p.logs.lg {
+		delete(p.logs.lg, q)
+	}
+	p.logs.lpBytes = 0
+	p.logs.lgBytes = 0
+	p.logs.mu.Unlock()
+	p.inner.Unlock(self, rma.StrLG)
+	p.inner.Unlock(self, rma.StrLP)
+	if freed > 0 {
+		p.sys.bumpStats(func(st *Stats) { st.LogBytesTrimmed += freed })
+	}
+}

@@ -1,0 +1,140 @@
+// Package ftrma implements the paper's contribution: holistic, diskless,
+// in-memory fault tolerance for RMA programs (§3–§6).
+//
+// The layered protocol of Figure 9:
+//
+//   - Layer 1 transparently logs remote memory accesses: source-side put
+//     logs LP_p[q], target-side get logs LG_q[p] written in two phases
+//     (Algorithm 1), with the order-information counters EC/GC/SC/GNC of
+//     §4.1 and the N (in-flight get) and M (combining put) flags.
+//   - Layer 2 takes uncoordinated demand checkpoints to trim logs when the
+//     per-process log memory budget is exhausted (§6.2).
+//   - Layer 3 takes coordinated checkpoints, transparently after gsyncs
+//     (the Gsync scheme, Theorem 3.1) or collectively under a zero lock
+//     counter (the Locks scheme, Theorem 3.2), at Daly's optimal interval.
+//
+// All checkpoint data stays in volatile memory: every computing process
+// (CM) keeps its latest checkpoint locally and a checksum process (CH) per
+// group holds the XOR of its members' checkpoints (m=1; Reed–Solomon
+// generalizes to m>1). A failed rank is recovered causally by Algorithm 2
+// (gsync codes) or Algorithm 3 (lock codes); if an N or M flag forbids
+// causal replay, the system falls back to the last coordinated checkpoint.
+//
+// A Process wraps an rma.Proc and intercepts every RMA call, exactly as the
+// paper's library interposes via the PMPI profiling interface (§6.1).
+package ftrma
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/machine"
+)
+
+// CCScheme selects the coordinated-checkpointing scheme of §3.1.2.
+type CCScheme int
+
+const (
+	// CCGsync checkpoints transparently right after application gsyncs.
+	CCGsync CCScheme = iota
+	// CCLocks checkpoints at explicit collective points where every
+	// rank's lock counter is zero (flush-all, barrier, checkpoint).
+	CCLocks
+)
+
+// Config tunes the protocol; the fields mirror the knobs the paper's window
+// creation accepts (§6.1: number of CHs, MTBF, t-awareness).
+type Config struct {
+	// Groups is the number of process groups; each gets one checksum
+	// process, so |CH| = Groups (m = 1). Must be in 1..N.
+	Groups int
+	// ChecksumsPerGroup is m, the number of checksum processes per group.
+	// 1 selects XOR parity (the paper's implementation); >1 selects
+	// Reed–Solomon coding (the paper's §5 generalization).
+	ChecksumsPerGroup int
+	// MTBF is the machine's mean time between failures in (virtual)
+	// seconds, used by Daly's formula.
+	MTBF float64
+	// UseDaly selects Daly's interval between coordinated checkpoints;
+	// when false, FixedInterval is used (the f-no-daly configuration).
+	UseDaly bool
+	// FixedInterval is the coordinated-checkpoint interval in virtual
+	// seconds when UseDaly is false. Zero disables coordinated
+	// checkpointing entirely (pure UC operation).
+	FixedInterval float64
+	// Scheme selects the coordinated-checkpointing scheme.
+	Scheme CCScheme
+	// LogPuts and LogGets enable access logging (the f-puts and
+	// f-puts-gets configurations of §7.2.2).
+	LogPuts bool
+	LogGets bool
+	// LogBudgetBytes bounds the per-process log memory; exceeding it
+	// triggers a demand checkpoint (§6.2). Zero means unlimited.
+	LogBudgetBytes int
+	// StreamingDemandCheckpoints selects variant (1) of §6.2 (stream the
+	// checkpoint piece by piece: memory-efficient) instead of variant (2)
+	// (one bulk send: faster).
+	StreamingDemandCheckpoints bool
+	// StreamChunkBytes is the chunk size for streaming demand checkpoints.
+	StreamChunkBytes int
+	// PFSEveryN enables the multi-level extension: every N-th coordinated
+	// checkpoint round is additionally flushed to stable storage through
+	// the shared parallel file system, surviving catastrophic failures
+	// (more concurrent group losses than the parity tolerates). Zero
+	// disables the level (the paper's diskless default).
+	PFSEveryN int
+	// TAware enables topology-aware group formation; Placement must then
+	// describe where ranks run.
+	TAware    bool
+	Placement machine.Placement
+	// TAwareLevel is the FDH level for t-awareness (1 = nodes), used when
+	// TAware is set.
+	TAwareLevel int
+}
+
+// Validate checks the configuration against a world of n compute ranks.
+func (c Config) Validate(n int) error {
+	if c.Groups < 1 || c.Groups > n {
+		return fmt.Errorf("ftrma: %d groups for %d ranks", c.Groups, n)
+	}
+	if c.ChecksumsPerGroup < 1 {
+		return errors.New("ftrma: need at least one checksum process per group")
+	}
+	if c.UseDaly && c.MTBF <= 0 {
+		return errors.New("ftrma: Daly's interval needs a positive MTBF")
+	}
+	if c.LogBudgetBytes < 0 {
+		return errors.New("ftrma: negative log budget")
+	}
+	if c.StreamingDemandCheckpoints && c.StreamChunkBytes <= 0 {
+		return errors.New("ftrma: streaming demand checkpoints need a chunk size")
+	}
+	if c.PFSEveryN < 0 {
+		return errors.New("ftrma: negative PFS checkpoint cadence")
+	}
+	if c.TAware {
+		if len(c.Placement.NodeOf) < n {
+			return fmt.Errorf("ftrma: placement covers %d ranks, world has %d", len(c.Placement.NodeOf), n)
+		}
+		if c.TAwareLevel < 1 || c.TAwareLevel > c.Placement.FDH.Levels() {
+			return fmt.Errorf("ftrma: t-awareness level %d out of range", c.TAwareLevel)
+		}
+	}
+	return nil
+}
+
+// Stats aggregates protocol activity over a run.
+type Stats struct {
+	UCCheckpoints     int // uncoordinated (demand) checkpoints taken
+	CCCheckpoints     int // coordinated checkpoint rounds completed
+	DemandRequests    int // demand-checkpoint requests issued (Fig. 11a)
+	PutsLogged        int
+	GetsLogged        int
+	LogBytesPeak      int
+	LogBytesTrimmed   int
+	PFSCheckpoints    int // per-rank stable-storage flushes (multi-level)
+	Recoveries        int
+	Fallbacks         int // causal recovery aborted, rolled back to CC
+	ActionsReplayed   int
+	CheckpointSeconds float64 // virtual time spent checkpointing
+}

@@ -1,0 +1,243 @@
+package ftrma
+
+import (
+	"sort"
+	"sync"
+
+	"repro/internal/rma"
+)
+
+// LogKind distinguishes logged access types.
+type LogKind int
+
+const (
+	// LogPut is a replacing or combining put (Accumulate included).
+	LogPut LogKind = iota
+	// LogGet is a get; Data holds the value read, LocalOff where it
+	// landed in the issuer's window (-1 if it went to private memory).
+	LogGet
+	// LogAtomic is a CAS or FetchAndOp: both a put and a get (Table 1).
+	LogAtomic
+)
+
+// LogRecord is one logged access: the action tuple of Eq. (1). Data makes
+// the record replayable; dropping it yields the determinant (Eq. 2).
+type LogRecord struct {
+	Kind     LogKind
+	Src      int
+	Trg      int
+	Off      int      // target window offset
+	Data     []uint64 // put payload, or the data a get returned
+	LocalOff int      // get destination in the issuer's window, -1 if private
+	Op       rma.ReduceOp
+	Combine  bool
+	EC       int // epoch counter E(src->trg) at issue (§4.1 A)
+	GC       int // issuer's flush counter (§4.1 B)
+	SC       int // target's lock sequence number (§4.1 C)
+	GNC      int // issuer's gsync counter (§4.1 E)
+}
+
+// Bytes estimates the record's memory footprint, used for the log budget.
+func (r LogRecord) Bytes() int {
+	return 64 + 8*len(r.Data) // fixed fields + payload
+}
+
+// logStore holds one rank's protocol-side log state: its put logs LP_p[q]
+// (source side) and the get logs LG_p[q] it stores for gets other ranks
+// issued at it (target side), plus the N and M flags and the order
+// counters. Access from other ranks is serialized by the owning rank's
+// StrLP/StrLG/StrMeta structure locks; the embedded data lives on the Go
+// heap rather than in the rma window, with transfer costs charged to the
+// virtual clocks explicitly.
+type logStore struct {
+	// mu guards the record maps and byte counters for memory safety; the
+	// rma structure locks (StrLP/StrLG) remain the protocol-level mutual
+	// exclusion. The distinction matters for the lock-free atomic-append
+	// path (see Process.logAtomicGet), which reserves a log slot with a
+	// remote atomic instead of an exclusive lock.
+	mu sync.Mutex
+	lp map[int][]LogRecord // LP_p[q]: puts p issued at q
+	lg map[int][]LogRecord // LG_p[q]: gets q issued at p (stored at p = target)
+	// nFlag[q] is N_p[q]: rank q has a get at p in an open epoch
+	// (Algorithm 1 line 1).
+	nFlag map[int]bool
+	// mFlag[q] is M_p[q]: p's put log towards q contains a combining put
+	// (§4.2).
+	mFlag map[int]bool
+
+	lpBytes int
+	lgBytes int
+}
+
+func newLogStore() *logStore {
+	return &logStore{
+		lp:    make(map[int][]LogRecord),
+		lg:    make(map[int][]LogRecord),
+		nFlag: make(map[int]bool),
+		mFlag: make(map[int]bool),
+	}
+}
+
+// bytes returns the total log footprint at this rank.
+func (s *logStore) bytes() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.lpBytes + s.lgBytes
+}
+
+// appendLP logs a put p -> q at the source.
+func (s *logStore) appendLP(q int, r LogRecord) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.lp[q] = append(s.lp[q], r)
+	s.lpBytes += r.Bytes()
+	if r.Combine {
+		s.mFlag[q] = true
+	}
+}
+
+// appendLG logs a get issued by q at this (target) rank.
+func (s *logStore) appendLG(q int, r LogRecord) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.lg[q] = append(s.lg[q], r)
+	s.lgBytes += r.Bytes()
+}
+
+// copyLP returns a snapshot of LP[q] (recovery fetch path).
+func (s *logStore) copyLP(q int) []LogRecord {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]LogRecord(nil), s.lp[q]...)
+}
+
+// copyLG returns a snapshot of LG[q] (recovery fetch path).
+func (s *logStore) copyLG(q int) []LogRecord {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]LogRecord(nil), s.lg[q]...)
+}
+
+// trimLP deletes put logs towards q that are covered by q's checkpoint:
+// every record with EC below the issuer's current epoch towards q (those
+// epochs are closed, so the puts are part of the checkpointed state). It
+// recomputes the M flag and returns the bytes freed (§6.2).
+func (s *logStore) trimLP(q, epochNow int) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	kept := s.lp[q][:0]
+	freed := 0
+	combining := false
+	for _, r := range s.lp[q] {
+		if r.EC < epochNow {
+			freed += r.Bytes()
+			continue
+		}
+		if r.Combine {
+			combining = true
+		}
+		kept = append(kept, r)
+	}
+	s.lp[q] = kept
+	s.lpBytes -= freed
+	s.mFlag[q] = combining
+	return freed
+}
+
+// trimLG deletes get logs of issuer q that are covered by q's checkpoint
+// snapshot counters (the confirmation of §6.2 carries GNC_q and GC_q; a
+// record strictly older in both is replayed never again).
+func (s *logStore) trimLG(q, snapGNC, snapGC int) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	kept := s.lg[q][:0]
+	freed := 0
+	for _, r := range s.lg[q] {
+		if r.GNC < snapGNC || (r.GNC == snapGNC && r.GC < snapGC) {
+			freed += r.Bytes()
+			continue
+		}
+		kept = append(kept, r)
+	}
+	s.lg[q] = kept
+	s.lgBytes -= freed
+	return freed
+}
+
+// largestPeer returns the rank whose logs occupy the most bytes here (the
+// demand-checkpoint victim of §6.2) and that size.
+func (s *logStore) largestPeer() (int, int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	best, bestBytes := -1, 0
+	size := map[int]int{}
+	for q, recs := range s.lp {
+		for _, r := range recs {
+			size[q] += r.Bytes()
+		}
+	}
+	for q, recs := range s.lg {
+		for _, r := range recs {
+			size[q] += r.Bytes()
+		}
+	}
+	for q, b := range size {
+		if b > bestBytes {
+			best, bestBytes = q, b
+		}
+	}
+	return best, bestBytes
+}
+
+// ReplayLogs holds the logs fetched during recovery of a failed rank,
+// already causally ordered (Algorithms 2 and 3): puts sorted by
+// (GNC, SC, EC), gets by (GNC, GC). Replaying in this order preserves the
+// cohb order introduced by gsyncs (Theorem 4.2), the so order introduced by
+// locks, and the co order of epochs, while leaving ||co accesses in an
+// arbitrary (access-deterministic) order.
+type ReplayLogs struct {
+	Puts []LogRecord
+	Gets []LogRecord
+}
+
+// sortReplay orders fetched logs causally.
+func sortReplay(puts, gets []LogRecord) *ReplayLogs {
+	sort.SliceStable(puts, func(i, j int) bool {
+		a, b := puts[i], puts[j]
+		if a.GNC != b.GNC {
+			return a.GNC < b.GNC
+		}
+		if a.SC != b.SC {
+			return a.SC < b.SC
+		}
+		return a.EC < b.EC
+	})
+	sort.SliceStable(gets, func(i, j int) bool {
+		a, b := gets[i], gets[j]
+		if a.GNC != b.GNC {
+			return a.GNC < b.GNC
+		}
+		return a.GC < b.GC
+	})
+	return &ReplayLogs{Puts: puts, Gets: gets}
+}
+
+// Len returns the total number of records to replay.
+func (l *ReplayLogs) Len() int { return len(l.Puts) + len(l.Gets) }
+
+// MaxGNC returns the largest gsync phase among the records, or -1 when
+// empty. Applications replay phase by phase, interleaving recomputation.
+func (l *ReplayLogs) MaxGNC() int {
+	max := -1
+	for _, r := range l.Puts {
+		if r.GNC > max {
+			max = r.GNC
+		}
+	}
+	for _, r := range l.Gets {
+		if r.GNC > max {
+			max = r.GNC
+		}
+	}
+	return max
+}

@@ -1,0 +1,125 @@
+package ftrma
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/rma"
+)
+
+// TestLogStoreByteAccounting checks the invariant that the byte counters
+// always equal the sum of the stored records' footprints, under random
+// interleavings of appends, trims, and full clears.
+func TestLogStoreByteAccounting(t *testing.T) {
+	sum := func(s *logStore) int {
+		total := 0
+		for _, recs := range s.lp {
+			for _, r := range recs {
+				total += r.Bytes()
+			}
+		}
+		for _, recs := range s.lg {
+			for _, r := range recs {
+				total += r.Bytes()
+			}
+		}
+		return total
+	}
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		s := newLogStore()
+		for step := 0; step < 200; step++ {
+			q := rng.Intn(4)
+			switch rng.Intn(5) {
+			case 0, 1:
+				s.appendLP(q, LogRecord{
+					Trg: q, Data: make([]uint64, rng.Intn(8)),
+					EC: rng.Intn(5), Combine: rng.Intn(4) == 0,
+				})
+			case 2:
+				s.appendLG(q, LogRecord{
+					Src: q, Data: make([]uint64, rng.Intn(8)),
+					GNC: rng.Intn(5), GC: rng.Intn(5),
+				})
+			case 3:
+				s.trimLP(q, rng.Intn(6))
+			case 4:
+				s.trimLG(q, rng.Intn(6), rng.Intn(6))
+			}
+			if s.bytes() != sum(s) {
+				return false
+			}
+			if s.bytes() < 0 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestTrimNeverDropsUncoveredRecords checks the trim safety property: a
+// record whose counters are not strictly below the snapshot survives
+// trimming (dropping it would lose a replayable access).
+func TestTrimNeverDropsUncoveredRecords(t *testing.T) {
+	prop := func(ecs []uint8, snapRaw uint8) bool {
+		s := newLogStore()
+		snap := int(snapRaw % 8)
+		for _, e := range ecs {
+			s.appendLP(1, LogRecord{Trg: 1, EC: int(e % 8), Data: []uint64{1}})
+		}
+		s.trimLP(1, snap)
+		kept := map[int]int{}
+		for _, r := range s.lp[1] {
+			kept[r.EC]++
+		}
+		for _, e := range ecs {
+			ec := int(e % 8)
+			if ec >= snap {
+				if kept[ec] == 0 {
+					return false // an uncovered record was dropped
+				}
+				kept[ec]--
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestMFlagTracksCombiningRecords checks that the M flag is exactly "the
+// put log towards q contains a combining record" across appends and trims.
+func TestMFlagTracksCombiningRecords(t *testing.T) {
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		s := newLogStore()
+		for step := 0; step < 100; step++ {
+			if rng.Intn(3) > 0 {
+				s.appendLP(2, LogRecord{
+					Trg: 2, EC: rng.Intn(5), Combine: rng.Intn(3) == 0,
+					Op: rma.OpSum, Data: []uint64{1},
+				})
+			} else {
+				s.trimLP(2, rng.Intn(6))
+			}
+			want := false
+			for _, r := range s.lp[2] {
+				if r.Combine {
+					want = true
+				}
+			}
+			if s.mFlag[2] != want {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,107 @@
+package ftrma
+
+import (
+	"fmt"
+	"sync"
+)
+
+// The multi-level extension: the paper's protocol is deliberately diskless
+// (§7.1), but its conclusion notes the model "can be easily extended to
+// cover, e.g., stable storage", and its related-work discussion leans on
+// multi-level designs (FTI, SCR). This file adds an optional second level:
+// every PFSEveryN-th coordinated checkpoint round is additionally flushed
+// through the shared parallel file system to stable storage, which survives
+// failures the in-memory parity cannot — more than m concurrent losses in a
+// group, i.e. the catastrophic failures of §5.1.
+
+// pfsStore is the stable-storage level: checkpoint copies that survive any
+// number of process crashes, at PFS-flush cost.
+type pfsStore struct {
+	mu    sync.Mutex
+	data  map[int][]uint64
+	snaps map[int]memberSnap
+	saved int // completed PFS checkpoint rounds
+}
+
+// pfsFlush writes this rank's coordinated checkpoint through the shared
+// file system. Called inside ccRound between the barriers, so the set of
+// per-rank copies is the RMA-consistent coordinated state.
+func (p *Process) pfsFlush(words []uint64, snap memberSnap) {
+	bytes := 8 * len(words)
+	end := p.sys.world.PFS().Transfer(p.Now(), bytes)
+	p.inner.AdvanceTo(end)
+	st := p.sys.pfs
+	st.mu.Lock()
+	st.data[p.Rank()] = cloneWords(words)
+	st.snaps[p.Rank()] = snap
+	st.mu.Unlock()
+	p.sys.bumpStats(func(s *Stats) { s.PFSCheckpoints++ })
+}
+
+// PFSCheckpointRounds reports how many coordinated rounds have been flushed
+// to stable storage.
+func (s *System) PFSCheckpointRounds() int {
+	s.pfs.mu.Lock()
+	defer s.pfs.mu.Unlock()
+	return s.pfs.saved
+}
+
+// RecoverFromPFS restores every rank from the last stable-storage
+// checkpoint — the path of last resort when a catastrophic failure (more
+// concurrent losses in a group than the parity tolerates) defeats both the
+// causal and the coordinated in-memory recovery. All failed ranks are
+// respawned; every rank's window, counters, and protocol state are reset to
+// the stable level. Call when no application code is running.
+func (s *System) RecoverFromPFS() error {
+	s.pfs.mu.Lock()
+	if len(s.pfs.data) < s.world.N() {
+		n := len(s.pfs.data)
+		s.pfs.mu.Unlock()
+		return fmt.Errorf("ftrma: stable storage holds %d of %d ranks", n, s.world.N())
+	}
+	data := make(map[int][]uint64, s.world.N())
+	snaps := make(map[int]memberSnap, s.world.N())
+	for r, d := range s.pfs.data {
+		data[r] = cloneWords(d)
+		snaps[r] = s.pfs.snaps[r]
+	}
+	s.pfs.mu.Unlock()
+	s.bumpStats(func(st *Stats) { st.Fallbacks++ })
+
+	for r := 0; r < s.world.N(); r++ {
+		if !s.world.Alive(r) {
+			inner := s.world.Respawn(r)
+			s.procs[r] = newProcess(s, inner)
+		}
+	}
+	for r := 0; r < s.world.N(); r++ {
+		rp := s.procs[r]
+		snap := snaps[r]
+		if snap.epochs == nil {
+			snap.epochs = make([]int, s.world.N())
+		}
+		d := data[r]
+		s.world.RunRank(r, func() {
+			s.restoreRank(rp, d, snap)
+			// PFS read-back cost.
+			end := s.world.PFS().Transfer(rp.Now(), 8*len(d))
+			rp.inner.AdvanceTo(end)
+		})
+		// Re-seed both in-memory levels from the stable state.
+		grp := s.groupOf(r)
+		rp.ckptMu.Lock()
+		oldUC, oldCC := rp.ucData, rp.ccData
+		rp.ucData = cloneWords(d)
+		rp.ccData = cloneWords(d)
+		newUC, newCC := rp.ucData, rp.ccData
+		rp.ckptMu.Unlock()
+		grp.update(grp.ucParity, r, oldUC, newUC)
+		grp.update(grp.ccParity, r, oldCC, newCC)
+		grp.mu.Lock()
+		grp.ucSnaps[r] = snap
+		grp.ccSnaps[r] = snap
+		grp.mu.Unlock()
+		rp.resetVolatileProtocolState()
+	}
+	return nil
+}

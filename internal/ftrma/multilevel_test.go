@@ -1,0 +1,101 @@
+package ftrma
+
+import "testing"
+
+func TestPFSLevelFlushedAtCadence(t *testing.T) {
+	w, sys := newSys(t, 4, 8, func(c *Config) {
+		c.FixedInterval = 1e-12
+		c.PFSEveryN = 2
+	})
+	w.Run(func(r int) {
+		p := sys.Process(r)
+		for it := 0; it < 5; it++ {
+			p.PutValue((r+1)%4, 0, uint64(it))
+			p.Gsync()
+		}
+	})
+	st := sys.Stats()
+	// 5 gsyncs: 1 anchor + 4 coordinated rounds; every 2nd goes to PFS.
+	if st.CCCheckpoints != 4 {
+		t.Fatalf("CC rounds = %d, want 4", st.CCCheckpoints)
+	}
+	if sys.PFSCheckpointRounds() != 2 {
+		t.Fatalf("PFS rounds = %d, want 2", sys.PFSCheckpointRounds())
+	}
+	if st.PFSCheckpoints != 2*4 {
+		t.Fatalf("per-rank PFS flushes = %d, want 8", st.PFSCheckpoints)
+	}
+}
+
+func TestPFSLevelCostsTime(t *testing.T) {
+	run := func(pfsEvery int) float64 {
+		w, sys := newSys(t, 4, 1<<12, func(c *Config) {
+			c.FixedInterval = 1e-12
+			c.PFSEveryN = pfsEvery
+		})
+		w.Run(func(r int) {
+			p := sys.Process(r)
+			for it := 0; it < 4; it++ {
+				p.Gsync()
+			}
+		})
+		return w.MaxTime()
+	}
+	diskless := run(0)
+	multilevel := run(1)
+	if multilevel <= diskless {
+		t.Errorf("PFS flushes added no cost: %g vs %g", multilevel, diskless)
+	}
+}
+
+func TestRecoverFromPFSAfterCatastrophicFailure(t *testing.T) {
+	// Two members of one XOR group die: the in-memory parity cannot
+	// recover them (a catastrophic failure, §5.1), but the stable-storage
+	// level can.
+	w, sys := newSys(t, 4, 8, func(c *Config) {
+		c.Groups = 2 // groups {0,2} and {1,3}, m=1
+		c.FixedInterval = 1e-12
+		c.PFSEveryN = 1
+	})
+	w.Run(func(r int) {
+		p := sys.Process(r)
+		p.Local()[0] = uint64(100 + r)
+		p.Gsync() // anchor
+		p.Gsync() // CC + PFS flush with Local()[0] = 100+r
+		p.Local()[0] = 999
+	})
+	// Kill both members of group 0.
+	w.Kill(0)
+	w.Kill(2)
+	if _, err := sys.Recover(0); err == nil {
+		t.Fatal("XOR parity recovered a double failure")
+	}
+	// Recover(0) fell back to CC, which also fails for the double loss —
+	// the returned error must not be ErrFallback (which would mean the CC
+	// path claimed success); the stable level is the last resort.
+	if err := sys.RecoverFromPFS(); err != nil {
+		t.Fatal(err)
+	}
+	for r := 0; r < 4; r++ {
+		if !w.Alive(r) {
+			t.Fatalf("rank %d still dead", r)
+		}
+		if got := w.Proc(r).Local()[0]; got != uint64(100+r) {
+			t.Errorf("rank %d cell = %d, want %d (stable state)", r, got, 100+r)
+		}
+	}
+	// The system keeps running after the restore.
+	w.Run(func(r int) {
+		p := sys.Process(r)
+		p.PutValue((r+1)%4, 1, uint64(r))
+		p.Gsync()
+	})
+}
+
+func TestRecoverFromPFSWithoutFlushFails(t *testing.T) {
+	w, sys := newSys(t, 2, 4, nil)
+	w.Kill(0)
+	if err := sys.RecoverFromPFS(); err == nil {
+		t.Error("recovered from empty stable storage")
+	}
+}

@@ -1,0 +1,232 @@
+package ftrma
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/erasure"
+	"repro/internal/machine"
+	"repro/internal/rma"
+	"repro/internal/sim"
+)
+
+// counterSnap is the counter vector a checkpoint confirmation carries
+// (§6.2): the GsyNc counter, the flush (Get) counter, and the rank's lock
+// sequence counter at checkpoint time.
+type counterSnap struct {
+	GC  int
+	GNC int
+	SC  int
+}
+
+// memberSnap is the small per-member metadata a CH stores next to the
+// parity: the counter snapshot of the member's latest checkpoint plus its
+// applied-epoch vector. Peers read it to trim logs (§6.2); recovery reads
+// it to restore the failed rank's counters.
+type memberSnap struct {
+	snap   counterSnap
+	epochs []int
+}
+
+// chGroup is the checksum-process state of one group: m parity shards over
+// the members' checkpoint copies (XOR for m=1, Reed–Solomon beyond), one
+// per CH process, each with a shared-bandwidth resource that serializes
+// concurrent checkpoint transfers to that CH — this is what makes |CH| a
+// performance knob (Fig. 12).
+type chGroup struct {
+	group   int
+	members []int       // compute ranks, defining the shard order
+	rs      *erasure.RS // nil when m == 1 (plain XOR)
+
+	mu       sync.Mutex
+	ucParity [][]uint64 // m shards guarding uncoordinated checkpoints
+	ccParity [][]uint64 // m shards guarding coordinated checkpoints
+	ucSnaps  map[int]memberSnap
+	ccSnaps  map[int]memberSnap
+	res      []*sim.SharedResource
+}
+
+func newCHGroup(group int, members []int, m, words int, params sim.Params) (*chGroup, error) {
+	g := &chGroup{group: group, members: members}
+	var rs *erasure.RS
+	if m > 1 {
+		var err error
+		rs, err = erasure.NewRS(len(members), m)
+		if err != nil {
+			return nil, err
+		}
+	}
+	g.rs = rs
+	g.ucParity = make([][]uint64, m)
+	g.ccParity = make([][]uint64, m)
+	g.ucSnaps = make(map[int]memberSnap)
+	g.ccSnaps = make(map[int]memberSnap)
+	g.res = make([]*sim.SharedResource, m)
+	for i := 0; i < m; i++ {
+		g.ucParity[i] = make([]uint64, words)
+		g.ccParity[i] = make([]uint64, words)
+		g.res[i] = sim.NewSharedResource(params.NetBW, params.NetLatency)
+	}
+	return g, nil
+}
+
+// memberIndex returns a rank's shard position within the group.
+func (g *chGroup) memberIndex(rank int) int {
+	for i, r := range g.members {
+		if r == rank {
+			return i
+		}
+	}
+	return -1
+}
+
+// update folds a member's checkpoint change (old -> new copy) into the
+// parity shards. Callers pass the same slice lengths as the window.
+func (g *chGroup) update(parity [][]uint64, rank int, oldData, newData []uint64) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if g.rs == nil {
+		// XOR: parity ^= old ^ new.
+		xorWordsInto(parity[0], oldData)
+		xorWordsInto(parity[0], newData)
+		return
+	}
+	j := g.memberIndex(rank)
+	delta := make([]uint64, len(oldData))
+	copy(delta, oldData)
+	xorWordsInto(delta, newData)
+	deltaBytes := wordsToBytes(delta)
+	for i := range parity {
+		pb := wordsToBytes(parity[i])
+		if err := g.rs.UpdateParity(pb, i, j, deltaBytes); err != nil {
+			panic(fmt.Sprintf("ftrma: parity update: %v", err))
+		}
+		copy(parity[i], bytesToWords(pb))
+	}
+}
+
+// reconstruct recovers the checkpoint copies of the failed members from the
+// survivors' copies and the parity shards. survivors maps rank -> copy.
+func (g *chGroup) reconstruct(parity [][]uint64, survivors map[int][]uint64, failed []int) (map[int][]uint64, error) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	out := make(map[int][]uint64, len(failed))
+	if g.rs == nil {
+		if len(failed) != 1 {
+			return nil, fmt.Errorf("ftrma: XOR parity recovers 1 member, %d failed in group %d", len(failed), g.group)
+		}
+		rec := cloneWords(parity[0])
+		for _, r := range g.members {
+			if r == failed[0] {
+				continue
+			}
+			c, ok := survivors[r]
+			if !ok {
+				return nil, fmt.Errorf("ftrma: survivor %d's checkpoint copy missing", r)
+			}
+			xorWordsInto(rec, c)
+		}
+		out[failed[0]] = rec
+		return out, nil
+	}
+	shards := make([][]byte, len(g.members)+len(parity))
+	for i, r := range g.members {
+		if c, ok := survivors[r]; ok {
+			shards[i] = wordsToBytes(c)
+		}
+	}
+	for i := range parity {
+		shards[len(g.members)+i] = wordsToBytes(parity[i])
+	}
+	if err := g.rs.Reconstruct(shards); err != nil {
+		return nil, fmt.Errorf("ftrma: group %d: %v", g.group, err)
+	}
+	for _, f := range failed {
+		j := g.memberIndex(f)
+		if j < 0 {
+			return nil, fmt.Errorf("ftrma: rank %d not in group %d", f, g.group)
+		}
+		out[f] = bytesToWords(shards[j])
+	}
+	return out, nil
+}
+
+// System is the per-world protocol state: one Process per compute rank and
+// one chGroup per process group.
+type System struct {
+	world    *rma.World
+	cfg      Config
+	grouping machine.Grouping
+	procs    []*Process
+	groups   []*chGroup
+
+	pfs *pfsStore
+
+	statsMu sync.Mutex
+	stats   Stats
+}
+
+// NewSystem attaches the protocol to a world. The world's ranks are the
+// computing processes; checksum processes are modeled as passive storage
+// with their own bandwidth (DESIGN.md §2). When cfg.TAware is set, group
+// membership is validated against Eq. 6 on the supplied placement.
+func NewSystem(w *rma.World, cfg Config) (*System, error) {
+	n := w.N()
+	if err := cfg.Validate(n); err != nil {
+		return nil, err
+	}
+	grouping, err := machine.NewGrouping(n, cfg.Groups, cfg.ChecksumsPerGroup)
+	if err != nil {
+		return nil, err
+	}
+	if cfg.TAware {
+		pl := cfg.Placement
+		pl.NodeOf = pl.NodeOf[:n]
+		if err := machine.CheckTAware(machine.Placement{FDH: pl.FDH, NodeOf: pl.NodeOf}, grouping, cfg.TAwareLevel); err != nil {
+			return nil, fmt.Errorf("ftrma: placement not t-aware: %w", err)
+		}
+	}
+	if cfg.StreamingDemandCheckpoints && cfg.StreamChunkBytes == 0 {
+		cfg.StreamChunkBytes = 256 << 10
+	}
+	s := &System{world: w, cfg: cfg, grouping: grouping,
+		pfs: &pfsStore{data: make(map[int][]uint64), snaps: make(map[int]memberSnap)}}
+	words := len(w.Proc(0).Local())
+	s.groups = make([]*chGroup, cfg.Groups)
+	for g := 0; g < cfg.Groups; g++ {
+		members := grouping.ComputeMembers(g)
+		grp, err := newCHGroup(g, members, cfg.ChecksumsPerGroup, words, w.Params())
+		if err != nil {
+			return nil, err
+		}
+		s.groups[g] = grp
+	}
+	s.procs = make([]*Process, n)
+	for r := 0; r < n; r++ {
+		s.procs[r] = newProcess(s, w.Proc(r))
+	}
+	return s, nil
+}
+
+// Process returns the protocol wrapper of a rank. Applications use this in
+// place of the raw rma.Proc.
+func (s *System) Process(r int) *Process { return s.procs[r] }
+
+// Grouping returns the CM/CH group structure.
+func (s *System) Grouping() machine.Grouping { return s.grouping }
+
+// groupOf returns the chGroup a rank belongs to.
+func (s *System) groupOf(r int) *chGroup { return s.groups[s.grouping.GroupOf(r)] }
+
+// Stats returns a snapshot of the protocol counters.
+func (s *System) Stats() Stats {
+	s.statsMu.Lock()
+	defer s.statsMu.Unlock()
+	return s.stats
+}
+
+func (s *System) bumpStats(f func(*Stats)) {
+	s.statsMu.Lock()
+	f(&s.stats)
+	s.statsMu.Unlock()
+}

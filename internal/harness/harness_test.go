@@ -1,0 +1,219 @@
+package harness
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestFig10abFitsCloseToPaper(t *testing.T) {
+	sc := DefaultScale()
+	for _, level := range []int{1, 2} {
+		res := Fig10ab(level, sc)
+		if len(res.Series) != 2 {
+			t.Fatalf("level %d: %d series", level, len(res.Series))
+		}
+		foundFit := false
+		for _, n := range res.Notes {
+			if strings.HasPrefix(n, "fitted:") {
+				foundFit = true
+			}
+		}
+		if !foundFit {
+			t.Errorf("level %d: no fit note: %v", level, res.Notes)
+		}
+	}
+}
+
+func TestFig10cShape(t *testing.T) {
+	res := Fig10c()
+	if len(res.Series) != 5 {
+		t.Fatalf("%d series, want 5", len(res.Series))
+	}
+	// no-topo flat.
+	nt := res.Series[0]
+	for _, p := range nt.Points[1:] {
+		if p.Y != nt.Points[0].Y {
+			t.Error("no-topo curve not flat")
+			break
+		}
+	}
+	// At the largest |CH|, deeper t-awareness is at least as good, and the
+	// overall gap spans an order of magnitude or more.
+	last := len(nt.Points) - 1
+	for i := 1; i < 5; i++ {
+		if res.Series[i].Points[last].Y > res.Series[i-1].Points[last].Y*1.0000001 {
+			t.Errorf("series %s above %s at max |CH|", res.Series[i].Name, res.Series[i-1].Name)
+		}
+	}
+	if res.Series[4].Points[last].Y > nt.Points[0].Y/10 {
+		t.Error("rack-level t-awareness less than 10x better than no-topo")
+	}
+}
+
+func TestFig10dOrdering(t *testing.T) {
+	res := Fig10d(QuickScale())
+	if len(res.Series) != 5 {
+		t.Fatalf("%d series", len(res.Series))
+	}
+	byName := map[string][]Point{}
+	for _, s := range res.Series {
+		byName[s.Name] = s.Points
+	}
+	// At every process count: no-FT fastest, SCR-PFS slowest, ftRMA
+	// between no-FT and SCR-RAM. Comparisons carry a hair of tolerance: a
+	// protocol that happened to take no checkpoints ties no-FT exactly.
+	const eps = 1e-9
+	ge := func(a, b float64) bool { return a >= b*(1-eps) }
+	for i := range byName["no-FT"] {
+		noft := byName["no-FT"][i].Y
+		fdaly := byName["f-daly"][i].Y
+		fnodaly := byName["f-no-daly"][i].Y
+		ram := byName["SCR-RAM"][i].Y
+		pfs := byName["SCR-PFS"][i].Y
+		if !(ge(noft, fdaly) && ge(fdaly, fnodaly)) {
+			t.Errorf("p=%g: want no-FT >= f-daly >= f-no-daly; got %g, %g, %g",
+				byName["no-FT"][i].X, noft, fdaly, fnodaly)
+		}
+		if !(ge(fnodaly, ram) && ge(ram, pfs)) {
+			t.Errorf("p=%g: want f-no-daly >= SCR-RAM >= SCR-PFS; got %g, %g, %g",
+				byName["no-FT"][i].X, fnodaly, ram, pfs)
+		}
+	}
+}
+
+func TestFig11aDemandCheckpointTrend(t *testing.T) {
+	res := Fig11a(QuickScale())
+	pts := res.Series[0].Points
+	if len(pts) < 3 {
+		t.Fatalf("%d points", len(pts))
+	}
+	// The largest budget must trigger no demand checkpoints and run
+	// fastest (or equal); the smallest budget must trigger some.
+	first, last := pts[0], pts[len(pts)-1]
+	if !strings.Contains(last.Label, "0 demand") {
+		t.Errorf("largest budget still demanded checkpoints: %s", last.Label)
+	}
+	if strings.Contains(first.Label, " 0 demand") || strings.HasPrefix(first.Label, "0 demand") {
+		t.Errorf("smallest budget demanded no checkpoints: %s", first.Label)
+	}
+	if first.Y > last.Y {
+		t.Errorf("tiny budget (%g) outperformed unlimited budget (%g)", first.Y, last.Y)
+	}
+}
+
+func TestFig11bOrdering(t *testing.T) {
+	res := Fig11b(QuickScale())
+	byName := map[string][]Point{}
+	for _, s := range res.Series {
+		byName[s.Name] = s.Points
+	}
+	for i := range byName["no-FT"] {
+		noft := byName["no-FT"][i].Y
+		ft := byName["ftRMA"][i].Y
+		ml := byName["ML"][i].Y
+		if !(noft > ft && ft > ml) {
+			t.Errorf("p=%g: want no-FT > ftRMA > ML; got %g, %g, %g",
+				byName["no-FT"][i].X, noft, ft, ml)
+		}
+	}
+}
+
+func TestFig11cOrdering(t *testing.T) {
+	res := Fig11c(QuickScale())
+	byName := map[string][]Point{}
+	for _, s := range res.Series {
+		byName[s.Name] = s.Points
+	}
+	for i := range byName["no-FT"] {
+		noft := byName["no-FT"][i].Y
+		fp := byName["f-puts"][i].Y
+		fpg := byName["f-puts-gets"][i].Y
+		ml := byName["ML"][i].Y
+		if !(noft > fp && fp > fpg && fpg > ml) {
+			t.Errorf("p=%g: want no-FT > f-puts > f-puts-gets > ML; got %g %g %g %g",
+				byName["no-FT"][i].X, noft, fp, fpg, ml)
+		}
+	}
+}
+
+func TestFig12Ordering(t *testing.T) {
+	res := Fig12(QuickScale())
+	byName := map[string][]Point{}
+	for _, s := range res.Series {
+		byName[s.Name] = s.Points
+	}
+	for i := range byName["no-FT"] {
+		noft := byName["no-FT"][i].Y
+		ch125 := byName["f-12.5-nodes"][i].Y
+		ch625 := byName["f-6.25-nodes"][i].Y
+		if !(noft > ch125 && ch125 >= ch625) {
+			t.Errorf("p=%g: want no-FT > f-12.5 >= f-6.25; got %g %g %g",
+				byName["no-FT"][i].X, noft, ch125, ch625)
+		}
+	}
+}
+
+func TestOverheadsDerived(t *testing.T) {
+	res := Overheads(QuickScale())
+	if len(res.Series) != 4 {
+		t.Fatalf("%d series", len(res.Series))
+	}
+	for _, s := range res.Series {
+		for _, p := range s.Points {
+			// Allow a whisker of floating-point noise below zero (a
+			// protocol that never checkpointed costs exactly nothing).
+			if p.Y < -0.01 || p.Y > 100 {
+				t.Errorf("%s at %g: overhead %g%% out of range", s.Name, p.X, p.Y)
+			}
+		}
+	}
+}
+
+func TestResilienceCurve(t *testing.T) {
+	res := ResilienceCurve()
+	pts := res.Series[0].Points
+	if len(pts) < 3 {
+		t.Fatalf("%d points", len(pts))
+	}
+	for _, p := range pts {
+		if p.Y <= 0 || p.Y > 1.0000001 {
+			t.Errorf("efficiency %g out of range at %g failures", p.Y, p.X)
+		}
+		if strings.Contains(p.Label, "UNVERIFIED") {
+			t.Errorf("unverified recovery at %g failures", p.X)
+		}
+	}
+	// More failures, lower or equal efficiency between the endpoints.
+	if pts[len(pts)-1].Y > pts[0].Y {
+		t.Errorf("efficiency rose with failures: %g -> %g", pts[0].Y, pts[len(pts)-1].Y)
+	}
+}
+
+func TestTable1Rendered(t *testing.T) {
+	out := Table1()
+	for _, want := range []string{"MPI_Put", "put+get", "upc_barrier", "gsync", "caf_sync_memory"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("table1 output missing %q", want)
+		}
+	}
+}
+
+func TestResultPrint(t *testing.T) {
+	res := Result{
+		ID: "t", Title: "T", XLabel: "x", YLabel: "y",
+		Series: []Series{
+			{Name: "a", Points: []Point{{X: 1, Y: 2}, {X: 2, Y: 3, Label: "n"}}},
+			{Name: "b", Points: []Point{{X: 1, Y: 4}}},
+		},
+		Notes: []string{"hello"},
+	}
+	var buf bytes.Buffer
+	res.Print(&buf)
+	out := buf.String()
+	for _, want := range []string{"== t: T ==", "a", "b", "hello", "(n)", "-"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("print output missing %q in:\n%s", want, out)
+		}
+	}
+}

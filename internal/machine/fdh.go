@@ -1,0 +1,108 @@
+// Package machine models the hardware a distributed RMA program runs on:
+// the failure-domain hierarchy (FDH) of §5 of the paper, placement of
+// processes onto that hierarchy (the map M), topology-aware (t-aware)
+// placement per Eq. 6, and process-group construction with checksum ranks.
+package machine
+
+import (
+	"errors"
+	"fmt"
+)
+
+// FDH is a failure-domain hierarchy. Level 1 is the smallest failure domain
+// (a node, per the paper: single cores do not fail alone in the TSUBAME2.0
+// history); higher levels are progressively larger domains. Counts[j-1] is
+// H_j, the number of elements at level j. Nesting is uniform and contiguous:
+// each level-j element contains H_1/H_j consecutive nodes.
+type FDH struct {
+	LevelNames []string
+	Counts     []int
+}
+
+// Levels returns h, the number of hierarchy levels.
+func (f FDH) Levels() int { return len(f.Counts) }
+
+// Count returns H_j for 1-based level j.
+func (f FDH) Count(j int) int {
+	if j < 1 || j > len(f.Counts) {
+		panic(fmt.Sprintf("machine: level %d out of range 1..%d", j, len(f.Counts)))
+	}
+	return f.Counts[j-1]
+}
+
+// LevelName returns the name of 1-based level j.
+func (f FDH) LevelName(j int) string {
+	if j < 1 || j > len(f.LevelNames) {
+		panic(fmt.Sprintf("machine: level %d out of range 1..%d", j, len(f.LevelNames)))
+	}
+	return f.LevelNames[j-1]
+}
+
+// LevelIndex returns the 1-based level with the given name, or 0 if absent.
+func (f FDH) LevelIndex(name string) int {
+	for i, n := range f.LevelNames {
+		if n == name {
+			return i + 1
+		}
+	}
+	return 0
+}
+
+// Ancestor returns the index of the level-j element that contains the given
+// level-1 element (node). Nesting is uniform: node n belongs to element
+// n*H_j/H_1 at level j.
+func (f FDH) Ancestor(node, j int) int {
+	h1 := f.Counts[0]
+	hj := f.Count(j)
+	if node < 0 || node >= h1 {
+		panic(fmt.Sprintf("machine: node %d out of range 0..%d", node, h1-1))
+	}
+	return node * hj / h1
+}
+
+// Validate checks structural invariants: at least one level, counts
+// non-increasing with level (larger domains are fewer), all positive,
+// and names matching counts.
+func (f FDH) Validate() error {
+	if len(f.Counts) == 0 {
+		return errors.New("machine: FDH has no levels")
+	}
+	if len(f.LevelNames) != len(f.Counts) {
+		return fmt.Errorf("machine: %d level names but %d counts", len(f.LevelNames), len(f.Counts))
+	}
+	for j, c := range f.Counts {
+		if c <= 0 {
+			return fmt.Errorf("machine: level %d has non-positive count %d", j+1, c)
+		}
+		if j > 0 && c > f.Counts[j-1] {
+			return fmt.Errorf("machine: level %d count %d exceeds level %d count %d",
+				j+1, c, j, f.Counts[j-1])
+		}
+	}
+	return nil
+}
+
+// TSUBAME2 returns the four-level FDH of the TSUBAME2.0 supercomputer used
+// in §7.1: nodes, power supply units, edge switches, and racks. The element
+// counts follow the machine's public configuration (1408 thin nodes, ~32
+// nodes per rack); PSU and switch counts are chosen so that each rack holds
+// four PSUs and two edge switches, matching the published enclosure layout.
+func TSUBAME2() FDH {
+	return FDH{
+		LevelNames: []string{"nodes", "PSUs", "switches", "racks"},
+		Counts:     []int{1408, 176, 88, 44},
+	}
+}
+
+// CrayXE6 returns a small two-level FDH (nodes, cabinets) approximating the
+// Monte Rosa system used for the performance experiments.
+func CrayXE6(nodes int) FDH {
+	cab := nodes / 96
+	if cab < 1 {
+		cab = 1
+	}
+	return FDH{
+		LevelNames: []string{"nodes", "cabinets"},
+		Counts:     []int{nodes, cab},
+	}
+}

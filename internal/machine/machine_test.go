@@ -1,0 +1,246 @@
+package machine
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestTSUBAME2Valid(t *testing.T) {
+	f := TSUBAME2()
+	if err := f.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if f.Levels() != 4 {
+		t.Fatalf("levels = %d, want 4", f.Levels())
+	}
+	if f.Count(1) != 1408 || f.Count(4) != 44 {
+		t.Fatalf("counts = %v", f.Counts)
+	}
+	if f.LevelIndex("switches") != 3 {
+		t.Fatalf("LevelIndex(switches) = %d, want 3", f.LevelIndex("switches"))
+	}
+	if f.LevelIndex("gpus") != 0 {
+		t.Fatal("LevelIndex of unknown level should be 0")
+	}
+}
+
+func TestFDHValidateRejectsBad(t *testing.T) {
+	cases := []FDH{
+		{},
+		{LevelNames: []string{"a"}, Counts: []int{0}},
+		{LevelNames: []string{"a", "b"}, Counts: []int{2, 4}}, // increasing
+		{LevelNames: []string{"a"}, Counts: []int{1, 2}},      // mismatched
+	}
+	for i, f := range cases {
+		if err := f.Validate(); err == nil {
+			t.Errorf("case %d: Validate accepted invalid FDH %+v", i, f)
+		}
+	}
+}
+
+func TestAncestorNesting(t *testing.T) {
+	f := TSUBAME2()
+	// Node 0 is in the first element of every level.
+	for j := 1; j <= f.Levels(); j++ {
+		if got := f.Ancestor(0, j); got != 0 {
+			t.Errorf("Ancestor(0,%d) = %d, want 0", j, got)
+		}
+	}
+	// The last node is in the last element of every level.
+	last := f.Count(1) - 1
+	for j := 1; j <= f.Levels(); j++ {
+		if got := f.Ancestor(last, j); got != f.Count(j)-1 {
+			t.Errorf("Ancestor(%d,%d) = %d, want %d", last, j, got, f.Count(j)-1)
+		}
+	}
+	// Nodes within one rack share all coarser ancestors: 1408/44 = 32
+	// nodes per rack.
+	if f.Ancestor(0, 4) != f.Ancestor(31, 4) {
+		t.Error("nodes 0 and 31 should share a rack")
+	}
+	if f.Ancestor(31, 4) == f.Ancestor(32, 4) {
+		t.Error("nodes 31 and 32 should be in different racks")
+	}
+}
+
+func TestAncestorMonotone(t *testing.T) {
+	// Property: the ancestor function is monotone in the node index, and
+	// distinct coarse ancestors imply distinct fine ancestors.
+	f := TSUBAME2()
+	cfg := &quick.Config{Rand: rand.New(rand.NewSource(1))}
+	prop := func(a, b uint16) bool {
+		na := int(a) % f.Count(1)
+		nb := int(b) % f.Count(1)
+		if na > nb {
+			na, nb = nb, na
+		}
+		for j := 1; j <= f.Levels(); j++ {
+			if f.Ancestor(na, j) > f.Ancestor(nb, j) {
+				return false
+			}
+		}
+		// Tree nesting: same node => same rack; different racks => different nodes.
+		if na != nb && f.Ancestor(na, 4) != f.Ancestor(nb, 4) && na == nb {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(prop, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestGrouping(t *testing.T) {
+	g, err := NewGrouping(16, 4, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.TotalRanks() != 20 || g.NumChecksum() != 4 {
+		t.Fatalf("totals wrong: %+v", g)
+	}
+	if g.GroupSize() != 5 {
+		t.Fatalf("|G| = %d, want 5", g.GroupSize())
+	}
+	// Round-robin compute assignment.
+	if g.GroupOf(0) != 0 || g.GroupOf(5) != 1 || g.GroupOf(15) != 3 {
+		t.Fatal("round-robin group assignment broken")
+	}
+	// Checksum ranks.
+	if !g.IsChecksum(16) || g.IsChecksum(15) {
+		t.Fatal("IsChecksum wrong")
+	}
+	if g.GroupOf(17) != 1 {
+		t.Fatalf("GroupOf(17) = %d, want 1", g.GroupOf(17))
+	}
+	ms := g.Members(2)
+	want := []int{2, 6, 10, 14, 18}
+	if len(ms) != len(want) {
+		t.Fatalf("Members(2) = %v", ms)
+	}
+	for i := range ms {
+		if ms[i] != want[i] {
+			t.Fatalf("Members(2) = %v, want %v", ms, want)
+		}
+	}
+}
+
+func TestGroupingRejectsBad(t *testing.T) {
+	if _, err := NewGrouping(0, 1, 1); err == nil {
+		t.Error("accepted zero compute processes")
+	}
+	if _, err := NewGrouping(4, 8, 1); err == nil {
+		t.Error("accepted more groups than processes")
+	}
+	if _, err := NewGrouping(4, 2, -1); err == nil {
+		t.Error("accepted negative m")
+	}
+}
+
+func TestGroupingPartition(t *testing.T) {
+	// Property: groups partition the rank space.
+	prop := func(nc, ng uint8) bool {
+		numCompute := int(nc)%200 + 1
+		numGroups := int(ng)%numCompute + 1
+		g, err := NewGrouping(numCompute, numGroups, 1)
+		if err != nil {
+			return false
+		}
+		seen := make(map[int]bool)
+		for grp := 0; grp < g.NumGroups; grp++ {
+			for _, r := range g.Members(grp) {
+				if seen[r] || g.GroupOf(r) != grp {
+					return false
+				}
+				seen[r] = true
+			}
+		}
+		return len(seen) == g.TotalRanks()
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBlockPlacement(t *testing.T) {
+	f := TSUBAME2()
+	pl, err := BlockPlacement(f, 64, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pl.NodeOf[0] != 0 || pl.NodeOf[31] != 0 || pl.NodeOf[32] != 1 {
+		t.Fatalf("block placement wrong: %v", pl.NodeOf[:33])
+	}
+	if _, err := BlockPlacement(f, 1408*32+1, 32); err == nil {
+		t.Error("accepted more ranks than the machine holds")
+	}
+	if _, err := BlockPlacement(f, 4, 0); err == nil {
+		t.Error("accepted zero cores per node")
+	}
+}
+
+func TestTAwarePlacementSatisfiesEq6(t *testing.T) {
+	f := TSUBAME2()
+	g, err := NewGrouping(4000, 200, 1) // |G| = 21
+	if err != nil {
+		t.Fatal(err)
+	}
+	for level := 1; level <= f.Levels(); level++ {
+		pl, err := TAwarePlacement(f, g, level)
+		if err != nil {
+			t.Fatalf("level %d: %v", level, err)
+		}
+		if err := CheckTAware(pl, g, level); err != nil {
+			t.Errorf("level %d: Eq. 6 violated: %v", level, err)
+		}
+	}
+}
+
+func TestTAwarePlacementInfeasible(t *testing.T) {
+	f := TSUBAME2()
+	// 40 groups of 4000 CMs: |G| = 101 > 44 racks.
+	g, err := NewGrouping(4000, 40, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := TAwarePlacement(f, g, 4); err == nil {
+		t.Error("accepted unsatisfiable rack-level t-awareness")
+	}
+}
+
+func TestTAwareProperty(t *testing.T) {
+	// Property: for random feasible configurations, the constructed
+	// placement always satisfies Eq. 6 at its level.
+	f := TSUBAME2()
+	cfg := &quick.Config{MaxCount: 60, Rand: rand.New(rand.NewSource(7))}
+	prop := func(ncRaw, ngRaw uint16, lvlRaw uint8) bool {
+		numCompute := int(ncRaw)%2000 + 1
+		numGroups := int(ngRaw)%numCompute + 1
+		level := int(lvlRaw)%f.Levels() + 1
+		g, err := NewGrouping(numCompute, numGroups, 1)
+		if err != nil {
+			return true // skip invalid configs
+		}
+		pl, err := TAwarePlacement(f, g, level)
+		if err != nil {
+			return g.GroupSize() > f.Count(level) // only legal failure mode
+		}
+		return CheckTAware(pl, g, level) == nil
+	}
+	if err := quick.Check(prop, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCheckTAwareDetectsViolation(t *testing.T) {
+	f := TSUBAME2()
+	g, err := NewGrouping(8, 2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// All ranks on node 0: every group trivially violates Eq. 6.
+	pl := Placement{FDH: f, NodeOf: make([]int, g.TotalRanks())}
+	if err := CheckTAware(pl, g, 1); err == nil {
+		t.Error("violation not detected")
+	}
+}

@@ -1,0 +1,155 @@
+// Package reliability implements the analytic model of the probability of a
+// catastrophic failure (P_cf) from §5.2 of the paper, Eqs. (7)–(9): given a
+// failure-domain hierarchy, per-level concurrent-failure distributions, a
+// process-group size |G| with m=1 checksum processes (XOR coding), and a
+// t-awareness level n, it computes the per-day probability that some group
+// suffers two or more concurrent member losses, forcing a full restart.
+package reliability
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/failure"
+	"repro/internal/machine"
+)
+
+// Model holds the parameters of one P_cf evaluation.
+type Model struct {
+	// FDH is the hardware hierarchy (H_j element counts).
+	FDH machine.FDH
+	// PDFs are the per-level simultaneous-failure distributions;
+	// PDFs[j-1] corresponds to hierarchy level j.
+	PDFs []failure.PDF
+	// GroupSize is |G|, the number of processes per group including the
+	// checksum process.
+	GroupSize int
+	// TAwareLevel is n: placement is topology-aware at levels 1..n. Zero
+	// means no topology awareness (every failure is catastrophic in the
+	// worst case).
+	TAwareLevel int
+	// MaxConcurrent caps the x_j summation; zero means sum to H_j.
+	MaxConcurrent int
+}
+
+// Validate checks the model parameters.
+func (m Model) Validate() error {
+	if err := m.FDH.Validate(); err != nil {
+		return err
+	}
+	if len(m.PDFs) < m.FDH.Levels() {
+		return fmt.Errorf("reliability: %d PDFs for %d levels", len(m.PDFs), m.FDH.Levels())
+	}
+	if m.GroupSize < 2 {
+		return errors.New("reliability: group size must be at least 2")
+	}
+	if m.TAwareLevel < 0 || m.TAwareLevel > m.FDH.Levels() {
+		return fmt.Errorf("reliability: t-awareness level %d out of range 0..%d",
+			m.TAwareLevel, m.FDH.Levels())
+	}
+	return nil
+}
+
+// condCF returns P_j(x_j,cf | x_j): the worst-case probability that x_j
+// concurrent failures at level j are catastrophic, per Eq. (8). Using the
+// identity C(H-2, x-2)/C(H, x) = x(x-1)/(H(H-1)), the full term
+//
+//	D_j * C(|G|,2) * C(H_j-2, x_j-2) / C(H_j, x_j)
+//
+// reduces to D_j * |G|(|G|-1)/2 * x(x-1)/(H(H-1)), clamped to [0,1].
+func (m Model) condCF(j, x int) float64 {
+	h := float64(m.FDH.Count(j))
+	g := float64(m.GroupSize)
+	if m.GroupSize > m.FDH.Count(j) {
+		// Eq. 6 is unsatisfiable at this level: the placement cannot be
+		// t-aware here, so conservatively any failure is catastrophic.
+		return 1
+	}
+	if x < 2 {
+		// With m=1 a single element loss never kills two members of a
+		// t-aware group.
+		return 0
+	}
+	d := float64(m.FDH.Count(j) / m.GroupSize) // D_j = floor(H_j / |G|)
+	p := d * g * (g - 1) / 2 * float64(x) * float64(x-1) / (h * (h - 1))
+	if p > 1 {
+		return 1
+	}
+	return p
+}
+
+// LevelTerm returns level j's contribution to P_cf: the inner sum over x_j
+// of P_j(x_j) * P_j(x_j,cf|x_j), with the conditional probability equal to 1
+// beyond the t-awareness level (Eq. 9).
+func (m Model) LevelTerm(j int) float64 {
+	hj := m.FDH.Count(j)
+	max := hj
+	if m.MaxConcurrent > 0 && m.MaxConcurrent < max {
+		max = m.MaxConcurrent
+	}
+	sum := 0.0
+	for x := 1; x <= max; x++ {
+		px := m.PDFs[j-1].At(x)
+		if j <= m.TAwareLevel {
+			px *= m.condCF(j, x)
+		}
+		sum += px
+	}
+	return sum
+}
+
+// Pcf evaluates Eq. (9): the per-day probability of a catastrophic failure.
+func (m Model) Pcf() (float64, error) {
+	if err := m.Validate(); err != nil {
+		return 0, err
+	}
+	total := 0.0
+	for j := 1; j <= m.FDH.Levels(); j++ {
+		total += m.LevelTerm(j)
+	}
+	if total > 1 {
+		total = 1
+	}
+	return total, nil
+}
+
+// Point is one sample of a P_cf curve.
+type Point struct {
+	CHPercent float64 // |CH| as a percentage of N
+	NumCH     int     // number of checksum processes (= number of groups, m=1)
+	GroupSize int     // |G|
+	Pcf       float64
+}
+
+// Curve computes P_cf for |CH| swept from 1% to maxPercent% of N compute
+// processes at the given t-awareness level (0 = no-topo), reproducing one
+// series of Fig. 10c. Steps sets the number of samples.
+func Curve(fdh machine.FDH, pdfs []failure.PDF, n int, tAwareLevel int, maxPercent float64, steps int) ([]Point, error) {
+	if steps < 2 {
+		return nil, errors.New("reliability: need at least 2 curve steps")
+	}
+	pts := make([]Point, 0, steps)
+	for i := 0; i < steps; i++ {
+		pct := 1 + (maxPercent-1)*float64(i)/float64(steps-1)
+		numCH := int(float64(n) * pct / 100)
+		if numCH < 1 {
+			numCH = 1
+		}
+		grouping, err := machine.NewGrouping(n, numCH, 1)
+		if err != nil {
+			return nil, err
+		}
+		mdl := Model{
+			FDH:         fdh,
+			PDFs:        pdfs,
+			GroupSize:   grouping.GroupSize(),
+			TAwareLevel: tAwareLevel,
+		}
+		p, err := mdl.Pcf()
+		if err != nil {
+			return nil, err
+		}
+		pts = append(pts, Point{CHPercent: pct, NumCH: numCH, GroupSize: grouping.GroupSize(), Pcf: p})
+	}
+	return pts, nil
+}

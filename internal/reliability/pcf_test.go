@@ -1,0 +1,218 @@
+package reliability
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/failure"
+	"repro/internal/machine"
+)
+
+func model(groupSize, level int) Model {
+	return Model{
+		FDH:         machine.TSUBAME2(),
+		PDFs:        failure.TSUBAMEPDFs(),
+		GroupSize:   groupSize,
+		TAwareLevel: level,
+	}
+}
+
+func TestValidate(t *testing.T) {
+	m := model(21, 1)
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := m
+	bad.GroupSize = 1
+	if err := bad.Validate(); err == nil {
+		t.Error("accepted group size 1")
+	}
+	bad = m
+	bad.TAwareLevel = 9
+	if err := bad.Validate(); err == nil {
+		t.Error("accepted out-of-range t-awareness level")
+	}
+	bad = m
+	bad.PDFs = bad.PDFs[:2]
+	if err := bad.Validate(); err == nil {
+		t.Error("accepted too few PDFs")
+	}
+}
+
+func TestNoTopoIndependentOfGroupSize(t *testing.T) {
+	// Without t-awareness every failure is catastrophic, so P_cf must not
+	// depend on |CH| (the flat no-topo line of Fig. 10c).
+	p1, err := model(5, 0).Pcf()
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, err := model(500, 0).Pcf()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p1 != p2 {
+		t.Fatalf("no-topo P_cf varies with group size: %g vs %g", p1, p2)
+	}
+	// And it equals the plain sum of all failure probabilities.
+	want := 0.0
+	fdh := machine.TSUBAME2()
+	for j := 1; j <= fdh.Levels(); j++ {
+		for x := 1; x <= fdh.Count(j); x++ {
+			want += failure.TSUBAMEPDFs()[j-1].At(x)
+		}
+	}
+	if math.Abs(p1-want) > 1e-15 {
+		t.Fatalf("no-topo P_cf = %g, want %g", p1, want)
+	}
+}
+
+func TestTAwarenessImproves(t *testing.T) {
+	// Higher t-awareness levels must monotonically lower P_cf (Fig. 10c).
+	prev := math.Inf(1)
+	for level := 0; level <= 4; level++ {
+		p, err := model(21, level).Pcf()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if p > prev {
+			t.Errorf("P_cf at level %d (%g) exceeds level %d (%g)", level, p, level-1, prev)
+		}
+		prev = p
+	}
+}
+
+func TestTAwareOrdersOfMagnitude(t *testing.T) {
+	// The paper: "all t-aware schemes are 1-3 orders of magnitude more
+	// resilient than no-topo". With |CH| = 5% of 4000 CMs, |G| = 21.
+	noTopo, err := model(21, 0).Pcf()
+	if err != nil {
+		t.Fatal(err)
+	}
+	nodes, err := model(21, 1).Pcf()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nodes >= noTopo/10 {
+		t.Errorf("node t-awareness only improved P_cf from %g to %g (< 10x)", noTopo, nodes)
+	}
+	// And switch-level awareness beats node-level by a noticeable factor
+	// (the paper reports ~4x at |CH| = 5% N).
+	switches, err := model(21, 3).Pcf()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ratio := nodes / switches
+	if ratio < 1.5 || ratio > 50 {
+		t.Errorf("nodes/switches P_cf ratio = %g, expected a few x", ratio)
+	}
+}
+
+func TestSingleFailureNeverCatastrophicWhenTAware(t *testing.T) {
+	// With m=1 and t-aware placement, one element failure kills at most one
+	// group member; condCF(j, 1) must be zero at feasible levels.
+	m := model(21, 4)
+	for j := 1; j <= 4; j++ {
+		if got := m.condCF(j, 1); got != 0 {
+			t.Errorf("condCF(%d, 1) = %g, want 0", j, got)
+		}
+	}
+}
+
+func TestCondCFClamped(t *testing.T) {
+	m := model(21, 4)
+	prop := func(jRaw, xRaw uint8) bool {
+		j := int(jRaw)%4 + 1
+		x := int(xRaw)%m.FDH.Count(j) + 1
+		p := m.condCF(j, x)
+		return p >= 0 && p <= 1
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCondCFInfeasibleLevel(t *testing.T) {
+	// |G| = 101 > 44 racks: rack-level t-awareness impossible, the model
+	// must fall back to "any failure is catastrophic".
+	m := model(101, 4)
+	if got := m.condCF(4, 1); got != 1 {
+		t.Fatalf("condCF at infeasible level = %g, want 1", got)
+	}
+}
+
+func TestMoreChecksumsLowerPcf(t *testing.T) {
+	// Growing |CH| (shrinking |G|) lowers P_cf until the exponential tails
+	// dominate — the dominant trend of Fig. 10c.
+	pSmallGroups, err := model(11, 1).Pcf() // |CH| = 10% of N
+	if err != nil {
+		t.Fatal(err)
+	}
+	pBigGroups, err := model(41, 1).Pcf() // |CH| = 2.5% of N
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pSmallGroups >= pBigGroups {
+		t.Errorf("P_cf(|G|=11) = %g not below P_cf(|G|=41) = %g", pSmallGroups, pBigGroups)
+	}
+}
+
+func TestCurveShape(t *testing.T) {
+	pts, err := Curve(machine.TSUBAME2(), failure.TSUBAMEPDFs(), 4000, 1, 20, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 10 {
+		t.Fatalf("got %d points, want 10", len(pts))
+	}
+	if pts[0].CHPercent != 1 || pts[len(pts)-1].CHPercent != 20 {
+		t.Fatalf("curve endpoints wrong: %v .. %v", pts[0], pts[len(pts)-1])
+	}
+	// P_cf decreases from the first to the last point.
+	if pts[len(pts)-1].Pcf >= pts[0].Pcf {
+		t.Errorf("curve not decreasing: %g .. %g", pts[0].Pcf, pts[len(pts)-1].Pcf)
+	}
+	for _, p := range pts {
+		if p.Pcf < 0 || p.Pcf > 1 {
+			t.Fatalf("P_cf out of range: %+v", p)
+		}
+	}
+}
+
+func TestCurveStrategyOrdering(t *testing.T) {
+	// At every sampled |CH|, a higher t-awareness level gives lower or
+	// equal P_cf: the strict ordering of the Fig. 10c series.
+	var curves [5][]Point
+	for lvl := 0; lvl <= 4; lvl++ {
+		pts, err := Curve(machine.TSUBAME2(), failure.TSUBAMEPDFs(), 4000, lvl, 20, 8)
+		if err != nil {
+			t.Fatal(err)
+		}
+		curves[lvl] = pts
+	}
+	for i := range curves[0] {
+		for lvl := 1; lvl <= 4; lvl++ {
+			if curves[lvl][i].Pcf > curves[lvl-1][i].Pcf+1e-18 {
+				t.Errorf("at |CH|=%.1f%%: level %d P_cf %g exceeds level %d P_cf %g",
+					curves[lvl][i].CHPercent, lvl, curves[lvl][i].Pcf, lvl-1, curves[lvl-1][i].Pcf)
+			}
+		}
+	}
+}
+
+func TestPcfProperty(t *testing.T) {
+	// Property: P_cf is always a probability, for arbitrary group sizes and
+	// levels.
+	prop := func(gRaw uint16, lvlRaw uint8) bool {
+		gs := int(gRaw)%1000 + 2
+		lvl := int(lvlRaw) % 5
+		p, err := model(gs, lvl).Pcf()
+		if err != nil {
+			return false
+		}
+		return p >= 0 && p <= 1 && !math.IsNaN(p)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,448 @@
+package rma
+
+import "repro/internal/sim"
+
+// pendingOp is a buffered non-blocking access: issued now, applied (puts)
+// or satisfied (gets) when the epoch towards its target closes.
+type pendingOp struct {
+	isPut      bool
+	off        int
+	data       []uint64 // put/accumulate payload (copied at issue time)
+	dest       []uint64 // get destination, filled at epoch close
+	localOff   int      // window destination for GetInto; -1 for plain Get
+	op         ReduceOp
+	completeAt float64 // virtual completion time on the wire
+}
+
+// OpStats counts issued operations; used by tests and the benchmark
+// harness.
+type OpStats struct {
+	Puts, Gets, Accumulates, CAS, FAO int
+	Flushes, Locks, Unlocks, Gsyncs   int
+	WordsPut, WordsGot                int
+}
+
+func (s *OpStats) add(o OpStats) {
+	s.Puts += o.Puts
+	s.Gets += o.Gets
+	s.Accumulates += o.Accumulates
+	s.CAS += o.CAS
+	s.FAO += o.FAO
+	s.Flushes += o.Flushes
+	s.Locks += o.Locks
+	s.Unlocks += o.Unlocks
+	s.Gsyncs += o.Gsyncs
+	s.WordsPut += o.WordsPut
+	s.WordsGot += o.WordsGot
+}
+
+// TraceAction is the event delivered to a Tracer; package trace turns these
+// into the formal model's action tuples.
+type TraceAction struct {
+	Kind    string // put, get, accumulate, cas, fao, lock, unlock, flush, gsync, barrier
+	Src     int
+	Trg     int // -1 for collectives
+	Str     int
+	Words   int
+	Combine bool
+	Epoch   int // E(src->trg) when the action was issued
+}
+
+// Tracer observes every runtime action.
+type Tracer interface {
+	OnAction(TraceAction)
+}
+
+// Proc is one rank's runtime handle. It implements API. A Proc is owned by
+// the goroutine running that rank; only the window it exposes is touched by
+// other ranks.
+type Proc struct {
+	world   *World
+	rank    int
+	clock   *sim.Clock
+	epoch   []int
+	pending [][]pendingOp
+	stats   OpStats
+}
+
+var _ API = (*Proc)(nil)
+
+func newProc(w *World, rank int) *Proc {
+	return &Proc{
+		world:   w,
+		rank:    rank,
+		clock:   sim.NewClock(),
+		epoch:   make([]int, w.cfg.N),
+		pending: make([][]pendingOp, w.cfg.N),
+	}
+}
+
+// checkAlive unwinds the goroutine if this rank has been killed.
+func (p *Proc) checkAlive() {
+	if p.world.failed[p.rank].Load() {
+		panic(killed{p.rank})
+	}
+}
+
+// checkTarget panics with TargetFailedError when addressing a dead rank.
+func (p *Proc) checkTarget(q int) {
+	if q < 0 || q >= p.world.cfg.N {
+		panic(TargetFailedError{q})
+	}
+	if p.world.failed[q].Load() {
+		panic(TargetFailedError{q})
+	}
+}
+
+// Rank returns this rank's id.
+func (p *Proc) Rank() int { return p.rank }
+
+// N returns the world size.
+func (p *Proc) N() int { return p.world.cfg.N }
+
+// Now returns this rank's virtual time.
+func (p *Proc) Now() float64 { return p.clock.Now() }
+
+// Epoch returns E(p->q), the current epoch number towards rank q.
+func (p *Proc) Epoch(q int) int { return p.epoch[q] }
+
+// Stats returns a copy of the operation counters.
+func (p *Proc) Stats() OpStats { return p.stats }
+
+// World returns the world this rank belongs to.
+func (p *Proc) World() *World { return p.world }
+
+// Compute charges flops of local work to the virtual clock.
+func (p *Proc) Compute(flops float64) {
+	p.checkAlive()
+	p.clock.Advance(p.world.params.CompTime(flops))
+}
+
+// AdvanceTime charges dt seconds of non-compute local activity (used by the
+// FT layers for memory copies and by applications for think time).
+func (p *Proc) AdvanceTime(dt float64) {
+	p.checkAlive()
+	p.clock.Advance(dt)
+}
+
+// AdvanceTo moves the virtual clock forward to t (no-op if already past);
+// used by the FT layers when waiting on shared resources.
+func (p *Proc) AdvanceTo(t float64) {
+	p.checkAlive()
+	p.clock.AdvanceTo(t)
+}
+
+// Local returns the rank's own window. See LocalRead/LocalWrite for
+// accesses that must be atomic with respect to concurrent remote accesses.
+func (p *Proc) Local() []uint64 {
+	p.checkAlive()
+	return p.world.windows[p.rank].words
+}
+
+// LocalRead copies n words starting at off from the local window, holding
+// the window lock against concurrent remote applies.
+func (p *Proc) LocalRead(off, n int) []uint64 {
+	p.checkAlive()
+	dst := make([]uint64, n)
+	p.world.windows[p.rank].readInto(off, dst)
+	return dst
+}
+
+// LocalWrite stores data at off in the local window under the window lock.
+func (p *Proc) LocalWrite(off int, data []uint64) {
+	p.checkAlive()
+	p.world.windows[p.rank].applyPut(off, data)
+}
+
+// Put issues a non-blocking put of data into target's window at off.
+func (p *Proc) Put(target, off int, data []uint64) {
+	p.putInternal(target, off, data, OpReplace, "put")
+}
+
+// PutValue issues a single-word Put.
+func (p *Proc) PutValue(target, off int, v uint64) {
+	p.Put(target, off, []uint64{v})
+}
+
+// Accumulate issues a non-blocking combining put.
+func (p *Proc) Accumulate(target, off int, data []uint64, op ReduceOp) {
+	p.putInternal(target, off, data, op, "accumulate")
+}
+
+func (p *Proc) putInternal(target, off int, data []uint64, op ReduceOp, kind string) {
+	p.checkAlive()
+	p.checkTarget(target)
+	bytes := len(data) * 8
+	p.clock.Advance(p.world.params.InjectTime(bytes))
+	buf := make([]uint64, len(data))
+	copy(buf, data)
+	p.pending[target] = append(p.pending[target], pendingOp{
+		isPut:      true,
+		off:        off,
+		data:       buf,
+		op:         op,
+		completeAt: p.clock.Now() + p.world.params.TransferTime(bytes),
+	})
+	if op == OpReplace && kind == "put" {
+		p.stats.Puts++
+	} else {
+		p.stats.Accumulates++
+	}
+	p.stats.WordsPut += len(data)
+	p.world.trace(func(t Tracer) {
+		t.OnAction(TraceAction{Kind: kind, Src: p.rank, Trg: target, Words: len(data),
+			Combine: op.Combining(), Epoch: p.epoch[target]})
+	})
+}
+
+// Get issues a non-blocking get of n words from target at off. The returned
+// slice is filled when the epoch towards target closes.
+func (p *Proc) Get(target, off, n int) []uint64 {
+	return p.getInternal(target, off, n, -1)
+}
+
+// GetInto issues a non-blocking get of n words from target at off whose
+// destination is the local window at localOff. Unlike Get, the received
+// data lands in exposed (and therefore checkpointable and recoverable)
+// memory — this is how applications should receive data they cannot afford
+// to lose. The returned slice aliases the local window.
+func (p *Proc) GetInto(target, off, n, localOff int) []uint64 {
+	p.world.windows[p.rank].checkRange(localOff, n)
+	return p.getInternal(target, off, n, localOff)
+}
+
+func (p *Proc) getInternal(target, off, n, localOff int) []uint64 {
+	p.checkAlive()
+	p.checkTarget(target)
+	bytes := n * 8
+	p.clock.Advance(p.world.params.InjectTime(0)) // request is small
+	dest := make([]uint64, n)
+	p.pending[target] = append(p.pending[target], pendingOp{
+		off:        off,
+		dest:       dest,
+		localOff:   localOff,
+		completeAt: p.clock.Now() + p.world.params.TransferTime(bytes),
+	})
+	p.stats.Gets++
+	p.stats.WordsGot += n
+	p.world.trace(func(t Tracer) {
+		t.OnAction(TraceAction{Kind: "get", Src: p.rank, Trg: target, Words: n,
+			Epoch: p.epoch[target]})
+	})
+	if localOff >= 0 {
+		return p.world.windows[p.rank].words[localOff : localOff+n]
+	}
+	return dest
+}
+
+// GetBlocking gets n words and closes the epoch towards target.
+func (p *Proc) GetBlocking(target, off, n int) []uint64 {
+	dest := p.Get(target, off, n)
+	p.Flush(target)
+	return dest
+}
+
+// CompareAndSwap atomically swaps the word at target/off if it equals old,
+// returning the previous value. Blocking; counts as both a put and a get
+// (Table 1).
+func (p *Proc) CompareAndSwap(target, off int, old, new uint64) uint64 {
+	p.checkAlive()
+	p.checkTarget(target)
+	p.clock.Advance(p.world.params.AtomicLatency)
+	prev := p.world.windows[target].cas(off, old, new)
+	p.stats.CAS++
+	p.world.trace(func(t Tracer) {
+		t.OnAction(TraceAction{Kind: "cas", Src: p.rank, Trg: target, Words: 1,
+			Combine: true, Epoch: p.epoch[target]})
+	})
+	return prev
+}
+
+// GetAccumulate atomically combines data into target's window at off and
+// returns the previous contents (MPI_Get_accumulate). Blocking; counts as
+// both a put and a get (Table 1).
+func (p *Proc) GetAccumulate(target, off int, data []uint64, op ReduceOp) []uint64 {
+	p.checkAlive()
+	p.checkTarget(target)
+	bytes := 8 * len(data)
+	p.clock.Advance(p.world.params.AtomicLatency + p.world.params.InjectTime(bytes))
+	prev := p.world.windows[target].getAccumulate(off, data, op)
+	p.stats.Accumulates++
+	p.stats.Gets++
+	p.stats.WordsPut += len(data)
+	p.stats.WordsGot += len(data)
+	p.world.trace(func(t Tracer) {
+		t.OnAction(TraceAction{Kind: "getaccumulate", Src: p.rank, Trg: target,
+			Words: len(data), Combine: op.Combining(), Epoch: p.epoch[target]})
+	})
+	return prev
+}
+
+// FetchAndOp atomically combines operand into the word at target/off,
+// returning the previous value. Blocking; counts as both a put and a get.
+func (p *Proc) FetchAndOp(target, off int, operand uint64, op ReduceOp) uint64 {
+	p.checkAlive()
+	p.checkTarget(target)
+	p.clock.Advance(p.world.params.AtomicLatency)
+	prev := p.world.windows[target].fao(off, operand, op)
+	p.stats.FAO++
+	p.world.trace(func(t Tracer) {
+		t.OnAction(TraceAction{Kind: "fao", Src: p.rank, Trg: target, Words: 1,
+			Combine: op.Combining(), Epoch: p.epoch[target]})
+	})
+	return prev
+}
+
+// applyPending completes all buffered accesses towards target q: puts and
+// accumulates are applied to q's window, gets read q's window, and the
+// caller's clock advances past the last completion.
+func (p *Proc) applyPending(q int) {
+	ops := p.pending[q]
+	if len(ops) == 0 {
+		return
+	}
+	p.pending[q] = p.pending[q][:0]
+	win := p.world.windows[q]
+	maxT := p.clock.Now()
+	for _, op := range ops {
+		if op.isPut {
+			if op.op == OpReplace {
+				win.applyPut(op.off, op.data)
+			} else {
+				win.applyAccumulate(op.off, op.data, op.op)
+			}
+		} else {
+			win.readInto(op.off, op.dest)
+			if op.localOff >= 0 {
+				p.world.windows[p.rank].applyPut(op.localOff, op.dest)
+			}
+		}
+		if op.completeAt > maxT {
+			maxT = op.completeAt
+		}
+	}
+	p.clock.AdvanceTo(maxT)
+}
+
+// Flush closes the epoch towards target: all outstanding accesses complete
+// and E(p->target) increments.
+func (p *Proc) Flush(target int) {
+	p.checkAlive()
+	p.checkTarget(target)
+	p.applyPending(target)
+	p.clock.Advance(p.world.params.NetLatency) // remote completion ack
+	p.epoch[target]++
+	p.stats.Flushes++
+	p.world.trace(func(t Tracer) {
+		t.OnAction(TraceAction{Kind: "flush", Src: p.rank, Trg: target, Epoch: p.epoch[target]})
+	})
+}
+
+// FlushAll closes the epochs towards all live targets.
+func (p *Proc) FlushAll() {
+	p.checkAlive()
+	for q := 0; q < p.world.cfg.N; q++ {
+		switch {
+		case q == p.rank:
+			// Self-communication is legal RMA; apply buffered self-puts.
+			p.applyPending(q)
+		case !p.world.Alive(q):
+			// Accesses in flight towards a dead rank are lost with it.
+			p.pending[q] = p.pending[q][:0]
+		default:
+			p.applyPending(q)
+		}
+		p.epoch[q]++
+	}
+	p.clock.Advance(p.world.params.NetLatency)
+	p.stats.Flushes++
+	p.world.trace(func(t Tracer) {
+		t.OnAction(TraceAction{Kind: "flush", Src: p.rank, Trg: -1})
+	})
+}
+
+// lockLatency returns the latency of lock traffic towards target: network
+// latency for remote locks, CPU overhead for self-locks (which the logging
+// layer issues on every put, §3.2.3).
+func (p *Proc) lockLatency(target int) float64 {
+	if target == p.rank {
+		return p.world.params.OpOverhead
+	}
+	return p.world.params.NetLatency
+}
+
+// Lock acquires exclusive access to structure str in target's memory.
+func (p *Proc) Lock(target, str int) {
+	p.checkAlive()
+	p.checkTarget(target)
+	after := p.world.windows[target].acquire(str, p.rank, p.clock.Now(), p.lockLatency(target))
+	if p.world.failed[p.rank].Load() {
+		// Killed while blocked on the lock: release it (Kill's cleanup may
+		// already have, releaseIfHeldBy is idempotent) and unwind.
+		p.world.windows[target].releaseIfHeldBy(p.rank)
+		panic(killed{p.rank})
+	}
+	p.clock.AdvanceTo(after)
+	p.stats.Locks++
+	p.world.trace(func(t Tracer) {
+		t.OnAction(TraceAction{Kind: "lock", Src: p.rank, Trg: target, Str: str,
+			Epoch: p.epoch[target]})
+	})
+}
+
+// Unlock releases structure str at target and closes the epoch towards it
+// (an unlock enforces consistency of the structure, §2.1.2).
+func (p *Proc) Unlock(target, str int) {
+	p.checkAlive()
+	p.applyPending(target)
+	lat := p.lockLatency(target)
+	p.world.windows[target].release(str, p.rank, p.clock.Now(), lat)
+	p.clock.Advance(lat)
+	p.epoch[target]++
+	p.stats.Unlocks++
+	p.world.trace(func(t Tracer) {
+		t.OnAction(TraceAction{Kind: "unlock", Src: p.rank, Trg: target, Str: str,
+			Epoch: p.epoch[target]})
+	})
+}
+
+// Gsync is the collective memory synchronization: every rank's epochs close
+// and all ranks synchronize (it also establishes a global happened-before
+// edge, as the paper's schemes assume of gsync implementations).
+func (p *Proc) Gsync() {
+	p.checkAlive()
+	for q := 0; q < p.world.cfg.N; q++ {
+		switch {
+		case q == p.rank:
+			// Self-communication is legal RMA; apply buffered self-puts.
+			p.applyPending(q)
+		case !p.world.Alive(q):
+			p.pending[q] = p.pending[q][:0]
+		default:
+			p.applyPending(q)
+		}
+		p.epoch[q]++
+	}
+	t := p.world.barrier.Wait(p.rank, p.clock.Now())
+	p.checkAlive()
+	p.clock.AdvanceTo(t + p.world.params.BarrierTime(p.world.barrier.Participants()))
+	p.stats.Gsyncs++
+	p.world.trace(func(tr Tracer) {
+		tr.OnAction(TraceAction{Kind: "gsync", Src: p.rank, Trg: -1})
+	})
+}
+
+// Barrier synchronizes all live ranks without memory effects.
+func (p *Proc) Barrier() {
+	p.checkAlive()
+	t := p.world.barrier.Wait(p.rank, p.clock.Now())
+	p.checkAlive()
+	p.clock.AdvanceTo(t + p.world.params.BarrierTime(p.world.barrier.Participants()))
+	p.world.trace(func(tr Tracer) {
+		tr.OnAction(TraceAction{Kind: "barrier", Src: p.rank, Trg: -1})
+	})
+}
+
+// PendingTo reports the number of buffered accesses towards target (used by
+// the FT layers to decide whether an epoch is dirty).
+func (p *Proc) PendingTo(target int) int { return len(p.pending[target]) }

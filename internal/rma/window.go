@@ -1,0 +1,160 @@
+package rma
+
+import (
+	"fmt"
+	"sync"
+)
+
+// lockState is one lockable structure of a rank's memory: a real mutex for
+// mutual exclusion plus virtual-time metadata modeling the queueing delay of
+// remote lock acquisition.
+type lockState struct {
+	mu sync.Mutex // held between Lock and Unlock
+
+	meta        sync.Mutex // guards the fields below
+	holder      int        // rank currently holding the lock, -1 if free
+	availableAt float64    // virtual time at which the lock was last released
+}
+
+// window is the shared memory a rank exposes, plus its lockable structures.
+type window struct {
+	mu    sync.Mutex // serializes physical access (applies, atomics, reads)
+	words []uint64
+	locks []lockState
+}
+
+func newWindow(words, numLocks int) *window {
+	w := &window{words: make([]uint64, words), locks: make([]lockState, numLocks)}
+	for i := range w.locks {
+		w.locks[i].holder = -1
+	}
+	return w
+}
+
+// checkRange panics on out-of-bounds accesses: usage errors abort the run,
+// as an RMA runtime would.
+func (w *window) checkRange(off, n int) {
+	if off < 0 || n < 0 || off+n > len(w.words) {
+		panic(fmt.Sprintf("rma: access [%d, %d) outside window of %d words", off, off+n, len(w.words)))
+	}
+}
+
+// applyPut writes data at off under the window lock.
+func (w *window) applyPut(off int, data []uint64) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	w.checkRange(off, len(data))
+	copy(w.words[off:], data)
+}
+
+// applyAccumulate combines data at off under the window lock.
+func (w *window) applyAccumulate(off int, data []uint64, op ReduceOp) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	w.checkRange(off, len(data))
+	for i, v := range data {
+		w.words[off+i] = op.apply(w.words[off+i], v)
+	}
+}
+
+// readInto copies n words from off into dst under the window lock.
+func (w *window) readInto(off int, dst []uint64) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	w.checkRange(off, len(dst))
+	copy(dst, w.words[off:off+len(dst)])
+}
+
+// cas performs an atomic compare-and-swap on one word.
+func (w *window) cas(off int, old, new uint64) uint64 {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	w.checkRange(off, 1)
+	prev := w.words[off]
+	if prev == old {
+		w.words[off] = new
+	}
+	return prev
+}
+
+// getAccumulate atomically combines data into the window at off and
+// returns the previous contents (MPI_Get_accumulate).
+func (w *window) getAccumulate(off int, data []uint64, op ReduceOp) []uint64 {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	w.checkRange(off, len(data))
+	prev := make([]uint64, len(data))
+	copy(prev, w.words[off:off+len(data)])
+	for i, v := range data {
+		w.words[off+i] = op.apply(w.words[off+i], v)
+	}
+	return prev
+}
+
+// fao performs an atomic fetch-and-op on one word.
+func (w *window) fao(off int, operand uint64, op ReduceOp) uint64 {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	w.checkRange(off, 1)
+	prev := w.words[off]
+	w.words[off] = op.apply(prev, operand)
+	return prev
+}
+
+// clear zeroes the window: the volatile memory of a crashed rank is gone.
+func (w *window) clear() {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	for i := range w.words {
+		w.words[i] = 0
+	}
+}
+
+// acquire takes structure lock str on behalf of rank p whose virtual clock
+// reads now; it returns the virtual time after acquisition.
+func (w *window) acquire(str, p int, now, latency float64) float64 {
+	ls := &w.locks[str]
+	ls.mu.Lock()
+	ls.meta.Lock()
+	defer ls.meta.Unlock()
+	start := now
+	if ls.availableAt > start {
+		start = ls.availableAt
+	}
+	ls.holder = p
+	// Request + grant round trip.
+	return start + 2*latency
+}
+
+// release drops structure lock str; now is the holder's virtual clock.
+func (w *window) release(str, p int, now, latency float64) {
+	ls := &w.locks[str]
+	ls.meta.Lock()
+	if ls.holder != p {
+		ls.meta.Unlock()
+		panic(fmt.Sprintf("rma: rank %d releasing lock %d held by %d", p, str, ls.holder))
+	}
+	ls.holder = -1
+	ls.availableAt = now + latency
+	ls.meta.Unlock()
+	ls.mu.Unlock()
+}
+
+// releaseIfHeldBy force-releases the lock if rank p holds it (crash
+// cleanup). Reports whether a release happened.
+func (w *window) releaseIfHeldBy(p int) bool {
+	released := false
+	for i := range w.locks {
+		ls := &w.locks[i]
+		ls.meta.Lock()
+		if ls.holder == p {
+			ls.holder = -1
+			ls.meta.Unlock()
+			ls.mu.Unlock()
+			released = true
+			continue
+		}
+		ls.meta.Unlock()
+	}
+	return released
+}

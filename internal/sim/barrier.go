@@ -1,0 +1,128 @@
+package sim
+
+import "sync"
+
+// Barrier is a reusable virtual-time barrier with identified participants.
+// Each participant passes its id and current virtual time to Wait; when
+// every member has arrived, all are released with the maximum of the
+// submitted times. The caller adds the barrier's own cost
+// (Params.BarrierTime).
+//
+// Members can permanently Leave (a rank failed) or Join (a replacement rank
+// was spawned), which is how collectives keep making progress across
+// fail-stop events. Leave of a member that already arrived in the current
+// generation retracts its arrival, so generations never release early.
+type Barrier struct {
+	mu       sync.Mutex
+	cond     *sync.Cond
+	members  map[int]bool
+	arrived  map[int]float64 // member id -> arrival time, current generation
+	gen      int
+	releases map[int]float64 // generation -> release time
+}
+
+// NewBarrier creates a barrier whose members are ids 0..n-1.
+func NewBarrier(n int) *Barrier {
+	b := &Barrier{
+		members:  make(map[int]bool, n),
+		arrived:  make(map[int]float64, n),
+		releases: make(map[int]float64),
+	}
+	for i := 0; i < n; i++ {
+		b.members[i] = true
+	}
+	b.cond = sync.NewCond(&b.mu)
+	return b
+}
+
+// Wait blocks participant id until all current members have arrived and
+// returns the maximum virtual time across them. A caller that is no longer
+// a member (it was killed while heading here) returns immediately with its
+// own time; it is about to unwind anyway.
+func (b *Barrier) Wait(id int, t float64) float64 {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if !b.members[id] {
+		return t
+	}
+	gen := b.gen
+	b.arrived[id] = t
+	if b.complete() {
+		b.release()
+		return b.releases[gen]
+	}
+	for {
+		if rt, ok := b.releases[gen]; ok && gen != b.gen {
+			return rt
+		}
+		if !b.members[id] {
+			// Removed while waiting (killed): the generation completed or
+			// will complete without us.
+			return t
+		}
+		b.cond.Wait()
+	}
+}
+
+// complete reports whether every member has arrived. Callers hold b.mu.
+func (b *Barrier) complete() bool {
+	if len(b.members) == 0 {
+		return false
+	}
+	for m := range b.members {
+		if _, ok := b.arrived[m]; !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// release completes the current generation with the maximum arrival time
+// of the *current members* — a dead rank's retracted arrival does not hold
+// the survivors' clocks. Callers must hold b.mu.
+func (b *Barrier) release() {
+	max := 0.0
+	for m := range b.members {
+		if t := b.arrived[m]; t > max {
+			max = t
+		}
+	}
+	b.releases[b.gen] = max
+	delete(b.releases, b.gen-4) // keep a short history only
+	b.gen++
+	b.arrived = make(map[int]float64, len(b.members))
+	b.cond.Broadcast()
+}
+
+// Leave permanently removes a member (a failed rank). If the departed rank
+// was the only one missing from the current generation, the generation
+// completes; if it had already arrived, its arrival is retracted.
+func (b *Barrier) Leave(id int) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if !b.members[id] {
+		return
+	}
+	delete(b.members, id)
+	delete(b.arrived, id)
+	if b.complete() {
+		b.release()
+	} else {
+		// Wake a waiter that may itself be the departed rank.
+		b.cond.Broadcast()
+	}
+}
+
+// Join permanently adds a member (a recovered rank).
+func (b *Barrier) Join(id int) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.members[id] = true
+}
+
+// Participants reports the current number of members.
+func (b *Barrier) Participants() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return len(b.members)
+}

@@ -1,0 +1,37 @@
+package sim
+
+import "fmt"
+
+// Clock is a per-rank virtual clock. It is owned by exactly one goroutine
+// (the rank it belongs to); cross-rank time resolution happens only through
+// Barrier and SharedResource, which are synchronized.
+type Clock struct {
+	t float64
+}
+
+// NewClock returns a clock starting at time zero.
+func NewClock() *Clock { return &Clock{} }
+
+// Now returns the current virtual time in seconds.
+func (c *Clock) Now() float64 { return c.t }
+
+// Advance moves the clock forward by dt seconds. Negative advances are a
+// programming error and panic.
+func (c *Clock) Advance(dt float64) {
+	if dt < 0 {
+		panic(fmt.Sprintf("sim: negative clock advance %g", dt))
+	}
+	c.t += dt
+}
+
+// AdvanceTo moves the clock forward to time t. Moving backwards is a no-op:
+// virtual time is monotone.
+func (c *Clock) AdvanceTo(t float64) {
+	if t > c.t {
+		c.t = t
+	}
+}
+
+// Reset sets the clock back to zero. Only used between independent
+// experiment runs.
+func (c *Clock) Reset() { c.t = 0 }

@@ -1,0 +1,107 @@
+// Package sim provides the virtual-time substrate used by the simulated
+// cluster: per-rank logical clocks, a LogGP-style cost model of the
+// interconnect, shared-bandwidth resources (the parallel file system), and
+// virtual-time collective barriers.
+//
+// The fault-tolerance protocols in this repository are evaluated against a
+// simulated machine rather than a Cray XE6 (see DESIGN.md §2). Every rank
+// owns a Clock; RMA operations, local computation, and checkpoint traffic
+// charge time to it. Collectives resolve the maximum clock across
+// participants, which is how a bulk-synchronous execution experiences
+// stragglers. Reported performance figures are work divided by the final
+// virtual time.
+package sim
+
+// Params holds the cost-model constants of the simulated machine. The
+// defaults approximate a Gemini-interconnect Cray XE6 node (the machine used
+// in the paper's evaluation): single-digit-microsecond RMA latency, a few
+// GB/s of injection bandwidth per rank, and a parallel file system whose
+// aggregate bandwidth is shared by all writers.
+type Params struct {
+	// FlopRate is the per-rank compute rate in flop/s.
+	FlopRate float64
+	// MemBW is the local memory copy bandwidth in bytes/s (used for taking
+	// in-memory checkpoints and computing XOR checksums).
+	MemBW float64
+	// NetLatency is the one-way network latency L in seconds.
+	NetLatency float64
+	// NetBW is the per-rank network bandwidth in bytes/s (the LogGP 1/G).
+	NetBW float64
+	// OpOverhead is the CPU overhead o charged at the source for every
+	// injected RMA operation, in seconds.
+	OpOverhead float64
+	// AtomicLatency is the round-trip cost of a remote atomic
+	// (CAS/FetchAndOp/Accumulate completion), in seconds.
+	AtomicLatency float64
+	// BarrierBase and BarrierPerStage model a dissemination barrier:
+	// cost = BarrierBase + BarrierPerStage*ceil(log2(n)).
+	BarrierBase     float64
+	BarrierPerStage float64
+	// PFSBW is the aggregate parallel-file-system bandwidth in bytes/s,
+	// shared by all concurrent writers. PFSLatency is the per-request I/O
+	// setup cost in seconds.
+	PFSBW      float64
+	PFSLatency float64
+}
+
+// DefaultParams returns the Cray-XE6-like machine model used throughout the
+// benchmarks.
+func DefaultParams() Params {
+	return Params{
+		FlopRate:        2.0e9,  // 2 Gflop/s sustained per rank
+		MemBW:           4.0e9,  // 4 GB/s local copy
+		NetLatency:      1.5e-6, // 1.5 us one-way
+		NetBW:           3.0e9,  // 3 GB/s injection
+		OpOverhead:      0.3e-6, // 0.3 us per issued op
+		AtomicLatency:   2.0e-6, // 2 us remote atomic round trip
+		BarrierBase:     1.0e-6,
+		BarrierPerStage: 1.2e-6,
+		PFSBW:           8.0e9,  // 8 GB/s aggregate PFS
+		PFSLatency:      2.0e-3, // 2 ms I/O setup
+	}
+}
+
+// CompTime returns the virtual time needed for the given number of floating
+// point operations.
+func (p Params) CompTime(flops float64) float64 {
+	if p.FlopRate <= 0 {
+		return 0
+	}
+	return flops / p.FlopRate
+}
+
+// CopyTime returns the virtual time for a local memory copy of n bytes.
+func (p Params) CopyTime(n int) float64 {
+	if p.MemBW <= 0 {
+		return 0
+	}
+	return float64(n) / p.MemBW
+}
+
+// InjectTime returns the source-side time to inject an RMA operation
+// carrying n payload bytes.
+func (p Params) InjectTime(n int) float64 {
+	if p.NetBW <= 0 {
+		return p.OpOverhead
+	}
+	return p.OpOverhead + float64(n)/p.NetBW
+}
+
+// TransferTime returns the end-to-end network time of an n-byte transfer
+// (latency plus serialization).
+func (p Params) TransferTime(n int) float64 {
+	t := p.NetLatency
+	if p.NetBW > 0 {
+		t += float64(n) / p.NetBW
+	}
+	return t
+}
+
+// BarrierTime returns the cost of an n-rank dissemination barrier.
+func (p Params) BarrierTime(n int) float64 {
+	stages := 0
+	for v := 1; v < n; v <<= 1 {
+		stages++
+	}
+	return p.BarrierBase + float64(stages)*p.BarrierPerStage
+}

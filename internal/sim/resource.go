@@ -1,0 +1,56 @@
+package sim
+
+import "sync"
+
+// SharedResource models a serially shared bandwidth resource such as the
+// parallel file system: concurrent transfers queue behind each other. It is
+// safe for concurrent use by multiple ranks.
+type SharedResource struct {
+	mu      sync.Mutex
+	bw      float64 // bytes/s
+	latency float64 // per-request setup time
+	freeAt  float64 // virtual time at which the resource becomes idle
+	busy    float64 // accumulated busy time (for utilization reporting)
+}
+
+// NewSharedResource creates a resource with the given aggregate bandwidth
+// (bytes/s) and per-request latency (seconds).
+func NewSharedResource(bw, latency float64) *SharedResource {
+	return &SharedResource{bw: bw, latency: latency}
+}
+
+// Transfer models moving n bytes through the resource starting no earlier
+// than virtual time start. It returns the completion time. Requests are
+// serviced in arrival order of the calls.
+func (r *SharedResource) Transfer(start float64, n int) float64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	begin := start
+	if r.freeAt > begin {
+		begin = r.freeAt
+	}
+	dur := r.latency
+	if r.bw > 0 {
+		dur += float64(n) / r.bw
+	}
+	end := begin + dur
+	r.freeAt = end
+	r.busy += dur
+	return end
+}
+
+// BusyTime reports the total virtual time the resource spent servicing
+// transfers.
+func (r *SharedResource) BusyTime() float64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.busy
+}
+
+// Reset returns the resource to the idle state at time zero.
+func (r *SharedResource) Reset() {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.freeAt = 0
+	r.busy = 0
+}

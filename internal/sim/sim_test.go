@@ -1,0 +1,265 @@
+package sim
+
+import (
+	"math"
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+func TestClockAdvance(t *testing.T) {
+	c := NewClock()
+	if c.Now() != 0 {
+		t.Fatalf("new clock at %g, want 0", c.Now())
+	}
+	c.Advance(1.5)
+	c.Advance(0.5)
+	if got := c.Now(); got != 2.0 {
+		t.Fatalf("clock at %g, want 2.0", got)
+	}
+	c.AdvanceTo(1.0) // backwards: no-op
+	if got := c.Now(); got != 2.0 {
+		t.Fatalf("AdvanceTo moved clock backwards to %g", got)
+	}
+	c.AdvanceTo(3.25)
+	if got := c.Now(); got != 3.25 {
+		t.Fatalf("clock at %g, want 3.25", got)
+	}
+	c.Reset()
+	if c.Now() != 0 {
+		t.Fatalf("reset clock at %g, want 0", c.Now())
+	}
+}
+
+func TestClockNegativeAdvancePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("negative advance did not panic")
+		}
+	}()
+	NewClock().Advance(-1)
+}
+
+func TestClockMonotone(t *testing.T) {
+	f := func(steps []float64) bool {
+		c := NewClock()
+		prev := 0.0
+		for _, s := range steps {
+			d := math.Abs(s)
+			if math.IsNaN(d) || math.IsInf(d, 0) {
+				continue
+			}
+			c.Advance(d)
+			if c.Now() < prev {
+				return false
+			}
+			prev = c.Now()
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestParamsCosts(t *testing.T) {
+	p := DefaultParams()
+	if got := p.CompTime(p.FlopRate); math.Abs(got-1.0) > 1e-12 {
+		t.Errorf("CompTime(FlopRate) = %g, want 1.0", got)
+	}
+	if got := p.CopyTime(int(p.MemBW)); math.Abs(got-1.0) > 1e-9 {
+		t.Errorf("CopyTime(MemBW) = %g, want 1.0", got)
+	}
+	if got := p.InjectTime(0); got != p.OpOverhead {
+		t.Errorf("InjectTime(0) = %g, want OpOverhead %g", got, p.OpOverhead)
+	}
+	if got := p.TransferTime(0); got != p.NetLatency {
+		t.Errorf("TransferTime(0) = %g, want NetLatency %g", got, p.NetLatency)
+	}
+	// Larger transfers take longer.
+	if p.TransferTime(1<<20) <= p.TransferTime(1<<10) {
+		t.Error("TransferTime not monotone in size")
+	}
+}
+
+func TestBarrierTimeStages(t *testing.T) {
+	p := DefaultParams()
+	// 1 rank: zero stages.
+	if got := p.BarrierTime(1); got != p.BarrierBase {
+		t.Errorf("BarrierTime(1) = %g, want base %g", got, p.BarrierBase)
+	}
+	// 8 ranks: 3 stages; 9 ranks: 4 stages.
+	want8 := p.BarrierBase + 3*p.BarrierPerStage
+	if got := p.BarrierTime(8); math.Abs(got-want8) > 1e-15 {
+		t.Errorf("BarrierTime(8) = %g, want %g", got, want8)
+	}
+	if p.BarrierTime(9) <= p.BarrierTime(8) {
+		t.Error("BarrierTime(9) should exceed BarrierTime(8)")
+	}
+}
+
+func TestSharedResourceSerializes(t *testing.T) {
+	r := NewSharedResource(1000, 0) // 1000 B/s, no latency
+	end1 := r.Transfer(0, 500)      // 0.5 s
+	end2 := r.Transfer(0, 500)      // queued behind: 1.0 s
+	if end1 != 0.5 || end2 != 1.0 {
+		t.Fatalf("transfers ended at %g, %g; want 0.5, 1.0", end1, end2)
+	}
+	// A request arriving after the resource is free starts immediately.
+	end3 := r.Transfer(5, 1000)
+	if end3 != 6.0 {
+		t.Fatalf("transfer ended at %g, want 6.0", end3)
+	}
+	if got := r.BusyTime(); math.Abs(got-2.0) > 1e-12 {
+		t.Fatalf("busy time %g, want 2.0", got)
+	}
+	r.Reset()
+	if r.BusyTime() != 0 {
+		t.Fatal("reset did not clear busy time")
+	}
+}
+
+func TestSharedResourceConcurrent(t *testing.T) {
+	r := NewSharedResource(1e6, 0)
+	var wg sync.WaitGroup
+	const n = 64
+	ends := make([]float64, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			ends[i] = r.Transfer(0, 1000) // each takes 1ms
+		}(i)
+	}
+	wg.Wait()
+	// All end times must be distinct multiples of 1ms up to n ms.
+	seen := make(map[int]bool)
+	for _, e := range ends {
+		k := int(math.Round(e * 1000))
+		if k < 1 || k > n || seen[k] {
+			t.Fatalf("unexpected completion time %g", e)
+		}
+		seen[k] = true
+	}
+}
+
+func TestBarrierReleasesMax(t *testing.T) {
+	const n = 8
+	b := NewBarrier(n)
+	var wg sync.WaitGroup
+	out := make([]float64, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			out[i] = b.Wait(i, float64(i))
+		}(i)
+	}
+	wg.Wait()
+	for i, v := range out {
+		if v != float64(n-1) {
+			t.Fatalf("rank %d released with %g, want %g", i, v, float64(n-1))
+		}
+	}
+}
+
+func TestBarrierReusable(t *testing.T) {
+	const n = 4
+	b := NewBarrier(n)
+	var wg sync.WaitGroup
+	for round := 0; round < 3; round++ {
+		want := float64(round*10 + n - 1)
+		got := make([]float64, n)
+		for i := 0; i < n; i++ {
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				got[i] = b.Wait(i, float64(round*10+i))
+			}(i)
+		}
+		wg.Wait()
+		for i := range got {
+			if got[i] != want {
+				t.Fatalf("round %d rank %d: released with %g, want %g", round, i, got[i], want)
+			}
+		}
+	}
+}
+
+func TestBarrierLeaveUnblocks(t *testing.T) {
+	b := NewBarrier(3)
+	done := make(chan float64, 2)
+	for i := 0; i < 2; i++ {
+		go func(i int) { done <- b.Wait(i, float64(i)) }(i)
+	}
+	// Neither can proceed yet; the third participant dies instead of
+	// arriving.
+	b.Leave(2)
+	for i := 0; i < 2; i++ {
+		if v := <-done; v != 1.0 {
+			t.Fatalf("released with %g, want 1.0", v)
+		}
+	}
+	if b.Participants() != 2 {
+		t.Fatalf("participants = %d, want 2", b.Participants())
+	}
+}
+
+func TestBarrierLeaveAfterArrivalRetracts(t *testing.T) {
+	// Rank 2 arrives, then dies. The generation must NOT release with its
+	// stale arrival: ranks 0 and 1 still complete it by themselves, and
+	// the following generation needs exactly ranks 0 and 1 again.
+	b := NewBarrier(3)
+	done := make(chan float64, 3)
+	go func() { done <- b.Wait(2, 9) }()
+	// Wait until rank 2 has arrived.
+	for {
+		b.mu.Lock()
+		_, arrived := b.arrived[2]
+		b.mu.Unlock()
+		if arrived {
+			break
+		}
+	}
+	b.Leave(2)
+	<-done // rank 2's Wait returns (no longer a member)
+	go func() { done <- b.Wait(0, 1) }()
+	go func() { done <- b.Wait(1, 2) }()
+	for i := 0; i < 2; i++ {
+		if v := <-done; v != 2 {
+			t.Fatalf("released with %g, want 2 (stale arrival not retracted)", v)
+		}
+	}
+	// Next generation still works with the two members.
+	go func() { done <- b.Wait(0, 5) }()
+	go func() { done <- b.Wait(1, 6) }()
+	for i := 0; i < 2; i++ {
+		if v := <-done; v != 6 {
+			t.Fatalf("second generation released with %g, want 6", v)
+		}
+	}
+}
+
+func TestBarrierJoin(t *testing.T) {
+	b := NewBarrier(1)
+	b.Join(1)
+	if b.Participants() != 2 {
+		t.Fatalf("participants = %d, want 2", b.Participants())
+	}
+	done := make(chan float64, 2)
+	go func() { done <- b.Wait(0, 5) }()
+	go func() { done <- b.Wait(1, 7) }()
+	for i := 0; i < 2; i++ {
+		if v := <-done; v != 7 {
+			t.Fatalf("released with %g, want 7", v)
+		}
+	}
+}
+
+func TestBarrierWaitNonMemberReturns(t *testing.T) {
+	b := NewBarrier(2)
+	b.Leave(1)
+	if v := b.Wait(1, 3.5); v != 3.5 {
+		t.Fatalf("non-member Wait returned %g, want own time", v)
+	}
+}

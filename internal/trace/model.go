@@ -1,0 +1,133 @@
+// Package trace implements the paper's formal model of RMA executions
+// (§2.4): action tuples with determinants, the four orders — program order
+// (po), synchronization order (so), happened-before (hb), and consistency
+// order (co) — plus the RMA-consistency condition for coordinated
+// checkpoints (Definition 1) and the operation taxonomy of Table 1.
+//
+// A Recorder can be attached to an rma.World to build the trace of a live
+// run; tests use it to verify the theorems of §3 and §4 on real executions.
+package trace
+
+import "fmt"
+
+// Type enumerates event types: communication actions, synchronization
+// actions, and internal actions (Eq. 4's split of events into A and I).
+type Type int
+
+const (
+	// TypePut is a communication action transferring data src -> trg.
+	TypePut Type = iota
+	// TypeGet is a communication action transferring data trg -> src.
+	TypeGet
+	// TypeLock acquires a structure lock at trg.
+	TypeLock
+	// TypeUnlock releases a structure lock at trg and closes the epoch.
+	TypeUnlock
+	// TypeFlush closes the epoch src -> trg.
+	TypeFlush
+	// TypeGsync is the collective memory synchronization.
+	TypeGsync
+	// TypeRead is an internal action: a local variable load.
+	TypeRead
+	// TypeWrite is an internal action: a local variable store.
+	TypeWrite
+	// TypeCheckpoint is an internal action: C_p^i.
+	TypeCheckpoint
+	// TypeBarrier is a collective synchronization without memory effects.
+	TypeBarrier
+)
+
+// String names the type.
+func (t Type) String() string {
+	switch t {
+	case TypePut:
+		return "put"
+	case TypeGet:
+		return "get"
+	case TypeLock:
+		return "lock"
+	case TypeUnlock:
+		return "unlock"
+	case TypeFlush:
+		return "flush"
+	case TypeGsync:
+		return "gsync"
+	case TypeRead:
+		return "read"
+	case TypeWrite:
+		return "write"
+	case TypeCheckpoint:
+		return "checkpoint"
+	case TypeBarrier:
+		return "barrier"
+	}
+	return "unknown"
+}
+
+// IsComm reports whether the type is a communication action (a put or get
+// in the model's sense; atomics are recorded as both).
+func (t Type) IsComm() bool { return t == TypePut || t == TypeGet }
+
+// IsSync reports whether the type is a synchronization action.
+func (t Type) IsSync() bool {
+	switch t {
+	case TypeLock, TypeUnlock, TypeFlush, TypeGsync, TypeBarrier:
+		return true
+	}
+	return false
+}
+
+// Event is one event of a trace: the action tuple of Eqs. (1)–(3) plus
+// bookkeeping indices. Data is deliberately not stored — Determinant
+// captures exactly the tuple-without-data of Eq. (2).
+type Event struct {
+	ID      int
+	Type    Type
+	Src     int
+	Trg     int // -1 for collectives and internal actions
+	Combine bool
+	EC      int // epoch counter at issue (Eq. 1's EC field)
+	GC      int
+	SC      int
+	GNC     int
+	Str     int // structure id for sync actions
+	PoIdx   int // position in Src's program order
+	SoIdx   int // global synchronization-order index, -1 if not ordered by so
+}
+
+// Determinant is #a: the event without its payload (Eq. 2). Two events with
+// equal determinants replay identically under access determinism.
+type Determinant struct {
+	Type    Type
+	Src     int
+	Trg     int
+	Combine bool
+	EC      int
+	GC      int
+	SC      int
+	GNC     int
+}
+
+// Det extracts the determinant of an event.
+func (e Event) Det() Determinant {
+	return Determinant{
+		Type: e.Type, Src: e.Src, Trg: e.Trg, Combine: e.Combine,
+		EC: e.EC, GC: e.GC, SC: e.SC, GNC: e.GNC,
+	}
+}
+
+// String formats an event in the paper's arrow notation.
+func (e Event) String() string {
+	switch e.Type {
+	case TypePut:
+		return fmt.Sprintf("put(%d=>%d)@E%d", e.Src, e.Trg, e.EC)
+	case TypeGet:
+		return fmt.Sprintf("get(%d<=%d)@E%d", e.Src, e.Trg, e.EC)
+	case TypeGsync, TypeBarrier:
+		return fmt.Sprintf("%s(%d->*)", e.Type, e.Src)
+	case TypeCheckpoint:
+		return fmt.Sprintf("C_%d", e.Src)
+	default:
+		return fmt.Sprintf("%s(%d->%d)", e.Type, e.Src, e.Trg)
+	}
+}

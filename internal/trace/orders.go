@@ -1,0 +1,195 @@
+package trace
+
+import "fmt"
+
+// Orders answers order queries (po, so, hb, co) over a recorded trace. It
+// materializes the happened-before relation as a DAG: program-order edges,
+// lock-succession edges (an unlock happens-before the next lock of the same
+// structure), and collective synchronization points (each matched set of
+// gsync/barrier calls acts as a single graph node, as the paper assumes
+// gsync may introduce a global hb order).
+type Orders struct {
+	events []Event
+	// adj is the successor list over node ids. Nodes 0..len(events)-1 are
+	// events; higher ids are collective sync points.
+	adj   [][]int
+	nodes int
+}
+
+// NewOrders builds the order relations of a trace.
+func NewOrders(events []Event) *Orders {
+	o := &Orders{events: events, nodes: len(events)}
+	// First pass: count collective sync points (k-th collective of every
+	// rank joins group k; gsyncs and barriers both synchronize globally).
+	collIdx := map[int]int{} // per-rank running collective count
+	groupNode := map[int]int{}
+	type edge struct{ from, to int }
+	var edges []edge
+	lastPo := map[int]int{}        // rank -> last event node
+	lastUnlock := map[[2]int]int{} // (trg,str) -> last unlock node
+	for i, e := range events {
+		// Program order.
+		if prev, ok := lastPo[e.Src]; ok {
+			edges = append(edges, edge{prev, i})
+		}
+		lastPo[e.Src] = i
+		switch e.Type {
+		case TypeGsync, TypeBarrier:
+			k := collIdx[e.Src]
+			collIdx[e.Src]++
+			g, ok := groupNode[k]
+			if !ok {
+				g = o.nodes
+				o.nodes++
+				groupNode[k] = g
+			}
+			edges = append(edges, edge{i, g}, edge{g, i})
+		case TypeLock:
+			key := [2]int{e.Trg, e.Str}
+			if u, ok := lastUnlock[key]; ok {
+				edges = append(edges, edge{u, i})
+			}
+		case TypeUnlock:
+			lastUnlock[[2]int{e.Trg, e.Str}] = i
+		}
+	}
+	o.adj = make([][]int, o.nodes)
+	for _, e := range edges {
+		o.adj[e.from] = append(o.adj[e.from], e.to)
+	}
+	return o
+}
+
+// Po reports a po-> b: same rank, issued earlier.
+func (o *Orders) Po(a, b Event) bool {
+	return a.Src == b.Src && a.PoIdx < b.PoIdx
+}
+
+// So reports a so-> b: both synchronization actions, a globally ordered
+// before b.
+func (o *Orders) So(a, b Event) bool {
+	return a.SoIdx >= 0 && b.SoIdx >= 0 && a.SoIdx < b.SoIdx
+}
+
+// Hb reports a hb-> b: b reachable from a in the happened-before DAG.
+// Collective cycles (a gsync group) count as mutual synchronization, but an
+// event does not happen before itself.
+func (o *Orders) Hb(a, b Event) bool {
+	if a.ID == b.ID {
+		return false
+	}
+	seen := make([]bool, o.nodes)
+	stack := []int{a.ID}
+	seen[a.ID] = true
+	for len(stack) > 0 {
+		n := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, m := range o.adj[n] {
+			if m == b.ID {
+				return true
+			}
+			if !seen[m] {
+				seen[m] = true
+				stack = append(stack, m)
+			}
+		}
+	}
+	return false
+}
+
+// Co reports a co-> b for communication actions: the memory effects of a
+// are globally visible before b. Two accesses by the same source to the
+// same target in different epochs are co-ordered (§2.2); accesses separated
+// by a gsync phase are co-ordered through the global consistency the gsync
+// enforces.
+func (o *Orders) Co(a, b Event) bool {
+	if !a.Type.IsComm() || !b.Type.IsComm() {
+		return false
+	}
+	if a.Src == b.Src && a.Trg == b.Trg && a.EC < b.EC {
+		return true
+	}
+	return a.GNC < b.GNC
+}
+
+// CoParallel reports a ||co b.
+func (o *Orders) CoParallel(a, b Event) bool { return !o.Co(a, b) && !o.Co(b, a) }
+
+// CoHb reports a cohb-> b (both co and hb, §2.3).
+func (o *Orders) CoHb(a, b Event) bool { return o.Co(a, b) && o.Hb(a, b) }
+
+// Checkpoints returns the checkpoint events grouped per rank, in po order.
+func Checkpoints(events []Event) map[int][]Event {
+	out := map[int][]Event{}
+	for _, e := range events {
+		if e.Type == TypeCheckpoint {
+			out[e.Src] = append(out[e.Src], e)
+		}
+	}
+	return out
+}
+
+// CheckRMAConsistent verifies Definition 1 on the i-th coordinated
+// checkpoint of every rank: the saved global state must not reflect a
+// memory access that was not issued before the issuer's own checkpoint.
+//
+// Concretely it finds every put (the state-modifying access) that committed
+// at its target before the target's i-th checkpoint — commitment is the
+// first epoch-closing synchronization by the source covering the put's
+// epoch — but was issued after the source's i-th checkpoint in program
+// order. Such a put makes the checkpoint set inconsistent.
+func CheckRMAConsistent(events []Event, i int) error {
+	ckpts := Checkpoints(events)
+	if len(ckpts) == 0 {
+		return fmt.Errorf("trace: no checkpoints recorded")
+	}
+	nth := map[int]Event{}
+	for rank, cs := range ckpts {
+		if i >= len(cs) {
+			return fmt.Errorf("trace: rank %d has only %d checkpoints, want index %d", rank, len(cs), i)
+		}
+		nth[rank] = cs[i]
+	}
+	for _, put := range events {
+		if put.Type != TypePut || put.Trg < 0 {
+			continue
+		}
+		cSrc, okSrc := nth[put.Src]
+		cTrg, okTrg := nth[put.Trg]
+		if !okSrc || !okTrg {
+			continue
+		}
+		commit, ok := commitEvent(events, put)
+		if !ok {
+			continue // never committed: cannot be in any checkpoint
+		}
+		committedBeforeTargetCkpt := commit.ID < cTrg.ID
+		issuedBeforeSourceCkpt := put.PoIdx < cSrc.PoIdx
+		if committedBeforeTargetCkpt && !issuedBeforeSourceCkpt {
+			return fmt.Errorf("trace: checkpoint set %d inconsistent: %v committed at rank %d's checkpoint but issued after rank %d's",
+				i, put, put.Trg, put.Src)
+		}
+	}
+	return nil
+}
+
+// commitEvent returns the synchronization event that made the put globally
+// visible: the first flush/unlock towards the put's target (or a collective
+// flush/gsync) issued by the same source at or after the put in program
+// order.
+func commitEvent(events []Event, put Event) (Event, bool) {
+	for _, e := range events {
+		if e.Src != put.Src || e.PoIdx <= put.PoIdx {
+			continue
+		}
+		switch e.Type {
+		case TypeFlush, TypeUnlock:
+			if e.Trg == put.Trg || e.Trg == -1 {
+				return e, true
+			}
+		case TypeGsync:
+			return e, true
+		}
+	}
+	return Event{}, false
+}

@@ -1,0 +1,123 @@
+package trace
+
+import (
+	"sync"
+
+	"repro/internal/rma"
+)
+
+// Recorder builds a trace from a live rma.World run. It implements
+// rma.Tracer; attach with world.SetTracer(recorder).
+//
+// The recorder derives the paper's order-information counters the same way
+// ftRMA does (§4.1):
+//
+//   - EC is the issuing epoch E(src->trg), taken from the runtime.
+//   - GC (Get Counter) counts flushes issued by the source (pattern B).
+//   - SC (Synchronization Counter) is a per-target lock sequence number
+//     fetched at lock time (pattern C).
+//   - GNC (GsyNc Counter) counts gsyncs at the source (pattern E).
+//
+// Atomics (cas, fao) are recorded as both a put and a get, following
+// Table 1.
+type Recorder struct {
+	mu     sync.Mutex
+	events []Event
+	poIdx  map[int]int    // per-rank program-order counter
+	soIdx  int            // global synchronization-order counter
+	gnc    map[int]int    // per-rank gsync count
+	gc     map[int]int    // per-rank flush count
+	scAt   map[int]int    // per-target lock sequence number
+	scHeld map[[2]int]int // (src,trg) -> SC fetched by src's latest lock at trg
+}
+
+// NewRecorder returns an empty recorder.
+func NewRecorder() *Recorder {
+	return &Recorder{
+		poIdx:  make(map[int]int),
+		gnc:    make(map[int]int),
+		gc:     make(map[int]int),
+		scAt:   make(map[int]int),
+		scHeld: make(map[[2]int]int),
+	}
+}
+
+var _ rma.Tracer = (*Recorder)(nil)
+
+// OnAction converts a runtime action into model events.
+func (r *Recorder) OnAction(a rma.TraceAction) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	switch a.Kind {
+	case "put", "accumulate":
+		r.append(Event{Type: TypePut, Src: a.Src, Trg: a.Trg, Combine: a.Combine, EC: a.Epoch})
+	case "get":
+		r.append(Event{Type: TypeGet, Src: a.Src, Trg: a.Trg, EC: a.Epoch})
+	case "cas", "fao", "getaccumulate":
+		// Atomics fall into the family of both puts and gets (§2.1.1).
+		r.append(Event{Type: TypePut, Src: a.Src, Trg: a.Trg, Combine: a.Combine, EC: a.Epoch})
+		r.append(Event{Type: TypeGet, Src: a.Src, Trg: a.Trg, EC: a.Epoch})
+	case "lock":
+		r.scAt[a.Trg]++
+		r.scHeld[[2]int{a.Src, a.Trg}] = r.scAt[a.Trg]
+		r.appendSync(Event{Type: TypeLock, Src: a.Src, Trg: a.Trg, Str: a.Str, EC: a.Epoch})
+	case "unlock":
+		r.appendSync(Event{Type: TypeUnlock, Src: a.Src, Trg: a.Trg, Str: a.Str, EC: a.Epoch})
+	case "flush":
+		r.gc[a.Src]++
+		r.appendSync(Event{Type: TypeFlush, Src: a.Src, Trg: a.Trg, EC: a.Epoch})
+	case "gsync":
+		r.gnc[a.Src]++
+		r.appendSync(Event{Type: TypeGsync, Src: a.Src, Trg: -1})
+	case "barrier":
+		r.appendSync(Event{Type: TypeBarrier, Src: a.Src, Trg: -1})
+	case "checkpoint":
+		r.append(Event{Type: TypeCheckpoint, Src: a.Src, Trg: -1})
+	case "read":
+		r.append(Event{Type: TypeRead, Src: a.Src, Trg: -1})
+	case "write":
+		r.append(Event{Type: TypeWrite, Src: a.Src, Trg: -1})
+	}
+}
+
+// append stamps and stores a non-synchronization event. Callers hold r.mu.
+func (r *Recorder) append(e Event) {
+	e.ID = len(r.events)
+	e.PoIdx = r.poIdx[e.Src]
+	r.poIdx[e.Src]++
+	e.SoIdx = -1
+	e.GNC = r.gnc[e.Src]
+	e.GC = r.gc[e.Src]
+	if e.Type.IsComm() && e.Trg >= 0 {
+		e.SC = r.scHeld[[2]int{e.Src, e.Trg}]
+	}
+	r.events = append(r.events, e)
+}
+
+// appendSync stamps and stores a synchronization event. Callers hold r.mu.
+func (r *Recorder) appendSync(e Event) {
+	e.ID = len(r.events)
+	e.PoIdx = r.poIdx[e.Src]
+	r.poIdx[e.Src]++
+	e.SoIdx = r.soIdx
+	r.soIdx++
+	e.GNC = r.gnc[e.Src]
+	e.GC = r.gc[e.Src]
+	r.events = append(r.events, e)
+}
+
+// Events returns a snapshot of the trace.
+func (r *Recorder) Events() []Event {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]Event, len(r.events))
+	copy(out, r.events)
+	return out
+}
+
+// Len returns the number of recorded events.
+func (r *Recorder) Len() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.events)
+}

@@ -1,0 +1,97 @@
+package trace
+
+import "sort"
+
+// Category is an operation category of the model (Table 1): communication
+// actions are puts and gets; synchronization actions are lock, unlock,
+// gsync, and flush.
+type Category int
+
+const (
+	CatPut Category = 1 << iota
+	CatGet
+	CatLock
+	CatUnlock
+	CatGsync
+	CatFlush
+)
+
+// String names a (possibly combined) category.
+func (c Category) String() string {
+	names := []struct {
+		bit  Category
+		name string
+	}{
+		{CatPut, "put"}, {CatGet, "get"}, {CatLock, "lock"},
+		{CatUnlock, "unlock"}, {CatGsync, "gsync"}, {CatFlush, "flush"},
+	}
+	out := ""
+	for _, n := range names {
+		if c&n.bit != 0 {
+			if out != "" {
+				out += "+"
+			}
+			out += n.name
+		}
+	}
+	if out == "" {
+		return "none"
+	}
+	return out
+}
+
+// table1 reproduces the categorization of MPI-3 One Sided, UPC, and Fortran
+// 2008 operations in the paper's model (Table 1). Atomic functions fall
+// into the family of both puts and gets.
+var table1 = map[string]Category{
+	// MPI-3 One Sided — communication.
+	"MPI_Put":              CatPut,
+	"MPI_Accumulate":       CatPut,
+	"MPI_Get":              CatGet,
+	"MPI_Get_accumulate":   CatPut | CatGet,
+	"MPI_Fetch_and_op":     CatPut | CatGet,
+	"MPI_Compare_and_swap": CatPut | CatGet,
+	// MPI-3 One Sided — synchronization.
+	"MPI_Win_lock":       CatLock,
+	"MPI_Win_lock_all":   CatLock,
+	"MPI_Win_unlock":     CatUnlock,
+	"MPI_Win_unlock_all": CatUnlock,
+	"MPI_Win_fence":      CatGsync,
+	"MPI_Win_flush":      CatFlush,
+	"MPI_Win_flush_all":  CatFlush,
+	"MPI_Win_sync":       CatFlush,
+	// UPC.
+	"upc_memput":     CatPut,
+	"upc_memget":     CatGet,
+	"upc_memcpy":     CatPut | CatGet,
+	"upc_memset":     CatPut | CatGet,
+	"upc_assignment": CatPut | CatGet,
+	"upc_collective": CatPut | CatGet,
+	"upc_lock":       CatLock,
+	"upc_unlock":     CatUnlock,
+	"upc_barrier":    CatGsync,
+	"upc_fence":      CatFlush,
+	// Fortran 2008 (coarrays).
+	"caf_assignment":  CatPut | CatGet,
+	"caf_lock":        CatLock,
+	"caf_unlock":      CatUnlock,
+	"caf_sync_all":    CatGsync,
+	"caf_sync_team":   CatGsync,
+	"caf_sync_images": CatGsync,
+	"caf_sync_memory": CatFlush,
+}
+
+// Categorize returns the model category of a language operation, or 0 when
+// the operation is not part of Table 1.
+func Categorize(op string) Category { return table1[op] }
+
+// Table1Ops returns the operations of Table 1 in sorted order (for the
+// cmd/ftrma table1 reproduction).
+func Table1Ops() []string {
+	ops := make([]string, 0, len(table1))
+	for op := range table1 {
+		ops = append(ops, op)
+	}
+	sort.Strings(ops)
+	return ops
+}

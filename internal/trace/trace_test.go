@@ -1,0 +1,364 @@
+package trace
+
+import (
+	"testing"
+
+	"repro/internal/rma"
+)
+
+// runTraced executes body on a fresh world and returns the recorded trace.
+func runTraced(t *testing.T, n, words int, body func(w *rma.World, r int)) []Event {
+	t.Helper()
+	w := rma.NewWorld(rma.Config{N: n, WindowWords: words})
+	rec := NewRecorder()
+	w.SetTracer(rec)
+	w.Run(func(r int) { body(w, r) })
+	w.SetTracer(nil)
+	return rec.Events()
+}
+
+func find(events []Event, typ Type, src int) []Event {
+	var out []Event
+	for _, e := range events {
+		if e.Type == typ && e.Src == src {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+func TestRecorderBasicFields(t *testing.T) {
+	events := runTraced(t, 2, 8, func(w *rma.World, r int) {
+		if r != 0 {
+			return
+		}
+		p := w.Proc(0)
+		p.PutValue(1, 0, 1)
+		p.Flush(1)
+		p.PutValue(1, 0, 2)
+		p.Flush(1)
+	})
+	puts := find(events, TypePut, 0)
+	if len(puts) != 2 {
+		t.Fatalf("got %d puts", len(puts))
+	}
+	if puts[0].EC != 0 || puts[1].EC != 1 {
+		t.Errorf("put epochs = %d, %d; want 0, 1", puts[0].EC, puts[1].EC)
+	}
+	if puts[0].PoIdx >= puts[1].PoIdx {
+		t.Error("po indices not increasing")
+	}
+	if puts[1].GC != 1 {
+		t.Errorf("second put GC = %d, want 1 (one flush before)", puts[1].GC)
+	}
+}
+
+func TestAtomicsRecordedAsPutAndGet(t *testing.T) {
+	events := runTraced(t, 2, 8, func(w *rma.World, r int) {
+		if r == 0 {
+			w.Proc(0).CompareAndSwap(1, 0, 0, 1)
+			w.Proc(0).FetchAndOp(1, 1, 1, rma.OpSum)
+		}
+	})
+	if got := len(find(events, TypePut, 0)); got != 2 {
+		t.Errorf("atomics produced %d put events, want 2", got)
+	}
+	if got := len(find(events, TypeGet, 0)); got != 2 {
+		t.Errorf("atomics produced %d get events, want 2", got)
+	}
+	// CAS is combining in the model's sense (must not replay twice).
+	if !find(events, TypePut, 0)[0].Combine {
+		t.Error("CAS put not marked combining")
+	}
+}
+
+func TestPoOrder(t *testing.T) {
+	events := runTraced(t, 2, 8, func(w *rma.World, r int) {
+		p := w.Proc(r)
+		p.PutValue((r+1)%2, 0, 1)
+		p.Flush((r + 1) % 2)
+	})
+	o := NewOrders(events)
+	p0 := find(events, TypePut, 0)[0]
+	f0 := find(events, TypeFlush, 0)[0]
+	p1 := find(events, TypePut, 1)[0]
+	if !o.Po(p0, f0) || o.Po(f0, p0) {
+		t.Error("po within rank 0 wrong")
+	}
+	if o.Po(p0, p1) {
+		t.Error("po must not relate different ranks")
+	}
+}
+
+func TestSoOrdersSyncActions(t *testing.T) {
+	events := runTraced(t, 2, 8, func(w *rma.World, r int) {
+		p := w.Proc(r)
+		p.Lock(0, rma.StrWindow)
+		p.Unlock(0, rma.StrWindow)
+	})
+	o := NewOrders(events)
+	locks := find(events, TypeLock, 0)
+	locks = append(locks, find(events, TypeLock, 1)...)
+	if len(locks) != 2 {
+		t.Fatalf("got %d locks", len(locks))
+	}
+	// The two lock acquisitions are so-ordered one way or the other.
+	if !o.So(locks[0], locks[1]) && !o.So(locks[1], locks[0]) {
+		t.Error("contending locks not so-ordered")
+	}
+	// Puts are not part of so.
+	events2 := runTraced(t, 2, 8, func(w *rma.World, r int) {
+		if r == 0 {
+			w.Proc(0).PutValue(1, 0, 1)
+			w.Proc(0).Flush(1)
+		}
+	})
+	put := find(events2, TypePut, 0)[0]
+	if put.SoIdx != -1 {
+		t.Error("put has a so index")
+	}
+}
+
+func TestHbThroughLockSuccession(t *testing.T) {
+	// Rank 0 unlocks, rank 1 locks the same structure afterwards: every
+	// action of rank 0 before the unlock happens-before rank 1's actions
+	// after the lock.
+	events := runTraced(t, 2, 8, func(w *rma.World, r int) {
+		p := w.Proc(r)
+		if r == 0 {
+			p.Lock(0, rma.StrWindow)
+			p.PutValue(1, 0, 1)
+			p.Unlock(0, rma.StrWindow)
+		} else {
+			p.Lock(0, rma.StrWindow)
+			p.Unlock(0, rma.StrWindow)
+		}
+	})
+	o := NewOrders(events)
+	unlock0 := find(events, TypeUnlock, 0)[0]
+	lock1 := find(events, TypeLock, 1)[0]
+	unlock1 := find(events, TypeUnlock, 1)[0]
+	lock0 := find(events, TypeLock, 0)[0]
+	// Exactly one ordering ran; check hb accordingly.
+	if lock0.SoIdx < lock1.SoIdx {
+		if !o.Hb(unlock0, lock1) {
+			t.Error("unlock(0) should happen-before the successor lock(1)")
+		}
+		put0 := find(events, TypePut, 0)[0]
+		if !o.Hb(put0, unlock1) {
+			t.Error("hb not transitive through lock succession")
+		}
+	} else if !o.Hb(unlock1, lock0) {
+		t.Error("unlock(1) should happen-before the successor lock(0)")
+	}
+}
+
+func TestHbThroughGsync(t *testing.T) {
+	events := runTraced(t, 3, 8, func(w *rma.World, r int) {
+		p := w.Proc(r)
+		p.PutValue((r+1)%3, 0, 1)
+		p.Gsync()
+		p.PutValue((r+1)%3, 1, 2)
+		p.Gsync()
+	})
+	o := NewOrders(events)
+	// Every pre-gsync put happens-before every post-gsync put, across ranks.
+	for src := 0; src < 3; src++ {
+		pre := find(events, TypePut, src)[0]
+		for trg := 0; trg < 3; trg++ {
+			post := find(events, TypePut, trg)[1]
+			if !o.Hb(pre, post) {
+				t.Errorf("put by %d before gsync does not hb put by %d after", src, trg)
+			}
+			if o.Hb(post, pre) {
+				t.Errorf("hb inverted across gsync (%d, %d)", src, trg)
+			}
+		}
+	}
+	// An event does not happen before itself.
+	g := find(events, TypeGsync, 0)[0]
+	if o.Hb(g, g) {
+		t.Error("event happens before itself")
+	}
+}
+
+func TestCoWithinEpochsAndAcrossGsync(t *testing.T) {
+	events := runTraced(t, 3, 8, func(w *rma.World, r int) {
+		p := w.Proc(r)
+		if r == 0 {
+			p.PutValue(2, 0, 1)
+			p.Flush(2)
+			p.PutValue(2, 0, 2)
+			p.Flush(2)
+		}
+		if r == 1 {
+			p.PutValue(2, 1, 3)
+			p.Flush(2)
+		}
+		p.Gsync()
+		if r == 1 {
+			p.PutValue(2, 1, 4)
+			p.Flush(2)
+		}
+	})
+	o := NewOrders(events)
+	puts0 := find(events, TypePut, 0)
+	puts1 := find(events, TypePut, 1)
+	// Same source, same target, different epochs: co-ordered (§4.1 A).
+	if !o.Co(puts0[0], puts0[1]) || o.Co(puts0[1], puts0[0]) {
+		t.Error("epoch-separated puts not co-ordered")
+	}
+	// Different sources, same gsync phase: unordered (access determinism).
+	if !o.CoParallel(puts0[0], puts1[0]) {
+		t.Error("concurrent puts by different sources should be ||co")
+	}
+	// Across a gsync: ordered (§4.1 E).
+	if !o.Co(puts0[0], puts1[1]) {
+		t.Error("puts across gsync phases should be co-ordered")
+	}
+}
+
+func TestRMAConsistencyOfGsyncScheme(t *testing.T) {
+	// The Gsync scheme: checkpoint right after a gsync. The resulting
+	// checkpoint set must satisfy Definition 1 (Theorem 3.1).
+	events := runTraced(t, 3, 8, func(w *rma.World, r int) {
+		p := w.Proc(r)
+		p.PutValue((r+1)%3, 0, uint64(r))
+		p.Gsync()
+		w.Emit(rma.TraceAction{Kind: "checkpoint", Src: r})
+		p.PutValue((r+2)%3, 1, uint64(r))
+		p.Gsync()
+	})
+	if err := CheckRMAConsistent(events, 0); err != nil {
+		t.Errorf("Gsync-scheme checkpoint flagged inconsistent: %v", err)
+	}
+}
+
+func TestRMAConsistencyViolationDetected(t *testing.T) {
+	// Rank 0 checkpoints, THEN issues and commits a put into rank 1, and
+	// only afterwards does rank 1 checkpoint: the saved state of rank 1
+	// reflects an access rank 0's checkpoint knows nothing about.
+	events := runTraced(t, 2, 8, func(w *rma.World, r int) {
+		p := w.Proc(r)
+		if r == 0 {
+			w.Emit(rma.TraceAction{Kind: "checkpoint", Src: 0})
+			p.PutValue(1, 0, 7)
+			p.Flush(1)
+			p.Barrier()
+		} else {
+			p.Barrier() // wait until the put committed
+			w.Emit(rma.TraceAction{Kind: "checkpoint", Src: 1})
+		}
+	})
+	if err := CheckRMAConsistent(events, 0); err == nil {
+		t.Error("inconsistent checkpoint set not detected")
+	}
+}
+
+func TestCheckRMAConsistentErrors(t *testing.T) {
+	if err := CheckRMAConsistent(nil, 0); err == nil {
+		t.Error("accepted empty trace")
+	}
+	events := []Event{{Type: TypeCheckpoint, Src: 0}}
+	if err := CheckRMAConsistent(events, 3); err == nil {
+		t.Error("accepted out-of-range checkpoint index")
+	}
+}
+
+func TestDeterminant(t *testing.T) {
+	e := Event{Type: TypePut, Src: 1, Trg: 2, Combine: true, EC: 3, GC: 4, SC: 5, GNC: 6, PoIdx: 9}
+	d := e.Det()
+	want := Determinant{Type: TypePut, Src: 1, Trg: 2, Combine: true, EC: 3, GC: 4, SC: 5, GNC: 6}
+	if d != want {
+		t.Errorf("determinant = %+v", d)
+	}
+}
+
+func TestSCAssignedUnderLocks(t *testing.T) {
+	// Puts issued while holding a lock carry the lock's synchronization
+	// counter (§4.1 C).
+	events := runTraced(t, 3, 8, func(w *rma.World, r int) {
+		p := w.Proc(r)
+		if r == 2 {
+			return
+		}
+		p.Lock(2, rma.StrWindow)
+		p.PutValue(2, r, uint64(r+1))
+		p.Unlock(2, rma.StrWindow)
+	})
+	puts := append(find(events, TypePut, 0), find(events, TypePut, 1)...)
+	if len(puts) != 2 {
+		t.Fatalf("got %d puts", len(puts))
+	}
+	if puts[0].SC == puts[1].SC {
+		t.Errorf("both puts have SC %d; lock-separated puts need distinct SCs", puts[0].SC)
+	}
+	for _, p := range puts {
+		if p.SC < 1 || p.SC > 2 {
+			t.Errorf("put SC = %d, want 1 or 2", p.SC)
+		}
+	}
+}
+
+func TestGNCCountsGsyncs(t *testing.T) {
+	events := runTraced(t, 2, 8, func(w *rma.World, r int) {
+		p := w.Proc(r)
+		p.PutValue((r+1)%2, 0, 1)
+		p.Gsync()
+		p.PutValue((r+1)%2, 1, 2)
+	})
+	puts := find(events, TypePut, 0)
+	if puts[0].GNC != 0 || puts[1].GNC != 1 {
+		t.Errorf("GNCs = %d, %d; want 0, 1", puts[0].GNC, puts[1].GNC)
+	}
+}
+
+func TestTable1Categorization(t *testing.T) {
+	cases := map[string]Category{
+		"MPI_Put":              CatPut,
+		"MPI_Get":              CatGet,
+		"MPI_Accumulate":       CatPut,
+		"MPI_Compare_and_swap": CatPut | CatGet,
+		"MPI_Fetch_and_op":     CatPut | CatGet,
+		"MPI_Win_lock":         CatLock,
+		"MPI_Win_unlock_all":   CatUnlock,
+		"MPI_Win_fence":        CatGsync,
+		"MPI_Win_flush":        CatFlush,
+		"upc_memput":           CatPut,
+		"upc_memcpy":           CatPut | CatGet,
+		"upc_barrier":          CatGsync,
+		"upc_fence":            CatFlush,
+		"caf_sync_all":         CatGsync,
+		"caf_sync_memory":      CatFlush,
+		"caf_assignment":       CatPut | CatGet,
+	}
+	for op, want := range cases {
+		if got := Categorize(op); got != want {
+			t.Errorf("Categorize(%s) = %v, want %v", op, got, want)
+		}
+	}
+	if Categorize("MPI_Send") != 0 {
+		t.Error("message-passing op categorized as RMA")
+	}
+	if len(Table1Ops()) < 20 {
+		t.Errorf("Table1Ops lists only %d ops", len(Table1Ops()))
+	}
+}
+
+func TestTypeStringAndPredicates(t *testing.T) {
+	if TypePut.String() != "put" || TypeGsync.String() != "gsync" {
+		t.Error("type names wrong")
+	}
+	if !TypePut.IsComm() || TypeFlush.IsComm() {
+		t.Error("IsComm wrong")
+	}
+	if !TypeLock.IsSync() || TypePut.IsSync() {
+		t.Error("IsSync wrong")
+	}
+	if CatPut.String() != "put" || (CatPut|CatGet).String() != "put+get" {
+		t.Error("category names wrong")
+	}
+	if Category(0).String() != "none" {
+		t.Error("empty category name wrong")
+	}
+}

@@ -1,0 +1,28 @@
+GO ?= go
+
+.PHONY: all build vet test bench-short bench race tier1
+
+all: build vet test
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./internal/rma/ ./internal/ftrma/ ./internal/erasure/ ./internal/resilience/
+
+# Quick perf smoke: the erasure kernels and one checkpoint round.
+bench-short:
+	$(GO) test -run xxx -bench 'BenchmarkErasureThroughput|BenchmarkCheckpointRound' -benchtime=1s .
+
+# Full figure/ablation benchmark sweep.
+bench:
+	$(GO) test -run xxx -bench . -benchmem .
+
+# The tier-1 gate the roadmap pins.
+tier1: build test

@@ -156,11 +156,26 @@ func BenchmarkAblationXORvsRS(b *testing.B) {
 				if err != nil {
 					b.Fatal(err)
 				}
-				w.Run(func(r int) { sys.Process(r).UCCheckpoint() })
+				w.Run(func(r int) {
+					p := sys.Process(r)
+					p.Inner().LocalWrite(0, benchWindowFill(r, 1<<12))
+					p.UCCheckpoint()
+				})
 				b.ReportMetric(w.MaxTime()*1e6, "ckpt-us-virtual")
 			}
 		})
 	}
+}
+
+// benchWindowFill returns deterministic non-zero window contents so the
+// checkpoint benchmarks measure a real dirty region (an untouched window
+// checkpoints for free under incremental dirty-region tracking).
+func benchWindowFill(rank, words int) []uint64 {
+	data := make([]uint64, words)
+	for i := range data {
+		data[i] = uint64(rank+1)<<32 | uint64(i)
+	}
+	return data
 }
 
 // BenchmarkAblationStreamingVsBulk compares the two demand-checkpoint
@@ -182,7 +197,11 @@ func BenchmarkAblationStreamingVsBulk(b *testing.B) {
 				if err != nil {
 					b.Fatal(err)
 				}
-				w.Run(func(r int) { sys.Process(r).UCCheckpoint() })
+				w.Run(func(r int) {
+					p := sys.Process(r)
+					p.Inner().LocalWrite(0, benchWindowFill(r, 1<<14))
+					p.UCCheckpoint()
+				})
 				b.ReportMetric(w.MaxTime()*1e6, "ckpt-us-virtual")
 			}
 		})
@@ -271,6 +290,9 @@ func BenchmarkAblationMultiLevelPFS(b *testing.B) {
 				w.Run(func(r int) {
 					p := sys.Process(r)
 					for it := 0; it < 4; it++ {
+						// Dirty part of the window so every coordinated
+						// round has real data to fold and flush.
+						p.Inner().LocalWrite(64*it, benchWindowFill(r+it, 64))
 						p.Gsync()
 					}
 				})
@@ -280,8 +302,10 @@ func BenchmarkAblationMultiLevelPFS(b *testing.B) {
 	}
 }
 
-// BenchmarkErasureThroughput measures raw encode throughput of the two
-// codes over 1 MiB of group data.
+// BenchmarkErasureThroughput measures raw throughput of the two codes over
+// 1 MiB of group data: encode (byte and word-native), reconstruction of m
+// lost shards, and the incremental parity-update path the checkpoint
+// pipeline rides.
 func BenchmarkErasureThroughput(b *testing.B) {
 	rng := rand.New(rand.NewSource(1))
 	const k, n = 8, 128 << 10
@@ -289,6 +313,13 @@ func BenchmarkErasureThroughput(b *testing.B) {
 	for i := range shards {
 		shards[i] = make([]byte, n)
 		rng.Read(shards[i])
+	}
+	wordShards := make([][]uint64, k)
+	for i := range wordShards {
+		wordShards[i] = make([]uint64, n/8)
+		for j := range wordShards[i] {
+			wordShards[i][j] = rng.Uint64()
+		}
 	}
 	b.Run("XOR", func(b *testing.B) {
 		b.SetBytes(int64(k * n))
@@ -298,11 +329,11 @@ func BenchmarkErasureThroughput(b *testing.B) {
 			}
 		}
 	})
+	rs, err := erasure.NewRS(k, 2)
+	if err != nil {
+		b.Fatal(err)
+	}
 	b.Run("RS-m2", func(b *testing.B) {
-		rs, err := erasure.NewRS(k, 2)
-		if err != nil {
-			b.Fatal(err)
-		}
 		b.SetBytes(int64(k * n))
 		for i := 0; i < b.N; i++ {
 			if _, err := rs.Encode(shards); err != nil {
@@ -310,6 +341,93 @@ func BenchmarkErasureThroughput(b *testing.B) {
 			}
 		}
 	})
+	b.Run("RS-m2-Words", func(b *testing.B) {
+		b.SetBytes(int64(k * n))
+		for i := 0; i < b.N; i++ {
+			if _, err := rs.EncodeWords(wordShards); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("RS-m2-Reconstruct", func(b *testing.B) {
+		parity, err := rs.Encode(shards)
+		if err != nil {
+			b.Fatal(err)
+		}
+		full := append(append([][]byte{}, shards...), parity...)
+		b.SetBytes(int64(k * n))
+		for i := 0; i < b.N; i++ {
+			damaged := make([][]byte, len(full))
+			copy(damaged, full)
+			damaged[0], damaged[3] = nil, nil
+			if err := rs.Reconstruct(damaged); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("RS-m2-UpdateParity", func(b *testing.B) {
+		parity := make([][]uint64, 2)
+		for i := range parity {
+			parity[i] = make([]uint64, n/8)
+		}
+		old := wordShards[0]
+		new := wordShards[1]
+		// One member's checkpoint changes; both parity shards absorb the
+		// fused delta — the hot path of every incremental checkpoint.
+		b.SetBytes(int64(2 * n))
+		for i := 0; i < b.N; i++ {
+			for p := 0; p < 2; p++ {
+				if err := rs.UpdateParityDeltaWords(parity[p], p, 3, old, new); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	})
+}
+
+// BenchmarkCheckpointRound measures one uncoordinated checkpoint round of
+// the full protocol stack — dirty detection, parity fold, CH transfer
+// accounting — after a small (one-chunk) update to a 128 KiB window,
+// comparing the incremental dirty-region path against full-window copies.
+func BenchmarkCheckpointRound(b *testing.B) {
+	for _, full := range []bool{false, true} {
+		name := "incremental"
+		if full {
+			name = "full-window"
+		}
+		b.Run(name, func(b *testing.B) {
+			const words = 1 << 14
+			w := rma.NewWorld(rma.Config{N: 4, WindowWords: words})
+			sys, err := ftrma.NewSystem(w, ftrma.Config{
+				Groups: 1, ChecksumsPerGroup: 2, FullCheckpoints: full,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.SetBytes(8 * words)
+			var setupCkptSeconds float64
+			w.Run(func(r int) {
+				p := sys.Process(r)
+				data := make([]uint64, words)
+				for i := range data {
+					data[i] = uint64(r)<<32 | uint64(i)
+				}
+				p.Inner().LocalWrite(0, data)
+				p.UCCheckpoint()
+				p.Barrier() // all warm-up checkpoints done before measuring
+				if r != 0 {
+					return
+				}
+				setupCkptSeconds = sys.Stats().CheckpointSeconds
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					p.Inner().LocalWrite((i*64)%words, []uint64{uint64(i) | 1})
+					p.UCCheckpoint()
+				}
+			})
+			b.ReportMetric((sys.Stats().CheckpointSeconds-setupCkptSeconds)*1e6/float64(b.N), "ckpt-us-virtual")
+		})
+	}
 }
 
 // BenchmarkRMAPrimitives measures the raw runtime: puts, atomics, and

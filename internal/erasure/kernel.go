@@ -1,0 +1,263 @@
+package erasure
+
+import (
+	"encoding/binary"
+	"runtime"
+	"sync"
+)
+
+// This file is the word-parallel GF(256) kernel layer. All slice arithmetic
+// of the XOR and Reed–Solomon codes funnels through the kernels below, which
+// process eight (or, with SIMD, thirty-two) field elements per step instead
+// of one byte at a time through the log/exp tables:
+//
+//   - per-coefficient split-nibble tables decompose every product as
+//     c·b = c·(b&15) ^ c·(b>>4<<4), turning multiplication into two tiny
+//     table lookups — the exact form byte-shuffle SIMD consumes 32 lanes at
+//     a time (kernel_amd64.s) and the seed for the fused 256-entry rows;
+//   - the portable fallback is a SWAR bit-broadcast kernel: eight uint64
+//     mask-multiply steps compute all eight byte lanes of a word at once,
+//     with no table loads in the inner loop;
+//   - []uint64-native entry points let word-based callers (the checkpoint
+//     pipeline) run without ever serializing through bytes;
+//   - large buffers shard across runtime.NumCPU() goroutines.
+
+// mulTable[c][b] = c·b in GF(256). 64 KiB total; the scalar byte tails pull
+// one 256-byte row, which stays L1-resident for the whole pass.
+var mulTable [256][256]byte
+
+// mulTabLo[c][n] = c·n and mulTabHi[c][n] = c·(n<<4): the split-nibble
+// tables. mulTabLo/Hi[c] are the 16-byte shuffle tables the SIMD kernel
+// broadcasts into vector registers; the fused rows above are built from
+// exactly these pairs.
+var mulTabLo, mulTabHi [256][16]byte
+
+// mulXT[c][i] = c·2^i broadcast is the doubling ladder the SWAR fallback
+// uses: the product of c with a byte b is the XOR of c·2^i over b's set
+// bits, evaluated for all eight byte lanes of a word at once.
+var mulXT [256][8]uint64
+
+func init() {
+	// Built with the table-free peasant multiply so this init does not
+	// depend on the log/exp tables of gf256.go being populated first.
+	for c := 0; c < 256; c++ {
+		for n := 0; n < 16; n++ {
+			mulTabLo[c][n] = gfMulBitwise(byte(c), byte(n))
+			mulTabHi[c][n] = gfMulBitwise(byte(c), byte(n<<4))
+		}
+		for b := 0; b < 256; b++ {
+			mulTable[c][b] = mulTabLo[c][b&15] ^ mulTabHi[c][b>>4]
+		}
+		d := byte(c)
+		for i := 0; i < 8; i++ {
+			mulXT[c][i] = uint64(d)
+			hi := d & 0x80
+			d <<= 1
+			if hi != 0 {
+				d ^= gfPoly & 0xff
+			}
+		}
+	}
+}
+
+// gfMulBitwise is the Russian-peasant carry-less multiply mod 0x11d, used
+// only to seed the tables.
+func gfMulBitwise(a, b byte) byte {
+	var p byte
+	for b != 0 {
+		if b&1 != 0 {
+			p ^= a
+		}
+		hi := a & 0x80
+		a <<= 1
+		if hi != 0 {
+			a ^= gfPoly & 0xff
+		}
+		b >>= 1
+	}
+	return p
+}
+
+// lsbLanes selects bit 0 of each of the eight byte lanes of a word.
+const lsbLanes = 0x0101010101010101
+
+// mulWordXT multiplies the eight byte lanes of w by the coefficient whose
+// doubling ladder is xt: lane-parallel Russian-peasant multiplication.
+// Each mask isolates one bit position of every lane; multiplying the 0/1
+// lane mask by the byte c·2^i broadcasts that partial product into exactly
+// the lanes whose bit is set (no cross-lane carries, since 1·(c·2^i) < 256).
+func mulWordXT(xt *[8]uint64, w uint64) uint64 {
+	r := (w & lsbLanes) * xt[0]
+	r ^= ((w >> 1) & lsbLanes) * xt[1]
+	r ^= ((w >> 2) & lsbLanes) * xt[2]
+	r ^= ((w >> 3) & lsbLanes) * xt[3]
+	r ^= ((w >> 4) & lsbLanes) * xt[4]
+	r ^= ((w >> 5) & lsbLanes) * xt[5]
+	r ^= ((w >> 6) & lsbLanes) * xt[6]
+	r ^= ((w >> 7) & lsbLanes) * xt[7]
+	return r
+}
+
+// MulSliceXorWords folds coef·src into dst lane-wise: dst[i] ^= coef·src[i]
+// for every byte lane. len(src) must not exceed len(dst).
+func MulSliceXorWords(coef byte, dst, src []uint64) {
+	switch coef {
+	case 0:
+		return
+	case 1:
+		XorWords(dst, src)
+		return
+	}
+	if simdEnabled && len(src) >= simdMinWords {
+		n := len(src) &^ (wordsPerVec - 1)
+		mulSliceXorSIMDWords(coef, dst[:n], src[:n])
+		dst, src = dst[n:], src[n:]
+	}
+	xt := &mulXT[coef]
+	for i, w := range src {
+		dst[i] ^= mulWordXT(xt, w)
+	}
+}
+
+// MulDeltaXorWords folds coef·(old^new) into dst without materializing the
+// delta: the fused form of an incremental parity update.
+func MulDeltaXorWords(coef byte, dst, old, new []uint64) {
+	switch coef {
+	case 0:
+		return
+	case 1:
+		XorDeltaWords(dst, old, new)
+		return
+	}
+	if simdEnabled && len(old) >= simdMinWords {
+		n := len(old) &^ (wordsPerVec - 1)
+		mulDeltaXorSIMDWords(coef, dst[:n], old[:n], new[:n])
+		dst, old, new = dst[n:], old[n:], new[n:]
+	}
+	xt := &mulXT[coef]
+	for i := range old {
+		if d := old[i] ^ new[i]; d != 0 {
+			dst[i] ^= mulWordXT(xt, d)
+		}
+	}
+}
+
+// XorWords xors src into dst: dst[i] ^= src[i].
+func XorWords(dst, src []uint64) {
+	if simdEnabled && len(src) >= simdMinWords {
+		n := len(src) &^ (wordsPerVec - 1)
+		xorSliceSIMDWords(dst[:n], src[:n])
+		dst, src = dst[n:], src[n:]
+	}
+	for i, w := range src {
+		dst[i] ^= w
+	}
+}
+
+// XorDeltaWords folds a change into an XOR parity: dst[i] ^= old[i]^new[i].
+func XorDeltaWords(dst, old, new []uint64) {
+	if simdEnabled && len(old) >= simdMinWords {
+		n := len(old) &^ (wordsPerVec - 1)
+		xorDeltaSIMDWords(dst[:n], old[:n], new[:n])
+		dst, old, new = dst[n:], old[n:], new[n:]
+	}
+	for i := range old {
+		dst[i] ^= old[i] ^ new[i]
+	}
+}
+
+// ---- byte-slice kernels ----------------------------------------------------
+//
+// The byte API keeps working on []byte shards; internally it walks the
+// slices a vector (or word) at a time and finishes the tail with the fused
+// product row.
+
+// mulSliceXor folds coef·src into dst byte-wise.
+func mulSliceXor(coef byte, dst, src []byte) {
+	switch coef {
+	case 0:
+		return
+	case 1:
+		xorSlice(dst, src)
+		return
+	}
+	i := 0
+	if simdEnabled && len(src) >= bytesPerVec {
+		n := len(src) &^ (bytesPerVec - 1)
+		mulSliceXorSIMD(coef, dst[:n], src[:n])
+		i = n
+	}
+	xt := &mulXT[coef]
+	for ; i+8 <= len(src); i += 8 {
+		w := binary.LittleEndian.Uint64(src[i:])
+		d := binary.LittleEndian.Uint64(dst[i:])
+		binary.LittleEndian.PutUint64(dst[i:], d^mulWordXT(xt, w))
+	}
+	t := &mulTable[coef]
+	for ; i < len(src); i++ {
+		dst[i] ^= t[src[i]]
+	}
+}
+
+// xorSlice xors src into dst, 8 bytes per iteration.
+func xorSlice(dst, src []byte) {
+	i := 0
+	if simdEnabled && len(src) >= bytesPerVec {
+		n := len(src) &^ (bytesPerVec - 1)
+		xorSliceSIMDBytes(dst[:n], src[:n])
+		i = n
+	}
+	for ; i+8 <= len(src); i += 8 {
+		w := binary.LittleEndian.Uint64(src[i:])
+		d := binary.LittleEndian.Uint64(dst[i:])
+		binary.LittleEndian.PutUint64(dst[i:], d^w)
+	}
+	for ; i < len(src); i++ {
+		dst[i] ^= src[i]
+	}
+}
+
+// ---- parallel sharding -----------------------------------------------------
+
+// parallelMinBytes is the buffer size below which sharding is not worth the
+// goroutine handoffs; the kernels chew through 128 KiB in ~10 µs.
+const parallelMinBytes = 128 << 10
+
+// kernelWorkers caps the fan-out; beyond ~8 shards the kernels are
+// memory-bandwidth-bound and extra goroutines only add scheduling noise.
+var kernelWorkers = func() int {
+	n := runtime.NumCPU()
+	if n > 8 {
+		n = 8
+	}
+	return n
+}()
+
+// pshard splits [0,n) into per-worker spans whose boundaries are multiples
+// of align and runs f on each span concurrently. Small n runs inline.
+func pshard(n, align, minN int, f func(lo, hi int)) {
+	if n < minN || kernelWorkers < 2 {
+		f(0, n)
+		return
+	}
+	chunk := (n/kernelWorkers + align) &^ (align - 1)
+	var wg sync.WaitGroup
+	for lo := 0; lo < n; lo += chunk {
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			f(lo, hi)
+		}(lo, hi)
+	}
+	wg.Wait()
+}
+
+// pshardBytes shards a byte-indexed loop on vector boundaries.
+func pshardBytes(n int, f func(lo, hi int)) { pshard(n, bytesPerVec, parallelMinBytes, f) }
+
+// pshardWords shards a word-indexed loop on vector boundaries.
+func pshardWords(n int, f func(lo, hi int)) { pshard(n, wordsPerVec, parallelMinBytes/8, f) }

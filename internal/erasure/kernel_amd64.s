@@ -1,0 +1,130 @@
+// AVX2 GF(256) kernels: the split-nibble tables of kernel.go broadcast into
+// vector registers, so one VPSHUFB pair multiplies 32 field elements per
+// step. Plan 9 operand order throughout (dst last).
+
+#include "textflag.h"
+
+// func cpuidex(leaf, sub uint32) (eax, ebx, ecx, edx uint32)
+TEXT ·cpuidex(SB), NOSPLIT, $0-24
+	MOVL leaf+0(FP), AX
+	MOVL sub+4(FP), CX
+	CPUID
+	MOVL AX, eax+8(FP)
+	MOVL BX, ebx+12(FP)
+	MOVL CX, ecx+16(FP)
+	MOVL DX, edx+20(FP)
+	RET
+
+// func xgetbv0() (eax, edx uint32)
+TEXT ·xgetbv0(SB), NOSPLIT, $0-8
+	XORL CX, CX
+	XGETBV
+	MOVL AX, eax+0(FP)
+	MOVL DX, edx+4(FP)
+	RET
+
+// func gfMulXorAVX2(lo, hi *byte, dst, src unsafe.Pointer, n int)
+// dst[i] ^= coef·src[i] for n bytes; n > 0 and a multiple of 32.
+// Y4/Y5 hold the coefficient's lo/hi nibble product tables, Y6 the 0x0F
+// lane mask. Per 32 bytes: split nibbles, shuffle-lookup both halves, XOR.
+TEXT ·gfMulXorAVX2(SB), NOSPLIT, $0-40
+	MOVQ lo+0(FP), AX
+	MOVQ hi+8(FP), BX
+	MOVQ dst+16(FP), DI
+	MOVQ src+24(FP), SI
+	MOVQ n+32(FP), CX
+	VBROADCASTI128 (AX), Y4
+	VBROADCASTI128 (BX), Y5
+	MOVQ $0x0f0f0f0f0f0f0f0f, DX
+	VMOVQ DX, X6
+	VPBROADCASTQ X6, Y6
+
+mulloop:
+	VMOVDQU (SI), Y0
+	VPSRLW  $4, Y0, Y1
+	VPAND   Y6, Y0, Y0
+	VPAND   Y6, Y1, Y1
+	VPSHUFB Y0, Y4, Y0
+	VPSHUFB Y1, Y5, Y1
+	VPXOR   Y0, Y1, Y0
+	VPXOR   (DI), Y0, Y0
+	VMOVDQU Y0, (DI)
+	ADDQ    $32, SI
+	ADDQ    $32, DI
+	SUBQ    $32, CX
+	JNE     mulloop
+	VZEROUPPER
+	RET
+
+// func gfMulDeltaXorAVX2(lo, hi *byte, dst, old, new unsafe.Pointer, n int)
+// dst[i] ^= coef·(old[i]^new[i]) for n bytes; n > 0 and a multiple of 32.
+TEXT ·gfMulDeltaXorAVX2(SB), NOSPLIT, $0-48
+	MOVQ lo+0(FP), AX
+	MOVQ hi+8(FP), BX
+	MOVQ dst+16(FP), DI
+	MOVQ old+24(FP), SI
+	MOVQ new+32(FP), R8
+	MOVQ n+40(FP), CX
+	VBROADCASTI128 (AX), Y4
+	VBROADCASTI128 (BX), Y5
+	MOVQ $0x0f0f0f0f0f0f0f0f, DX
+	VMOVQ DX, X6
+	VPBROADCASTQ X6, Y6
+
+deltaloop:
+	VMOVDQU (SI), Y0
+	VPXOR   (R8), Y0, Y0
+	VPSRLW  $4, Y0, Y1
+	VPAND   Y6, Y0, Y0
+	VPAND   Y6, Y1, Y1
+	VPSHUFB Y0, Y4, Y0
+	VPSHUFB Y1, Y5, Y1
+	VPXOR   Y0, Y1, Y0
+	VPXOR   (DI), Y0, Y0
+	VMOVDQU Y0, (DI)
+	ADDQ    $32, SI
+	ADDQ    $32, DI
+	ADDQ    $32, R8
+	SUBQ    $32, CX
+	JNE     deltaloop
+	VZEROUPPER
+	RET
+
+// func xorAVX2(dst, src unsafe.Pointer, n int)
+// dst[i] ^= src[i] for n bytes; n > 0 and a multiple of 32.
+TEXT ·xorAVX2(SB), NOSPLIT, $0-24
+	MOVQ dst+0(FP), DI
+	MOVQ src+8(FP), SI
+	MOVQ n+16(FP), CX
+
+xorloop:
+	VMOVDQU (SI), Y0
+	VPXOR   (DI), Y0, Y0
+	VMOVDQU Y0, (DI)
+	ADDQ    $32, SI
+	ADDQ    $32, DI
+	SUBQ    $32, CX
+	JNE     xorloop
+	VZEROUPPER
+	RET
+
+// func xorDeltaAVX2(dst, old, new unsafe.Pointer, n int)
+// dst[i] ^= old[i]^new[i] for n bytes; n > 0 and a multiple of 32.
+TEXT ·xorDeltaAVX2(SB), NOSPLIT, $0-32
+	MOVQ dst+0(FP), DI
+	MOVQ old+8(FP), SI
+	MOVQ new+16(FP), R8
+	MOVQ n+24(FP), CX
+
+xdloop:
+	VMOVDQU (SI), Y0
+	VPXOR   (R8), Y0, Y0
+	VPXOR   (DI), Y0, Y0
+	VMOVDQU Y0, (DI)
+	ADDQ    $32, SI
+	ADDQ    $32, DI
+	ADDQ    $32, R8
+	SUBQ    $32, CX
+	JNE     xdloop
+	VZEROUPPER
+	RET

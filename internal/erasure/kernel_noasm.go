@@ -1,0 +1,21 @@
+//go:build !amd64
+
+package erasure
+
+// Without the assembly kernels everything runs through the SWAR word paths;
+// the vector geometry degenerates to single words and the SIMD dispatch
+// branches are dead code.
+const (
+	bytesPerVec  = 8
+	wordsPerVec  = 1
+	simdMinWords = 1
+)
+
+const simdEnabled = false
+
+func mulSliceXorSIMDWords(coef byte, dst, src []uint64)      { panic("erasure: no SIMD") }
+func mulDeltaXorSIMDWords(coef byte, dst, old, new []uint64) { panic("erasure: no SIMD") }
+func xorSliceSIMDWords(dst, src []uint64)                    { panic("erasure: no SIMD") }
+func xorDeltaSIMDWords(dst, old, new []uint64)               { panic("erasure: no SIMD") }
+func mulSliceXorSIMD(coef byte, dst, src []byte)             { panic("erasure: no SIMD") }
+func xorSliceSIMDBytes(dst, src []byte)                      { panic("erasure: no SIMD") }

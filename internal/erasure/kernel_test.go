@@ -1,0 +1,290 @@
+package erasure
+
+import (
+	"bytes"
+	"encoding/binary"
+	"math/rand"
+	"testing"
+)
+
+// refMul is the trusted scalar reference the kernels are checked against.
+func refMul(coef, b byte) byte { return gfMul(coef, b) }
+
+func randWords(rng *rand.Rand, n int) []uint64 {
+	out := make([]uint64, n)
+	for i := range out {
+		out[i] = rng.Uint64()
+	}
+	return out
+}
+
+func wordsToBytesLE(w []uint64) []byte {
+	out := make([]byte, 8*len(w))
+	for i, v := range w {
+		binary.LittleEndian.PutUint64(out[8*i:], v)
+	}
+	return out
+}
+
+// TestTablesMatchReference pins every table entry to the log/exp field
+// arithmetic of gf256.go (the tables are built independently via the
+// peasant multiply, so this cross-checks the two constructions).
+func TestTablesMatchReference(t *testing.T) {
+	for c := 0; c < 256; c++ {
+		for b := 0; b < 256; b++ {
+			want := refMul(byte(c), byte(b))
+			if got := mulTable[c][b]; got != want {
+				t.Fatalf("mulTable[%d][%d] = %d, want %d", c, b, got, want)
+			}
+			if got := mulTabLo[c][b&15] ^ mulTabHi[c][b>>4]; got != want {
+				t.Fatalf("nibble tables for %d·%d = %d, want %d", c, b, got, want)
+			}
+		}
+	}
+}
+
+// TestMulSliceXorWordsAllCoefficients checks the word kernel (SIMD path
+// plus SWAR tail) against the scalar reference for every coefficient, on a
+// length that exercises both the vector body and the tail.
+func TestMulSliceXorWordsAllCoefficients(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	src := randWords(rng, 67) // not a multiple of the vector width
+	for c := 0; c < 256; c++ {
+		dst := randWords(rng, len(src))
+		want := make([]uint64, len(src))
+		copy(want, dst)
+		wb := wordsToBytesLE(want)
+		sb := wordsToBytesLE(src)
+		for i := range wb {
+			wb[i] ^= refMul(byte(c), sb[i])
+		}
+		MulSliceXorWords(byte(c), dst, src)
+		if !bytes.Equal(wordsToBytesLE(dst), wb) {
+			t.Fatalf("MulSliceXorWords wrong for coefficient %d", c)
+		}
+	}
+}
+
+// TestMulDeltaXorWordsMatchesExplicitDelta checks the fused delta kernel
+// against computing the delta explicitly.
+func TestMulDeltaXorWordsMatchesExplicitDelta(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	for _, n := range []int{1, 3, 4, 7, 64, 515} {
+		old := randWords(rng, n)
+		new := randWords(rng, n)
+		for _, c := range []byte{0, 1, 2, 0x1d, 0x8e, 255} {
+			got := randWords(rng, n)
+			want := make([]uint64, n)
+			copy(want, got)
+			delta := make([]uint64, n)
+			for i := range delta {
+				delta[i] = old[i] ^ new[i]
+			}
+			MulSliceXorWords(c, want, delta)
+			MulDeltaXorWords(c, got, old, new)
+			for i := range got {
+				if got[i] != want[i] {
+					t.Fatalf("n=%d coef=%d word %d: got %x want %x", n, c, i, got[i], want[i])
+				}
+			}
+		}
+	}
+}
+
+// TestByteKernelTailHandling checks mulSliceXor on every length 0..67 so
+// vector, word, and byte tails are all crossed.
+func TestByteKernelTailHandling(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	for n := 0; n <= 67; n++ {
+		src := make([]byte, n)
+		dst := make([]byte, n)
+		rng.Read(src)
+		rng.Read(dst)
+		want := make([]byte, n)
+		for i := range want {
+			want[i] = dst[i] ^ refMul(0xa7, src[i])
+		}
+		mulSliceXor(0xa7, dst, src)
+		if !bytes.Equal(dst, want) {
+			t.Fatalf("length %d: byte kernel wrong", n)
+		}
+	}
+}
+
+// TestEncodeWordsMatchesEncode pins the word-native encoder to the byte
+// encoder through little-endian serialization.
+func TestEncodeWordsMatchesEncode(t *testing.T) {
+	rng := rand.New(rand.NewSource(14))
+	const k, m, n = 5, 3, 97
+	rs, err := NewRS(k, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := make([][]uint64, k)
+	dataB := make([][]byte, k)
+	for i := range data {
+		data[i] = randWords(rng, n)
+		dataB[i] = wordsToBytesLE(data[i])
+	}
+	pw, err := rs.EncodeWords(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pb, err := rs.Encode(dataB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range pw {
+		if !bytes.Equal(wordsToBytesLE(pw[i]), pb[i]) {
+			t.Fatalf("parity %d: word and byte encoders disagree", i)
+		}
+	}
+}
+
+// TestReconstructWordsRoundTrip erases up to m word shards in every
+// pattern and verifies bit-identical recovery.
+func TestReconstructWordsRoundTrip(t *testing.T) {
+	const k, m, n = 4, 2, 33
+	rs, err := NewRS(k, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(15))
+	data := make([][]uint64, k)
+	for i := range data {
+		data[i] = randWords(rng, n)
+	}
+	parity, err := rs.EncodeWords(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	full := append(append([][]uint64{}, data...), parity...)
+	total := k + m
+	for a := 0; a < total; a++ {
+		for b := a; b < total; b++ {
+			shards := make([][]uint64, total)
+			copy(shards, full)
+			shards[a] = nil
+			shards[b] = nil
+			if err := rs.ReconstructWords(shards); err != nil {
+				t.Fatalf("erase (%d,%d): %v", a, b, err)
+			}
+			for i := range shards {
+				for j := range shards[i] {
+					if shards[i][j] != full[i][j] {
+						t.Fatalf("erase (%d,%d): shard %d word %d wrong", a, b, i, j)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestPropertyIncrementalParityEqualsEncode drives a random sequence of
+// member updates through the incremental parity paths (UpdateParityDelta /
+// XOR delta) and checks the running parity always equals a from-scratch
+// encode of the current member states — the §6.2 incremental checksum
+// integration must be exact.
+func TestPropertyIncrementalParityEqualsEncode(t *testing.T) {
+	rng := rand.New(rand.NewSource(16))
+	for trial := 0; trial < 20; trial++ {
+		k := 2 + rng.Intn(6)
+		m := 1 + rng.Intn(3)
+		n := 1 + rng.Intn(200)
+		rs, err := NewRS(k, m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		members := make([][]uint64, k)
+		for i := range members {
+			members[i] = make([]uint64, n) // all-zero initial state
+		}
+		parity := make([][]uint64, m)
+		for i := range parity {
+			parity[i] = make([]uint64, n)
+		}
+		xorParity := make([]uint64, n)
+		for step := 0; step < 30; step++ {
+			j := rng.Intn(k)
+			// Random partial update of member j.
+			lo := rng.Intn(n)
+			hi := lo + 1 + rng.Intn(n-lo)
+			old := make([]uint64, n)
+			copy(old, members[j])
+			for w := lo; w < hi; w++ {
+				members[j][w] = rng.Uint64()
+			}
+			for i := 0; i < m; i++ {
+				if err := rs.UpdateParityDeltaWords(parity[i], i, j, old, members[j]); err != nil {
+					t.Fatal(err)
+				}
+			}
+			XorDeltaWords(xorParity, old, members[j])
+		}
+		fresh, err := rs.EncodeWords(members)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range parity {
+			for w := range parity[i] {
+				if parity[i][w] != fresh[i][w] {
+					t.Fatalf("trial %d: RS parity %d diverged at word %d", trial, i, w)
+				}
+			}
+		}
+		freshXor, err := EncodeXORWords(members)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for w := range xorParity {
+			if xorParity[w] != freshXor[w] {
+				t.Fatalf("trial %d: XOR parity diverged at word %d", trial, w)
+			}
+		}
+	}
+}
+
+// TestXORWordsRoundTrip mirrors the byte XOR round trip on the word API.
+func TestXORWordsRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	shards := make([][]uint64, 5)
+	for i := range shards {
+		shards[i] = randWords(rng, 41)
+	}
+	parity, err := EncodeXORWords(shards)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for lost := range shards {
+		damaged := make([][]uint64, len(shards))
+		copy(damaged, shards)
+		damaged[lost] = nil
+		got, err := ReconstructXORWords(damaged, parity)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range got {
+			if got[i] != shards[lost][i] {
+				t.Fatalf("lost %d: word %d wrong", lost, i)
+			}
+		}
+	}
+	// Incremental update: fold out old, fold in new, compare to fresh.
+	newShard := randWords(rng, 41)
+	if err := UpdateXORWords(parity, shards[2]); err != nil {
+		t.Fatal(err)
+	}
+	if err := UpdateXORWords(parity, newShard); err != nil {
+		t.Fatal(err)
+	}
+	shards[2] = newShard
+	fresh, err := EncodeXORWords(shards)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range parity {
+		if parity[i] != fresh[i] {
+			t.Fatalf("incremental word parity differs from fresh encode at %d", i)
+		}
+	}
+}

@@ -10,6 +10,10 @@ import (
 // reconstructed. It generalizes the XOR scheme to groups that must survive
 // m concurrent member crashes (§5: "every group can resist m concurrent
 // process crashes").
+//
+// All bulk arithmetic runs through the word-parallel kernels of kernel.go;
+// the Words variants operate on []uint64 shards directly so word-based
+// callers (the checkpoint pipeline) never serialize through bytes.
 type RS struct {
 	K int
 	M int
@@ -51,28 +55,72 @@ func NewRS(k, m int) (*RS, error) {
 	return &RS{K: k, M: m, gen: gen}, nil
 }
 
-// UpdateParity folds a data-shard change into parity shard i in place,
-// without touching the other data shards: because the code is linear,
-// parity_i ^= coef(i, j) * (old ^ new) when data shard j changes. delta is
-// old XOR new. This is the Reed–Solomon analogue of the incremental XOR
-// checksum integration of §6.2.
-func (rs *RS) UpdateParity(parity []byte, i, j int, delta []byte) error {
+// coef returns the generator coefficient applied to data shard j when
+// producing parity shard i.
+func (rs *RS) coef(i, j int) byte { return rs.gen[rs.K+i][j] }
+
+func (rs *RS) checkParityIndex(i, j int) error {
 	if i < 0 || i >= rs.M {
 		return fmt.Errorf("erasure: parity index %d out of range 0..%d", i, rs.M-1)
 	}
 	if j < 0 || j >= rs.K {
 		return fmt.Errorf("erasure: data index %d out of range 0..%d", j, rs.K-1)
 	}
+	return nil
+}
+
+// UpdateParity folds a data-shard change into parity shard i in place,
+// without touching the other data shards: because the code is linear,
+// parity_i ^= coef(i, j) * (old ^ new) when data shard j changes. delta is
+// old XOR new. This is the Reed–Solomon analogue of the incremental XOR
+// checksum integration of §6.2.
+func (rs *RS) UpdateParity(parity []byte, i, j int, delta []byte) error {
+	if err := rs.checkParityIndex(i, j); err != nil {
+		return err
+	}
 	if len(parity) != len(delta) {
 		return fmt.Errorf("erasure: parity length %d != delta length %d", len(parity), len(delta))
 	}
-	coef := rs.gen[rs.K+i][j]
-	if coef == 0 {
-		return nil
+	c := rs.coef(i, j)
+	pshardBytes(len(delta), func(lo, hi int) {
+		mulSliceXor(c, parity[lo:hi], delta[lo:hi])
+	})
+	return nil
+}
+
+// UpdateParityDeltaWords folds a data-shard change (old -> new) of shard j
+// into word parity shard i in place, fusing the delta computation into the
+// kernel so no temporary is allocated.
+func (rs *RS) UpdateParityDeltaWords(parity []uint64, i, j int, old, new []uint64) error {
+	if err := rs.checkParityIndex(i, j); err != nil {
+		return err
 	}
-	for b, d := range delta {
-		parity[b] ^= gfMul(coef, d)
+	if len(parity) != len(old) || len(old) != len(new) {
+		return fmt.Errorf("erasure: parity/old/new lengths %d/%d/%d differ",
+			len(parity), len(old), len(new))
 	}
+	c := rs.coef(i, j)
+	pshardWords(len(old), func(lo, hi int) {
+		MulDeltaXorWords(c, parity[lo:hi], old[lo:hi], new[lo:hi])
+	})
+	return nil
+}
+
+// AddShardWords folds complete data shard j into parity shard i:
+// parity ^= coef(i, j)·data. Used to (re)build a parity shard from shard
+// copies without going through a delta (e.g. re-seeding group parity after
+// a rollback).
+func (rs *RS) AddShardWords(parity []uint64, i, j int, data []uint64) error {
+	if err := rs.checkParityIndex(i, j); err != nil {
+		return err
+	}
+	if len(parity) != len(data) {
+		return fmt.Errorf("erasure: parity length %d != data length %d", len(parity), len(data))
+	}
+	c := rs.coef(i, j)
+	pshardWords(len(data), func(lo, hi int) {
+		MulSliceXorWords(c, parity[lo:hi], data[lo:hi])
+	})
 	return nil
 }
 
@@ -92,22 +140,95 @@ func (rs *RS) Encode(data [][]byte) ([][]byte, error) {
 		}
 	}
 	parity := make([][]byte, rs.M)
-	for p := 0; p < rs.M; p++ {
-		row := rs.gen[rs.K+p]
-		out := make([]byte, n)
-		for c := 0; c < rs.K; c++ {
-			coef := row[c]
-			if coef == 0 {
-				continue
-			}
-			src := data[c]
-			for j := 0; j < n; j++ {
-				out[j] ^= gfMul(coef, src[j])
+	for p := range parity {
+		parity[p] = make([]byte, n)
+	}
+	pshardBytes(n, func(lo, hi int) {
+		for p := 0; p < rs.M; p++ {
+			out := parity[p][lo:hi]
+			for c := 0; c < rs.K; c++ {
+				mulSliceXor(rs.coef(p, c), out, data[c][lo:hi])
 			}
 		}
-		parity[p] = out
-	}
+	})
 	return parity, nil
+}
+
+// EncodeWords computes the m parity shards for k word shards without any
+// byte serialization. All shards must have equal, non-zero length.
+func (rs *RS) EncodeWords(data [][]uint64) ([][]uint64, error) {
+	if len(data) != rs.K {
+		return nil, fmt.Errorf("erasure: %d data shards, want %d", len(data), rs.K)
+	}
+	n := len(data[0])
+	if n == 0 {
+		return nil, errors.New("erasure: empty shards")
+	}
+	for i, s := range data {
+		if len(s) != n {
+			return nil, fmt.Errorf("erasure: shard %d has length %d, want %d", i, len(s), n)
+		}
+	}
+	parity := make([][]uint64, rs.M)
+	for p := range parity {
+		parity[p] = make([]uint64, n)
+	}
+	pshardWords(n, func(lo, hi int) {
+		for p := 0; p < rs.M; p++ {
+			out := parity[p][lo:hi]
+			for c := 0; c < rs.K; c++ {
+				MulSliceXorWords(rs.coef(p, c), out, data[c][lo:hi])
+			}
+		}
+	})
+	return parity, nil
+}
+
+// solveMissing picks k surviving generator rows and returns their inverse,
+// the decoding matrix: data[c] = sum_i inv[c][i] * shards[rows[i]].
+func (rs *RS) solveMissing(present []int) (rows []int, inv [][]byte, err error) {
+	rows = present[:rs.K]
+	sub := make([][]byte, rs.K)
+	for i, r := range rows {
+		sub[i] = rs.gen[r]
+	}
+	inv, ok := matInvert(sub)
+	if !ok {
+		return nil, nil, errors.New("erasure: surviving-row matrix singular")
+	}
+	return rows, inv, nil
+}
+
+// splitShards partitions shard indices into present and missing and
+// validates counts and lengths; n is the common shard length (counted in
+// whatever unit the caller indexes by).
+func (rs *RS) splitShards(total int, length func(i int) (int, bool)) (present, missing []int, n int, err error) {
+	if total != rs.K+rs.M {
+		return nil, nil, 0, fmt.Errorf("erasure: %d shards, want %d", total, rs.K+rs.M)
+	}
+	for i := 0; i < total; i++ {
+		l, ok := length(i)
+		if !ok {
+			missing = append(missing, i)
+			continue
+		}
+		present = append(present, i)
+		if n == 0 {
+			n = l
+		} else if l != n {
+			return nil, nil, 0, fmt.Errorf("erasure: shard %d has length %d, want %d", i, l, n)
+		}
+	}
+	if len(missing) == 0 {
+		return present, missing, n, nil
+	}
+	if len(missing) > rs.M {
+		return nil, nil, 0, fmt.Errorf("erasure: %d shards missing, can repair at most %d", len(missing), rs.M)
+	}
+	if n == 0 {
+		return nil, nil, 0, errors.New("erasure: no surviving shards")
+	}
+	return present, missing, n, nil
 }
 
 // Reconstruct fills in the missing (nil) shards. shards holds the k data
@@ -115,90 +236,87 @@ func (rs *RS) Encode(data [][]byte) ([][]byte, error) {
 // Present shards are left untouched; missing ones are replaced with
 // reconstructed data.
 func (rs *RS) Reconstruct(shards [][]byte) error {
-	if len(shards) != rs.K+rs.M {
-		return fmt.Errorf("erasure: %d shards, want %d", len(shards), rs.K+rs.M)
-	}
-	var present []int
-	var missing []int
-	n := 0
-	for i, s := range shards {
-		if s == nil {
-			missing = append(missing, i)
-		} else {
-			present = append(present, i)
-			if n == 0 {
-				n = len(s)
-			} else if len(s) != n {
-				return fmt.Errorf("erasure: shard %d has length %d, want %d", i, len(s), n)
-			}
+	present, missing, n, err := rs.splitShards(len(shards), func(i int) (int, bool) {
+		if shards[i] == nil {
+			return 0, false
 		}
+		return len(shards[i]), true
+	})
+	if err != nil || len(missing) == 0 {
+		return err
 	}
-	if len(missing) == 0 {
-		return nil
+	rows, inv, err := rs.solveMissing(present)
+	if err != nil {
+		return err
 	}
-	if len(missing) > rs.M {
-		return fmt.Errorf("erasure: %d shards missing, can repair at most %d", len(missing), rs.M)
-	}
-	if n == 0 {
-		return errors.New("erasure: no surviving shards")
-	}
-	// Pick k surviving rows of the generator, invert, and recompute the
-	// data shards; then re-encode any missing parity.
-	rows := present[:rs.K]
-	sub := make([][]byte, rs.K)
-	for i, r := range rows {
-		sub[i] = rs.gen[r]
-	}
-	inv, ok := matInvert(sub)
-	if !ok {
-		return errors.New("erasure: surviving-row matrix singular")
-	}
-	// data[c] = sum_i inv[c][i] * shards[rows[i]]
-	needData := false
+	// Rebuild missing data shards from the decoding matrix.
 	for _, mi := range missing {
-		if mi < rs.K {
-			needData = true
+		if mi >= rs.K {
+			continue
 		}
-	}
-	if needData {
-		for _, mi := range missing {
-			if mi >= rs.K {
-				continue
-			}
-			out := make([]byte, n)
+		out := make([]byte, n)
+		pshardBytes(n, func(lo, hi int) {
 			for i, r := range rows {
-				coef := inv[mi][i]
-				if coef == 0 {
-					continue
-				}
-				src := shards[r]
-				for j := 0; j < n; j++ {
-					out[j] ^= gfMul(coef, src[j])
-				}
+				mulSliceXor(inv[mi][i], out[lo:hi], shards[r][lo:hi])
 			}
-			shards[mi] = out
-		}
+		})
+		shards[mi] = out
 	}
 	// Recompute missing parity from (now complete) data.
 	for _, mi := range missing {
 		if mi < rs.K {
 			continue
 		}
-		row := rs.gen[mi]
 		out := make([]byte, n)
-		for c := 0; c < rs.K; c++ {
-			coef := row[c]
-			if coef == 0 {
-				continue
+		pshardBytes(n, func(lo, hi int) {
+			for c := 0; c < rs.K; c++ {
+				mulSliceXor(rs.gen[mi][c], out[lo:hi], shards[c][lo:hi])
 			}
-			src := shards[c]
-			if src == nil {
-				return errors.New("erasure: data shard still missing during parity rebuild")
-			}
-			for j := 0; j < n; j++ {
-				out[j] ^= gfMul(coef, src[j])
-			}
+		})
+		shards[mi] = out
+	}
+	return nil
+}
+
+// ReconstructWords fills in the missing (nil) word shards, the []uint64
+// mirror of Reconstruct: k data shards followed by m parity shards, at most
+// m entries nil, present shards left untouched.
+func (rs *RS) ReconstructWords(shards [][]uint64) error {
+	present, missing, n, err := rs.splitShards(len(shards), func(i int) (int, bool) {
+		if shards[i] == nil {
+			return 0, false
 		}
+		return len(shards[i]), true
+	})
+	if err != nil || len(missing) == 0 {
+		return err
+	}
+	rows, inv, err := rs.solveMissing(present)
+	if err != nil {
+		return err
+	}
+	for _, mi := range missing {
+		if mi >= rs.K {
+			continue
+		}
+		out := make([]uint64, n)
+		pshardWords(n, func(lo, hi int) {
+			for i, r := range rows {
+				MulSliceXorWords(inv[mi][i], out[lo:hi], shards[r][lo:hi])
+			}
+		})
+		shards[mi] = out
+	}
+	for _, mi := range missing {
+		if mi < rs.K {
+			continue
+		}
+		out := make([]uint64, n)
+		pshardWords(n, func(lo, hi int) {
+			for c := 0; c < rs.K; c++ {
+				MulSliceXorWords(rs.gen[mi][c], out[lo:hi], shards[c][lo:hi])
+			}
+		})
 		shards[mi] = out
 	}
 	return nil

@@ -21,15 +21,41 @@ func EncodeXOR(shards [][]byte) ([]byte, error) {
 	if n == 0 {
 		return nil, errors.New("erasure: empty shards")
 	}
-	parity := make([]byte, n)
 	for i, s := range shards {
 		if len(s) != n {
 			return nil, fmt.Errorf("erasure: shard %d has length %d, want %d", i, len(s), n)
 		}
-		for j, b := range s {
-			parity[j] ^= b
+	}
+	parity := make([]byte, n)
+	pshardBytes(n, func(lo, hi int) {
+		for _, s := range shards {
+			xorSlice(parity[lo:hi], s[lo:hi])
+		}
+	})
+	return parity, nil
+}
+
+// EncodeXORWords returns the word-wise XOR of the shards without byte
+// serialization. All shards must have equal, non-zero length.
+func EncodeXORWords(shards [][]uint64) ([]uint64, error) {
+	if len(shards) == 0 {
+		return nil, errors.New("erasure: no shards")
+	}
+	n := len(shards[0])
+	if n == 0 {
+		return nil, errors.New("erasure: empty shards")
+	}
+	for i, s := range shards {
+		if len(s) != n {
+			return nil, fmt.Errorf("erasure: shard %d has length %d, want %d", i, len(s), n)
 		}
 	}
+	parity := make([]uint64, n)
+	pshardWords(n, func(lo, hi int) {
+		for _, s := range shards {
+			XorWords(parity[lo:hi], s[lo:hi])
+		}
+	})
 	return parity, nil
 }
 
@@ -41,39 +67,81 @@ func UpdateXOR(parity, shard []byte) error {
 	if len(parity) != len(shard) {
 		return fmt.Errorf("erasure: parity length %d != shard length %d", len(parity), len(shard))
 	}
-	for j, b := range shard {
-		parity[j] ^= b
-	}
+	pshardBytes(len(shard), func(lo, hi int) {
+		xorSlice(parity[lo:hi], shard[lo:hi])
+	})
 	return nil
+}
+
+// UpdateXORWords folds a word shard into an existing word parity in place.
+func UpdateXORWords(parity, shard []uint64) error {
+	if len(parity) != len(shard) {
+		return fmt.Errorf("erasure: parity length %d != shard length %d", len(parity), len(shard))
+	}
+	pshardWords(len(shard), func(lo, hi int) {
+		XorWords(parity[lo:hi], shard[lo:hi])
+	})
+	return nil
+}
+
+// missingIndex finds the single nil shard and validates the survivors'
+// lengths against the parity length (shared by both element widths).
+func missingIndex[E byte | uint64](shards [][]E, parityLen int) (int, error) {
+	missing := -1
+	for i, s := range shards {
+		if s == nil {
+			if missing >= 0 {
+				return -1, errors.New("erasure: XOR can reconstruct only one missing shard")
+			}
+			missing = i
+			continue
+		}
+		if len(s) != parityLen {
+			return -1, fmt.Errorf("erasure: shard %d has length %d, want %d", i, len(s), parityLen)
+		}
+	}
+	if missing < 0 {
+		return -1, errors.New("erasure: nothing to reconstruct")
+	}
+	return missing, nil
 }
 
 // ReconstructXOR recovers the single missing shard (marked nil) from the
 // survivors and the parity. It returns the reconstructed shard.
 func ReconstructXOR(shards [][]byte, parity []byte) ([]byte, error) {
-	missing := -1
-	for i, s := range shards {
-		if s == nil {
-			if missing >= 0 {
-				return nil, errors.New("erasure: XOR can reconstruct only one missing shard")
-			}
-			missing = i
-		}
-	}
-	if missing < 0 {
-		return nil, errors.New("erasure: nothing to reconstruct")
+	missing, err := missingIndex(shards, len(parity))
+	if err != nil {
+		return nil, err
 	}
 	out := make([]byte, len(parity))
 	copy(out, parity)
-	for i, s := range shards {
-		if i == missing {
-			continue
+	pshardBytes(len(parity), func(lo, hi int) {
+		for i, s := range shards {
+			if i == missing {
+				continue
+			}
+			xorSlice(out[lo:hi], s[lo:hi])
 		}
-		if len(s) != len(parity) {
-			return nil, fmt.Errorf("erasure: shard %d has length %d, want %d", i, len(s), len(parity))
-		}
-		for j, b := range s {
-			out[j] ^= b
-		}
+	})
+	return out, nil
+}
+
+// ReconstructXORWords recovers the single missing word shard (marked nil)
+// from the survivors and the word parity.
+func ReconstructXORWords(shards [][]uint64, parity []uint64) ([]uint64, error) {
+	missing, err := missingIndex(shards, len(parity))
+	if err != nil {
+		return nil, err
 	}
+	out := make([]uint64, len(parity))
+	copy(out, parity)
+	pshardWords(len(parity), func(lo, hi int) {
+		for i, s := range shards {
+			if i == missing {
+				continue
+			}
+			XorWords(out[lo:hi], s[lo:hi])
+		}
+	})
 	return out, nil
 }

@@ -75,24 +75,92 @@ func (p *Process) trimAgainst(q int) {
 	}
 }
 
+// incrementalFold captures the current window state into base (the
+// previous checkpoint copy, updated in place) and folds the change into
+// parity, copying and folding only the words written since *gen — the
+// incremental checksum integration of §6.2. It returns the dirty ranges
+// (the data the modeled machine copies and transfers). Runs with p.ckptMu
+// held.
+func (p *Process) incrementalFold(grp *chGroup, parity [][]uint64, base []uint64, gen *uint64) []rma.DirtyRange {
+	ranges, g := p.inner.LocalReadDirty(p.scratch, base, *gen)
+	*gen = g
+	grp.updateRanges(parity, p.Rank(), base, p.scratch, ranges)
+	for _, r := range ranges {
+		copy(base[r.Off:r.Off+r.Len], p.scratch[r.Off:r.Off+r.Len])
+	}
+	return ranges
+}
+
+// fullFold is the non-incremental path (Config.FullCheckpoints): copy the
+// whole window and fold all of it into parity. Runs with p.ckptMu held.
+func (p *Process) fullFold(grp *chGroup, parity [][]uint64, base []uint64) []rma.DirtyRange {
+	words := p.inner.LocalRead(0, len(base))
+	grp.update(parity, p.Rank(), base, words)
+	copy(base, words)
+	return []rma.DirtyRange{{Off: 0, Len: len(base)}}
+}
+
+// foldCheckpoint dispatches between the incremental and full checkpoint
+// paths and returns the folded ranges.
+func (p *Process) foldCheckpoint(grp *chGroup, parity [][]uint64, base []uint64, gen *uint64) []rma.DirtyRange {
+	if p.sys.cfg.FullCheckpoints {
+		return p.fullFold(grp, parity, base)
+	}
+	return p.incrementalFold(grp, parity, base, gen)
+}
+
+// rangeWords sums the lengths of a range list.
+func rangeWords(ranges []rma.DirtyRange) int {
+	n := 0
+	for _, r := range ranges {
+		n += r.Len
+	}
+	return n
+}
+
+// unionWords counts the words covered by either of two sorted,
+// non-overlapping range lists (the dirty volume one checkpoint message to
+// the CH must carry when it feeds two parity levels).
+func unionWords(a, b []rma.DirtyRange) int {
+	n, i, j := 0, 0, 0
+	cur := -1 // exclusive end of the covered prefix
+	for i < len(a) || j < len(b) {
+		var r rma.DirtyRange
+		if j >= len(b) || (i < len(a) && a[i].Off <= b[j].Off) {
+			r = a[i]
+			i++
+		} else {
+			r = b[j]
+			j++
+		}
+		lo, hi := r.Off, r.Off+r.Len
+		if lo < cur {
+			lo = cur
+		}
+		if hi > lo {
+			n += hi - lo
+			cur = hi
+		}
+	}
+	return n
+}
+
 // takeUCCheckpoint takes an uncoordinated checkpoint of this rank: lock the
 // application data, send the copy to the group's checksum storage, unlock
 // (§3.2.2). The local copy stays in volatile memory; the CH integrates the
 // XOR (or Reed–Solomon) parity and records the counter snapshot that lets
-// peers trim their logs.
+// peers trim their logs. Only the dirty region — words written since the
+// previous checkpoint — is copied, transferred, and folded.
 func (p *Process) takeUCCheckpoint() {
 	start := p.Now()
-	words := p.inner.LocalRead(0, len(p.inner.Local())) // locked copy
 	params := p.sys.world.Params()
-	bytes := 8 * len(words)
-	p.inner.AdvanceTime(params.CopyTime(bytes)) // local copy cost
-
 	grp := p.sys.groupOf(p.Rank())
+
 	p.ckptMu.Lock()
-	old := p.ucData
-	p.ucData = words
+	dirty := rangeWords(p.foldCheckpoint(grp, grp.ucParity, p.ucData, &p.ucGen))
 	p.ckptMu.Unlock()
-	grp.update(grp.ucParity, p.Rank(), old, words)
+	bytes := 8 * dirty
+	p.inner.AdvanceTime(params.CopyTime(bytes)) // local copy cost
 	p.chargeCHTransfer(grp, bytes)
 
 	grp.mu.Lock()
@@ -140,7 +208,7 @@ func (p *Process) chargeCHTransfer(grp *chGroup, bytes int) {
 // provides M while delta is estimated by our protocol").
 func (p *Process) initCCSchedule() {
 	params := p.sys.world.Params()
-	bytes := 8 * len(p.inner.Local())
+	bytes := 8 * p.inner.WindowWords()
 	p.ccDelta = params.CopyTime(bytes) + params.TransferTime(bytes)
 	p.recomputeInterval()
 }
@@ -196,19 +264,21 @@ func (p *Process) CheckpointLocks() {
 func (p *Process) ccRound() {
 	p.inner.Barrier()
 	t0 := p.Now() // equal at every rank
-	words := p.inner.LocalRead(0, len(p.inner.Local()))
 	params := p.sys.world.Params()
-	bytes := 8 * len(words)
-	p.inner.AdvanceTime(params.CopyTime(bytes))
-
 	grp := p.sys.groupOf(p.Rank())
+
+	// Fold the window into both parity levels. The checkpoint message to
+	// the CH must carry every word either level needs, so the charged
+	// volume is the union of the two dirty regions. (With generation
+	// stamps the CC region is a superset of the UC one — the CC cursor is
+	// older — but under the aliased content-diff fallback the two can
+	// partially diverge.)
 	p.ckptMu.Lock()
-	oldCC, oldUC := p.ccData, p.ucData
-	p.ccData = words
-	p.ucData = cloneWords(words)
+	ccRanges := p.foldCheckpoint(grp, grp.ccParity, p.ccData, &p.ccGen)
+	ucRanges := p.foldCheckpoint(grp, grp.ucParity, p.ucData, &p.ucGen)
 	p.ckptMu.Unlock()
-	grp.update(grp.ccParity, p.Rank(), oldCC, words)
-	grp.update(grp.ucParity, p.Rank(), oldUC, words)
+	bytes := 8 * unionWords(ccRanges, ucRanges)
+	p.inner.AdvanceTime(params.CopyTime(bytes))
 	// One copy travels to the CH; the CH folds it into both parities
 	// locally.
 	p.chargeCHTransfer(grp, bytes)
@@ -226,6 +296,9 @@ func (p *Process) ccRound() {
 	if n := p.sys.cfg.PFSEveryN; n > 0 {
 		p.ccRounds++
 		if p.ccRounds%n == 0 {
+			p.ckptMu.Lock()
+			words := cloneWords(p.ccData)
+			p.ckptMu.Unlock()
 			p.pfsFlush(words, snap)
 			if p.Rank() == 0 {
 				st := p.sys.pfs

@@ -77,6 +77,14 @@ type Config struct {
 	StreamingDemandCheckpoints bool
 	// StreamChunkBytes is the chunk size for streaming demand checkpoints.
 	StreamChunkBytes int
+	// FullCheckpoints disables the incremental dirty-region checkpoint
+	// path: every checkpoint copies the whole window and folds all of it
+	// into the group parity, whether or not it changed. Incremental
+	// checkpointing (the default, false) copies, transfers, and folds only
+	// the words written since the previous checkpoint — the §6.2
+	// incremental checksum integration — and is bit-identical in outcome;
+	// this knob exists for A/B cost comparisons and equivalence tests.
+	FullCheckpoints bool
 	// PFSEveryN enables the multi-level extension: every N-th coordinated
 	// checkpoint round is additionally flushed to stable storage through
 	// the shared parallel file system, surviving catastrophic failures

@@ -519,7 +519,16 @@ func TestStreamingDemandCheckpointSlower(t *testing.T) {
 		})
 		w.Run(func(r int) {
 			if r == 0 {
-				sys.Process(0).takeUCCheckpoint()
+				p := sys.Process(0)
+				// Fill the window so the checkpoint has a dirty region to
+				// stream (an untouched window transfers nothing under
+				// incremental checkpointing).
+				data := make([]uint64, 1<<14)
+				for i := range data {
+					data[i] = uint64(i + 1)
+				}
+				p.Inner().LocalWrite(0, data)
+				p.takeUCCheckpoint()
 			}
 		})
 		return w.Proc(0).Now()

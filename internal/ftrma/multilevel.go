@@ -90,18 +90,18 @@ func (s *System) RecoverFromPFS() error {
 		// Re-seed both in-memory levels from the stable state.
 		grp := s.groupOf(r)
 		rp.ckptMu.Lock()
-		oldUC, oldCC := rp.ucData, rp.ccData
 		rp.ucData = cloneWords(d)
 		rp.ccData = cloneWords(d)
-		newUC, newCC := rp.ucData, rp.ccData
 		rp.ckptMu.Unlock()
-		grp.update(grp.ucParity, r, oldUC, newUC)
-		grp.update(grp.ccParity, r, oldCC, newCC)
 		grp.mu.Lock()
 		grp.ucSnaps[r] = snap
 		grp.ccSnaps[r] = snap
 		grp.mu.Unlock()
 		rp.resetVolatileProtocolState()
 	}
+	// A catastrophic failure lost more copies than the parities tolerate,
+	// so their pre-failure contributions are unrecoverable: rebuild both
+	// levels from the restored bases.
+	s.reseedGroupParity()
 	return nil
 }

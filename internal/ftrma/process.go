@@ -50,10 +50,16 @@ type Process struct {
 
 	// Latest checkpoint copies kept in this rank's volatile memory; the
 	// group parity protects them. Guarded by ckptMu (recovery reads them
-	// from other goroutines).
-	ckptMu sync.Mutex
-	ucData []uint64
-	ccData []uint64
+	// from other goroutines). ucGen/ccGen are the window dirty-tracking
+	// cursors of each copy (§6.2 incremental checksum integration): a
+	// checkpoint copies and folds only words written since its cursor.
+	// scratch is the reusable dirty-read buffer.
+	ckptMu  sync.Mutex
+	ucData  []uint64
+	ccData  []uint64
+	ucGen   uint64
+	ccGen   uint64
+	scratch []uint64
 
 	// Coordinated-checkpoint scheduling state; identical at every rank by
 	// construction (updated only at globally synchronized points).
@@ -66,7 +72,7 @@ type Process struct {
 var _ rma.API = (*Process)(nil)
 
 func newProcess(s *System, inner *rma.Proc) *Process {
-	words := len(inner.Local())
+	words := inner.WindowWords()
 	p := &Process{
 		inner:         s.world.Proc(inner.Rank()),
 		sys:           s,
@@ -77,6 +83,7 @@ func newProcess(s *System, inner *rma.Proc) *Process {
 		nOpen:         make(map[int]bool),
 		ucData:        make([]uint64, words),
 		ccData:        make([]uint64, words),
+		scratch:       make([]uint64, words),
 	}
 	p.initCCSchedule()
 	return p

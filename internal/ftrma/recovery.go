@@ -174,10 +174,30 @@ func (s *System) restoreRank(p *Process, data []uint64, snap memberSnap) {
 	p.ckptMu.Lock()
 	p.ucData = cloneWords(data)
 	p.ckptMu.Unlock()
-	// The parity still folds f's old copy; replace it with the restored
-	// one so future checkpoints update incrementally from a correct base.
-	// (Reconstruction returned exactly the folded copy, so this is a
-	// no-op XOR-wise — done explicitly for the Reed–Solomon path too.)
+	// After a single-rank causal recovery the UC parity is untouched and
+	// `data` is exactly f's folded contribution, so base and parity agree.
+	// Global rollbacks instead re-seed the parity from scratch (see
+	// reseedGroupParity).
+}
+
+// reseedGroupParity rebuilds every group's UC and CC parity from the
+// ranks' current checkpoint copies. Rollback paths call it after restoring
+// the copies: the pre-rollback contributions of failed ranks died with
+// them, so the incremental parities cannot be patched — only re-encoded.
+func (s *System) reseedGroupParity() {
+	for _, grp := range s.groups {
+		uc := make([][]uint64, len(grp.members))
+		cc := make([][]uint64, len(grp.members))
+		for j, r := range grp.members {
+			rp := s.procs[r]
+			rp.ckptMu.Lock()
+			uc[j] = cloneWords(rp.ucData)
+			cc[j] = cloneWords(rp.ccData)
+			rp.ckptMu.Unlock()
+		}
+		grp.reseed(grp.ucParity, uc)
+		grp.reseed(grp.ccParity, cc)
+	}
 }
 
 // ReplayAll applies every fetched record in causal order (the recovery loop
@@ -313,8 +333,8 @@ func (s *System) FallbackToCC(f int) error {
 		}
 	}
 
-	// Restore every rank from its coordinated copy and drop all logs; the
-	// uncoordinated state is re-seeded so parity and copies stay in sync.
+	// Restore every rank from its coordinated copy and drop all logs; both
+	// checkpoint bases are re-seeded from the coordinated state.
 	for r := 0; r < s.world.N(); r++ {
 		rp := s.procs[r]
 		var data []uint64
@@ -336,16 +356,18 @@ func (s *System) FallbackToCC(f int) error {
 			s.restoreRank(rp, data, snap)
 		})
 		rp.ckptMu.Lock()
-		oldUC := rp.ucData
 		rp.ucData = cloneWords(data)
-		newUC := rp.ucData
+		rp.ccData = cloneWords(data)
 		rp.ckptMu.Unlock()
-		grp.update(grp.ucParity, r, oldUC, newUC)
 		grp.mu.Lock()
 		grp.ucSnaps[r] = snap
 		grp.mu.Unlock()
 		rp.resetVolatileProtocolState()
 	}
+	// The parities still fold the pre-rollback contributions (for dead
+	// ranks those copies are gone, so no delta can repair them): rebuild
+	// both levels from the restored bases.
+	s.reseedGroupParity()
 	return nil
 }
 

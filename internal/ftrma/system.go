@@ -83,25 +83,60 @@ func (g *chGroup) memberIndex(rank int) int {
 // update folds a member's checkpoint change (old -> new copy) into the
 // parity shards. Callers pass the same slice lengths as the window.
 func (g *chGroup) update(parity [][]uint64, rank int, oldData, newData []uint64) {
+	g.updateRanges(parity, rank, oldData, newData,
+		[]rma.DirtyRange{{Off: 0, Len: len(oldData)}})
+}
+
+// updateRanges folds the given word ranges of a member's checkpoint change
+// into the parity shards, word-natively and with the delta fused into the
+// erasure kernel (no serialization, no temporary delta buffer). oldData is
+// the member's previous checkpoint copy, newData the buffer holding the new
+// window contents at the dirty positions.
+func (g *chGroup) updateRanges(parity [][]uint64, rank int, oldData, newData []uint64, ranges []rma.DirtyRange) {
 	g.mu.Lock()
 	defer g.mu.Unlock()
-	if g.rs == nil {
-		// XOR: parity ^= old ^ new.
-		xorWordsInto(parity[0], oldData)
-		xorWordsInto(parity[0], newData)
-		return
+	j := -1
+	if g.rs != nil {
+		j = g.memberIndex(rank)
 	}
-	j := g.memberIndex(rank)
-	delta := make([]uint64, len(oldData))
-	copy(delta, oldData)
-	xorWordsInto(delta, newData)
-	deltaBytes := wordsToBytes(delta)
-	for i := range parity {
-		pb := wordsToBytes(parity[i])
-		if err := g.rs.UpdateParity(pb, i, j, deltaBytes); err != nil {
-			panic(fmt.Sprintf("ftrma: parity update: %v", err))
+	for _, r := range ranges {
+		lo, hi := r.Off, r.Off+r.Len
+		if g.rs == nil {
+			// XOR: parity ^= old ^ new.
+			erasure.XorDeltaWords(parity[0][lo:hi], oldData[lo:hi], newData[lo:hi])
+			continue
 		}
-		copy(parity[i], bytesToWords(pb))
+		for i := range parity {
+			if err := g.rs.UpdateParityDeltaWords(parity[i][lo:hi], i, j, oldData[lo:hi], newData[lo:hi]); err != nil {
+				panic(fmt.Sprintf("ftrma: parity update: %v", err))
+			}
+		}
+	}
+}
+
+// reseed rebuilds the parity shards from scratch out of the members'
+// current checkpoint copies (indexed by member position). Global rollbacks
+// use it: a failed rank's pre-rollback parity contribution is unknowable,
+// so incremental folding cannot repair the parity — re-encoding can, and
+// is cheap with the word kernels.
+func (g *chGroup) reseed(parity [][]uint64, copies [][]uint64) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	for i := range parity {
+		for j := range parity[i] {
+			parity[i][j] = 0
+		}
+	}
+	for j, c := range copies {
+		if g.rs == nil {
+			erasure.XorWords(parity[0], c)
+			continue
+		}
+		for i := range parity {
+			if err := g.rs.AddShardWords(parity[i], i, j, c); err != nil {
+				panic(fmt.Sprintf("ftrma: parity reseed: %v", err))
+			}
+		}
 	}
 }
 
@@ -124,21 +159,24 @@ func (g *chGroup) reconstruct(parity [][]uint64, survivors map[int][]uint64, fai
 			if !ok {
 				return nil, fmt.Errorf("ftrma: survivor %d's checkpoint copy missing", r)
 			}
-			xorWordsInto(rec, c)
+			erasure.XorWords(rec, c)
 		}
 		out[failed[0]] = rec
 		return out, nil
 	}
-	shards := make([][]byte, len(g.members)+len(parity))
+	// Word-native Reed–Solomon: the survivors' copies and the parity feed
+	// the decoder directly; present shards are read-only, missing ones come
+	// back freshly allocated.
+	shards := make([][]uint64, len(g.members)+len(parity))
 	for i, r := range g.members {
 		if c, ok := survivors[r]; ok {
-			shards[i] = wordsToBytes(c)
+			shards[i] = c
 		}
 	}
 	for i := range parity {
-		shards[len(g.members)+i] = wordsToBytes(parity[i])
+		shards[len(g.members)+i] = parity[i]
 	}
-	if err := g.rs.Reconstruct(shards); err != nil {
+	if err := g.rs.ReconstructWords(shards); err != nil {
 		return nil, fmt.Errorf("ftrma: group %d: %v", g.group, err)
 	}
 	for _, f := range failed {
@@ -146,7 +184,7 @@ func (g *chGroup) reconstruct(parity [][]uint64, survivors map[int][]uint64, fai
 		if j < 0 {
 			return nil, fmt.Errorf("ftrma: rank %d not in group %d", f, g.group)
 		}
-		out[f] = bytesToWords(shards[j])
+		out[f] = shards[j]
 	}
 	return out, nil
 }
@@ -191,7 +229,7 @@ func NewSystem(w *rma.World, cfg Config) (*System, error) {
 	}
 	s := &System{world: w, cfg: cfg, grouping: grouping,
 		pfs: &pfsStore{data: make(map[int][]uint64), snaps: make(map[int]memberSnap)}}
-	words := len(w.Proc(0).Local())
+	words := w.Proc(0).WindowWords()
 	s.groups = make([]*chGroup, cfg.Groups)
 	for g := 0; g < cfg.Groups; g++ {
 		members := grouping.ComputeMembers(g)

@@ -1,34 +1,5 @@
 package ftrma
 
-import "encoding/binary"
-
-// wordsToBytes serializes a word slice little-endian (for the byte-oriented
-// Reed–Solomon coder).
-func wordsToBytes(w []uint64) []byte {
-	out := make([]byte, 8*len(w))
-	for i, v := range w {
-		binary.LittleEndian.PutUint64(out[8*i:], v)
-	}
-	return out
-}
-
-// bytesToWords is the inverse of wordsToBytes; len(b) must be a multiple of
-// eight.
-func bytesToWords(b []byte) []uint64 {
-	out := make([]uint64, len(b)/8)
-	for i := range out {
-		out[i] = binary.LittleEndian.Uint64(b[8*i:])
-	}
-	return out
-}
-
-// xorWordsInto xors src into dst in place (dst ^= src).
-func xorWordsInto(dst, src []uint64) {
-	for i := range src {
-		dst[i] ^= src[i]
-	}
-}
-
 // cloneWords returns a copy of w.
 func cloneWords(w []uint64) []uint64 {
 	out := make([]uint64, len(w))

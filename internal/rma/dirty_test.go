@@ -1,0 +1,120 @@
+package rma
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestDirtyTrackingRanges checks that tracked writes surface as merged
+// chunk-granular ranges and that a second read with the returned cursor
+// sees nothing.
+func TestDirtyTrackingRanges(t *testing.T) {
+	const words = 4 * dirtyChunkWords
+	w := NewWorld(Config{N: 1, WindowWords: words})
+	p := w.Proc(0)
+	dst := make([]uint64, words)
+	base := make([]uint64, words)
+
+	// Fresh window: nothing written, nothing dirty.
+	ranges, gen := p.LocalReadDirty(dst, base, 0)
+	if len(ranges) != 0 {
+		t.Fatalf("fresh window reported dirty ranges %v", ranges)
+	}
+
+	// One word in chunk 0, one in chunk 2.
+	p.LocalWrite(3, []uint64{7})
+	p.LocalWrite(2*dirtyChunkWords+5, []uint64{9})
+	ranges, gen = p.LocalReadDirty(dst, base, gen)
+	want := []DirtyRange{
+		{Off: 0, Len: dirtyChunkWords},
+		{Off: 2 * dirtyChunkWords, Len: dirtyChunkWords},
+	}
+	if len(ranges) != len(want) || ranges[0] != want[0] || ranges[1] != want[1] {
+		t.Fatalf("ranges = %v, want %v", ranges, want)
+	}
+	if dst[3] != 7 || dst[2*dirtyChunkWords+5] != 9 {
+		t.Fatal("dirty read did not copy the written words")
+	}
+
+	// Cursor advanced: no new writes, no dirty chunks.
+	copy(base, dst)
+	if ranges, _ = p.LocalReadDirty(dst, base, gen); len(ranges) != 0 {
+		t.Fatalf("clean window reported dirty ranges %v", ranges)
+	}
+
+	// Adjacent chunks merge into one range.
+	p.LocalWrite(dirtyChunkWords-1, []uint64{1, 2}) // spans chunks 0 and 1
+	ranges, _ = p.LocalReadDirty(dst, base, gen)
+	if len(ranges) != 1 || ranges[0].Off != 0 || ranges[0].Len != 2*dirtyChunkWords {
+		t.Fatalf("spanning write produced ranges %v", ranges)
+	}
+}
+
+// TestDirtyTrackingRemoteOps checks that remote puts, accumulates, and
+// atomics mark the target's window dirty.
+func TestDirtyTrackingRemoteOps(t *testing.T) {
+	const words = 4 * dirtyChunkWords
+	w := NewWorld(Config{N: 2, WindowWords: words})
+	dst := make([]uint64, words)
+	base := make([]uint64, words)
+	_, gen := w.Proc(1).LocalReadDirty(dst, base, 0)
+	w.Run(func(r int) {
+		if r != 0 {
+			return
+		}
+		p := w.Proc(0)
+		p.Put(1, 0, []uint64{42})
+		p.Flush(1)
+		p.FetchAndOp(1, 3*dirtyChunkWords, 5, OpSum)
+	})
+	ranges, _ := w.Proc(1).LocalReadDirty(dst, base, gen)
+	if len(ranges) != 2 {
+		t.Fatalf("remote writes produced ranges %v, want two chunks", ranges)
+	}
+	if dst[0] != 42 || dst[3*dirtyChunkWords] != 5 {
+		t.Fatal("dirty read missed remotely written words")
+	}
+}
+
+// TestDirtyTrackingAliasedWindow checks the content-diff fallback: after
+// Local() hands out the raw slice, writes through it bypass the runtime
+// but must still be detected against the caller's base copy.
+func TestDirtyTrackingAliasedWindow(t *testing.T) {
+	const words = 8 * dirtyChunkWords
+	w := NewWorld(Config{N: 1, WindowWords: words})
+	p := w.Proc(0)
+	dst := make([]uint64, words)
+	base := make([]uint64, words)
+
+	win := p.Local() // aliases the window
+	rng := rand.New(rand.NewSource(1))
+	touched := map[int]bool{}
+	for i := 0; i < 5; i++ {
+		c := rng.Intn(8)
+		touched[c] = true
+		win[c*dirtyChunkWords+rng.Intn(dirtyChunkWords)] = rng.Uint64() | 1
+	}
+	ranges, gen := p.LocalReadDirty(dst, base, 0)
+	covered := map[int]bool{}
+	for _, r := range ranges {
+		for c := r.Off / dirtyChunkWords; c < (r.Off+r.Len)/dirtyChunkWords; c++ {
+			covered[c] = true
+		}
+	}
+	for c := range touched {
+		if !covered[c] {
+			t.Fatalf("aliased write to chunk %d not detected (ranges %v)", c, ranges)
+		}
+	}
+	// Sync base; clean re-read.
+	copy(base, dst)
+	if ranges, _ = p.LocalReadDirty(dst, base, gen); len(ranges) != 0 {
+		t.Fatalf("unchanged aliased window reported %v", ranges)
+	}
+	// A later aliased write must be seen even with an advanced cursor.
+	win[5*dirtyChunkWords] ^= 0xdeadbeef
+	ranges, _ = p.LocalReadDirty(dst, base, gen)
+	if len(ranges) != 1 || ranges[0].Off != 5*dirtyChunkWords {
+		t.Fatalf("late aliased write produced ranges %v", ranges)
+	}
+}

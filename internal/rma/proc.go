@@ -134,9 +134,31 @@ func (p *Proc) AdvanceTo(t float64) {
 
 // Local returns the rank's own window. See LocalRead/LocalWrite for
 // accesses that must be atomic with respect to concurrent remote accesses.
+// Handing out the raw slice lets writes bypass the runtime, so it also
+// downgrades the window's dirty tracking from write stamps to exact content
+// comparison (see LocalReadDirty).
 func (p *Proc) Local() []uint64 {
 	p.checkAlive()
-	return p.world.windows[p.rank].words
+	return p.world.windows[p.rank].alias()
+}
+
+// WindowWords returns the size of this rank's window in words without
+// touching its contents (unlike Local, it does not affect dirty tracking).
+func (p *Proc) WindowWords() int {
+	return len(p.world.windows[p.rank].words)
+}
+
+// LocalReadDirty copies into dst (a full window-sized buffer) the words of
+// the local window modified since the generation cursor `since`, holding
+// the window lock against concurrent remote applies. base must be the
+// caller's copy of the window contents as of `since`; it anchors exact
+// change detection when the window has been aliased by Local. It returns
+// the merged dirty word ranges and the cursor to pass to the next call.
+// The first call (since == 0, base all-zero) reports every chunk written
+// since the window was created.
+func (p *Proc) LocalReadDirty(dst, base []uint64, since uint64) ([]DirtyRange, uint64) {
+	p.checkAlive()
+	return p.world.windows[p.rank].readDirtyInto(dst, base, since)
 }
 
 // LocalRead copies n words starting at off from the local window, holding
@@ -230,7 +252,10 @@ func (p *Proc) getInternal(target, off, n, localOff int) []uint64 {
 			Epoch: p.epoch[target]})
 	})
 	if localOff >= 0 {
-		return p.world.windows[p.rank].words[localOff : localOff+n]
+		// The returned slice aliases the local window, so writes through it
+		// bypass the runtime: downgrade dirty tracking to content diffing,
+		// exactly as Local does.
+		return p.world.windows[p.rank].alias()[localOff : localOff+n]
 	}
 	return dest
 }

@@ -2,6 +2,7 @@ package rma
 
 import (
 	"fmt"
+	"slices"
 	"sync"
 )
 
@@ -16,19 +17,95 @@ type lockState struct {
 	availableAt float64    // virtual time at which the lock was last released
 }
 
+// dirtyChunkWords is the granularity of dirty-region tracking: one
+// generation stamp per 64-word (512-byte) chunk of the window.
+const dirtyChunkWords = 64
+
+// DirtyRange is a half-open word range [Off, Off+Len) of a window reported
+// as modified by LocalReadDirty.
+type DirtyRange struct{ Off, Len int }
+
 // window is the shared memory a rank exposes, plus its lockable structures.
 type window struct {
 	mu    sync.Mutex // serializes physical access (applies, atomics, reads)
 	words []uint64
 	locks []lockState
+
+	// Dirty-region tracking for incremental checkpoints (§6.2): gen counts
+	// mutations, chunkGen[c] records the generation of the last write that
+	// touched chunk c. aliased is set once Local hands out a raw reference
+	// to the words — from then on writes can bypass the runtime, so change
+	// detection falls back to comparing contents against the caller's
+	// checkpoint base (exact, just not free).
+	gen      uint64
+	chunkGen []uint64
+	aliased  bool
 }
 
 func newWindow(words, numLocks int) *window {
-	w := &window{words: make([]uint64, words), locks: make([]lockState, numLocks)}
+	w := &window{
+		words:    make([]uint64, words),
+		locks:    make([]lockState, numLocks),
+		chunkGen: make([]uint64, (words+dirtyChunkWords-1)/dirtyChunkWords),
+	}
 	for i := range w.locks {
 		w.locks[i].holder = -1
 	}
 	return w
+}
+
+// markDirty stamps the chunks covering [off, off+n) with a fresh
+// generation. Callers hold w.mu.
+func (w *window) markDirty(off, n int) {
+	if n <= 0 {
+		return
+	}
+	w.gen++
+	for c := off / dirtyChunkWords; c <= (off + n - 1) / dirtyChunkWords; c++ {
+		w.chunkGen[c] = w.gen
+	}
+}
+
+// alias returns the raw words and permanently downgrades dirty tracking to
+// content comparison (writes through the returned slice are invisible to
+// the runtime).
+func (w *window) alias() []uint64 {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	w.aliased = true
+	return w.words
+}
+
+// readDirtyInto copies into dst every chunk modified since generation
+// `since` and returns the merged dirty ranges plus the generation cursor
+// for the next call. base must be the caller's copy of the window contents
+// as of `since`: when the window has been aliased, modified chunks are
+// found by comparing against it instead of trusting the write stamps.
+func (w *window) readDirtyInto(dst, base []uint64, since uint64) ([]DirtyRange, uint64) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	n := len(w.words)
+	var ranges []DirtyRange
+	for off := 0; off < n; off += dirtyChunkWords {
+		ln := dirtyChunkWords
+		if off+ln > n {
+			ln = n - off
+		}
+		if w.aliased {
+			if slices.Equal(w.words[off:off+ln], base[off:off+ln]) {
+				continue
+			}
+		} else if w.chunkGen[off/dirtyChunkWords] <= since {
+			continue
+		}
+		if k := len(ranges); k > 0 && ranges[k-1].Off+ranges[k-1].Len == off {
+			ranges[k-1].Len += ln
+		} else {
+			ranges = append(ranges, DirtyRange{Off: off, Len: ln})
+		}
+		copy(dst[off:off+ln], w.words[off:off+ln])
+	}
+	return ranges, w.gen
 }
 
 // checkRange panics on out-of-bounds accesses: usage errors abort the run,
@@ -45,6 +122,7 @@ func (w *window) applyPut(off int, data []uint64) {
 	defer w.mu.Unlock()
 	w.checkRange(off, len(data))
 	copy(w.words[off:], data)
+	w.markDirty(off, len(data))
 }
 
 // applyAccumulate combines data at off under the window lock.
@@ -55,6 +133,7 @@ func (w *window) applyAccumulate(off int, data []uint64, op ReduceOp) {
 	for i, v := range data {
 		w.words[off+i] = op.apply(w.words[off+i], v)
 	}
+	w.markDirty(off, len(data))
 }
 
 // readInto copies n words from off into dst under the window lock.
@@ -73,6 +152,7 @@ func (w *window) cas(off int, old, new uint64) uint64 {
 	prev := w.words[off]
 	if prev == old {
 		w.words[off] = new
+		w.markDirty(off, 1)
 	}
 	return prev
 }
@@ -88,6 +168,7 @@ func (w *window) getAccumulate(off int, data []uint64, op ReduceOp) []uint64 {
 	for i, v := range data {
 		w.words[off+i] = op.apply(w.words[off+i], v)
 	}
+	w.markDirty(off, len(data))
 	return prev
 }
 
@@ -98,6 +179,7 @@ func (w *window) fao(off int, operand uint64, op ReduceOp) uint64 {
 	w.checkRange(off, 1)
 	prev := w.words[off]
 	w.words[off] = op.apply(prev, operand)
+	w.markDirty(off, 1)
 	return prev
 }
 
@@ -108,6 +190,7 @@ func (w *window) clear() {
 	for i := range w.words {
 		w.words[i] = 0
 	}
+	w.markDirty(0, len(w.words))
 }
 
 // acquire takes structure lock str on behalf of rank p whose virtual clock

@@ -83,7 +83,7 @@ func NewSystem(w *rma.World, cfg Config) (*System, error) {
 	if err != nil {
 		return nil, err
 	}
-	words := len(w.Proc(0).Local())
+	words := w.Proc(0).WindowWords()
 	s := &System{
 		world:    w,
 		cfg:      cfg,
@@ -150,7 +150,7 @@ func (p *Process) checkpoint() {
 	params := p.sys.world.Params()
 	// SCR's blocking scheme: quiesce (barrier), save, encode, barrier.
 	p.Proc.Barrier()
-	words := p.Proc.LocalRead(0, len(p.Proc.Local()))
+	words := p.Proc.LocalRead(0, p.Proc.WindowWords())
 	bytes := 8 * len(words)
 	p.Proc.AdvanceTime(params.CopyTime(bytes)) // local save
 
@@ -196,7 +196,7 @@ func (s *System) Restore(failed int) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	g := s.grouping.GroupOf(failed)
-	words := len(s.world.Proc(0).Local())
+	words := s.world.Proc(0).WindowWords()
 	rec := make([]uint64, words)
 	copy(rec, s.parity[g])
 	for _, r := range s.grouping.ComputeMembers(g) {

@@ -14,7 +14,7 @@ test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race ./internal/rma/ ./internal/ftrma/ ./internal/erasure/ ./internal/resilience/
+	$(GO) test -race ./...
 
 # Quick perf smoke: the erasure kernels and one checkpoint round.
 bench-short:

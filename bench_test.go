@@ -430,6 +430,50 @@ func BenchmarkCheckpointRound(b *testing.B) {
 	}
 }
 
+// BenchmarkLogPutPath measures the real-time cost the access-logging layer
+// adds to the steady-state put path: rank 0 streams 8-word puts (plus a
+// flush per batch) at rank 1, with logging off and on. The log=on variant
+// rides the arena-backed log subsystem; periodic coordinated trims keep the
+// store in steady state so slabs and segments recycle.
+func BenchmarkLogPutPath(b *testing.B) {
+	for _, logging := range []bool{false, true} {
+		name := "log=off"
+		if logging {
+			name = "log=on"
+		}
+		b.Run(name, func(b *testing.B) {
+			w := rma.NewWorld(rma.Config{N: 2, WindowWords: 1 << 10})
+			sys, err := ftrma.NewSystem(w, ftrma.Config{
+				Groups: 1, ChecksumsPerGroup: 1, LogPuts: logging,
+				FixedInterval: 1e-12, // every periodic gsync runs a CC round
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			data := make([]uint64, 8)
+			b.SetBytes(8 * 8)
+			b.ReportAllocs()
+			w.Run(func(r int) {
+				p := sys.Process(r)
+				if r == 0 {
+					b.ResetTimer()
+				}
+				for i := 0; i < b.N; i++ {
+					if r == 0 {
+						p.Put(1, 0, data)
+					}
+					// Both ranks gsync every 1024 puts; the coordinated
+					// round behind it clears the logs, keeping the store
+					// in steady state.
+					if i%1024 == 1023 {
+						p.Gsync()
+					}
+				}
+			})
+		})
+	}
+}
+
 // BenchmarkRMAPrimitives measures the raw runtime: puts, atomics, and
 // gsyncs per second of real (not virtual) time.
 func BenchmarkRMAPrimitives(b *testing.B) {

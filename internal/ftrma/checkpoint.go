@@ -327,22 +327,13 @@ func (p *Process) ccRound() {
 
 // clearAllLogs empties this rank's log store after a coordinated
 // checkpoint: every peer's state is captured, so nothing needs replaying.
+// The whole arena is recycled in bulk (every record is dead, no compaction
+// walk needed).
 func (p *Process) clearAllLogs() {
 	self := p.Rank()
 	p.inner.Lock(self, rma.StrLP)
 	p.inner.Lock(self, rma.StrLG)
-	p.logs.mu.Lock()
-	freed := p.logs.lpBytes + p.logs.lgBytes
-	for q := range p.logs.lp {
-		delete(p.logs.lp, q)
-		p.logs.mFlag[q] = false
-	}
-	for q := range p.logs.lg {
-		delete(p.logs.lg, q)
-	}
-	p.logs.lpBytes = 0
-	p.logs.lgBytes = 0
-	p.logs.mu.Unlock()
+	freed := p.logs.clear()
 	p.inner.Unlock(self, rma.StrLG)
 	p.inner.Unlock(self, rma.StrLP)
 	if freed > 0 {

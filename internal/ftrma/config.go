@@ -91,6 +91,17 @@ type Config struct {
 	// (more concurrent group losses than the parity tolerates). Zero
 	// disables the level (the paper's diskless default).
 	PFSEveryN int
+	// LogSlabWords sizes the payload slabs of the per-rank log arena in
+	// 64-bit words. Zero selects the default (4096 words = 32 KiB).
+	LogSlabWords int
+	// LogSegmentRecords is the capacity of one per-peer log ring segment
+	// in records. Zero selects the default (128).
+	LogSegmentRecords int
+	// LogCompactFraction is the live-ratio threshold below which the log
+	// arena compacts its slabs (live payload words / allocated words).
+	// Zero selects the default (0.5), negative disables compaction; must
+	// stay below 1.
+	LogCompactFraction float64
 	// TAware enables topology-aware group formation; Placement must then
 	// describe where ranks run.
 	TAware    bool
@@ -120,6 +131,12 @@ func (c Config) Validate(n int) error {
 	if c.PFSEveryN < 0 {
 		return errors.New("ftrma: negative PFS checkpoint cadence")
 	}
+	if c.LogSlabWords < 0 || c.LogSegmentRecords < 0 {
+		return errors.New("ftrma: negative log arena sizing")
+	}
+	if c.LogCompactFraction >= 1 {
+		return errors.New("ftrma: log compaction fraction must stay below 1 (negative disables compaction)")
+	}
 	if c.TAware {
 		if len(c.Placement.NodeOf) < n {
 			return fmt.Errorf("ftrma: placement covers %d ranks, world has %d", len(c.Placement.NodeOf), n)
@@ -129,6 +146,25 @@ func (c Config) Validate(n int) error {
 		}
 	}
 	return nil
+}
+
+// logTuning resolves the arena knobs, applying defaults for zero values.
+func (c Config) logTuning() logTuning {
+	t := logTuning{
+		slabWords:    c.LogSlabWords,
+		segRecords:   c.LogSegmentRecords,
+		compactRatio: c.LogCompactFraction,
+	}
+	if t.slabWords == 0 {
+		t.slabWords = 4096
+	}
+	if t.segRecords == 0 {
+		t.segRecords = 128
+	}
+	if t.compactRatio == 0 {
+		t.compactRatio = 0.5
+	}
+	return t
 }
 
 // Stats aggregates protocol activity over a run.

@@ -1,0 +1,4 @@
+package ftrma
+
+// newBenchLogStore builds a logStore with default tuning for benchmarks.
+func newBenchLogStore() *logStore { return newLogStore(Config{}.logTuning()) }

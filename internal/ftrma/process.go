@@ -76,7 +76,7 @@ func newProcess(s *System, inner *rma.Proc) *Process {
 	p := &Process{
 		inner:         s.world.Proc(inner.Rank()),
 		sys:           s,
-		logs:          newLogStore(),
+		logs:          newLogStore(s.cfg.logTuning()),
 		scHeld:        make(map[int]int),
 		appliedEpochs: make([]atomic.Int64, s.world.N()),
 		qPending:      make(map[int][]pendingGet),
@@ -167,14 +167,15 @@ func (p *Process) Accumulate(target, off int, data []uint64, op rma.ReduceOp) {
 }
 
 // logPut records a put in LP_p[target] under the self-lock (other ranks may
-// be reading LP during a concurrent recovery, §3.2.3).
+// be reading LP during a concurrent recovery, §3.2.3). appendLP copies the
+// payload into the log arena, so the caller's slice is passed as-is.
 func (p *Process) logPut(target, off int, data []uint64, op rma.ReduceOp) {
 	self := p.Rank()
 	p.inner.Lock(self, rma.StrLP)
 	ec, gc, sc, gnc := p.counters(target)
 	rec := LogRecord{
 		Kind: LogPut, Src: self, Trg: target, Off: off,
-		Data: cloneWords(data), LocalOff: -1, Op: op, Combine: op.Combining(),
+		Data: data, LocalOff: -1, Op: op, Combine: op.Combining(),
 		EC: ec, GC: gc, SC: sc, GNC: gnc,
 	}
 	p.logs.appendLP(target, rec)
@@ -236,7 +237,7 @@ func (p *Process) GetBlocking(target, off, n int) []uint64 {
 // setRemoteN writes N_target[p] := v in target's protocol memory.
 func (p *Process) setRemoteN(target int, v bool) {
 	p.inner.Lock(target, rma.StrMeta)
-	p.sys.procs[target].logs.nFlag[p.Rank()] = v
+	p.sys.procs[target].logs.setN(p.Rank(), v)
 	p.inner.Unlock(target, rma.StrMeta)
 }
 
@@ -267,7 +268,7 @@ func (p *Process) GetAccumulate(target, off int, data []uint64, op rma.ReduceOp)
 		ec, gc, sc, gnc := p.counters(target)
 		p.logs.appendLP(target, LogRecord{
 			Kind: LogAtomic, Src: self, Trg: target, Off: off,
-			Data: cloneWords(data), LocalOff: -1, Op: op, Combine: true,
+			Data: data, LocalOff: -1, Op: op, Combine: true,
 			EC: ec, GC: gc, SC: sc, GNC: gnc,
 		})
 		p.inner.Unlock(self, rma.StrLP)
@@ -279,7 +280,7 @@ func (p *Process) GetAccumulate(target, off int, data []uint64, op rma.ReduceOp)
 		ec, gc, sc, gnc := p.counters(target)
 		p.sys.procs[target].logs.appendLG(p.Rank(), LogRecord{
 			Kind: LogAtomic, Src: p.Rank(), Trg: target, Off: off,
-			Data: cloneWords(prev), LocalOff: -1, Combine: true,
+			Data: prev, LocalOff: -1, Combine: true,
 			EC: ec, GC: gc, SC: sc, GNC: gnc,
 		})
 		params := p.sys.world.Params()
@@ -406,9 +407,12 @@ func (p *Process) closeEpochTo(target int) {
 		p.inner.Lock(target, rma.StrLG) // Algorithm 1 line 4
 		totalBytes := 0
 		for _, g := range pend {
+			// appendLG copies g.dest into the target's log arena, so the
+			// destination buffer (possibly a local-window alias) is read
+			// exactly once here, at epoch close.
 			p.sys.procs[target].logs.appendLG(p.Rank(), LogRecord{
 				Kind: LogGet, Src: p.Rank(), Trg: target, Off: g.off,
-				Data: cloneWords(g.dest), LocalOff: g.localOff,
+				Data: g.dest, LocalOff: g.localOff,
 				EC: g.ec, GC: g.gc, SC: g.sc, GNC: g.gnc,
 			})
 			totalBytes += 8 * len(g.dest)

@@ -67,10 +67,13 @@ func (s *System) Recover(f int) (*RecoverResult, error) {
 			}
 			qp := s.procs[q]
 			inner.Lock(q, rma.StrMeta)
-			n := qp.logs.nFlag[f]
+			n := qp.logs.flagN(f)
 			inner.Unlock(q, rma.StrMeta)
 			inner.Lock(q, rma.StrLP)
-			m := qp.logs.mFlag[f]
+			m := qp.logs.flagM(f)
+			// copyLP/copyLG materialize the arena-resident records into
+			// owned slices under the store mutex, so later trims or slab
+			// compaction at the survivor cannot perturb the replay data.
 			lp := qp.logs.copyLP(f)
 			inner.Unlock(q, rma.StrLP)
 			if n || m {
@@ -375,7 +378,7 @@ func (s *System) FallbackToCC(f int) error {
 // after a coordinated rollback, and resets the coordinated-checkpoint
 // schedule so every rank re-anchors at the same future gsync.
 func (p *Process) resetVolatileProtocolState() {
-	p.logs = newLogStore()
+	p.logs = newLogStore(p.sys.cfg.logTuning())
 	p.qPending = make(map[int][]pendingGet)
 	p.nOpen = make(map[int]bool)
 	p.scHeld = make(map[int]int)

@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test bench-short bench race tier1
+.PHONY: all build vet staticcheck test test-noasm bench-short bench bench-gate race tier1 ci
 
 all: build vet test
 
@@ -10,8 +10,23 @@ build:
 vet:
 	$(GO) vet ./...
 
+# Pinned in CI (honnef.co/go/tools/cmd/staticcheck@2024.1.1); skipped
+# gracefully where it is not installed so `make ci` works offline.
+staticcheck:
+	@if command -v staticcheck >/dev/null 2>&1; then \
+		staticcheck ./... ; \
+	else \
+		echo "staticcheck not installed (go install honnef.co/go/tools/cmd/staticcheck@2024.1.1); skipping" ; \
+	fi
+
 test:
 	$(GO) test ./...
+
+# The SWAR fallback leg of the kernel matrix: full suite with the AVX2 asm
+# path compiled out, plus the runtime env-knob cross-check.
+test-noasm:
+	$(GO) test -tags noasm ./...
+	REPRO_ERASURE_NOASM=1 $(GO) test -count=1 ./internal/erasure
 
 race:
 	$(GO) test -race ./...
@@ -24,5 +39,16 @@ bench-short:
 bench:
 	$(GO) test -run xxx -bench . -benchmem .
 
+# Bench-regression gate: run the checkpoint/stream/erasure benchmarks and
+# compare against the committed BENCH_*.json baselines (deterministic
+# virtual-time metrics gate tightly; wall-clock MB/s is a coarse tripwire).
+bench-gate:
+	$(GO) test -run xxx -bench 'BenchmarkDemandCheckpointStreamPipeline|BenchmarkErasureThroughput|BenchmarkCheckpointRound' -benchtime=100ms -count=1 . | tee bench.out
+	$(GO) run ./cmd/benchgate -bench bench.out -baseline BENCH_stream.json -baseline BENCH_baseline.json -baseline BENCH_logs.json -out bench-results.json
+
 # The tier-1 gate the roadmap pins.
 tier1: build test
+
+# Mirrors the full CI workflow locally: build, vet, staticcheck, tests on
+# both kernel paths, the race detector, and the bench-regression gate.
+ci: build vet staticcheck test test-noasm race bench-gate

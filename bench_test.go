@@ -208,6 +208,48 @@ func BenchmarkAblationStreamingVsBulk(b *testing.B) {
 	}
 }
 
+// BenchmarkDemandCheckpointStreamPipeline is the tentpole measurement of
+// the pipelined demand-checkpoint stream: a 4 MiB dirty window moved to the
+// CH as one bulk send, as a strictly serial chunk stream (depth 1), and
+// through the bounded pipeline (depth 4) that overlaps the transfer of
+// batch k+1 with the parity fold of batch k. The reported ckpt-us-virtual
+// metric is deterministic modeled time (not wall clock), so it is stable
+// across machines and gated by cmd/benchgate against BENCH_stream.json.
+func BenchmarkDemandCheckpointStreamPipeline(b *testing.B) {
+	const words = 1 << 19 // 4 MiB window
+	modes := []struct {
+		name      string
+		streaming bool
+		depth     int
+	}{
+		{"bulk", false, 0},
+		{"serial", true, 1},
+		{"pipelined", true, 4},
+	}
+	for _, m := range modes {
+		b.Run(m.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				w := rma.NewWorld(rma.Config{N: 2, WindowWords: words})
+				sys, err := ftrma.NewSystem(w, ftrma.Config{
+					Groups: 1, ChecksumsPerGroup: 1,
+					StreamingDemandCheckpoints: m.streaming,
+					StreamChunkBytes:           256 << 10,
+					StreamDepth:                m.depth,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				w.Run(func(r int) {
+					p := sys.Process(r)
+					p.Inner().LocalWrite(0, benchWindowFill(r, words))
+					p.UCCheckpoint()
+				})
+				b.ReportMetric(w.MaxTime()*1e6, "ckpt-us-virtual")
+			}
+		})
+	}
+}
+
 // BenchmarkAblationTAwareLevels evaluates P_cf across every t-awareness
 // level (the design knob of §5.1).
 func BenchmarkAblationTAwareLevels(b *testing.B) {

@@ -1,0 +1,257 @@
+// Command benchgate compares a `go test -bench` run against committed
+// BENCH_*.json baselines and fails on throughput regressions beyond a
+// tolerance threshold. CI runs it after the bench step; `make ci` mirrors
+// it locally.
+//
+// A baseline file opts into gating with a top-level "gate" object:
+//
+//	"gate": {
+//	  "section":   "after",                  // which top-level section holds the expectations
+//	  "metrics":   ["ckpt_us_virtual"],      // which metric keys to compare
+//	  "tolerance": 0.25,                     // relative regression allowed
+//	  "ratios": [{                           // optional cross-benchmark invariants
+//	    "name":   "pipelined-vs-serial",
+//	    "metric": "ckpt_us_virtual",
+//	    "base":   "BenchmarkFoo/serial",     // numerator
+//	    "test":   "BenchmarkFoo/pipelined",  // denominator
+//	    "min":    1.5                        // base/test must stay >= min
+//	  }]
+//	}
+//
+// Files without a "gate" object are documentation-only and are skipped.
+// Metric direction: mb_per_s and *speedup* metrics are higher-is-better;
+// everything else (ns_per_op, *_us_virtual, allocs_per_op, ...) is
+// lower-is-better. Modeled virtual-time metrics are deterministic and gate
+// tightly; wall-clock metrics should only be gated with generous tolerance
+// (they are machine-dependent tripwires, not precision checks).
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"regexp"
+	"strconv"
+	"strings"
+)
+
+type ratioSpec struct {
+	Name   string  `json:"name"`
+	Metric string  `json:"metric"`
+	Base   string  `json:"base"`
+	Test   string  `json:"test"`
+	Min    float64 `json:"min"`
+}
+
+type gateSpec struct {
+	Section   string      `json:"section"`
+	Metrics   []string    `json:"metrics"`
+	Tolerance float64     `json:"tolerance"`
+	Ratios    []ratioSpec `json:"ratios"`
+}
+
+type multiFlag []string
+
+func (m *multiFlag) String() string     { return strings.Join(*m, ",") }
+func (m *multiFlag) Set(s string) error { *m = append(*m, s); return nil }
+
+// metricKey normalizes a bench output unit to the JSON key convention of
+// the BENCH_*.json files.
+func metricKey(unit string) string {
+	switch unit {
+	case "ns/op":
+		return "ns_per_op"
+	case "MB/s":
+		return "mb_per_s"
+	case "B/op":
+		return "bytes_per_op"
+	case "allocs/op":
+		return "allocs_per_op"
+	}
+	return strings.NewReplacer("/", "_", "-", "_").Replace(unit)
+}
+
+func higherIsBetter(key string) bool {
+	return key == "mb_per_s" || strings.Contains(key, "speedup")
+}
+
+var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+\d+\s+(.*)$`)
+
+// parseBench extracts per-benchmark metric maps from go test -bench output.
+func parseBench(path string) (map[string]map[string]float64, error) {
+	f := os.Stdin
+	if path != "-" {
+		var err error
+		if f, err = os.Open(path); err != nil {
+			return nil, err
+		}
+		defer f.Close()
+	}
+	out := map[string]map[string]float64{}
+	sc := bufio.NewScanner(f)
+	for sc.Scan() {
+		m := benchLine.FindStringSubmatch(sc.Text())
+		if m == nil {
+			continue
+		}
+		name, rest := m[1], strings.Fields(m[2])
+		metrics := out[name]
+		if metrics == nil {
+			metrics = map[string]float64{}
+			out[name] = metrics
+		}
+		for i := 0; i+1 < len(rest); i += 2 {
+			v, err := strconv.ParseFloat(rest[i], 64)
+			if err != nil {
+				continue
+			}
+			metrics[metricKey(rest[i+1])] = v
+		}
+	}
+	return out, sc.Err()
+}
+
+// loadBaseline returns the gate spec (nil when the file does not gate) and
+// the expectation entries of the gated section.
+func loadBaseline(path string) (*gateSpec, map[string]map[string]float64, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	var top map[string]json.RawMessage
+	if err := json.Unmarshal(raw, &top); err != nil {
+		return nil, nil, fmt.Errorf("%s: %w", path, err)
+	}
+	gRaw, ok := top["gate"]
+	if !ok {
+		return nil, nil, nil
+	}
+	var gate gateSpec
+	if err := json.Unmarshal(gRaw, &gate); err != nil {
+		return nil, nil, fmt.Errorf("%s: gate: %w", path, err)
+	}
+	if gate.Tolerance <= 0 {
+		gate.Tolerance = 0.25
+	}
+	sRaw, ok := top[gate.Section]
+	if !ok {
+		return nil, nil, fmt.Errorf("%s: gate section %q missing", path, gate.Section)
+	}
+	var section map[string]json.RawMessage
+	if err := json.Unmarshal(sRaw, &section); err != nil {
+		return nil, nil, fmt.Errorf("%s: section %q: %w", path, gate.Section, err)
+	}
+	entries := map[string]map[string]float64{}
+	for name, eRaw := range section {
+		if !strings.HasPrefix(name, "Benchmark") {
+			continue // prose keys like "notes"
+		}
+		var fields map[string]any
+		if err := json.Unmarshal(eRaw, &fields); err != nil {
+			continue
+		}
+		metrics := map[string]float64{}
+		for k, v := range fields {
+			if f, ok := v.(float64); ok {
+				metrics[k] = f
+			}
+		}
+		entries[name] = metrics
+	}
+	return &gate, entries, nil
+}
+
+func main() {
+	var baselines multiFlag
+	benchPath := flag.String("bench", "-", "go test -bench output file (- for stdin)")
+	outPath := flag.String("out", "", "write the parsed current results as JSON (CI artifact)")
+	flag.Var(&baselines, "baseline", "BENCH_*.json baseline file (repeatable)")
+	flag.Parse()
+
+	results, err := parseBench(*benchPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchgate:", err)
+		os.Exit(2)
+	}
+	if *outPath != "" {
+		blob, _ := json.MarshalIndent(results, "", "  ")
+		if err := os.WriteFile(*outPath, blob, 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, "benchgate:", err)
+			os.Exit(2)
+		}
+	}
+
+	failures, checks := 0, 0
+	for _, path := range baselines {
+		gate, entries, err := loadBaseline(path)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchgate:", err)
+			os.Exit(2)
+		}
+		if gate == nil {
+			fmt.Printf("%-60s documentation-only (no gate), skipped\n", path)
+			continue
+		}
+		gated := map[string]bool{}
+		for _, m := range gate.Metrics {
+			gated[m] = true
+		}
+		for name, want := range entries {
+			got, ok := results[name]
+			if !ok {
+				fmt.Printf("FAIL %s: benchmark %s missing from this run\n", path, name)
+				failures++
+				continue
+			}
+			for key, base := range want {
+				if !gated[key] {
+					continue
+				}
+				cur, ok := got[key]
+				if !ok {
+					fmt.Printf("FAIL %s: %s lacks metric %s\n", path, name, key)
+					failures++
+					continue
+				}
+				checks++
+				bad := false
+				if higherIsBetter(key) {
+					bad = cur < base*(1-gate.Tolerance)
+				} else {
+					bad = cur > base*(1+gate.Tolerance)
+				}
+				status := "ok  "
+				if bad {
+					status = "FAIL"
+					failures++
+				}
+				fmt.Printf("%s %s %s: %s = %.4g (baseline %.4g, tolerance %.0f%%)\n",
+					status, path, name, key, cur, base, gate.Tolerance*100)
+			}
+		}
+		for _, r := range gate.Ratios {
+			base, okB := results[r.Base][r.Metric]
+			test, okT := results[r.Test][r.Metric]
+			if !okB || !okT || test == 0 {
+				fmt.Printf("FAIL %s ratio %s: missing %s for %s or %s\n", path, r.Name, r.Metric, r.Base, r.Test)
+				failures++
+				continue
+			}
+			checks++
+			ratio := base / test
+			status := "ok  "
+			if ratio < r.Min {
+				status = "FAIL"
+				failures++
+			}
+			fmt.Printf("%s %s ratio %s: %.3gx (min %.3gx)\n", status, path, r.Name, ratio, r.Min)
+		}
+	}
+	if failures > 0 {
+		fmt.Printf("benchgate: %d of %d checks failed\n", failures, checks)
+		os.Exit(1)
+	}
+	fmt.Printf("benchgate: all %d checks passed\n", checks)
+}

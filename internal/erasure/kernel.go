@@ -2,9 +2,31 @@ package erasure
 
 import (
 	"encoding/binary"
+	"os"
 	"runtime"
 	"sync"
 )
+
+// fallbackForced reports whether the REPRO_ERASURE_NOASM environment knob
+// demands the portable SWAR kernels even though SIMD is available. It is
+// the runtime twin of the `noasm` build tag: CI's kernel matrix builds one
+// leg with the tag and cross-checks the other with the knob, so the
+// fallback is exercised on every push, not only on machines without AVX2.
+func fallbackForced() bool {
+	v := os.Getenv("REPRO_ERASURE_NOASM")
+	return v != "" && v != "0"
+}
+
+// KernelPath names the kernel implementation selected at init: "avx2" when
+// the SIMD path is live, "swar" for the portable word-parallel fallback
+// (foreign architecture, `noasm` build tag, or REPRO_ERASURE_NOASM). Tests
+// and CI logs use it to prove which leg of the kernel matrix ran.
+func KernelPath() string {
+	if simdEnabled {
+		return "avx2"
+	}
+	return "swar"
+}
 
 // This file is the word-parallel GF(256) kernel layer. All slice arithmetic
 // of the XOR and Reed–Solomon codes funnels through the kernels below, which

@@ -1,4 +1,4 @@
-//go:build amd64
+//go:build amd64 && !noasm
 
 package erasure
 
@@ -30,7 +30,10 @@ func xorAVX2(dst, src unsafe.Pointer, n int)
 func xorDeltaAVX2(dst, old, new unsafe.Pointer, n int)
 
 // simdEnabled reports AVX2 with OS-saved YMM state (checked once at init).
-var simdEnabled = detectAVX2()
+// The REPRO_ERASURE_NOASM env knob forces the SWAR fallback at runtime —
+// the dynamic twin of the `noasm` build tag, used by the CI kernel matrix
+// to exercise both paths on AVX2 hardware.
+var simdEnabled = detectAVX2() && !fallbackForced()
 
 func detectAVX2() bool {
 	maxLeaf, _, _, _ := cpuidex(0, 0)

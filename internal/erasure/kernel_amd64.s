@@ -2,6 +2,8 @@
 // vector registers, so one VPSHUFB pair multiplies 32 field elements per
 // step. Plan 9 operand order throughout (dst last).
 
+//go:build amd64 && !noasm
+
 #include "textflag.h"
 
 // func cpuidex(leaf, sub uint32) (eax, ebx, ecx, edx uint32)

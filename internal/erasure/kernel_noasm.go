@@ -1,10 +1,12 @@
-//go:build !amd64
+//go:build !amd64 || noasm
 
 package erasure
 
-// Without the assembly kernels everything runs through the SWAR word paths;
-// the vector geometry degenerates to single words and the SIMD dispatch
-// branches are dead code.
+// Without the assembly kernels — foreign architectures, or the `noasm`
+// build tag the CI kernel matrix uses to force this path on amd64 —
+// everything runs through the SWAR word paths; the vector geometry
+// degenerates to single words and the SIMD dispatch branches are dead
+// code.
 const (
 	bytesPerVec  = 8
 	wordsPerVec  = 1

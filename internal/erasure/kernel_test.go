@@ -288,3 +288,18 @@ func TestXORWordsRoundTrip(t *testing.T) {
 		}
 	}
 }
+
+// TestKernelPathSelection pins the kernel-matrix contract: KernelPath
+// reflects the dispatcher state, and when either the `noasm` build tag or
+// the REPRO_ERASURE_NOASM env knob is in force the SWAR fallback must be
+// the live path. The CI kernel-matrix job greps this log line to prove
+// which leg actually ran.
+func TestKernelPathSelection(t *testing.T) {
+	t.Logf("erasure kernel path: %s", KernelPath())
+	if simdEnabled && KernelPath() != "avx2" {
+		t.Fatalf("SIMD enabled but KernelPath() = %q", KernelPath())
+	}
+	if !simdEnabled && KernelPath() != "swar" {
+		t.Fatalf("SIMD disabled but KernelPath() = %q", KernelPath())
+	}
+}

@@ -75,38 +75,90 @@ func (p *Process) trimAgainst(q int) {
 	}
 }
 
-// incrementalFold captures the current window state into base (the
-// previous checkpoint copy, updated in place) and folds the change into
-// parity, copying and folding only the words written since *gen — the
-// incremental checksum integration of §6.2. It returns the dirty ranges
-// (the data the modeled machine copies and transfers). Runs with p.ckptMu
+// ckptPlan is one prepared checkpoint: a consistent snapshot of the window
+// contents that changed since the level's cursor, plus the chunk batches
+// the pipeline moves. Planning performs no virtual-time charging and does
+// not touch the parity, the base copy, or the cursor — those commit later,
+// after (UC) or before (CC) the modeled data movement.
+type ckptPlan struct {
+	ranges  []rma.DirtyRange // maximal dirty ranges, sorted, disjoint
+	batches []rma.DirtyRange // ranges split into stream chunk batches
+	gen     uint64           // window generation cursor after the snapshot
+	src     []uint64         // snapshot buffer the ranges index into
+}
+
+// planCheckpoint snapshots the dirty region of the local window into dst
+// (under the window lock, so the snapshot is consistent against concurrent
+// remote applies) and returns the plan. Under Config.FullCheckpoints the
+// whole window is snapshotted regardless of dirtiness. Runs with p.ckptMu
 // held.
-func (p *Process) incrementalFold(grp *chGroup, parity [][]uint64, base []uint64, gen *uint64) []rma.DirtyRange {
-	ranges, g := p.inner.LocalReadDirty(p.scratch, base, *gen)
-	*gen = g
-	grp.updateRanges(parity, p.Rank(), base, p.scratch, ranges)
-	for _, r := range ranges {
-		copy(base[r.Off:r.Off+r.Len], p.scratch[r.Off:r.Off+r.Len])
-	}
-	return ranges
-}
-
-// fullFold is the non-incremental path (Config.FullCheckpoints): copy the
-// whole window and fold all of it into parity. Runs with p.ckptMu held.
-func (p *Process) fullFold(grp *chGroup, parity [][]uint64, base []uint64) []rma.DirtyRange {
-	words := p.inner.LocalRead(0, len(base))
-	grp.update(parity, p.Rank(), base, words)
-	copy(base, words)
-	return []rma.DirtyRange{{Off: 0, Len: len(base)}}
-}
-
-// foldCheckpoint dispatches between the incremental and full checkpoint
-// paths and returns the folded ranges.
-func (p *Process) foldCheckpoint(grp *chGroup, parity [][]uint64, base []uint64, gen *uint64) []rma.DirtyRange {
+func (p *Process) planCheckpoint(dst, base []uint64, gen uint64) ckptPlan {
+	var plan ckptPlan
 	if p.sys.cfg.FullCheckpoints {
-		return p.fullFold(grp, parity, base)
+		plan.src = p.inner.ReadAt(0, len(base))
+		plan.ranges = []rma.DirtyRange{{Off: 0, Len: len(base)}}
+		plan.gen = gen
+	} else {
+		plan.ranges, plan.gen = p.inner.LocalReadDirty(dst, base, gen)
+		plan.src = dst
 	}
-	return p.incrementalFold(grp, parity, base, gen)
+	plan.batches = chunkRanges(plan.ranges, p.streamChunkWords())
+	return plan
+}
+
+// commitCheckpoint integrates a planned checkpoint: fold the batches into
+// the parity shards through the StreamDepth worker pool and refresh the
+// base copy. Pure computation — no virtual-time charging, no kill points.
+// Runs with p.ckptMu held.
+func (p *Process) commitCheckpoint(grp *chGroup, parity [][]uint64, base []uint64, plan ckptPlan) {
+	workers := 1
+	if p.sys.cfg.StreamingDemandCheckpoints {
+		workers = p.sys.cfg.StreamDepth
+	}
+	grp.foldRanges(parity, p.Rank(), base, plan.src, plan.batches, workers)
+	for _, r := range plan.ranges {
+		copy(base[r.Off:r.Off+r.Len], plan.src[r.Off:r.Off+r.Len])
+	}
+}
+
+// streamChunkWords returns the chunk-batch granularity in words, or zero
+// when checkpoints travel as one bulk send.
+func (p *Process) streamChunkWords() int {
+	if !p.sys.cfg.StreamingDemandCheckpoints {
+		return 0
+	}
+	return p.sys.cfg.StreamChunkBytes / 8
+}
+
+// chunkRanges splits sorted, disjoint ranges into batches of at most
+// chunkWords words. Range boundaries are preserved (a batch never spans a
+// gap), so the batches stay sorted and disjoint. chunkWords <= 0 leaves
+// the list untouched.
+func chunkRanges(ranges []rma.DirtyRange, chunkWords int) []rma.DirtyRange {
+	if chunkWords <= 0 {
+		return ranges
+	}
+	split := false
+	for _, r := range ranges {
+		if r.Len > chunkWords {
+			split = true
+			break
+		}
+	}
+	if !split {
+		return ranges
+	}
+	var out []rma.DirtyRange
+	for _, r := range ranges {
+		for off := r.Off; off < r.Off+r.Len; off += chunkWords {
+			ln := chunkWords
+			if r.Off+r.Len-off < ln {
+				ln = r.Off + r.Len - off
+			}
+			out = append(out, rma.DirtyRange{Off: off, Len: ln})
+		}
+	}
+	return out
 }
 
 // rangeWords sums the lengths of a range list.
@@ -118,12 +170,12 @@ func rangeWords(ranges []rma.DirtyRange) int {
 	return n
 }
 
-// unionWords counts the words covered by either of two sorted,
-// non-overlapping range lists (the dirty volume one checkpoint message to
-// the CH must carry when it feeds two parity levels).
-func unionWords(a, b []rma.DirtyRange) int {
-	n, i, j := 0, 0, 0
-	cur := -1 // exclusive end of the covered prefix
+// unionRanges merges two sorted, internally disjoint range lists into the
+// sorted list of maximal ranges covered by either — the dirty volume one
+// checkpoint message to the CH must carry when it feeds two parity levels.
+func unionRanges(a, b []rma.DirtyRange) []rma.DirtyRange {
+	var out []rma.DirtyRange
+	i, j := 0, 0
 	for i < len(a) || j < len(b) {
 		var r rma.DirtyRange
 		if j >= len(b) || (i < len(a) && a[i].Off <= b[j].Off) {
@@ -133,16 +185,15 @@ func unionWords(a, b []rma.DirtyRange) int {
 			r = b[j]
 			j++
 		}
-		lo, hi := r.Off, r.Off+r.Len
-		if lo < cur {
-			lo = cur
-		}
-		if hi > lo {
-			n += hi - lo
-			cur = hi
+		if k := len(out); k > 0 && r.Off <= out[k-1].Off+out[k-1].Len {
+			if end := r.Off + r.Len; end > out[k-1].Off+out[k-1].Len {
+				out[k-1].Len = end - out[k-1].Off
+			}
+		} else {
+			out = append(out, r)
 		}
 	}
-	return n
+	return out
 }
 
 // takeUCCheckpoint takes an uncoordinated checkpoint of this rank: lock the
@@ -151,17 +202,23 @@ func unionWords(a, b []rma.DirtyRange) int {
 // XOR (or Reed–Solomon) parity and records the counter snapshot that lets
 // peers trim their logs. Only the dirty region — words written since the
 // previous checkpoint — is copied, transferred, and folded.
+//
+// The modeled data movement (chargeCheckpoint) runs before the commit and
+// contains the checkpoint's only kill points: a rank dying mid-stream
+// unwinds there, so the parity, the base copy, the cursor, and the CH
+// snapshot never observe a half-taken checkpoint — the stream is simply
+// lost, and recovery proceeds from the previous one (whose log coverage
+// the untouched snapshot still guarantees).
 func (p *Process) takeUCCheckpoint() {
 	start := p.Now()
-	params := p.sys.world.Params()
 	grp := p.sys.groupOf(p.Rank())
 
 	p.ckptMu.Lock()
-	dirty := rangeWords(p.foldCheckpoint(grp, grp.ucParity, p.ucData, &p.ucGen))
-	p.ckptMu.Unlock()
-	bytes := 8 * dirty
-	p.inner.AdvanceTime(params.CopyTime(bytes)) // local copy cost
-	p.chargeCHTransfer(grp, bytes)
+	defer p.ckptMu.Unlock()
+	plan := p.planCheckpoint(p.scratch, p.ucData, p.ucGen)
+	p.chargeCheckpoint(grp, plan.batches) // kill points live here
+	p.commitCheckpoint(grp, grp.ucParity, p.ucData, plan)
+	p.ucGen = plan.gen
 
 	grp.mu.Lock()
 	grp.ucSnaps[p.Rank()] = memberSnap{snap: p.snap(), epochs: p.snapEpochs()}
@@ -174,28 +231,90 @@ func (p *Process) takeUCCheckpoint() {
 	})
 }
 
-// chargeCHTransfer charges the transfer of a checkpoint to the group's
-// checksum process(es): either one bulk send or a piece-by-piece stream
-// (§6.2 variants (2) and (1)). The CH's shared resource serializes
-// concurrent members, which is what makes |CH| a performance parameter.
-func (p *Process) chargeCHTransfer(grp *chGroup, bytes int) {
-	end := p.Now()
-	for _, res := range grp.res {
-		if p.sys.cfg.StreamingDemandCheckpoints {
-			chunk := p.sys.cfg.StreamChunkBytes
-			t := p.Now()
-			for sent := 0; sent < bytes; sent += chunk {
-				n := chunk
-				if bytes-sent < n {
-					n = bytes - sent
-				}
-				t = res.Transfer(t, n)
-			}
-			if t > end {
+// chargeCheckpoint charges the modeled cost of moving a checkpoint to the
+// group's checksum process(es): either one bulk send (§6.2 variant (2):
+// local copy, then a single transfer; the CH stages the whole message and
+// folds it off the member's critical path) or the bounded streaming
+// pipeline (variant (1)). The CH's shared resource serializes concurrent
+// members, which is what makes |CH| a performance parameter.
+//
+// The streaming pipeline prices a checkpoint as transfer + parity-fold
+// time per chunk batch, overlapped up to Config.StreamDepth in-flight
+// batches: while the CH folds batch k, batch k+1 is on the wire and the
+// member is copying batch k+2 out of its window. The CH owns only
+// StreamDepth chunk buffers (the variant's memory efficiency), so the
+// transfer of batch k may not start before the fold of batch k-depth has
+// freed one — with depth 1 transfer and fold alternate strictly at the CH
+// (no overlap), while the member-side copies still pipeline ahead since
+// the snapshot is staged in the member's own memory. The member's clock
+// follows the stream and completes at the CH's final fold (the commit
+// ack).
+func (p *Process) chargeCheckpoint(grp *chGroup, batches []rma.DirtyRange) {
+	params := p.sys.world.Params()
+	if !p.sys.cfg.StreamingDemandCheckpoints {
+		bytes := 8 * rangeWords(batches)
+		p.inner.AdvanceTime(params.CopyTime(bytes)) // local copy cost
+		end := p.Now()
+		for _, res := range grp.res {
+			if t := res.Transfer(p.Now(), bytes); t > end {
 				end = t
 			}
-		} else if t := res.Transfer(p.Now(), bytes); t > end {
-			end = t
+		}
+		p.inner.AdvanceTo(end)
+		return
+	}
+	if len(batches) == 0 {
+		return
+	}
+	depth := p.sys.cfg.StreamDepth
+	hook := p.sys.streamDelay
+	// Member-side copy pipeline: batch i can be injected once batches 0..i
+	// are copied out of the window snapshot. The per-batch AdvanceTo calls
+	// make the member's clock follow the stream — and are the kill points a
+	// mid-stream failure surfaces at.
+	ready := make([]float64, len(batches))
+	t := p.Now()
+	for i, b := range batches {
+		t += params.CopyTime(8 * b.Len)
+		ready[i] = t
+		p.inner.AdvanceTo(t)
+	}
+	end := p.Now()
+	// The hook is consulted once per batch — on the first checksum
+	// process's schedule — and the same perturbation applies to every CH,
+	// mirroring a delivery delay upstream of the parity fan-out.
+	var delays []float64
+	if hook != nil {
+		delays = make([]float64, len(batches))
+	}
+	for ri, res := range grp.res {
+		foldDone := make([]float64, len(batches))
+		prevFold := 0.0
+		for i, b := range batches {
+			n := 8 * b.Len
+			startAt := ready[i]
+			if hook != nil {
+				// Test-injected delivery perturbation (slow or reordered
+				// chunks); a hook that kills the rank surfaces at the next
+				// clock advance below.
+				if ri == 0 {
+					delays[i] = hook(p.Rank(), i, len(batches))
+				}
+				startAt += delays[i]
+			}
+			if i >= depth && foldDone[i-depth] > startAt {
+				startAt = foldDone[i-depth]
+			}
+			tt := res.Transfer(startAt, n)
+			p.inner.AdvanceTo(tt)
+			if prevFold > tt {
+				tt = prevFold
+			}
+			prevFold = tt + params.CopyTime(n) // CH parity fold of the batch
+			foldDone[i] = prevFold
+		}
+		if prevFold > end {
+			end = prevFold
 		}
 	}
 	p.inner.AdvanceTo(end)
@@ -264,7 +383,6 @@ func (p *Process) CheckpointLocks() {
 func (p *Process) ccRound() {
 	p.inner.Barrier()
 	t0 := p.Now() // equal at every rank
-	params := p.sys.world.Params()
 	grp := p.sys.groupOf(p.Rank())
 
 	// Fold the window into both parity levels. The checkpoint message to
@@ -272,22 +390,33 @@ func (p *Process) ccRound() {
 	// volume is the union of the two dirty regions. (With generation
 	// stamps the CC region is a superset of the UC one — the CC cursor is
 	// older — but under the aliased content-diff fallback the two can
-	// partially diverge.)
+	// partially diverge.) Unlike the UC path, commit precedes the modeled
+	// transfer: the collective round is barrier-bracketed, so parity,
+	// snapshot, and log clearing stay mutually consistent at every rank
+	// whatever the clocks do.
+	// The two levels are planned and committed sequentially so one scratch
+	// buffer suffices: committing the CC plan touches only ccData/ccGen,
+	// never the UC cursor, and the union charge below needs only the two
+	// plans' range lists, which survive the snapshot buffer's reuse.
 	p.ckptMu.Lock()
-	ccRanges := p.foldCheckpoint(grp, grp.ccParity, p.ccData, &p.ccGen)
-	ucRanges := p.foldCheckpoint(grp, grp.ucParity, p.ucData, &p.ucGen)
+	ccPlan := p.planCheckpoint(p.scratch, p.ccData, p.ccGen)
+	p.commitCheckpoint(grp, grp.ccParity, p.ccData, ccPlan)
+	p.ccGen = ccPlan.gen
+	ucPlan := p.planCheckpoint(p.scratch, p.ucData, p.ucGen)
+	p.commitCheckpoint(grp, grp.ucParity, p.ucData, ucPlan)
+	p.ucGen = ucPlan.gen
 	p.ckptMu.Unlock()
-	bytes := 8 * unionWords(ccRanges, ucRanges)
-	p.inner.AdvanceTime(params.CopyTime(bytes))
-	// One copy travels to the CH; the CH folds it into both parities
-	// locally.
-	p.chargeCHTransfer(grp, bytes)
 
 	snap := memberSnap{snap: p.snap(), epochs: p.snapEpochs()}
 	grp.mu.Lock()
 	grp.ccSnaps[p.Rank()] = snap
 	grp.ucSnaps[p.Rank()] = snap
 	grp.mu.Unlock()
+
+	// One copy travels to the CH; the CH folds it into both parities
+	// locally, so the stream carries each union batch once.
+	union := chunkRanges(unionRanges(ccPlan.ranges, ucPlan.ranges), p.streamChunkWords())
+	p.chargeCheckpoint(grp, union)
 
 	// Multi-level extension: periodically flush the coordinated state to
 	// stable storage. The decision uses the per-rank round counter, which

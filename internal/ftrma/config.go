@@ -72,11 +72,25 @@ type Config struct {
 	// triggers a demand checkpoint (§6.2). Zero means unlimited.
 	LogBudgetBytes int
 	// StreamingDemandCheckpoints selects variant (1) of §6.2 (stream the
-	// checkpoint piece by piece: memory-efficient) instead of variant (2)
-	// (one bulk send: faster).
+	// checkpoint piece by piece: memory-efficient, the CH only ever buffers
+	// StreamDepth chunks) instead of variant (2) (one bulk send: the CH
+	// needs a full window-sized staging buffer and integrates the parity
+	// off the member's critical path).
 	StreamingDemandCheckpoints bool
 	// StreamChunkBytes is the chunk size for streaming demand checkpoints.
+	// Must be a positive multiple of the 8-byte word size when streaming is
+	// enabled.
 	StreamChunkBytes int
+	// StreamDepth is the number of in-flight chunk batches of the streaming
+	// checkpoint pipeline: the CH holds this many chunk buffers, so the
+	// transfer of batch k+1 overlaps the erasure fold of batch k (and the
+	// member's local copy of batch k+2 overlaps both). It also sizes the
+	// worker pool that performs the real parity folds. 1 removes all
+	// transfer/fold overlap at the CH: each chunk's transfer must wait for
+	// the previous chunk's fold to free the single buffer (member-side
+	// copies always pipeline ahead — the snapshot is staged in the
+	// member's own memory). Zero selects the default (4).
+	StreamDepth int
 	// FullCheckpoints disables the incremental dirty-region checkpoint
 	// path: every checkpoint copies the whole window and folds all of it
 	// into the group parity, whether or not it changed. Incremental
@@ -111,8 +125,32 @@ type Config struct {
 	TAwareLevel int
 }
 
+// withDefaults returns the configuration with every zero-valued tuning knob
+// resolved to its default. NewSystem normalizes through it before
+// validating, so zero always means "default", never "nonsense"; explicit
+// out-of-range values survive normalization and are rejected by Validate.
+func (c Config) withDefaults() Config {
+	if c.StreamDepth == 0 {
+		c.StreamDepth = 4
+	}
+	if c.LogSlabWords == 0 {
+		c.LogSlabWords = 4096
+	}
+	if c.LogSegmentRecords == 0 {
+		c.LogSegmentRecords = 128
+	}
+	if c.LogCompactFraction == 0 {
+		c.LogCompactFraction = 0.5
+	}
+	return c
+}
+
 // Validate checks the configuration against a world of n compute ranks.
+// Zero-valued tuning knobs are resolved to their defaults first (see
+// withDefaults), so only explicitly nonsensical combinations are rejected —
+// with a descriptive error instead of misbehaving at runtime.
 func (c Config) Validate(n int) error {
+	c = c.withDefaults()
 	if c.Groups < 1 || c.Groups > n {
 		return fmt.Errorf("ftrma: %d groups for %d ranks", c.Groups, n)
 	}
@@ -125,14 +163,25 @@ func (c Config) Validate(n int) error {
 	if c.LogBudgetBytes < 0 {
 		return errors.New("ftrma: negative log budget")
 	}
-	if c.StreamingDemandCheckpoints && c.StreamChunkBytes <= 0 {
-		return errors.New("ftrma: streaming demand checkpoints need a chunk size")
+	if c.StreamingDemandCheckpoints {
+		if c.StreamChunkBytes <= 0 {
+			return errors.New("ftrma: streaming demand checkpoints need a chunk size")
+		}
+		if c.StreamChunkBytes%8 != 0 {
+			return fmt.Errorf("ftrma: stream chunk size %d bytes is not a multiple of the 8-byte word size", c.StreamChunkBytes)
+		}
+	}
+	if c.StreamDepth < 1 {
+		return fmt.Errorf("ftrma: stream depth %d, need at least one in-flight chunk batch", c.StreamDepth)
 	}
 	if c.PFSEveryN < 0 {
 		return errors.New("ftrma: negative PFS checkpoint cadence")
 	}
-	if c.LogSlabWords < 0 || c.LogSegmentRecords < 0 {
-		return errors.New("ftrma: negative log arena sizing")
+	if c.LogSlabWords <= 0 {
+		return fmt.Errorf("ftrma: log slab size %d words must be positive", c.LogSlabWords)
+	}
+	if c.LogSegmentRecords <= 0 {
+		return fmt.Errorf("ftrma: log segment capacity %d records must be positive", c.LogSegmentRecords)
 	}
 	if c.LogCompactFraction >= 1 {
 		return errors.New("ftrma: log compaction fraction must stay below 1 (negative disables compaction)")
@@ -148,23 +197,15 @@ func (c Config) Validate(n int) error {
 	return nil
 }
 
-// logTuning resolves the arena knobs, applying defaults for zero values.
+// logTuning packages the arena knobs for the store, resolving defaults for
+// any zero values (callers may hold a raw, un-normalized Config).
 func (c Config) logTuning() logTuning {
-	t := logTuning{
+	c = c.withDefaults()
+	return logTuning{
 		slabWords:    c.LogSlabWords,
 		segRecords:   c.LogSegmentRecords,
 		compactRatio: c.LogCompactFraction,
 	}
-	if t.slabWords == 0 {
-		t.slabWords = 4096
-	}
-	if t.segRecords == 0 {
-		t.segRecords = 128
-	}
-	if t.compactRatio == 0 {
-		t.compactRatio = 0.5
-	}
-	return t
 }
 
 // Stats aggregates protocol activity over a run.

@@ -85,8 +85,15 @@ func crPhase(p rma.API, seed int64, phase int, combining bool) {
 			p.Get(t, aPrev+rng.Intn(2*n), 1)
 		case 8:
 			// Landing slot cBase+i is private to (rank, op index): replayed
-			// gets must never race for a slot within one phase.
-			p.GetInto(t, aPrev+rng.Intn(2*n), 1, cBase+i)
+			// gets must never race for a slot within one phase. Half the
+			// draws use the aliasing GetInto (content-diff dirty tracking
+			// from then on), half the non-aliasing GetCopy (stamps survive)
+			// — both land identically, so the oracle stays deterministic.
+			if rng.Intn(2) == 0 {
+				p.GetInto(t, aPrev+rng.Intn(2*n), 1, cBase+i)
+			} else {
+				p.GetCopy(t, aPrev+rng.Intn(2*n), 1, cBase+i)
+			}
 		case 9:
 			p.Flush(t)
 		}
@@ -148,6 +155,14 @@ func runCrashRecoverySeed(t *testing.T, seed int64) (causal, fallback int) {
 		// Tiny arena: segment drops, straddling filters, and compaction
 		// all run under the live protocol.
 		cfg.LogSlabWords, cfg.LogSegmentRecords = 32, 4
+	}
+	if crng.Intn(2) == 0 {
+		// Streaming demand checkpoints with a random pipeline depth (1 =
+		// strictly serial chain, >1 = overlapped), so the chunk pipeline
+		// runs under the randomized kill schedule.
+		cfg.StreamingDemandCheckpoints = true
+		cfg.StreamChunkBytes = 256
+		cfg.StreamDepth = 1 + crng.Intn(4)
 	}
 
 	nk := 1 + crng.Intn(2)

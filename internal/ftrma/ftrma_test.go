@@ -59,6 +59,56 @@ func TestConfigValidate(t *testing.T) {
 	if bad.Validate(8) == nil {
 		t.Error("accepted streaming without chunk size")
 	}
+	bad = base
+	bad.StreamingDemandCheckpoints = true
+	bad.StreamChunkBytes = 100 // not a multiple of the 8-byte word
+	if bad.Validate(8) == nil {
+		t.Error("accepted word-misaligned stream chunk size")
+	}
+	bad = base
+	bad.StreamDepth = -1
+	if bad.Validate(8) == nil {
+		t.Error("accepted negative stream depth")
+	}
+	bad = base
+	bad.LogSegmentRecords = -4
+	if bad.Validate(8) == nil {
+		t.Error("accepted negative log segment capacity")
+	}
+	bad = base
+	bad.LogSlabWords = -1
+	if bad.Validate(8) == nil {
+		t.Error("accepted negative log slab size")
+	}
+	bad = base
+	bad.LogCompactFraction = 1.5
+	if bad.Validate(8) == nil {
+		t.Error("accepted compaction fraction >= 1")
+	}
+	// Zero-valued tuning knobs mean "default" and must stay accepted.
+	ok := base
+	ok.StreamDepth, ok.LogSegmentRecords, ok.LogSlabWords = 0, 0, 0
+	if err := ok.Validate(8); err != nil {
+		t.Errorf("rejected zero (default) tuning knobs: %v", err)
+	}
+}
+
+// TestConfigDefaults pins the zero-value resolution: NewSystem must run
+// with the documented defaults materialized, so runtime code never sees a
+// zero StreamDepth or arena knob.
+func TestConfigDefaults(t *testing.T) {
+	w := rma.NewWorld(rma.Config{N: 2, WindowWords: 8})
+	sys, err := NewSystem(w, Config{Groups: 1, ChecksumsPerGroup: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := sys.cfg
+	if c.StreamDepth != 4 {
+		t.Errorf("default StreamDepth = %d, want 4", c.StreamDepth)
+	}
+	if c.LogSlabWords != 4096 || c.LogSegmentRecords != 128 || c.LogCompactFraction != 0.5 {
+		t.Errorf("log arena defaults not resolved: %+v", c)
+	}
 }
 
 func TestProcessImplementsAPIPassThrough(t *testing.T) {
@@ -512,11 +562,20 @@ func TestDemandCheckpointTrimsLogs(t *testing.T) {
 	}
 }
 
-func TestStreamingDemandCheckpointSlower(t *testing.T) {
-	run := func(stream bool) float64 {
+// TestStreamingDemandCheckpointCostOrdering pins the §6.2 variant ordering
+// under the pipelined cost model. Bulk (variant 2) hands the whole copy to
+// the CH in one send and the CH folds off the member's critical path, so it
+// stays the fastest. Streaming (variant 1) couples the member to the CH's
+// per-chunk transfer+fold chain through the bounded buffer; with depth 1
+// transfer and fold strictly alternate at the CH's single buffer, while a
+// deeper pipeline overlaps the transfer of batch k+1 with the fold of
+// batch k and must land strictly between the two.
+func TestStreamingDemandCheckpointCostOrdering(t *testing.T) {
+	run := func(stream bool, depth int) float64 {
 		w, sys := newSys(t, 2, 1<<14, func(c *Config) {
 			c.StreamingDemandCheckpoints = stream
 			c.StreamChunkBytes = 4096
+			c.StreamDepth = depth
 		})
 		w.Run(func(r int) {
 			if r == 0 {
@@ -534,10 +593,20 @@ func TestStreamingDemandCheckpointSlower(t *testing.T) {
 		})
 		return w.Proc(0).Now()
 	}
-	bulk := run(false)
-	stream := run(true)
-	if stream <= bulk {
-		t.Errorf("streaming (%g) not slower than bulk (%g)", stream, bulk)
+	bulk := run(false, 0)
+	serial := run(true, 1)
+	pipelined := run(true, 4)
+	if serial <= bulk {
+		t.Errorf("serial streaming (%g) not slower than bulk (%g)", serial, bulk)
+	}
+	if pipelined >= serial {
+		t.Errorf("pipelined streaming (%g) not faster than serial streaming (%g)", pipelined, serial)
+	}
+	if pipelined <= bulk {
+		// Not a model theorem for every geometry, but for a 128 KiB window
+		// in 4 KiB chunks the 32 per-chunk latencies plus the fold tail
+		// must keep even the pipelined stream behind one bulk send.
+		t.Errorf("pipelined streaming (%g) unexpectedly beat bulk (%g) at this geometry", pipelined, bulk)
 	}
 }
 

@@ -53,7 +53,7 @@ type Process struct {
 	// from other goroutines). ucGen/ccGen are the window dirty-tracking
 	// cursors of each copy (§6.2 incremental checksum integration): a
 	// checkpoint copies and folds only words written since its cursor.
-	// scratch is the reusable dirty-read buffer.
+	// scratch is the reusable dirty-read snapshot buffer.
 	ckptMu  sync.Mutex
 	ucData  []uint64
 	ccData  []uint64
@@ -97,6 +97,11 @@ func (p *Process) Local() []uint64       { return p.inner.Local() }
 func (p *Process) Now() float64          { return p.inner.Now() }
 func (p *Process) Compute(flops float64) { p.inner.Compute(flops) }
 func (p *Process) Barrier()              { p.inner.Barrier() }
+
+// ReadAt passes through the non-aliasing local read: unlike Local it keeps
+// the window's generation-stamp dirty tracking intact, so incremental
+// checkpoints stay cheap for read-heavy applications.
+func (p *Process) ReadAt(off, n int) []uint64 { return p.inner.ReadAt(off, n) }
 
 // Inner exposes the wrapped runtime handle (tests and the harness use it).
 func (p *Process) Inner() *rma.Proc { return p.inner }
@@ -192,31 +197,52 @@ func (p *Process) logPut(target, off int, data []uint64, op rma.ReduceOp) {
 
 // Get intercepts a get whose destination is private memory.
 func (p *Process) Get(target, off, n int) []uint64 {
-	return p.getCommon(target, off, n, -1)
+	return p.getCommon(target, off, n, -1, false)
 }
 
-// GetInto intercepts a get landing in the local window (recoverable).
+// GetInto intercepts a get landing in the local window (recoverable). The
+// returned slice aliases the window, downgrading dirty tracking to content
+// diffing — see GetCopy for the stamp-preserving variant.
 func (p *Process) GetInto(target, off, n, localOff int) []uint64 {
-	return p.getCommon(target, off, n, localOff)
+	return p.getCommon(target, off, n, localOff, true)
+}
+
+// GetCopy intercepts the non-aliasing GetInto variant: the data lands in
+// the local window at localOff with identical logging and recovery
+// semantics (the LG record carries the same LocalOff, so replay rewrites
+// the window the same way), but the caller gets a private copy and the
+// window's generation-stamp dirty tracking survives.
+func (p *Process) GetCopy(target, off, n, localOff int) []uint64 {
+	return p.getCommon(target, off, n, localOff, false)
 }
 
 // getCommon implements Algorithm 1 phase 1: raise N_target[p] before the
 // first get of the epoch, issue, and remember the determinant in Q_p.
-func (p *Process) getCommon(target, off, n, localOff int) []uint64 {
+// aliasRet selects GetInto's window-alias return over GetCopy's private
+// copy; either way the determinant's dest slice is filled at epoch close,
+// before appendLG reads it.
+func (p *Process) getCommon(target, off, n, localOff int, aliasRet bool) []uint64 {
 	if !p.sys.cfg.LogGets {
-		if localOff >= 0 {
+		switch {
+		case localOff >= 0 && aliasRet:
 			return p.inner.GetInto(target, off, n, localOff)
+		case localOff >= 0:
+			return p.inner.GetCopy(target, off, n, localOff)
+		default:
+			return p.inner.Get(target, off, n)
 		}
-		return p.inner.Get(target, off, n)
 	}
 	if !p.nOpen[target] {
 		p.setRemoteN(target, true) // Algorithm 1 line 1
 		p.nOpen[target] = true
 	}
 	var dest []uint64
-	if localOff >= 0 {
+	switch {
+	case localOff >= 0 && aliasRet:
 		dest = p.inner.GetInto(target, off, n, localOff)
-	} else {
+	case localOff >= 0:
+		dest = p.inner.GetCopy(target, off, n, localOff)
+	default:
 		dest = p.inner.Get(target, off, n)
 	}
 	ec, gc, sc, gnc := p.counters(target)
@@ -229,7 +255,7 @@ func (p *Process) getCommon(target, off, n, localOff int) []uint64 {
 // GetBlocking gets and immediately closes the epoch; N_target[p] is lowered
 // on return, as §3.2.3 prescribes for blocking gets.
 func (p *Process) GetBlocking(target, off, n int) []uint64 {
-	dest := p.getCommon(target, off, n, -1)
+	dest := p.getCommon(target, off, n, -1, false)
 	p.Flush(target)
 	return dest
 }

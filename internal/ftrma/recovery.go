@@ -250,8 +250,9 @@ func (p *Process) applyRecord(r LogRecord, cost float64) {
 	case r.Kind == LogPut:
 		// Combining puts only reach replay via explicit opt-in paths
 		// (they normally force the fallback through the M flag); apply
-		// with the original op.
-		cur := p.inner.LocalRead(r.Off, len(r.Data))
+		// with the original op. The read goes through the non-aliasing
+		// path so replay never downgrades the fresh window's stamps.
+		cur := p.inner.ReadAt(r.Off, len(r.Data))
 		for i, v := range r.Data {
 			cur[i] = applyOp(r.Op, cur[i], v)
 		}

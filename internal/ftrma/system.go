@@ -80,31 +80,29 @@ func (g *chGroup) memberIndex(rank int) int {
 	return -1
 }
 
-// update folds a member's checkpoint change (old -> new copy) into the
-// parity shards. Callers pass the same slice lengths as the window.
-func (g *chGroup) update(parity [][]uint64, rank int, oldData, newData []uint64) {
-	g.updateRanges(parity, rank, oldData, newData,
-		[]rma.DirtyRange{{Off: 0, Len: len(oldData)}})
-}
-
-// updateRanges folds the given word ranges of a member's checkpoint change
-// into the parity shards, word-natively and with the delta fused into the
-// erasure kernel (no serialization, no temporary delta buffer). oldData is
-// the member's previous checkpoint copy, newData the buffer holding the new
-// window contents at the dirty positions.
-func (g *chGroup) updateRanges(parity [][]uint64, rank int, oldData, newData []uint64, ranges []rma.DirtyRange) {
+// foldRanges folds the given word ranges of a member's checkpoint change
+// (old -> new copy) into the parity shards, word-natively and with the
+// delta fused into the erasure kernel (no serialization, no temporary
+// delta buffer). oldData is the member's previous checkpoint copy, newData
+// the buffer holding the new window contents at the dirty positions. The
+// checkpoint pipeline hands it the chunk batches of one stream and
+// `workers` (Config.StreamDepth) goroutines fold them concurrently. The
+// batches are disjoint word ranges, so the shard writes never overlap;
+// g.mu is held once for the whole batch set, excluding other members'
+// concurrent folds and reconstructions.
+func (g *chGroup) foldRanges(parity [][]uint64, rank int, oldData, newData []uint64, ranges []rma.DirtyRange, workers int) {
 	g.mu.Lock()
 	defer g.mu.Unlock()
 	j := -1
 	if g.rs != nil {
 		j = g.memberIndex(rank)
 	}
-	for _, r := range ranges {
+	fold := func(r rma.DirtyRange) {
 		lo, hi := r.Off, r.Off+r.Len
 		if g.rs == nil {
 			// XOR: parity ^= old ^ new.
 			erasure.XorDeltaWords(parity[0][lo:hi], oldData[lo:hi], newData[lo:hi])
-			continue
+			return
 		}
 		for i := range parity {
 			if err := g.rs.UpdateParityDeltaWords(parity[i][lo:hi], i, j, oldData[lo:hi], newData[lo:hi]); err != nil {
@@ -112,6 +110,26 @@ func (g *chGroup) updateRanges(parity [][]uint64, rank int, oldData, newData []u
 			}
 		}
 	}
+	if workers > len(ranges) {
+		workers = len(ranges)
+	}
+	if workers < 2 {
+		for _, r := range ranges {
+			fold(r)
+		}
+		return
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := w; i < len(ranges); i += workers {
+				fold(ranges[i])
+			}
+		}(w)
+	}
+	wg.Wait()
 }
 
 // reseed rebuilds the parity shards from scratch out of the members'
@@ -200,6 +218,15 @@ type System struct {
 
 	pfs *pfsStore
 
+	// streamDelay, when non-nil, perturbs the streaming checkpoint
+	// schedule: it is called once per chunk batch (on the first checksum
+	// process's schedule; the same delay applies to every CH of the
+	// group) with the checkpointing rank and the batch index and returns
+	// extra seconds added to that batch's transfer start. Tests use it to
+	// model slow or reordered chunk deliveries and to kill ranks
+	// mid-stream; production code leaves it nil.
+	streamDelay func(rank, batch, batches int) float64
+
 	statsMu sync.Mutex
 	stats   Stats
 }
@@ -210,6 +237,7 @@ type System struct {
 // membership is validated against Eq. 6 on the supplied placement.
 func NewSystem(w *rma.World, cfg Config) (*System, error) {
 	n := w.N()
+	cfg = cfg.withDefaults()
 	if err := cfg.Validate(n); err != nil {
 		return nil, err
 	}
@@ -223,9 +251,6 @@ func NewSystem(w *rma.World, cfg Config) (*System, error) {
 		if err := machine.CheckTAware(machine.Placement{FDH: pl.FDH, NodeOf: pl.NodeOf}, grouping, cfg.TAwareLevel); err != nil {
 			return nil, fmt.Errorf("ftrma: placement not t-aware: %w", err)
 		}
-	}
-	if cfg.StreamingDemandCheckpoints && cfg.StreamChunkBytes == 0 {
-		cfg.StreamChunkBytes = 256 << 10
 	}
 	s := &System{world: w, cfg: cfg, grouping: grouping,
 		pfs: &pfsStore{data: make(map[int][]uint64), snaps: make(map[int]memberSnap)}}

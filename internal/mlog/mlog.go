@@ -168,6 +168,13 @@ func (p *Process) GetInto(target, off, n, localOff int) []uint64 {
 	return dest
 }
 
+// GetCopy issues the non-aliasing window get and records like Get.
+func (p *Process) GetCopy(target, off, n, localOff int) []uint64 {
+	dest := p.Proc.GetCopy(target, off, n, localOff)
+	p.logGet(target, off, n)
+	return dest
+}
+
 // GetBlocking gets and closes the epoch.
 func (p *Process) GetBlocking(target, off, n int) []uint64 {
 	dest := p.Get(target, off, n)

@@ -99,8 +99,15 @@ type API interface {
 	// N returns the number of application-visible ranks.
 	N() int
 	// Local returns the local window. Direct reads/writes model the
-	// paper's internal read/write actions.
+	// paper's internal read/write actions. Handing out the raw slice lets
+	// writes bypass the runtime, so it permanently downgrades dirty
+	// tracking to content diffing; read-only consumers should use ReadAt.
 	Local() []uint64
+	// ReadAt returns a copy of n words of the local window starting at
+	// off, read atomically with respect to concurrent remote accesses.
+	// Unlike Local, the returned slice does not alias the window, so
+	// generation-stamp dirty tracking is preserved.
+	ReadAt(off, n int) []uint64
 
 	// Put transfers data into target's window at word offset off
 	// (non-blocking, visible after the epoch closes).
@@ -115,8 +122,16 @@ type API interface {
 	Get(target, off, n int) []uint64
 	// GetInto starts reading n words from target at off into the local
 	// window at localOff; the data lands in exposed (recoverable) memory
-	// when the epoch closes.
+	// when the epoch closes. The returned slice aliases the local window,
+	// which permanently downgrades the window's dirty tracking from
+	// generation stamps to content diffing; get-heavy applications that
+	// do not need the alias should use GetCopy instead.
 	GetInto(target, off, n, localOff int) []uint64
+	// GetCopy is the non-aliasing variant of GetInto: the data still lands
+	// in the local window at localOff (recoverable memory), but the
+	// returned slice is a private copy filled at epoch close, so
+	// generation-stamp dirty tracking survives.
+	GetCopy(target, off, n, localOff int) []uint64
 	// GetBlocking reads and closes the epoch immediately.
 	GetBlocking(target, off, n int) []uint64
 	// CompareAndSwap atomically replaces the word at target/off with new

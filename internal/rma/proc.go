@@ -170,6 +170,22 @@ func (p *Proc) LocalRead(off, n int) []uint64 {
 	return dst
 }
 
+// ReadAt is the non-aliasing read path of the API: a copy of n words of
+// the local window starting at off. Unlike Local it never marks the window
+// aliased, so generation-stamp dirty tracking stays exact and incremental
+// checkpoints keep skipping the content-diff scan.
+func (p *Proc) ReadAt(off, n int) []uint64 { return p.LocalRead(off, n) }
+
+// WindowAliased reports whether the window has handed out a raw alias
+// (Local or GetInto) and dirty tracking has therefore fallen back to
+// content diffing. Tests and profiling hooks use it.
+func (p *Proc) WindowAliased() bool {
+	w := p.world.windows[p.rank]
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.aliased
+}
+
 // LocalWrite stores data at off in the local window under the window lock.
 func (p *Proc) LocalWrite(off int, data []uint64) {
 	p.checkAlive()
@@ -220,20 +236,32 @@ func (p *Proc) putInternal(target, off int, data []uint64, op ReduceOp, kind str
 // Get issues a non-blocking get of n words from target at off. The returned
 // slice is filled when the epoch towards target closes.
 func (p *Proc) Get(target, off, n int) []uint64 {
-	return p.getInternal(target, off, n, -1)
+	return p.getInternal(target, off, n, -1, false)
 }
 
 // GetInto issues a non-blocking get of n words from target at off whose
 // destination is the local window at localOff. Unlike Get, the received
 // data lands in exposed (and therefore checkpointable and recoverable)
 // memory — this is how applications should receive data they cannot afford
-// to lose. The returned slice aliases the local window.
+// to lose. The returned slice aliases the local window, which downgrades
+// dirty tracking to content diffing; use GetCopy to avoid that.
 func (p *Proc) GetInto(target, off, n, localOff int) []uint64 {
 	p.world.windows[p.rank].checkRange(localOff, n)
-	return p.getInternal(target, off, n, localOff)
+	return p.getInternal(target, off, n, localOff, true)
 }
 
-func (p *Proc) getInternal(target, off, n, localOff int) []uint64 {
+// GetCopy is the non-aliasing GetInto: the received data lands in the local
+// window at localOff exactly as with GetInto (same recoverability, same
+// logging semantics in the FT layers), but the returned slice is a private
+// copy filled at epoch close. Because no raw window reference escapes, the
+// window's generation-stamp dirty tracking survives — this is the read path
+// get-heavy applications should prefer.
+func (p *Proc) GetCopy(target, off, n, localOff int) []uint64 {
+	p.world.windows[p.rank].checkRange(localOff, n)
+	return p.getInternal(target, off, n, localOff, false)
+}
+
+func (p *Proc) getInternal(target, off, n, localOff int, aliasRet bool) []uint64 {
 	p.checkAlive()
 	p.checkTarget(target)
 	bytes := n * 8
@@ -251,10 +279,12 @@ func (p *Proc) getInternal(target, off, n, localOff int) []uint64 {
 		t.OnAction(TraceAction{Kind: "get", Src: p.rank, Trg: target, Words: n,
 			Epoch: p.epoch[target]})
 	})
-	if localOff >= 0 {
+	if localOff >= 0 && aliasRet {
 		// The returned slice aliases the local window, so writes through it
 		// bypass the runtime: downgrade dirty tracking to content diffing,
-		// exactly as Local does.
+		// exactly as Local does. (GetCopy lands in the window all the same —
+		// via the runtime's applyPut at epoch close — but returns the
+		// private dest buffer, so the stamps stay trustworthy.)
 		return p.world.windows[p.rank].alias()[localOff : localOff+n]
 	}
 	return dest

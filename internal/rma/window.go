@@ -61,14 +61,15 @@ func (w *window) markDirty(off, n int) {
 		return
 	}
 	w.gen++
-	for c := off / dirtyChunkWords; c <= (off + n - 1) / dirtyChunkWords; c++ {
+	for c := off / dirtyChunkWords; c <= (off+n-1)/dirtyChunkWords; c++ {
 		w.chunkGen[c] = w.gen
 	}
 }
 
 // alias returns the raw words and permanently downgrades dirty tracking to
 // content comparison (writes through the returned slice are invisible to
-// the runtime).
+// the runtime). Only Local and GetInto take this path; the non-aliasing
+// ReadAt/GetCopy reads go through readInto and leave the stamps exact.
 func (w *window) alias() []uint64 {
 	w.mu.Lock()
 	defer w.mu.Unlock()

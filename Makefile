@@ -43,8 +43,15 @@ bench:
 # compare against the committed BENCH_*.json baselines (deterministic
 # virtual-time metrics gate tightly; wall-clock MB/s is a coarse tripwire).
 bench-gate:
-	$(GO) test -run xxx -bench 'BenchmarkDemandCheckpointStreamPipeline|BenchmarkErasureThroughput|BenchmarkCheckpointRound' -benchtime=100ms -count=1 . | tee bench.out
-	$(GO) run ./cmd/benchgate -bench bench.out -baseline BENCH_stream.json -baseline BENCH_baseline.json -baseline BENCH_logs.json -out bench-results.json
+	$(GO) test -run xxx -bench 'BenchmarkDemandCheckpointStreamPipeline|BenchmarkErasureThroughput|BenchmarkCheckpointRound|BenchmarkTransportFlush|BenchmarkTransportAtomic' -benchtime=100ms -count=1 . | tee bench.out
+	$(GO) run ./cmd/benchgate -bench bench.out -baseline BENCH_stream.json -baseline BENCH_baseline.json -baseline BENCH_logs.json -baseline BENCH_transport.json -out bench-results.json
+
+# Multi-process smoke: 4 rankd worker processes against a live
+# coordinator, kill -9 of one mid-run, replacement rejoin, bit-identical
+# recovery check (the same scenario the cluster package's Go test runs
+# in-process of `go test`; this target exercises the shipped binary).
+smoke-rankd:
+	./scripts/smoke_rankd.sh
 
 # The tier-1 gate the roadmap pins.
 tier1: build test

@@ -1,0 +1,125 @@
+package repro
+
+// Transport-layer benchmarks: epoch flush batching and blocking-atomic
+// round trips on the loopback (in-process reference) and tcp (real
+// localhost sockets) transports. The deterministic headline metric is
+// frames_per_flush — however many accesses an epoch buffers, closing it
+// must cost exactly one framed message; cmd/benchgate pins it against
+// BENCH_transport.json. Wall-clock ns/op and MB/s are machine-dependent
+// documentation.
+
+import (
+	"net"
+	"testing"
+
+	"repro/internal/rma"
+	"repro/internal/transport"
+	"repro/internal/transport/loopback"
+	"repro/internal/transport/tcp"
+)
+
+// benchTCPWorld builds an n-rank world whose ranks talk over real
+// localhost sockets, returning the per-rank peers for frame counting.
+func benchTCPWorld(b *testing.B, n, words int) (*rma.World, []*tcp.Peer) {
+	b.Helper()
+	lns := make([]net.Listener, n)
+	addrs := make(map[int]string, n)
+	for r := 0; r < n; r++ {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			b.Fatalf("listen: %v", err)
+		}
+		lns[r] = ln
+		addrs[r] = ln.Addr().String()
+	}
+	peers := make([]*tcp.Peer, n)
+	w := rma.NewWorld(rma.Config{N: n, WindowWords: words, Transport: func(rank, worldN int, ep func(int) transport.Endpoint) (transport.Transport, error) {
+		p, err := tcp.New(tcp.Config{
+			Self: rank, N: worldN, Listener: lns[rank], Peers: addrs,
+			Local:             loopback.New(ep),
+			HeartbeatInterval: -1,
+		})
+		if err != nil {
+			return nil, err
+		}
+		peers[rank] = p
+		return p, nil
+	}})
+	b.Cleanup(w.Close)
+	return w, peers
+}
+
+// BenchmarkTransportFlush closes an epoch of 16 puts + 4 gets (10 KiB of
+// payload) towards one target per iteration.
+func BenchmarkTransportFlush(b *testing.B) {
+	const (
+		putOps     = 16
+		getOps     = 4
+		wordsPerOp = 64
+		words      = 4096
+	)
+	payload := make([]uint64, wordsPerOp)
+	for i := range payload {
+		payload[i] = uint64(i)
+	}
+	epoch := func(p *rma.Proc) {
+		for j := 0; j < putOps; j++ {
+			p.Put(1, j*wordsPerOp, payload)
+		}
+		for j := 0; j < getOps; j++ {
+			p.Get(1, j*wordsPerOp, wordsPerOp)
+		}
+		p.Flush(1)
+	}
+	bytesPerFlush := int64(8 * wordsPerOp * (putOps + getOps))
+
+	b.Run("loopback", func(b *testing.B) {
+		w := rma.NewWorld(rma.Config{N: 2, WindowWords: words})
+		p := w.Proc(0)
+		b.SetBytes(bytesPerFlush)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			epoch(p)
+		}
+	})
+
+	b.Run("tcp", func(b *testing.B) {
+		w, peers := benchTCPWorld(b, 2, words)
+		p := w.Proc(0)
+		p.PutValue(1, 0, 1)
+		p.Flush(1) // dial + hello outside the measurement
+		start := peers[0].FramesTo(1)
+		b.SetBytes(bytesPerFlush)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			epoch(p)
+		}
+		b.StopTimer()
+		b.ReportMetric(float64(peers[0].FramesTo(1)-start)/float64(b.N), "frames_per_flush")
+	})
+}
+
+// BenchmarkTransportAtomic measures the blocking request/response round
+// trip of a CompareAndSwap.
+func BenchmarkTransportAtomic(b *testing.B) {
+	b.Run("loopback", func(b *testing.B) {
+		w := rma.NewWorld(rma.Config{N: 2, WindowWords: 64})
+		p := w.Proc(0)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			p.CompareAndSwap(1, 0, uint64(i), uint64(i+1))
+		}
+	})
+	b.Run("tcp", func(b *testing.B) {
+		w, peers := benchTCPWorld(b, 2, 64)
+		p := w.Proc(0)
+		p.CompareAndSwap(1, 0, 0, 1) // dial + hello outside the measurement
+		start := peers[0].FramesTo(1)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			p.CompareAndSwap(1, 0, uint64(i+1), uint64(i+2))
+		}
+		b.StopTimer()
+		b.ReportMetric(float64(peers[0].FramesTo(1)-start)/float64(b.N), "frames_per_op")
+	})
+}

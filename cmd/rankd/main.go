@@ -1,0 +1,119 @@
+// Command rankd runs one node of the multi-process cluster.
+//
+// Coordinator (hosts the windows and the ftRMA protocol state, serves the
+// epoch-batched wire protocol, detects worker deaths, drives recovery):
+//
+//	rankd -coordinator -listen 127.0.0.1:7100 -n 4 -phases 12
+//
+// Worker (drives one rank; the membership handshake assigns the rank id —
+// a replacement started after a kill -9 inherits the failed rank and its
+// resume phase):
+//
+//	rankd -join 127.0.0.1:7100
+//
+// The coordinator runs the deterministic kvstore workload, waits for
+// every rank to finish, then verifies the final windows bit-for-bit
+// against an in-process failure-free oracle of the same workload — kill
+// -9 a worker mid-run, start a replacement, and the check still passes,
+// which is the whole point. Exit status 0 means bit-identical.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/transport/cluster"
+)
+
+func main() {
+	var (
+		coordinator = flag.Bool("coordinator", false, "run the coordinator (window host + recovery driver)")
+		listen      = flag.String("listen", "127.0.0.1:7100", "coordinator listen address")
+		join        = flag.String("join", "", "worker mode: coordinator address to join")
+		n           = flag.Int("n", 4, "number of ranks (coordinator)")
+		phases      = flag.Int("phases", 12, "bulk-synchronous rounds (coordinator)")
+		inserts     = flag.Int("inserts", 8, "DHT inserts per rank per round (coordinator)")
+		slots       = flag.Int("slots", 1024, "hash-table slots per volume (coordinator)")
+		phaseDelay  = flag.Duration("phase-delay", 100*time.Millisecond, "wall-clock think time per round (stretches the run so kills land mid-flight)")
+		timeout     = flag.Duration("timeout", 2*time.Minute, "coordinator: abort if the run has not completed in time")
+	)
+	flag.Parse()
+
+	switch {
+	case *coordinator:
+		os.Exit(runCoordinator(*listen, cluster.Workload{
+			Ranks:           *n,
+			Phases:          *phases,
+			InsertsPerPhase: *inserts,
+			TableSlots:      *slots,
+			PhaseDelay:      *phaseDelay,
+		}, *timeout))
+	case *join != "":
+		if err := cluster.RunWorker(cluster.DialConfig{Addr: *join}); err != nil {
+			fmt.Fprintf(os.Stderr, "rankd worker: %v\n", err)
+			os.Exit(1)
+		}
+	default:
+		fmt.Fprintln(os.Stderr, "rankd: need -coordinator or -join ADDR")
+		os.Exit(2)
+	}
+}
+
+func runCoordinator(listen string, wl cluster.Workload, timeout time.Duration) int {
+	c, err := cluster.NewCoordinator(cluster.Config{Listen: listen, Workload: wl, Timeout: timeout})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "rankd coordinator: %v\n", err)
+		return 1
+	}
+	defer c.Close()
+	fmt.Printf("rankd coordinator: listening on %s, %d ranks x %d phases\n", c.Addr(), wl.Ranks, wl.Phases)
+
+	go func() {
+		// Progress lines for smoke scripts: "phase N done" when the
+		// slowest rank completes round N.
+		last := 0
+		for {
+			time.Sleep(50 * time.Millisecond)
+			min := wl.Phases
+			for r := 0; r < wl.Ranks; r++ {
+				if d := c.PhasesDone(r); d < min {
+					min = d
+				}
+			}
+			for last < min {
+				last++
+				fmt.Printf("phase %d done\n", last)
+			}
+			if last >= wl.Phases {
+				return
+			}
+		}
+	}()
+
+	got, err := c.Run()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "rankd coordinator: %v\n", err)
+		return 1
+	}
+	st := c.Stats()
+	fmt.Printf("run complete: %d recoveries (%d coordinated fallbacks), %d UC checkpoints, %d CC rounds, %d puts + %d gets logged\n",
+		st.Recoveries, st.Fallbacks, st.UCCheckpoints, st.CCCheckpoints, st.PutsLogged, st.GetsLogged)
+
+	want, err := wl.Oracle()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "rankd coordinator: oracle: %v\n", err)
+		return 1
+	}
+	for r := range want {
+		for i := range want[r] {
+			if got[r][i] != want[r][i] {
+				fmt.Fprintf(os.Stderr, "MISMATCH: rank %d word %d: got %#x want %#x\n", r, i, got[r][i], want[r][i])
+				return 1
+			}
+		}
+	}
+	fmt.Println("final windows bit-identical to the failure-free oracle")
+	return 0
+}

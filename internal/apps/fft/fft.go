@@ -123,7 +123,10 @@ func Init(api rma.API, cfg Config) {
 	rank := api.Rank()
 	r, cc := rank/cfg.Q, rank%cfg.Q
 	nl := cfg.nl()
-	win := api.Local()
+	// Stage the initial field privately and store it through the
+	// non-aliasing WriteAt path: no Local() alias escapes, so the window's
+	// generation-stamp dirty tracking survives this writer app.
+	win := make([]uint64, cfg.WindowWords())
 	for rs := 0; rs < cfg.Q; rs++ {
 		for zl := 0; zl < nl; zl++ {
 			for yl := 0; yl < nl; yl++ {
@@ -134,6 +137,7 @@ func Init(api rma.API, cfg Config) {
 			}
 		}
 	}
+	api.WriteAt(0, win)
 	api.Barrier()
 	if ck, ok := api.(Checkpointer); ok {
 		ck.UCCheckpoint()
@@ -273,7 +277,6 @@ func packC(win []uint64, cfg Config, cd int, buf []uint64) {
 func iteration(api rma.API, cfg Config, it int) {
 	rank := api.Rank()
 	r, cc := rank/cfg.Q, rank%cfg.Q
-	win := api.Local()
 	line := make([]complex128, cfg.N)
 	buf := make([]uint64, cfg.blockWords())
 	nl := cfg.nl()
@@ -282,7 +285,15 @@ func iteration(api rma.API, cfg Config, it int) {
 	// machine's byte-per-flop ratio through Compute.
 	packFlops := float64(8 * cfg.blockWords() / 2)
 
+	// Each phase reads the window through the non-aliasing read path into
+	// a reused private snapshot; the transposed blocks reach the windows
+	// only as runtime puts (every stage region is fully rewritten by its
+	// transpose, self-block included, so no aliasing write is ever needed
+	// and generation-stamp dirty tracking survives).
+	win := make([]uint64, cfg.WindowWords())
+
 	// Phase 1: FFT along x, transpose A -> B within the process row.
+	rma.ReadWindow(api, win)
 	fftX(win, cfg, line)
 	api.Compute(float64(nl*nl) * lineFlops)
 	for rd := 0; rd < cfg.Q; rd++ {
@@ -293,6 +304,7 @@ func iteration(api rma.API, cfg Config, it int) {
 	api.Gsync()
 
 	// Phase 2: FFT along y, transpose B -> C within the process column.
+	rma.ReadWindow(api, win) // fresh stage B from the gsync
 	fftY(win, cfg, line)
 	api.Compute(float64(nl*nl) * lineFlops)
 	for cd := 0; cd < cfg.Q; cd++ {
@@ -305,6 +317,7 @@ func iteration(api rma.API, cfg Config, it int) {
 	// Phase 3: FFT along z (+ evolution), transpose C -> A. The y chunk
 	// this rank owns in stage C is its column index, so the destinations
 	// form process row c.
+	rma.ReadWindow(api, win) // fresh stage C from the gsync
 	fftZ(win, cfg, line, r, cc, it)
 	api.Compute(float64(nl*nl) * lineFlops)
 	for cd := 0; cd < cfg.Q; cd++ {
@@ -330,7 +343,7 @@ func Gather(w windowReader, cfg Config) []complex128 {
 	cube := make([]complex128, n*n*n)
 	for r := 0; r < cfg.Q; r++ {
 		for cc := 0; cc < cfg.Q; cc++ {
-			win := w.Proc(r*cfg.Q + cc).Local()
+			win := w.Proc(r*cfg.Q+cc).ReadAt(0, cfg.WindowWords())
 			for rs := 0; rs < cfg.Q; rs++ {
 				for zl := 0; zl < nl; zl++ {
 					for yl := 0; yl < nl; yl++ {

@@ -84,14 +84,25 @@ func hash(k uint64) uint64 {
 	return k ^ (k >> 31)
 }
 
+// Placement returns the rank owning a key's home volume and the key's
+// table slot within it, for n ranks. Deterministic workload generators
+// (the multi-process cluster's conflict-free schedules) use it to steer
+// keys; Store uses the same mapping internally.
+func (c Config) Placement(key uint64, n int) (owner, slot int) {
+	h := hash(key)
+	return int(h % uint64(n)), int((h >> 17) % uint64(c.TableSlots))
+}
+
 // owner returns the rank owning a key's home volume.
 func (s *Store) owner(key uint64) int {
-	return int(hash(key) % uint64(s.api.N()))
+	o, _ := s.cfg.Placement(key, s.api.N())
+	return o
 }
 
 // slot returns the key's table slot within its volume.
 func (s *Store) slot(key uint64) int {
-	return int((hash(key) >> 17) % uint64(s.cfg.TableSlots))
+	_, sl := s.cfg.Placement(key, s.api.N())
+	return sl
 }
 
 // Insert stores a non-zero key in the DHT. The fast path is a single CAS

@@ -62,13 +62,16 @@ type Checkpointer interface{ UCCheckpoint() }
 
 // Init fills buffer 0 — interior and halos — with the initial field. Halos
 // are computable locally because the initial condition is a closed form; no
-// communication is needed. When supported, an uncoordinated checkpoint
-// makes the initial state recoverable.
+// communication is needed. The field is staged in private memory and
+// stored through the non-aliasing WriteAt path, so the window's
+// generation-stamp dirty tracking survives (no Local() alias). When
+// supported, an uncoordinated checkpoint makes the initial state
+// recoverable.
 func Init(api rma.API, cfg Config) {
 	if err := cfg.Validate(); err != nil {
 		panic(err)
 	}
-	win := api.Local()
+	win := make([]uint64, cfg.WindowWords())
 	rank := api.Rank()
 	for i := 0; i <= cfg.RowsPerRank+1; i++ {
 		globalRow := rank*cfg.RowsPerRank + i - 1
@@ -81,6 +84,7 @@ func Init(api rma.API, cfg Config) {
 			win[cfg.rowOff(1, i)+j] = 0
 		}
 	}
+	api.WriteAt(0, win)
 	api.Barrier()
 	if ck, ok := api.(Checkpointer); ok {
 		ck.UCCheckpoint()
@@ -109,17 +113,27 @@ func computePhase(win []uint64, cfg Config, it int) {
 // Run executes iterations [from, to): compute the next buffer, push halo
 // rows to the neighbours with non-blocking puts, and close the phase with a
 // gsync (one gsync per iteration, so GNC equals the iteration index).
+//
+// Each iteration reads the window through the non-aliasing ReadAt path,
+// computes the next buffer in that private snapshot, and stores the
+// updated interior back through WriteAt — no Local() alias ever escapes,
+// so the window's generation-stamp dirty tracking stays exact and
+// incremental checkpoints keep skipping the content-diff scan even for
+// this writer-heavy kernel.
 func Run(api rma.API, cfg Config, from, to int) {
 	if err := cfg.Validate(); err != nil {
 		panic(err)
 	}
 	rank, n := api.Rank(), api.N()
-	win := api.Local()
 	w := cfg.Width
+	win := make([]uint64, cfg.WindowWords())
 	for it := from; it < to; it++ {
+		rma.ReadWindow(api, win)
 		computePhase(win, cfg, it)
 		api.Compute(float64(cfg.RowsPerRank*(w-2)) * 7) // 7 flops per cell
 		next := (it + 1) % 2
+		api.WriteAt(cfg.rowOff(next, 1),
+			win[cfg.rowOff(next, 1):cfg.rowOff(next, cfg.RowsPerRank+1)])
 		if rank > 0 {
 			api.Put(rank-1, cfg.rowOff(next, cfg.RowsPerRank+1),
 				win[cfg.rowOff(next, 1):cfg.rowOff(next, 1)+w])
@@ -138,10 +152,18 @@ func Run(api rma.API, cfg Config, from, to int) {
 // halo puts from the logs (their own source-side copies of this rank's
 // outgoing halos are already applied at the survivors).
 func Recover(p *ftrma.Process, logs *ftrma.ReplayLogs, cfg Config) {
-	win := p.Local()
 	maxG := logs.MaxGNC()
+	win := make([]uint64, cfg.WindowWords())
 	for it := p.GNC(); it <= maxG; it++ {
+		// Same non-aliasing read/compute/write cycle as Run, so the
+		// recovered rank's window evolves bit-identically to the normal
+		// path; the neighbours' halo puts arrive from the logs instead of
+		// the wire.
+		rma.ReadWindow(p, win)
 		computePhase(win, cfg, it)
+		next := (it + 1) % 2
+		p.WriteAt(cfg.rowOff(next, 1),
+			win[cfg.rowOff(next, 1):cfg.rowOff(next, cfg.RowsPerRank+1)])
 		p.ReplayPhase(logs, it)
 	}
 }
@@ -152,7 +174,7 @@ func Gather(w interface{ Proc(int) *rma.Proc }, cfg Config, n, iters int) []floa
 	b := iters % 2
 	out := make([]float64, n*cfg.RowsPerRank*cfg.Width)
 	for r := 0; r < n; r++ {
-		win := w.Proc(r).Local()
+		win := w.Proc(r).ReadAt(0, cfg.WindowWords())
 		for i := 1; i <= cfg.RowsPerRank; i++ {
 			globalRow := r*cfg.RowsPerRank + i - 1
 			for j := 0; j < cfg.Width; j++ {

@@ -103,6 +103,15 @@ func (p *Process) Barrier()              { p.inner.Barrier() }
 // checkpoints stay cheap for read-heavy applications.
 func (p *Process) ReadAt(off, n int) []uint64 { return p.inner.ReadAt(off, n) }
 
+// ReadInto passes through the buffer-reusing variant of ReadAt.
+func (p *Process) ReadInto(off int, dst []uint64) { p.inner.ReadInto(off, dst) }
+
+// WriteAt passes through the non-aliasing local write (the counterpart of
+// ReadAt): a local window store is an internal write action, not a logged
+// remote access, but going through the runtime keeps the dirty stamps exact
+// so incremental checkpoints stay cheap for writer applications too.
+func (p *Process) WriteAt(off int, data []uint64) { p.inner.WriteAt(off, data) }
+
 // Inner exposes the wrapped runtime handle (tests and the harness use it).
 func (p *Process) Inner() *rma.Proc { return p.inner }
 

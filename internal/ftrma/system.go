@@ -3,6 +3,7 @@ package ftrma
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/erasure"
 	"repro/internal/machine"
@@ -218,6 +219,17 @@ type System struct {
 
 	pfs *pfsStore
 
+	// ccSuspended pauses the transparent coordinated-checkpoint schedule.
+	// The multi-process cluster's failure detector raises it while a
+	// recovery is pending — the ranks draining their last collective round
+	// must not open a new checkpoint round that the failed rank can never
+	// join (ccRound is barrier-bracketed, so a partial round would both
+	// deadlock and cut inconsistently). The flag is only observed at
+	// globally synchronized points (right after a gsync barrier), so
+	// raising it while every rank is blocked in that barrier yields a
+	// uniform skip decision.
+	ccSuspended atomic.Bool
+
 	// streamDelay, when non-nil, perturbs the streaming checkpoint
 	// schedule: it is called once per chunk batch (on the first checksum
 	// process's schedule; the same delay applies to every CH of the
@@ -280,6 +292,12 @@ func (s *System) Grouping() machine.Grouping { return s.grouping }
 
 // groupOf returns the chGroup a rank belongs to.
 func (s *System) groupOf(r int) *chGroup { return s.groups[s.grouping.GroupOf(r)] }
+
+// SetCCSuspended pauses (true) or resumes (false) the transparent
+// coordinated-checkpoint schedule. See the ccSuspended field for the
+// consistency argument; the batch system (cluster coordinator) is the
+// intended caller, around a pending recovery.
+func (s *System) SetCCSuspended(v bool) { s.ccSuspended.Store(v) }
 
 // Stats returns a snapshot of the protocol counters.
 func (s *System) Stats() Stats {

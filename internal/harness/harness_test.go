@@ -144,12 +144,25 @@ func TestFig12Ordering(t *testing.T) {
 		byName[s.Name] = s.Points
 	}
 	for i := range byName["no-FT"] {
+		p := int(byName["no-FT"][i].X)
 		noft := byName["no-FT"][i].Y
 		ch125 := byName["f-12.5-nodes"][i].Y
 		ch625 := byName["f-6.25-nodes"][i].Y
-		if !(noft > ch125 && ch125 >= ch625) {
-			t.Errorf("p=%g: want no-FT > f-12.5 >= f-6.25; got %g %g %g",
-				byName["no-FT"][i].X, noft, ch125, ch625)
+		if !(noft > ch125) {
+			t.Errorf("p=%d: want no-FT > f-12.5; got %g %g", p, noft, ch125)
+		}
+		if chGroups(p, 12.5) == chGroups(p, 6.25) {
+			// At small scales both percentages floor to the same group
+			// count — the two runs are config-identical and their virtual
+			// rates differ only by scheduling noise in the shared-resource
+			// queues. Require near-equality instead of a strict order.
+			if ch125 < 0.95*ch625 || ch625 < 0.95*ch125 {
+				t.Errorf("p=%d: config-identical CH variants diverge: %g vs %g", p, ch125, ch625)
+			}
+			continue
+		}
+		if ch125 < ch625 {
+			t.Errorf("p=%d: want f-12.5 >= f-6.25; got %g %g", p, ch125, ch625)
 		}
 	}
 }

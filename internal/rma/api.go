@@ -25,6 +25,21 @@
 // estimate. Fail-stop faults are injected with World.Kill: the victim's
 // window (volatile memory) is lost and its goroutine unwinds at its next
 // runtime call.
+//
+// # The transport seam
+//
+// Delivery — what physically happens when an epoch closes — is pluggable
+// through package transport. A Proc buffers puts, gets, and accumulates per
+// target; closing the epoch hands the whole buffered batch to the rank's
+// transport.Transport in one Flush call, and blocking atomics and structure
+// locks go through the same interface as request/response operations. The
+// default (Config.Transport == nil) is the in-process loopback: direct
+// window access, the semantics this runtime always had. Swapping in the tcp
+// transport runs the very same worlds over real sockets, one framed flush
+// message per epoch close per target; the conformance suite in
+// internal/transport holds every implementation to the loopback's behavior.
+// Window memory itself (Local, ReadAt, WriteAt, LocalReadDirty) is always
+// local — the seam covers remote access, not the rank's own window.
 package rma
 
 // ReduceOp selects the combining operation of Accumulate and FetchAndOp.
@@ -108,6 +123,13 @@ type API interface {
 	// Unlike Local, the returned slice does not alias the window, so
 	// generation-stamp dirty tracking is preserved.
 	ReadAt(off, n int) []uint64
+	// WriteAt stores data at off in the local window through the runtime,
+	// atomically with respect to concurrent remote accesses. It is the
+	// write-path counterpart of ReadAt: because the write goes through the
+	// runtime, the window's generation-stamp dirty tracking stays exact —
+	// writer applications should prefer ReadAt/WriteAt over mutating
+	// Local()'s alias.
+	WriteAt(off int, data []uint64)
 
 	// Put transfers data into target's window at word offset off
 	// (non-blocking, visible after the epoch closes).
@@ -163,6 +185,20 @@ type API interface {
 	Compute(flops float64)
 	// Now returns the rank's virtual time.
 	Now() float64
+}
+
+// ReadWindow fills dst with the window contents starting at offset 0
+// through the non-aliasing read path: the allocation-free ReadInto when
+// the implementation offers it (every in-tree implementation does),
+// falling back to the interface's ReadAt. Writer applications that
+// re-read the window every phase (stencil, FFT) share one scratch buffer
+// through it.
+func ReadWindow(api API, dst []uint64) {
+	if r, ok := api.(interface{ ReadInto(int, []uint64) }); ok {
+		r.ReadInto(0, dst)
+		return
+	}
+	copy(dst, api.ReadAt(0, len(dst)))
 }
 
 // Structure identifiers for Lock/Unlock. Applications use StrWindow; the

@@ -1,0 +1,70 @@
+package rma
+
+import (
+	"fmt"
+
+	"repro/internal/transport"
+)
+
+// redToOp converts a wire reduce-op code to the runtime's ReduceOp. The two
+// enumerations mirror each other value for value (TestReduceOpWireCodes
+// pins the correspondence); an out-of-range code is a protocol error.
+func redToOp(r uint8) ReduceOp {
+	if !transport.ValidRed(r) {
+		panic(fmt.Sprintf("rma: invalid wire reduce op %d", r))
+	}
+	return ReduceOp(r)
+}
+
+// windowEndpoint adapts one rank's window to transport.Endpoint. It holds
+// the world, not the window, so a Respawn's fresh window is picked up
+// automatically; all methods delegate to the window's lock-guarded
+// primitives, which is what makes delivery atomic against local accesses.
+type windowEndpoint struct {
+	w    *World
+	rank int
+}
+
+var _ transport.Endpoint = windowEndpoint{}
+
+func (e windowEndpoint) win() *window { return e.w.windows[e.rank] }
+
+func (e windowEndpoint) ApplyPut(off int, data []uint64) { e.win().applyPut(off, data) }
+
+func (e windowEndpoint) ApplyAccumulate(off int, data []uint64, red uint8) {
+	e.win().applyAccumulate(off, data, redToOp(red))
+}
+
+func (e windowEndpoint) ReadInto(off int, dst []uint64) { e.win().readInto(off, dst) }
+
+func (e windowEndpoint) CompareAndSwap(off int, old, new uint64) uint64 {
+	return e.win().cas(off, old, new)
+}
+
+func (e windowEndpoint) FetchAndOp(off int, operand uint64, red uint8) uint64 {
+	return e.win().fao(off, operand, redToOp(red))
+}
+
+func (e windowEndpoint) GetAccumulate(off int, data []uint64, red uint8) []uint64 {
+	return e.win().getAccumulate(off, data, redToOp(red))
+}
+
+func (e windowEndpoint) Lock(str, src int, now, latency float64) float64 {
+	return e.win().acquire(str, src, now, latency)
+}
+
+func (e windowEndpoint) Unlock(str, src int, now, latency float64) {
+	e.win().release(str, src, now, latency)
+}
+
+// EndpointOf returns rank r's window endpoint, or nil when r is out of
+// range. Transport factories receive it so out-of-process transports can
+// serve the local rank's window to remote peers; note that a dead rank's
+// endpoint stays addressable (its window exists, cleared) — liveness is the
+// runtime's business (checkTarget), not the endpoint's.
+func (w *World) EndpointOf(r int) transport.Endpoint {
+	if r < 0 || r >= w.cfg.N {
+		return nil
+	}
+	return windowEndpoint{w: w, rank: r}
+}

@@ -1,6 +1,9 @@
 package rma
 
-import "repro/internal/sim"
+import (
+	"repro/internal/sim"
+	"repro/internal/transport"
+)
 
 // pendingOp is a buffered non-blocking access: issued now, applied (puts)
 // or satisfied (gets) when the epoch towards its target closes.
@@ -62,6 +65,7 @@ type Proc struct {
 	clock   *sim.Clock
 	epoch   []int
 	pending [][]pendingOp
+	batch   []transport.Op // scratch for epoch-close flush batches
 	stats   OpStats
 }
 
@@ -175,6 +179,20 @@ func (p *Proc) LocalRead(off, n int) []uint64 {
 // aliased, so generation-stamp dirty tracking stays exact and incremental
 // checkpoints keep skipping the content-diff scan.
 func (p *Proc) ReadAt(off, n int) []uint64 { return p.LocalRead(off, n) }
+
+// ReadInto is ReadAt into a caller-provided buffer: the same non-aliasing
+// read with no allocation, for hot loops that re-read the window every
+// phase (the stencil and FFT kernels discover it by interface assertion).
+func (p *Proc) ReadInto(off int, dst []uint64) {
+	p.checkAlive()
+	p.world.windows[p.rank].readInto(off, dst)
+}
+
+// WriteAt is the non-aliasing write path: data lands in the local window at
+// off under the window lock, stamped by the runtime's dirty tracking. The
+// counterpart of ReadAt for writer applications that would otherwise mutate
+// Local()'s alias (and thereby downgrade tracking to content diffing).
+func (p *Proc) WriteAt(off int, data []uint64) { p.LocalWrite(off, data) }
 
 // WindowAliased reports whether the window has handed out a raw alias
 // (Local or GetInto) and dirty tracking has therefore fallen back to
@@ -304,7 +322,8 @@ func (p *Proc) CompareAndSwap(target, off int, old, new uint64) uint64 {
 	p.checkAlive()
 	p.checkTarget(target)
 	p.clock.Advance(p.world.params.AtomicLatency)
-	prev := p.world.windows[target].cas(off, old, new)
+	prev, err := p.world.transports[p.rank].CompareAndSwap(p.rank, target, off, old, new)
+	p.transportErr(target, err)
 	p.stats.CAS++
 	p.world.trace(func(t Tracer) {
 		t.OnAction(TraceAction{Kind: "cas", Src: p.rank, Trg: target, Words: 1,
@@ -321,7 +340,8 @@ func (p *Proc) GetAccumulate(target, off int, data []uint64, op ReduceOp) []uint
 	p.checkTarget(target)
 	bytes := 8 * len(data)
 	p.clock.Advance(p.world.params.AtomicLatency + p.world.params.InjectTime(bytes))
-	prev := p.world.windows[target].getAccumulate(off, data, op)
+	prev, err := p.world.transports[p.rank].GetAccumulate(p.rank, target, off, data, uint8(op))
+	p.transportErr(target, err)
 	p.stats.Accumulates++
 	p.stats.Gets++
 	p.stats.WordsPut += len(data)
@@ -339,7 +359,8 @@ func (p *Proc) FetchAndOp(target, off int, operand uint64, op ReduceOp) uint64 {
 	p.checkAlive()
 	p.checkTarget(target)
 	p.clock.Advance(p.world.params.AtomicLatency)
-	prev := p.world.windows[target].fao(off, operand, op)
+	prev, err := p.world.transports[p.rank].FetchAndOp(p.rank, target, off, operand, uint8(op))
+	p.transportErr(target, err)
 	p.stats.FAO++
 	p.world.trace(func(t Tracer) {
 		t.OnAction(TraceAction{Kind: "fao", Src: p.rank, Trg: target, Words: 1,
@@ -348,35 +369,102 @@ func (p *Proc) FetchAndOp(target, off int, operand uint64, op ReduceOp) uint64 {
 	return prev
 }
 
-// applyPending completes all buffered accesses towards target q: puts and
-// accumulates are applied to q's window, gets read q's window, and the
-// caller's clock advances past the last completion.
+// transportErr maps a transport failure onto the runtime's fail-stop
+// semantics: a dead peer surfaces as TargetFailedError (exactly as if
+// checkTarget had caught it), anything else is a runtime error.
+func (p *Proc) transportErr(target int, err error) {
+	if err == nil {
+		return
+	}
+	if _, ok := err.(transport.PeerDeadError); ok {
+		panic(TargetFailedError{target})
+	}
+	panic(err)
+}
+
+// applyPending completes all buffered accesses towards target q by handing
+// the whole epoch to the rank's transport as one batch (the loopback
+// applies it to q's window directly; the tcp transport frames it as a
+// single flush message — one round trip per epoch close). Get destinations
+// are filled on return; GetInto destinations additionally land in the local
+// window. The caller's clock advances past the last modeled completion.
 func (p *Proc) applyPending(q int) {
 	ops := p.pending[q]
 	if len(ops) == 0 {
 		return
 	}
 	p.pending[q] = p.pending[q][:0]
-	win := p.world.windows[q]
 	maxT := p.clock.Now()
-	for _, op := range ops {
-		if op.isPut {
-			if op.op == OpReplace {
-				win.applyPut(op.off, op.data)
-			} else {
-				win.applyAccumulate(op.off, op.data, op.op)
-			}
-		} else {
-			win.readInto(op.off, op.dest)
-			if op.localOff >= 0 {
+	for i := range ops {
+		if ops[i].completeAt > maxT {
+			maxT = ops[i].completeAt
+		}
+	}
+	if q == p.rank {
+		// Self-communication: the batch's target window IS the local
+		// window, so GetInto landings must interleave with the other ops
+		// in program order (a later self-put may legally overwrite a
+		// landing, and vice versa). Deliver op by op; self-delivery never
+		// touches a wire, so there is no batching to lose.
+		for i := range ops {
+			op := &ops[i]
+			err := p.world.transports[p.rank].Flush(p.rank, q, p.asBatch(op))
+			p.transportErr(q, err)
+			if !op.isPut && op.localOff >= 0 {
 				p.world.windows[p.rank].applyPut(op.localOff, op.dest)
 			}
 		}
-		if op.completeAt > maxT {
-			maxT = op.completeAt
+		if len(p.batch) > 0 {
+			p.batch[0] = transport.Op{}
+			p.batch = p.batch[:0]
+		}
+		p.clock.AdvanceTo(maxT)
+		return
+	}
+	batch := p.batch[:0]
+	for i := range ops {
+		batch = append(batch, toOp(&ops[i]))
+	}
+	err := p.world.transports[p.rank].Flush(p.rank, q, batch)
+	// Drop the payload references before parking the scratch slice, so
+	// one large epoch does not pin its buffers for the Proc's lifetime.
+	for i := range batch {
+		batch[i] = transport.Op{}
+	}
+	p.batch = batch[:0]
+	p.transportErr(q, err)
+	// GetInto landings touch the local window while the batch touched the
+	// remote one, so applying them after the flush preserves program
+	// order; multiple landings still apply in issue order.
+	for i := range ops {
+		op := &ops[i]
+		if !op.isPut && op.localOff >= 0 {
+			p.world.windows[p.rank].applyPut(op.localOff, op.dest)
 		}
 	}
 	p.clock.AdvanceTo(maxT)
+}
+
+// toOp converts one buffered access to its transport form.
+func toOp(op *pendingOp) transport.Op {
+	if op.isPut {
+		kind := transport.KindPut
+		if op.op != OpReplace {
+			kind = transport.KindAcc
+		}
+		return transport.Op{Kind: kind, Red: uint8(op.op), Off: op.off, Data: op.data}
+	}
+	return transport.Op{Kind: transport.KindGet, Off: op.off, Dest: op.dest}
+}
+
+// asBatch wraps one op in the Proc's single-op scratch batch.
+func (p *Proc) asBatch(op *pendingOp) []transport.Op {
+	if cap(p.batch) < 1 {
+		p.batch = make([]transport.Op, 0, 1)
+	}
+	p.batch = p.batch[:1]
+	p.batch[0] = toOp(op)
+	return p.batch
 }
 
 // Flush closes the epoch towards target: all outstanding accesses complete
@@ -430,10 +518,15 @@ func (p *Proc) lockLatency(target int) float64 {
 func (p *Proc) Lock(target, str int) {
 	p.checkAlive()
 	p.checkTarget(target)
-	after := p.world.windows[target].acquire(str, p.rank, p.clock.Now(), p.lockLatency(target))
+	after, err := p.world.transports[p.rank].Lock(p.rank, target, str, p.clock.Now(), p.lockLatency(target))
+	p.transportErr(target, err)
 	if p.world.failed[p.rank].Load() {
 		// Killed while blocked on the lock: release it (Kill's cleanup may
-		// already have, releaseIfHeldBy is idempotent) and unwind.
+		// already have, releaseIfHeldBy is idempotent) and unwind. This
+		// crash cleanup intentionally bypasses the transport seam: it is
+		// the world's fail-stop teardown (like Kill's own lock sweep), not
+		// a rank-issued access, and every deployment that hosts windows
+		// remotely must run its own cleanup at the window host anyway.
 		p.world.windows[target].releaseIfHeldBy(p.rank)
 		panic(killed{p.rank})
 	}
@@ -451,7 +544,7 @@ func (p *Proc) Unlock(target, str int) {
 	p.checkAlive()
 	p.applyPending(target)
 	lat := p.lockLatency(target)
-	p.world.windows[target].release(str, p.rank, p.clock.Now(), lat)
+	p.transportErr(target, p.world.transports[p.rank].Unlock(p.rank, target, str, p.clock.Now(), lat))
 	p.clock.Advance(lat)
 	p.epoch[target]++
 	p.stats.Unlocks++

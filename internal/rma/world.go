@@ -6,7 +6,14 @@ import (
 	"sync/atomic"
 
 	"repro/internal/sim"
+	"repro/internal/transport"
+	"repro/internal/transport/loopback"
 )
+
+// TransportFactory builds one rank's transport over the world's window
+// endpoints. endpoint(q) is rank q's window (nil out of range); the factory
+// may serve it to remote peers (tcp) or address it directly (loopback).
+type TransportFactory func(rank, n int, endpoint func(int) transport.Endpoint) (transport.Transport, error)
 
 // Config describes a simulated RMA world.
 type Config struct {
@@ -20,17 +27,23 @@ type Config struct {
 	// ExtraLocks adds lockable structures beyond the standard set
 	// (NumStructures) to every rank.
 	ExtraLocks int
+	// Transport, when non-nil, builds each rank's delivery transport; nil
+	// selects the in-process loopback (direct window access — the
+	// semantics this World always had). The conformance suite swaps in the
+	// tcp transport here to run the same worlds over real sockets.
+	Transport TransportFactory
 }
 
 // World is a set of ranks plus the simulated machine they run on.
 type World struct {
-	cfg     Config
-	params  sim.Params
-	procs   []*Proc
-	windows []*window
-	failed  []atomic.Bool
-	barrier *sim.Barrier
-	pfs     *sim.SharedResource
+	cfg        Config
+	params     sim.Params
+	procs      []*Proc
+	windows    []*window
+	failed     []atomic.Bool
+	barrier    *sim.Barrier
+	pfs        *sim.SharedResource
+	transports []transport.Transport
 
 	tracer atomic.Pointer[tracerBox]
 }
@@ -40,6 +53,15 @@ type tracerBox struct{ t Tracer }
 
 // killed is the panic value used to unwind a killed rank's goroutine.
 type killed struct{ rank int }
+
+// IsKillUnwind reports whether a recovered panic value is the runtime's
+// fail-stop unwind of a killed rank. Drivers that run rank code on their
+// own goroutines (the multi-process cluster's per-rank sessions, instead of
+// World.Run) use it to swallow the unwind exactly as Run does.
+func IsKillUnwind(e any) bool {
+	_, ok := e.(killed)
+	return ok
+}
 
 // TargetFailedError is the panic value raised when a rank accesses the
 // window of a failed rank. Recovery protocols catch it via RunRank.
@@ -73,7 +95,30 @@ func NewWorld(cfg Config) *World {
 		w.windows[r] = newWindow(cfg.WindowWords, NumStructures+cfg.ExtraLocks)
 		w.procs[r] = newProc(w, r)
 	}
+	w.transports = make([]transport.Transport, cfg.N)
+	for r := 0; r < cfg.N; r++ {
+		if cfg.Transport == nil {
+			w.transports[r] = loopback.New(w.EndpointOf)
+			continue
+		}
+		t, err := cfg.Transport(r, cfg.N, w.EndpointOf)
+		if err != nil {
+			panic(fmt.Sprintf("rma: transport for rank %d: %v", r, err))
+		}
+		w.transports[r] = t
+	}
 	return w
+}
+
+// Close shuts down the ranks' transports (listeners, peer connections).
+// The default loopback holds no resources, so single-process worlds may
+// skip it; worlds over tcp must call it.
+func (w *World) Close() {
+	for _, t := range w.transports {
+		if t != nil {
+			t.Close()
+		}
+	}
 }
 
 // N returns the number of ranks.

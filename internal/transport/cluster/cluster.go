@@ -1,0 +1,982 @@
+// Package cluster is the process-per-rank runtime: a Coordinator process
+// hosts the RMA windows and the full ftRMA protocol state (the memory
+// side of the machine — where an RMA target's exposed windows live), and
+// one worker process per rank drives its rank's computation over the
+// epoch-batched wire protocol (the compute side). Ranks therefore live in
+// separate OS processes and die for real: a kill -9 of a worker drops its
+// connection, the heartbeat failure detector condemns the rank, the
+// coordinator maps the death onto the runtime's fail-stop Kill, and the
+// existing ftRMA recovery path — log gathering, M/N-flag inspection,
+// parity reconstruction, and (for this BSP workload) the coordinated
+// rollback — restores a consistent cut that the surviving and replacement
+// workers re-execute to a bit-identical final state.
+//
+// # Membership
+//
+// Workers join with a handshake that assigns the lowest free rank id; a
+// replacement for a failed rank inherits its id and resume phase. The
+// bulk-synchronous rendezvous needs no extra start barrier: a worker that
+// races ahead simply blocks in its first gsync until the last rank joins.
+//
+// # The crisis protocol
+//
+// Recovery must run on a quiescent, consistent machine. When a worker
+// dies the coordinator first lets the system drain naturally: surviving
+// workers keep executing (the victim's window is still hosted, so nothing
+// fails) until each blocks in the phase gsync that the victim can no
+// longer join, or parks. Only then does the coordinator — with every rank
+// provably inside or outside the collective, none mid-decision — suspend
+// the coordinated-checkpoint schedule, impersonate the dead rank's
+// barrier arrival with a raw runtime gsync so the blocked round drains
+// without checkpointing, Kill the rank, and run Recover. The suspension
+// ordering guarantees the rolled-back cut is always a completed
+// phase-boundary checkpoint round, which is exactly what BSP
+// re-execution needs.
+//
+// # Limitations
+//
+// The crisis protocol quiesces at collective boundaries: gsync and
+// barrier both drain through the shared rendezvous the victim's
+// impersonated arrival completes. A rank that dies between a Lock and
+// its Unlock, however, leaves a survivor's blocked Lock un-drainable
+// (only the eventual Kill would break the lock, and Kill is gated behind
+// the quiescence the blocked Lock prevents) — such a run aborts at
+// Config.Timeout instead of recovering. Keep cluster workloads lock-free
+// across frames, as the shipped kvstore workload is; a lock-aware
+// quiesce is a roadmap item.
+package cluster
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"repro/internal/ftrma"
+	"repro/internal/rma"
+	"repro/internal/transport/wire"
+)
+
+// debugCrisis dumps crisis-protocol decisions to stdout (tests flip it).
+var debugCrisis = false
+
+// rankStatus is one rank slot's membership state.
+type rankStatus int
+
+const (
+	rankEmpty     rankStatus = iota // no worker bound (initial, or awaiting a replacement)
+	rankJoined                      // worker connected and presumed alive
+	rankCondemned                   // failure detector fired; recovery pending
+	rankFinished                    // all phases completed
+)
+
+// Config describes a Coordinator.
+type Config struct {
+	// Listen is the address workers dial ("127.0.0.1:0" for tests).
+	// Alternatively supply a pre-bound Listener.
+	Listen   string
+	Listener net.Listener
+	// Workload is the bulk-synchronous workload the cluster executes.
+	Workload Workload
+	// FT overrides the ftRMA protocol configuration; nil selects the
+	// cluster default (logging on, streaming demand checkpoints, a
+	// coordinated checkpoint at every phase gsync).
+	FT *ftrma.Config
+	// HeartbeatInterval is the liveness beacon period on worker
+	// connections; with HeartbeatMiss it sets the failure detector's
+	// patience. Defaults: 50ms and 10 (500ms of silence condemns a rank;
+	// a kill -9's connection reset is usually caught instantly).
+	HeartbeatInterval time.Duration
+	HeartbeatMiss     int
+	// Timeout aborts the whole run if it has not completed in time (a
+	// missing replacement worker parks the cluster forever otherwise).
+	// Zero means no limit.
+	Timeout time.Duration
+}
+
+func (c Config) withDefaults() Config {
+	if c.HeartbeatInterval == 0 {
+		c.HeartbeatInterval = 50 * time.Millisecond
+	}
+	if c.HeartbeatMiss == 0 {
+		c.HeartbeatMiss = 10
+	}
+	return c
+}
+
+// Validate rejects nonsensical configurations with descriptive errors.
+func (c Config) Validate() error {
+	c = c.withDefaults()
+	if c.Listener == nil && c.Listen == "" {
+		return errors.New("cluster: need a Listen address or Listener for worker connections")
+	}
+	if c.Listener == nil {
+		if _, _, err := net.SplitHostPort(c.Listen); err != nil {
+			return fmt.Errorf("cluster: listen address %q: %v", c.Listen, err)
+		}
+	}
+	if err := c.Workload.Validate(); err != nil {
+		return err
+	}
+	if c.HeartbeatInterval < 0 {
+		return fmt.Errorf("cluster: negative heartbeat interval %v", c.HeartbeatInterval)
+	}
+	if c.HeartbeatMiss < 1 {
+		return fmt.Errorf("cluster: heartbeat miss count %d, need at least 1 interval of patience", c.HeartbeatMiss)
+	}
+	if c.Timeout < 0 {
+		return fmt.Errorf("cluster: negative timeout %v", c.Timeout)
+	}
+	if c.FT != nil {
+		if err := c.FT.Validate(c.Workload.Ranks); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// defaultFT is the cluster's ftRMA configuration: full access logging, a
+// coordinated checkpoint at every phase boundary (tiny fixed interval
+// under the Gsync scheme), and a small log budget so demand checkpoints
+// and their streaming pipeline are exercised by real traffic.
+func defaultFT(n int) ftrma.Config {
+	groups := 2
+	if n < 4 {
+		groups = 1
+	}
+	return ftrma.Config{
+		Groups:                     groups,
+		ChecksumsPerGroup:          1,
+		LogPuts:                    true,
+		LogGets:                    true,
+		Scheme:                     ftrma.CCGsync,
+		FixedInterval:              1e-12,
+		LogBudgetBytes:             2 << 10,
+		StreamingDemandCheckpoints: true,
+		StreamChunkBytes:           512,
+	}
+}
+
+// hostGet is a get issued host-side whose value is reported to the worker
+// at the epoch close that defines it.
+type hostGet struct {
+	seq  uint64
+	dest []uint64
+}
+
+// session is one worker connection's server state.
+type session struct {
+	c        *Coordinator
+	conn     *wire.Conn
+	rank     int
+	pendGets map[int][]hostGet
+}
+
+// Coordinator hosts the world and serves the workers.
+type Coordinator struct {
+	cfg Config
+	wl  Workload
+	w   *rma.World
+	sys *ftrma.System
+	ln  net.Listener
+
+	mu      sync.Mutex
+	cond    *sync.Cond
+	status  []rankStatus
+	busy    []bool
+	inGsync []bool
+	parked  []bool
+	gsyncs  []int
+	resume  int
+	// generation counts completed rollbacks. Every worker frame carries
+	// the generation its sender last synchronized with; a stale frame is
+	// bounced to Await even after the crisis window has closed — without
+	// this, a survivor whose drained gsync "succeeded" during the crisis
+	// would charge ahead into a phase the rollback just erased.
+	generation uint64
+	crisis     bool
+	doneErr    error
+
+	deaths chan int
+}
+
+// NewCoordinator validates cfg, builds the hosted world and protocol
+// state, binds the listener, and starts accepting workers.
+func NewCoordinator(cfg Config) (*Coordinator, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	cfg = cfg.withDefaults()
+	wl := cfg.Workload
+	ftCfg := defaultFT(wl.Ranks)
+	if cfg.FT != nil {
+		ftCfg = *cfg.FT
+	}
+	w := rma.NewWorld(rma.Config{N: wl.Ranks, WindowWords: wl.WindowWords()})
+	sys, err := ftrma.NewSystem(w, ftCfg)
+	if err != nil {
+		return nil, err
+	}
+	c := &Coordinator{
+		cfg:     cfg,
+		wl:      wl,
+		w:       w,
+		sys:     sys,
+		status:  make([]rankStatus, wl.Ranks),
+		busy:    make([]bool, wl.Ranks),
+		inGsync: make([]bool, wl.Ranks),
+		parked:  make([]bool, wl.Ranks),
+		gsyncs:  make([]int, wl.Ranks),
+		deaths:  make(chan int, 4*wl.Ranks),
+	}
+	c.cond = sync.NewCond(&c.mu)
+	c.ln = cfg.Listener
+	if c.ln == nil {
+		ln, err := net.Listen("tcp", cfg.Listen)
+		if err != nil {
+			return nil, fmt.Errorf("cluster: listen %s: %w", cfg.Listen, err)
+		}
+		c.ln = ln
+	}
+	go c.acceptLoop()
+	go c.controller()
+	if cfg.Timeout > 0 {
+		go func() {
+			<-time.After(cfg.Timeout)
+			c.fatal(fmt.Errorf("cluster: run exceeded timeout %v", cfg.Timeout))
+		}()
+	}
+	return c, nil
+}
+
+// Addr returns the bound listen address.
+func (c *Coordinator) Addr() string { return c.ln.Addr().String() }
+
+// Stats returns the hosted protocol's counters (the smoke test asserts a
+// genuine recovery happened).
+func (c *Coordinator) Stats() ftrma.Stats { return c.sys.Stats() }
+
+// PhasesDone returns how many phase gsyncs rank r has completed — the
+// kill scheduler of the smoke test watches it.
+func (c *Coordinator) PhasesDone(r int) int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.gsyncs[r]
+}
+
+// Close shuts the listener down. Worker connections die with their
+// sessions; call after Run returns.
+func (c *Coordinator) Close() {
+	c.ln.Close()
+}
+
+func (c *Coordinator) fatal(err error) {
+	c.mu.Lock()
+	if c.doneErr == nil && c.countFinished() < c.wl.Ranks {
+		c.doneErr = err
+	}
+	c.mu.Unlock()
+	c.cond.Broadcast()
+}
+
+// Run blocks until every rank finishes (returning each rank's final
+// window contents) or the run aborts.
+func (c *Coordinator) Run() ([][]uint64, error) {
+	c.mu.Lock()
+	for c.doneErr == nil && c.countFinished() < c.wl.Ranks {
+		c.cond.Wait()
+	}
+	err := c.doneErr
+	c.mu.Unlock()
+	c.cond.Broadcast() // release finish-parked sessions
+	if err != nil {
+		return nil, err
+	}
+	out := make([][]uint64, c.wl.Ranks)
+	for r := range out {
+		out[r] = c.sys.Process(r).Inner().ReadAt(0, c.wl.WindowWords())
+	}
+	return out, nil
+}
+
+func (c *Coordinator) countFinished() int {
+	n := 0
+	for _, s := range c.status {
+		if s == rankFinished {
+			n++
+		}
+	}
+	return n
+}
+
+// ---- Accept / sessions ------------------------------------------------------
+
+func (c *Coordinator) acceptLoop() {
+	for {
+		nc, err := c.ln.Accept()
+		if err != nil {
+			return
+		}
+		sess := &session{c: c, rank: -1, pendGets: make(map[int][]hostGet)}
+		sess.conn = wire.New(nc, wire.Config{
+			Handler:     sess.handle,
+			Heartbeat:   c.cfg.HeartbeatInterval,
+			ReadTimeout: time.Duration(c.cfg.HeartbeatMiss) * c.cfg.HeartbeatInterval,
+			OnDown: func(error) {
+				c.mu.Lock()
+				r := sess.rank
+				c.mu.Unlock()
+				if r >= 0 {
+					select {
+					case c.deaths <- r:
+					default:
+					}
+					// Wake any staging wait so it absorbs this death.
+					c.cond.Broadcast()
+				}
+			},
+		})
+	}
+}
+
+var errCrisis = wire.RemoteFail{Code: wire.CodeCrisis, Msg: "recovery pending; await and resume"}
+
+// beginOp admits one API execution for rank r (a crisis, a stale
+// rollback generation, or an unbound rank denies it) and marks the rank
+// busy; the c.mu bracket also publishes the session's state between the
+// per-frame goroutines.
+func (c *Coordinator) beginOp(r int, gsync bool, gen uint64) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.doneErr != nil {
+		return wire.RemoteFail{Code: wire.CodeGeneric, Msg: c.doneErr.Error()}
+	}
+	if c.crisis || c.status[r] != rankJoined || gen != c.generation {
+		return errCrisis
+	}
+	c.busy[r] = true
+	c.inGsync[r] = gsync
+	c.cond.Broadcast()
+	return nil
+}
+
+func (c *Coordinator) endOp(r int) {
+	c.mu.Lock()
+	c.busy[r] = false
+	c.inGsync[r] = false
+	c.mu.Unlock()
+	c.cond.Broadcast()
+}
+
+// bumpPhase records a completed phase gsync for the progress watchers.
+func (c *Coordinator) bumpPhase(r int) {
+	c.mu.Lock()
+	c.gsyncs[r]++
+	c.mu.Unlock()
+	c.cond.Broadcast()
+}
+
+// exec runs one API execution for the session's rank, translating the
+// runtime's fail-stop panics into the crisis protocol.
+func (c *Coordinator) exec(sess *session, collective bool, gen uint64, fn func(p *ftrma.Process)) (err error) {
+	if err := c.beginOp(sess.rank, collective, gen); err != nil {
+		return err
+	}
+	defer func() {
+		c.endOp(sess.rank)
+		if e := recover(); e != nil {
+			switch {
+			case rma.IsKillUnwind(e):
+				err = errCrisis
+			default:
+				if _, is := e.(rma.TargetFailedError); is {
+					err = errCrisis
+					return
+				}
+				err = wire.RemoteFail{Code: wire.CodeGeneric, Msg: fmt.Sprint(e)}
+			}
+		}
+	}()
+	fn(c.sys.Process(sess.rank))
+	return nil
+}
+
+// handle serves one frame of the cluster protocol.
+func (s *session) handle(t byte, payload []byte) (byte, []byte, error) {
+	d := wire.NewDec(payload)
+	switch t {
+	case cJoin:
+		return s.handleJoin()
+	case cAwait:
+		return s.handleAwait()
+	}
+	if s.rank < 0 {
+		return 0, nil, wire.RemoteFail{Code: wire.CodeGeneric, Msg: "not joined"}
+	}
+	gen := d.U() // the rollback generation this frame was issued under
+	if d.Failed() {
+		return 0, nil, wire.RemoteFail{Code: wire.CodeGeneric, Msg: "malformed frame"}
+	}
+	switch t {
+	case cFinish:
+		return s.handleFinish(gen)
+	case cBatch:
+		return s.handleBatch(d, gen)
+	case cAtomic:
+		return s.handleAtomic(d, gen)
+	case cSync:
+		return s.handleSync(d, gen)
+	case cLock:
+		return s.handleLock(d, gen)
+	case cLocal:
+		return s.handleLocal(d, gen)
+	}
+	return 0, nil, wire.RemoteFail{Code: wire.CodeGeneric, Msg: fmt.Sprintf("unknown frame type %#x", t)}
+}
+
+// handleJoin assigns the lowest free rank (waiting out a pending
+// recovery, so a replacement binds to the freshly respawned slot).
+func (s *session) handleJoin() (byte, []byte, error) {
+	c := s.c
+	c.mu.Lock()
+	for {
+		if c.doneErr != nil {
+			c.mu.Unlock()
+			return 0, nil, wire.RemoteFail{Code: wire.CodeGeneric, Msg: c.doneErr.Error()}
+		}
+		r := -1
+		for i, st := range c.status {
+			if st == rankEmpty {
+				r = i
+				break
+			}
+		}
+		if r >= 0 && !c.crisis {
+			c.status[r] = rankJoined
+			s.rank = r
+			resume := c.resume
+			gen := c.generation
+			c.mu.Unlock()
+			c.cond.Broadcast()
+			var e wire.Enc
+			e.I(r)
+			e.I(c.wl.Ranks)
+			e.I(c.wl.WindowWords())
+			e.I(resume)
+			e.U(gen)
+			e.I(c.wl.Ranks)
+			e.I(c.wl.Phases)
+			e.I(c.wl.InsertsPerPhase)
+			e.I(c.wl.TableSlots)
+			e.U(uint64(c.wl.PhaseDelay))
+			return cJoin, e.Bytes(), nil
+		}
+		pending := c.crisis
+		for _, st := range c.status {
+			if st == rankCondemned {
+				pending = true
+			}
+		}
+		if r < 0 && !pending {
+			c.mu.Unlock()
+			return 0, nil, wire.RemoteFail{Code: wire.CodeGeneric, Msg: "cluster full"}
+		}
+		// A slot will free up once the pending recovery completes.
+		c.cond.Wait()
+	}
+}
+
+// handleAwait parks a crisis-bounced worker until the recovery completes
+// and returns the restored phase.
+func (s *session) handleAwait() (byte, []byte, error) {
+	c := s.c
+	c.mu.Lock()
+	s.pendGets = make(map[int][]hostGet) // the aborted epoch is rolled back
+	if s.rank >= 0 {
+		c.parked[s.rank] = true
+	}
+	c.cond.Broadcast()
+	for c.crisis && c.doneErr == nil {
+		c.cond.Wait()
+	}
+	if s.rank >= 0 {
+		c.parked[s.rank] = false
+	}
+	resume := c.resume
+	gen := c.generation
+	err := c.doneErr
+	c.mu.Unlock()
+	c.cond.Broadcast()
+	if err != nil {
+		return 0, nil, wire.RemoteFail{Code: wire.CodeGeneric, Msg: err.Error()}
+	}
+	var e wire.Enc
+	e.I(resume)
+	e.U(gen)
+	return cAwait, e.Bytes(), nil
+}
+
+// handleFinish records completion and parks until every rank is done — or
+// a late failure rolls the cluster back, in which case the worker resumes
+// phases like everyone else.
+func (s *session) handleFinish(gen uint64) (byte, []byte, error) {
+	c := s.c
+	c.mu.Lock()
+	if s.rank < 0 || c.status[s.rank] != rankJoined || c.crisis || gen != c.generation {
+		c.mu.Unlock()
+		return 0, nil, errCrisis
+	}
+	c.status[s.rank] = rankFinished
+	c.cond.Broadcast()
+	for c.countFinished() < c.wl.Ranks && !c.crisis && c.doneErr == nil {
+		c.cond.Wait()
+	}
+	if c.doneErr != nil {
+		err := c.doneErr
+		c.mu.Unlock()
+		return 0, nil, wire.RemoteFail{Code: wire.CodeGeneric, Msg: err.Error()}
+	}
+	if c.crisis {
+		c.status[s.rank] = rankJoined
+		c.mu.Unlock()
+		c.cond.Broadcast()
+		return 0, nil, errCrisis
+	}
+	c.mu.Unlock()
+	c.cond.Broadcast()
+	return cFinish, nil, nil
+}
+
+func (s *session) handleBatch(d *wire.Dec, gen uint64) (byte, []byte, error) {
+	target := d.I()
+	closeMode := d.B()
+	str := d.I()
+	nops := d.I()
+	if d.Failed() || nops > wire.MaxFrame/8 {
+		return 0, nil, wire.RemoteFail{Code: wire.CodeGeneric, Msg: "malformed batch"}
+	}
+	type decOp struct {
+		kind     byte
+		red      uint8
+		off, n   int
+		localOff int
+		seq      uint64
+		data     []uint64
+	}
+	// Capacity capped: nops is wire-controlled and must not drive a large
+	// allocation before the per-op decode has validated the payload.
+	ops := make([]decOp, 0, min(nops, 1024))
+	getWords := 0
+	for i := 0; i < nops; i++ {
+		kind := d.B()
+		switch kind {
+		case 2:
+			op := decOp{kind: kind, off: d.I(), n: d.I()}
+			op.localOff = d.I() - 1
+			op.seq = d.U()
+			getWords += op.n
+			// The host allocates every get destination before the epoch
+			// closes; bound the batch's total get volume by what one
+			// reply frame could legally carry.
+			if op.n > wire.MaxFrame/8 || getWords > wire.MaxFrame/8 {
+				return 0, nil, wire.RemoteFail{Code: wire.CodeGeneric, Msg: "malformed get op"}
+			}
+			ops = append(ops, op)
+		case 0, 1:
+			op := decOp{kind: kind, red: d.B(), off: d.I()}
+			op.data = d.Words()
+			ops = append(ops, op)
+		default:
+			return 0, nil, wire.RemoteFail{Code: wire.CodeGeneric, Msg: "unknown batch op"}
+		}
+	}
+	if d.Failed() {
+		return 0, nil, wire.RemoteFail{Code: wire.CodeGeneric, Msg: "malformed batch op"}
+	}
+	var reply wire.Enc
+	err := s.c.exec(s, false, gen, func(p *ftrma.Process) {
+		for i := range ops {
+			op := &ops[i]
+			switch op.kind {
+			case 0:
+				p.Put(target, op.off, op.data)
+			case 1:
+				p.Accumulate(target, op.off, op.data, rma.ReduceOp(op.red))
+			case 2:
+				var dest []uint64
+				if op.localOff >= 0 {
+					dest = p.GetCopy(target, op.off, op.n, op.localOff)
+				} else {
+					dest = p.Get(target, op.off, op.n)
+				}
+				s.pendGets[target] = append(s.pendGets[target], hostGet{seq: op.seq, dest: dest})
+			}
+		}
+		switch closeMode {
+		case closeFlush:
+			p.Flush(target)
+		case closeUnlock:
+			p.Unlock(target, str)
+		}
+		if closeMode != closeNone {
+			s.encodeGets(&reply, target)
+		}
+	})
+	if err != nil {
+		return 0, nil, err
+	}
+	return cBatch, reply.Bytes(), nil
+}
+
+// encodeGets reports the now-defined gets towards target and clears them.
+func (s *session) encodeGets(e *wire.Enc, target int) {
+	gets := s.pendGets[target]
+	delete(s.pendGets, target)
+	e.I(len(gets))
+	for _, g := range gets {
+		e.U(g.seq)
+		e.Words(g.dest)
+	}
+}
+
+// encodeAllGets reports every pending get (a full epoch close).
+func (s *session) encodeAllGets(e *wire.Enc) {
+	total := 0
+	for _, gets := range s.pendGets {
+		total += len(gets)
+	}
+	e.I(total)
+	for target, gets := range s.pendGets {
+		for _, g := range gets {
+			e.U(g.seq)
+			e.Words(g.dest)
+		}
+		delete(s.pendGets, target)
+	}
+}
+
+func (s *session) handleAtomic(d *wire.Dec, gen uint64) (byte, []byte, error) {
+	kind := d.B()
+	target := d.I()
+	off := d.I()
+	var old, new, operand uint64
+	var red uint8
+	var data []uint64
+	switch kind {
+	case atomCAS:
+		old, new = d.W64(), d.W64()
+	case atomFAO:
+		operand, red = d.W64(), d.B()
+	case atomGetAcc:
+		red = d.B()
+		data = d.Words()
+	default:
+		return 0, nil, wire.RemoteFail{Code: wire.CodeGeneric, Msg: "unknown atomic"}
+	}
+	if d.Failed() {
+		return 0, nil, wire.RemoteFail{Code: wire.CodeGeneric, Msg: "malformed atomic"}
+	}
+	var reply wire.Enc
+	err := s.c.exec(s, false, gen, func(p *ftrma.Process) {
+		switch kind {
+		case atomCAS:
+			reply.W64(p.CompareAndSwap(target, off, old, new))
+		case atomFAO:
+			reply.W64(p.FetchAndOp(target, off, operand, rma.ReduceOp(red)))
+		case atomGetAcc:
+			reply.Words(p.GetAccumulate(target, off, data, rma.ReduceOp(red)))
+		}
+	})
+	if err != nil {
+		return 0, nil, err
+	}
+	return cAtomic, reply.Bytes(), nil
+}
+
+func (s *session) handleSync(d *wire.Dec, gen uint64) (byte, []byte, error) {
+	kind := d.B()
+	if d.Failed() {
+		return 0, nil, wire.RemoteFail{Code: wire.CodeGeneric, Msg: "malformed sync"}
+	}
+	var reply wire.Enc
+	err := s.c.exec(s, kind == syncGsync || kind == syncBarrier, gen, func(p *ftrma.Process) {
+		switch kind {
+		case syncFlushAll:
+			p.FlushAll()
+			s.encodeAllGets(&reply)
+		case syncGsync:
+			p.Gsync()
+			s.encodeAllGets(&reply)
+		case syncBarrier:
+			p.Barrier()
+		default:
+			panic(fmt.Sprintf("unknown sync kind %d", kind))
+		}
+	})
+	if err != nil {
+		return 0, nil, err
+	}
+	if kind == syncGsync {
+		s.c.bumpPhase(s.rank)
+	}
+	return cSync, reply.Bytes(), nil
+}
+
+func (s *session) handleLock(d *wire.Dec, gen uint64) (byte, []byte, error) {
+	d.B() // reserved
+	target := d.I()
+	str := d.I()
+	if d.Failed() {
+		return 0, nil, wire.RemoteFail{Code: wire.CodeGeneric, Msg: "malformed lock"}
+	}
+	err := s.c.exec(s, false, gen, func(p *ftrma.Process) { p.Lock(target, str) })
+	if err != nil {
+		return 0, nil, err
+	}
+	return cLock, nil, nil
+}
+
+func (s *session) handleLocal(d *wire.Dec, gen uint64) (byte, []byte, error) {
+	kind := d.B()
+	var reply wire.Enc
+	var off, n int
+	var data []uint64
+	var f float64
+	switch kind {
+	case localReadAt:
+		off, n = d.I(), d.I()
+	case localWriteAt:
+		off = d.I()
+		data = d.Words()
+	case localCompute, localAdvance:
+		f = d.F()
+	}
+	if d.Failed() {
+		return 0, nil, wire.RemoteFail{Code: wire.CodeGeneric, Msg: "malformed local op"}
+	}
+	err := s.c.exec(s, false, gen, func(p *ftrma.Process) {
+		switch kind {
+		case localReadAt:
+			reply.Words(p.ReadAt(off, n))
+		case localWriteAt:
+			p.WriteAt(off, data)
+		case localCompute:
+			p.Compute(f)
+		case localAdvance:
+			p.AdvanceTime(f)
+		case localNow:
+			reply.F(p.Now())
+		case localUCCkpt:
+			p.UCCheckpoint()
+		default:
+			panic(fmt.Sprintf("unknown local kind %d", kind))
+		}
+	})
+	if err != nil {
+		return 0, nil, err
+	}
+	return cLocal, reply.Bytes(), nil
+}
+
+// ---- Failure handling -------------------------------------------------------
+
+// controller serializes death handling. Deaths that arrive while one
+// recovery is staging are absorbed immediately (condemned ranks count as
+// quiesced once idle) and recovered sequentially afterwards.
+func (c *Coordinator) controller() {
+	for v := range c.deaths {
+		c.mu.Lock()
+		c.condemnLocked(v)
+		for c.doneErr == nil {
+			next := c.nextCondemnedLocked()
+			if next < 0 {
+				break
+			}
+			c.recoverLocked(next)
+		}
+		c.mu.Unlock()
+		c.cond.Broadcast()
+	}
+}
+
+// condemnLocked marks a freshly dead rank for recovery (mu held).
+func (c *Coordinator) condemnLocked(r int) {
+	if r >= 0 && r < len(c.status) && c.status[r] == rankJoined {
+		c.status[r] = rankCondemned
+	}
+}
+
+// drainDeathsLocked absorbs queued death events (mu held) so ranks dying
+// while a recovery is already staging flip to condemned — which the
+// quiescence predicate treats as "idle is enough" — instead of being
+// waited on as live ranks that will never move again.
+func (c *Coordinator) drainDeathsLocked() {
+	for {
+		select {
+		case r := <-c.deaths:
+			c.condemnLocked(r)
+		default:
+			return
+		}
+	}
+}
+
+// nextCondemnedLocked returns a rank awaiting recovery, or -1.
+func (c *Coordinator) nextCondemnedLocked() int {
+	c.drainDeathsLocked()
+	for r, st := range c.status {
+		if st == rankCondemned {
+			return r
+		}
+	}
+	return -1
+}
+
+// quiescedFor reports (mu held) whether the machine has drained around
+// the condemned victim: the victim's session idle, and every other bound
+// rank either blocked in the phase gsync, parked, or finished.
+func (c *Coordinator) quiescedFor(v int) bool {
+	if c.busy[v] {
+		return false
+	}
+	for r, st := range c.status {
+		if r == v {
+			continue
+		}
+		switch st {
+		case rankEmpty, rankFinished:
+		case rankCondemned:
+			if c.busy[r] {
+				return false
+			}
+		case rankJoined:
+			if c.busy[r] && c.inGsync[r] { // blocked in a collective (gsync or barrier)
+				continue
+			}
+			if c.parked[r] {
+				continue
+			}
+			return false
+		}
+	}
+	return true
+}
+
+// recoverLocked runs the crisis protocol for one condemned rank (mu
+// held; cond.Wait releases it across the rendezvous waits); see the
+// package comment for the staging argument.
+func (c *Coordinator) recoverLocked(v int) {
+	c.cond.Broadcast()
+
+	// Phase A: rendezvous — wait until the survivors have drained into
+	// the victim-blocked collective (or all the way to the finish line).
+	// Concurrent deaths are absorbed each pass so a second victim's
+	// silence cannot stall the wait.
+	for {
+		c.drainDeathsLocked()
+		if c.quiescedFor(v) || c.doneErr != nil {
+			break
+		}
+		c.cond.Wait()
+	}
+	if c.doneErr != nil {
+		return
+	}
+
+	// A rank that died after its last gsync has already contributed all
+	// its effects; its work is done, no recovery needed.
+	if c.sys.Process(v).GNC() >= c.wl.Phases {
+		c.status[v] = rankFinished
+		return
+	}
+
+	// Phase B: the machine is staged. Suspend the checkpoint schedule
+	// (every gsync-blocked rank is inside the barrier, so the skip
+	// decision lands uniformly), drain the blocked round by impersonating
+	// each dead rank's barrier arrival with a raw runtime gsync, and wait
+	// for every session to come to rest.
+	c.crisis = true
+	c.sys.SetCCSuspended(true)
+	anyGsync := false
+	for r := range c.inGsync {
+		if c.inGsync[r] {
+			anyGsync = true
+		}
+	}
+	if anyGsync {
+		injections := 0
+		injected := 0
+		for r, st := range c.status {
+			if st == rankCondemned && !c.busy[r] {
+				injections++
+				proc := c.sys.Process(r).Inner()
+				go func() {
+					defer func() {
+						recover() // a kill unwind cannot happen pre-Kill; belt and braces
+						c.mu.Lock()
+						injected++
+						c.mu.Unlock()
+						c.cond.Broadcast()
+					}()
+					proc.Gsync()
+				}()
+			}
+		}
+		for (injected < injections || c.anyBusy()) && c.doneErr == nil {
+			c.cond.Wait()
+			c.drainDeathsLocked()
+		}
+	} else {
+		for c.anyBusy() && c.doneErr == nil {
+			c.cond.Wait()
+			c.drainDeathsLocked()
+		}
+	}
+	if c.doneErr != nil {
+		return
+	}
+
+	// Phase C: fail-stop the rank for real and run the existing ftRMA
+	// recovery. The M flags the workload's combining beacons guarantee
+	// normally force the coordinated fallback; if a causal recovery
+	// succeeds regardless, cluster policy still rolls back to the phase
+	// boundary — BSP workers resume at phase granularity.
+	c.w.Kill(v)
+	_, err := c.sys.Recover(v)
+	switch {
+	case err == nil:
+		err = c.sys.FallbackToCC(v)
+	case errors.Is(err, ftrma.ErrFallback):
+		err = nil
+	}
+	if err != nil {
+		c.doneErr = fmt.Errorf("cluster: recovery of rank %d: %w", v, err)
+		return
+	}
+	// The fallback restored every rank — including v — to the same
+	// coordinated cut, so the victim's own restored counter is the
+	// resume phase. The progress counters roll back with it (the drained
+	// and re-executed rounds would otherwise over-report progress to the
+	// smoke watchers).
+	c.resume = c.sys.Process(v).GNC()
+	for r := range c.gsyncs {
+		c.gsyncs[r] = c.resume
+	}
+	c.generation++
+	if debugCrisis {
+		fmt.Printf("cluster debug: recovered rank %d, resume=%d, gsyncs=%v, stats=%+v\n", v, c.resume, c.gsyncs, c.sys.Stats())
+	}
+	c.status[v] = rankEmpty // the slot awaits a replacement worker
+	c.crisis = false
+	c.sys.SetCCSuspended(false)
+}
+
+func (c *Coordinator) anyBusy() bool {
+	for _, b := range c.busy {
+		if b {
+			return true
+		}
+	}
+	return false
+}

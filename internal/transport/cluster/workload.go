@@ -1,0 +1,173 @@
+package cluster
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/apps/kvstore"
+	"repro/internal/rma"
+)
+
+// Workload is the cluster's bulk-synchronous kvstore benchmark: every rank
+// runs Phases rounds of InsertsPerPhase DHT inserts plus one combining
+// "beacon" accumulate towards every rank, closing each round with a gsync
+// (where the ftRMA layer transparently takes its coordinated checkpoint).
+//
+// The key schedule is globally deterministic and conflict-free — no two
+// keys share a (volume, slot) pair, so every insert is a single CAS into
+// an empty slot and the final window contents are a pure function of the
+// phases executed, independent of inter-rank timing. That is what makes
+// the kill -9 smoke test's bit-identical oracle comparison meaningful: a
+// run that loses a rank mid-flight and recovers must converge to exactly
+// the failure-free windows.
+//
+// The beacons guarantee every rank's put log towards every peer holds a
+// combining access each round, steering recovery towards the coordinated
+// fallback (§4.2 M flags) — the rollback-and-reexecute path whose
+// semantics BSP re-execution needs.
+type Workload struct {
+	// Ranks is the number of compute processes.
+	Ranks int
+	// Phases is the number of bulk-synchronous rounds.
+	Phases int
+	// InsertsPerPhase is the number of DHT inserts per rank per round.
+	InsertsPerPhase int
+	// TableSlots is the per-volume hash-table size.
+	TableSlots int
+	// PhaseDelay is wall-clock think time per rank per round (virtual
+	// time is unaffected); the kill -9 smoke uses it to stretch the run so
+	// a signal lands mid-flight. Zero for full speed.
+	PhaseDelay time.Duration
+}
+
+// Validate rejects nonsensical workloads with descriptive errors.
+func (wl Workload) Validate() error {
+	if wl.Ranks < 2 {
+		return fmt.Errorf("cluster: workload needs at least 2 ranks, got %d", wl.Ranks)
+	}
+	if wl.Phases < 1 {
+		return fmt.Errorf("cluster: workload needs at least 1 phase, got %d", wl.Phases)
+	}
+	if wl.InsertsPerPhase < 1 {
+		return fmt.Errorf("cluster: workload needs at least 1 insert per phase, got %d", wl.InsertsPerPhase)
+	}
+	need := wl.Ranks * wl.Phases * wl.InsertsPerPhase
+	if wl.TableSlots < 2*need/wl.Ranks {
+		return fmt.Errorf("cluster: %d table slots per volume cannot hold %d conflict-free inserts; need at least %d",
+			wl.TableSlots, need, 2*need/wl.Ranks)
+	}
+	if wl.PhaseDelay < 0 {
+		return fmt.Errorf("cluster: negative phase delay %v", wl.PhaseDelay)
+	}
+	return nil
+}
+
+// kvConfig returns the DHT configuration of the workload. Heap cells are
+// zero: the conflict-free schedule never overflows, keeping the final
+// state schedule-independent.
+func (wl Workload) kvConfig() kvstore.Config {
+	return kvstore.Config{TableSlots: wl.TableSlots}
+}
+
+// beaconOff is the window offset of the per-source beacon counters, past
+// the DHT volume.
+func (wl Workload) beaconOff() int { return wl.kvConfig().WindowWords() }
+
+// WindowWords is the per-rank window size: the DHT volume plus one beacon
+// word per source rank.
+func (wl Workload) WindowWords() int { return wl.beaconOff() + wl.Ranks }
+
+// Schedule builds the global key schedule: Schedule()[phase][rank] lists
+// the keys that rank inserts in that phase. Keys are scanned in order and
+// accepted only when their (volume, slot) pair is unused, so no insert
+// ever collides — every process (workers, oracle) derives the identical
+// schedule locally.
+func (wl Workload) Schedule() [][][]uint64 {
+	cfg := wl.kvConfig()
+	used := make(map[int]bool)
+	sched := make([][][]uint64, wl.Phases)
+	key := uint64(0)
+	for p := range sched {
+		sched[p] = make([][]uint64, wl.Ranks)
+		for r := range sched[p] {
+			keys := make([]uint64, 0, wl.InsertsPerPhase)
+			for len(keys) < wl.InsertsPerPhase {
+				key++
+				owner, slot := cfg.Placement(key, wl.Ranks)
+				id := owner*wl.TableSlots + slot
+				if used[id] {
+					continue
+				}
+				used[id] = true
+				keys = append(keys, key)
+			}
+			sched[p][r] = keys
+		}
+	}
+	return sched
+}
+
+// RunPhase executes one rank's round p work against an API (the cluster
+// client on a worker, a raw Proc in the oracle): the beacon accumulates,
+// the scheduled inserts, and for later rounds a few lookups of the
+// previous round's keys (exercising the get path). The caller closes the
+// round with Gsync.
+func (wl Workload) RunPhase(api rma.API, sched [][][]uint64, rank, phase int) error {
+	for t := 0; t < wl.Ranks; t++ {
+		api.Accumulate(t, wl.beaconOff()+rank, []uint64{uint64(phase + 1)}, rma.OpSum)
+	}
+	s, err := kvstore.New(api, wl.kvConfig(), 0)
+	if err != nil {
+		return err
+	}
+	for _, k := range sched[phase][rank] {
+		if !s.Insert(k) {
+			return fmt.Errorf("cluster: rank %d phase %d: insert of key %d failed", rank, phase, k)
+		}
+	}
+	if phase > 0 {
+		prev := sched[phase-1][rank]
+		for i := 0; i < 2 && i < len(prev); i++ {
+			if !s.Lookup(prev[i]) {
+				return fmt.Errorf("cluster: rank %d phase %d: key %d from phase %d missing", rank, phase, prev[i], phase-1)
+			}
+		}
+	}
+	if wl.PhaseDelay > 0 {
+		time.Sleep(wl.PhaseDelay)
+	}
+	return nil
+}
+
+// Oracle runs the whole workload failure-free in-process (raw runtime, no
+// FT layer — the protocol layers never alter window contents) and returns
+// every rank's final window: the bit-exact reference the cluster run must
+// reproduce, kill -9 or not.
+func (wl Workload) Oracle() ([][]uint64, error) {
+	if err := wl.Validate(); err != nil {
+		return nil, err
+	}
+	oracle := wl
+	oracle.PhaseDelay = 0
+	sched := oracle.Schedule()
+	w := rma.NewWorld(rma.Config{N: wl.Ranks, WindowWords: wl.WindowWords()})
+	var firstErr error
+	w.Run(func(r int) {
+		p := w.Proc(r)
+		for phase := 0; phase < wl.Phases; phase++ {
+			if err := oracle.RunPhase(p, sched, r, phase); err != nil {
+				firstErr = err
+				return
+			}
+			p.Gsync()
+		}
+	})
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	out := make([][]uint64, wl.Ranks)
+	for r := range out {
+		out[r] = w.Proc(r).ReadAt(0, wl.WindowWords())
+	}
+	return out, nil
+}

@@ -1,0 +1,166 @@
+// Package flaky wraps a transport with deterministic, seeded fault
+// injection for tests: wall-clock delivery delays, reordering of
+// commutable accesses within a flush batch, and forced peer deaths after a
+// configured operation count. It plays the role the streamDelay hook plays
+// for the checkpoint pipeline — an adversarial schedule generator — at the
+// transport seam.
+package flaky
+
+import (
+	"math/rand"
+	"sync"
+	"time"
+
+	"repro/internal/transport"
+)
+
+// Config tunes the injected faults. The zero value injects nothing.
+type Config struct {
+	// Seed fixes the fault schedule.
+	Seed int64
+	// MaxDelay sleeps a uniform [0, MaxDelay) before each delivery,
+	// modeling wire jitter. Virtual-time results are unaffected (the cost
+	// model is charged by the runtime, not the transport); what it shakes
+	// out is real concurrency between ranks.
+	MaxDelay time.Duration
+	// Reorder permutes ops within a flush batch where semantics allow:
+	// only ops whose target ranges do not overlap any other op's range are
+	// moved, so the batch's outcome is unchanged — what is exercised is
+	// every transport's indifference to intra-epoch order of independent
+	// accesses.
+	Reorder bool
+	// DropAfter, when > 0, declares the peer dead after that many
+	// operations towards it (per target): subsequent operations fail with
+	// transport.PeerDeadError, like a mid-epoch crash of the target.
+	DropAfter map[int]int
+}
+
+// Transport is the fault-injecting wrapper.
+type Transport struct {
+	inner transport.Transport
+	cfg   Config
+
+	mu   sync.Mutex
+	rng  *rand.Rand
+	sent map[int]int // operations so far, per target
+}
+
+var _ transport.Transport = (*Transport)(nil)
+
+// New wraps inner with the configured faults.
+func New(inner transport.Transport, cfg Config) *Transport {
+	return &Transport{
+		inner: inner,
+		cfg:   cfg,
+		rng:   rand.New(rand.NewSource(cfg.Seed)),
+		sent:  make(map[int]int),
+	}
+}
+
+// perturb injects the pre-delivery faults for one operation towards
+// target; it reports whether the peer is (now) dead.
+func (t *Transport) perturb(target int) error {
+	t.mu.Lock()
+	t.sent[target]++
+	dead := false
+	if limit, ok := t.cfg.DropAfter[target]; ok && limit > 0 && t.sent[target] > limit {
+		dead = true
+	}
+	var delay time.Duration
+	if t.cfg.MaxDelay > 0 {
+		delay = time.Duration(t.rng.Int63n(int64(t.cfg.MaxDelay)))
+	}
+	t.mu.Unlock()
+	if dead {
+		return transport.PeerDeadError{Rank: target}
+	}
+	if delay > 0 {
+		time.Sleep(delay)
+	}
+	return nil
+}
+
+// overlaps reports whether two ops touch intersecting word ranges.
+func overlaps(a, b *transport.Op) bool {
+	aEnd := a.Off + a.Words()
+	bEnd := b.Off + b.Words()
+	return a.Off < bEnd && b.Off < aEnd
+}
+
+// shuffleIndependent permutes the independent ops of a batch (those whose
+// ranges intersect no other op's range); dependent ops keep their slots,
+// preserving the batch's semantics.
+func (t *Transport) shuffleIndependent(ops []transport.Op) []transport.Op {
+	free := make([]int, 0, len(ops))
+	for i := range ops {
+		indep := true
+		for j := range ops {
+			if i != j && overlaps(&ops[i], &ops[j]) {
+				indep = false
+				break
+			}
+		}
+		if indep {
+			free = append(free, i)
+		}
+	}
+	if len(free) < 2 {
+		return ops
+	}
+	out := make([]transport.Op, len(ops))
+	copy(out, ops)
+	t.mu.Lock()
+	perm := t.rng.Perm(len(free))
+	t.mu.Unlock()
+	for k, pk := range perm {
+		out[free[k]] = ops[free[pk]]
+	}
+	return out
+}
+
+func (t *Transport) Flush(src, target int, ops []transport.Op) error {
+	if err := t.perturb(target); err != nil {
+		return err
+	}
+	if t.cfg.Reorder {
+		ops = t.shuffleIndependent(ops)
+	}
+	return t.inner.Flush(src, target, ops)
+}
+
+func (t *Transport) CompareAndSwap(src, target, off int, old, new uint64) (uint64, error) {
+	if err := t.perturb(target); err != nil {
+		return 0, err
+	}
+	return t.inner.CompareAndSwap(src, target, off, old, new)
+}
+
+func (t *Transport) FetchAndOp(src, target, off int, operand uint64, red uint8) (uint64, error) {
+	if err := t.perturb(target); err != nil {
+		return 0, err
+	}
+	return t.inner.FetchAndOp(src, target, off, operand, red)
+}
+
+func (t *Transport) GetAccumulate(src, target, off int, data []uint64, red uint8) ([]uint64, error) {
+	if err := t.perturb(target); err != nil {
+		return nil, err
+	}
+	return t.inner.GetAccumulate(src, target, off, data, red)
+}
+
+func (t *Transport) Lock(src, target, str int, now, latency float64) (float64, error) {
+	if err := t.perturb(target); err != nil {
+		return 0, err
+	}
+	return t.inner.Lock(src, target, str, now, latency)
+}
+
+func (t *Transport) Unlock(src, target, str int, now, latency float64) error {
+	// Unlocks are never dropped: a lost unlock would wedge the structure
+	// lock rather than model a fail-stop death (Kill's cleanup releases
+	// locks; a transport drop would not).
+	return t.inner.Unlock(src, target, str, now, latency)
+}
+
+func (t *Transport) Close() error { return t.inner.Close() }

@@ -1,0 +1,94 @@
+// Package loopback is the in-process transport: delivery by direct window
+// access, exactly the proc→window plumbing the single-process World always
+// used. It is the reference implementation of the transport semantics — the
+// conformance suite holds every other transport to its behavior.
+package loopback
+
+import "repro/internal/transport"
+
+// Loopback delivers batches by calling the target Endpoint directly.
+type Loopback struct {
+	ep func(rank int) transport.Endpoint
+}
+
+var _ transport.Transport = (*Loopback)(nil)
+
+// New builds a loopback transport over an endpoint lookup. The lookup is
+// consulted on every call (not cached), so respawned ranks with fresh
+// windows are picked up automatically.
+func New(ep func(rank int) transport.Endpoint) *Loopback {
+	return &Loopback{ep: ep}
+}
+
+func (l *Loopback) endpoint(target int) (transport.Endpoint, error) {
+	e := l.ep(target)
+	if e == nil {
+		return nil, transport.PeerDeadError{Rank: target}
+	}
+	return e, nil
+}
+
+// Flush applies the epoch's batch to the target window in issue order:
+// puts and accumulates land in the window, gets read it into their
+// destination buffers. One call, however many accesses the epoch buffered.
+func (l *Loopback) Flush(src, target int, ops []transport.Op) error {
+	e, err := l.endpoint(target)
+	if err != nil {
+		return err
+	}
+	for _, op := range ops {
+		switch op.Kind {
+		case transport.KindPut:
+			e.ApplyPut(op.Off, op.Data)
+		case transport.KindAcc:
+			e.ApplyAccumulate(op.Off, op.Data, op.Red)
+		case transport.KindGet:
+			e.ReadInto(op.Off, op.Dest)
+		}
+	}
+	return nil
+}
+
+func (l *Loopback) CompareAndSwap(src, target, off int, old, new uint64) (uint64, error) {
+	e, err := l.endpoint(target)
+	if err != nil {
+		return 0, err
+	}
+	return e.CompareAndSwap(off, old, new), nil
+}
+
+func (l *Loopback) FetchAndOp(src, target, off int, operand uint64, red uint8) (uint64, error) {
+	e, err := l.endpoint(target)
+	if err != nil {
+		return 0, err
+	}
+	return e.FetchAndOp(off, operand, red), nil
+}
+
+func (l *Loopback) GetAccumulate(src, target, off int, data []uint64, red uint8) ([]uint64, error) {
+	e, err := l.endpoint(target)
+	if err != nil {
+		return nil, err
+	}
+	return e.GetAccumulate(off, data, red), nil
+}
+
+func (l *Loopback) Lock(src, target, str int, now, latency float64) (float64, error) {
+	e, err := l.endpoint(target)
+	if err != nil {
+		return 0, err
+	}
+	return e.Lock(str, src, now, latency), nil
+}
+
+func (l *Loopback) Unlock(src, target, str int, now, latency float64) error {
+	e, err := l.endpoint(target)
+	if err != nil {
+		return err
+	}
+	e.Unlock(str, src, now, latency)
+	return nil
+}
+
+// Close is a no-op; the loopback owns no resources.
+func (l *Loopback) Close() error { return nil }

@@ -1,0 +1,620 @@
+// Package tcp is the out-of-process transport: the same delivery contract
+// as the loopback, spoken between OS processes over a length-prefixed
+// binary wire protocol (package wire).
+//
+// One epoch's buffered accesses towards a target travel as a single flush
+// frame — closing an epoch costs one round trip however many puts, gets,
+// and accumulates it carries. Blocking atomics and structure locks are
+// request/response frames; a lock request may block server-side for as
+// long as the structure is held (each incoming frame is served on its own
+// goroutine, so a blocked lock never stalls the connection). Put payloads
+// and get replies are fixed-width 64-bit words on the wire, decoded in one
+// word-aligned pass and applied to window memory under the window lock via
+// the non-aliasing Endpoint write path.
+//
+// Liveness: every connection exchanges heartbeats; a peer that misses the
+// read deadline (or whose connection resets — a kill -9 does both) is
+// declared dead, OnPeerDown fires, and every subsequent operation towards
+// it fails with transport.PeerDeadError, which the rma runtime maps onto
+// its fail-stop TargetFailedError.
+package tcp
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/transport"
+	"repro/internal/transport/wire"
+)
+
+// Frame types of the RMA wire protocol.
+const (
+	tHello  byte = 0x10
+	tFlush  byte = 0x11
+	tCAS    byte = 0x12
+	tFAO    byte = 0x13
+	tGetAcc byte = 0x14
+	tLock   byte = 0x15
+	tUnlock byte = 0x16
+)
+
+// Config describes one rank's tcp transport.
+type Config struct {
+	// Self is this rank's id.
+	Self int
+	// N is the world size; peer ranks are 0..N-1.
+	N int
+	// Listener accepts inbound peer connections. Alternatively set Listen
+	// to an address ("127.0.0.1:0") and New binds it.
+	Listener net.Listener
+	Listen   string
+	// Peers maps rank -> dial address for every other rank.
+	Peers map[int]string
+	// Local handles operations that target Self (and is served to remote
+	// peers). Typically the world's loopback over its window endpoints.
+	Local transport.Handler
+	// DialTimeout bounds connection establishment. Default 5s.
+	DialTimeout time.Duration
+	// HeartbeatInterval is the liveness beacon period. Default 500ms;
+	// negative disables heartbeats (and the read deadline).
+	HeartbeatInterval time.Duration
+	// HeartbeatMiss is how many intervals of silence declare a peer dead.
+	// Default 4.
+	HeartbeatMiss int
+	// OnPeerDown is called (once per rank, from a connection goroutine)
+	// when a peer is declared dead.
+	OnPeerDown func(rank int)
+}
+
+// withDefaults resolves zero values.
+func (c Config) withDefaults() Config {
+	if c.DialTimeout == 0 {
+		c.DialTimeout = 5 * time.Second
+	}
+	if c.HeartbeatInterval == 0 {
+		c.HeartbeatInterval = 500 * time.Millisecond
+	}
+	if c.HeartbeatMiss == 0 {
+		c.HeartbeatMiss = 4
+	}
+	return c
+}
+
+// Validate rejects nonsensical configurations with descriptive errors.
+// Zero-valued tuning knobs mean "default" and pass.
+func (c Config) Validate() error {
+	c = c.withDefaults()
+	if c.N < 1 {
+		return fmt.Errorf("tcp: world size %d, need at least one rank", c.N)
+	}
+	if c.Self < 0 || c.Self >= c.N {
+		return fmt.Errorf("tcp: self rank %d outside world of %d ranks", c.Self, c.N)
+	}
+	if c.Listener == nil && c.Listen == "" {
+		return errors.New("tcp: need a Listener or a Listen address for inbound peer connections")
+	}
+	if c.Listener == nil {
+		if _, _, err := net.SplitHostPort(c.Listen); err != nil {
+			return fmt.Errorf("tcp: listen address %q: %v", c.Listen, err)
+		}
+	}
+	if c.Local == nil {
+		return errors.New("tcp: need a Local handler for operations targeting this rank")
+	}
+	if c.DialTimeout < 0 {
+		return fmt.Errorf("tcp: negative dial timeout %v", c.DialTimeout)
+	}
+	if c.HeartbeatMiss < 0 {
+		return fmt.Errorf("tcp: negative heartbeat miss count %d", c.HeartbeatMiss)
+	}
+	for r, addr := range c.Peers {
+		if r < 0 || r >= c.N {
+			return fmt.Errorf("tcp: peer rank %d outside world of %d ranks", r, c.N)
+		}
+		if _, _, err := net.SplitHostPort(addr); err != nil {
+			return fmt.Errorf("tcp: peer %d address %q: %v", r, addr, err)
+		}
+	}
+	return nil
+}
+
+// Peer is one rank's tcp transport: a server for its own window, dialed
+// connections to its peers.
+type Peer struct {
+	cfg Config
+	ln  net.Listener
+
+	mu      sync.Mutex
+	conns   map[int]*wire.Conn // outbound, by target rank
+	inbound []*wire.Conn
+	dead    map[int]bool
+	closed  bool
+}
+
+var _ transport.Transport = (*Peer)(nil)
+
+// New validates cfg, binds the listener if needed, and starts accepting.
+func New(cfg Config) (*Peer, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	cfg = cfg.withDefaults()
+	p := &Peer{cfg: cfg, ln: cfg.Listener, conns: make(map[int]*wire.Conn), dead: make(map[int]bool)}
+	if p.ln == nil {
+		ln, err := net.Listen("tcp", cfg.Listen)
+		if err != nil {
+			return nil, fmt.Errorf("tcp: listen %s: %w", cfg.Listen, err)
+		}
+		p.ln = ln
+	}
+	go p.acceptLoop()
+	return p, nil
+}
+
+// Addr returns the bound listen address (for :0 listeners).
+func (p *Peer) Addr() string { return p.ln.Addr().String() }
+
+// Close shuts the listener and every connection down.
+func (p *Peer) Close() error {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return nil
+	}
+	p.closed = true
+	conns := make([]*wire.Conn, 0, len(p.conns)+len(p.inbound))
+	for _, c := range p.conns {
+		conns = append(conns, c)
+	}
+	conns = append(conns, p.inbound...)
+	p.mu.Unlock()
+	p.ln.Close()
+	for _, c := range conns {
+		c.Close()
+	}
+	return nil
+}
+
+func (p *Peer) wireConfig(onDown func(error)) wire.Config {
+	cfg := wire.Config{Handler: p.serve, OnDown: onDown}
+	if p.cfg.HeartbeatInterval > 0 {
+		cfg.Heartbeat = p.cfg.HeartbeatInterval
+		cfg.ReadTimeout = time.Duration(p.cfg.HeartbeatMiss) * p.cfg.HeartbeatInterval
+	}
+	return cfg
+}
+
+func (p *Peer) acceptLoop() {
+	for {
+		nc, err := p.ln.Accept()
+		if err != nil {
+			return
+		}
+		// src is learned from the connection's Hello frame; until then the
+		// peer is anonymous and its death needs no bookkeeping.
+		var src atomic.Int32
+		src.Store(-1)
+		handler := func(t byte, payload []byte) (byte, []byte, error) {
+			if t == tHello {
+				d := wire.NewDec(payload)
+				r := d.I()
+				if d.Failed() {
+					return 0, nil, transport.RemoteError{Msg: "malformed hello"}
+				}
+				src.Store(int32(r))
+				return tHello, nil, nil
+			}
+			return p.serve(t, payload)
+		}
+		cfg := p.wireConfig(nil)
+		cfg.Handler = handler
+		cfg.OnDown = func(error) {
+			if s := src.Load(); s >= 0 {
+				p.declareDead(int(s))
+			}
+		}
+		wc := wire.New(nc, cfg)
+		p.mu.Lock()
+		if p.closed {
+			p.mu.Unlock()
+			wc.Close()
+			continue
+		}
+		p.inbound = append(p.inbound, wc)
+		p.mu.Unlock()
+	}
+}
+
+func (p *Peer) declareDead(rank int) {
+	if rank == p.cfg.Self {
+		return
+	}
+	p.mu.Lock()
+	already := p.dead[rank]
+	p.dead[rank] = true
+	closed := p.closed
+	p.mu.Unlock()
+	if !already && !closed && p.cfg.OnPeerDown != nil {
+		p.cfg.OnPeerDown(rank)
+	}
+}
+
+// conn returns (dialing lazily) the outbound connection to target.
+func (p *Peer) conn(target int) (*wire.Conn, error) {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return nil, transport.PeerDeadError{Rank: target}
+	}
+	if p.dead[target] {
+		p.mu.Unlock()
+		return nil, transport.PeerDeadError{Rank: target}
+	}
+	if c := p.conns[target]; c != nil {
+		p.mu.Unlock()
+		return c, nil
+	}
+	addr, ok := p.cfg.Peers[target]
+	p.mu.Unlock()
+	if !ok {
+		return nil, fmt.Errorf("tcp: no address for peer rank %d", target)
+	}
+	nc, err := net.DialTimeout("tcp", addr, p.cfg.DialTimeout)
+	if err != nil {
+		p.declareDead(target)
+		return nil, transport.PeerDeadError{Rank: target}
+	}
+	c := wire.New(nc, p.wireConfig(func(error) { p.declareDead(target) }))
+	var e wire.Enc
+	e.I(p.cfg.Self)
+	if _, err := c.Call(tHello, e.Bytes()); err != nil {
+		c.Close()
+		p.declareDead(target)
+		return nil, transport.PeerDeadError{Rank: target}
+	}
+	p.mu.Lock()
+	if prev := p.conns[target]; prev != nil {
+		p.mu.Unlock()
+		c.Close()
+		return prev, nil
+	}
+	p.conns[target] = c
+	p.mu.Unlock()
+	return c, nil
+}
+
+// FramesTo returns the number of data frames sent so far on the outbound
+// connection to target (0 if never dialed). The conformance suite asserts
+// one flush frame per epoch close with it.
+func (p *Peer) FramesTo(target int) uint64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if c := p.conns[target]; c != nil {
+		return c.Sent()
+	}
+	return 0
+}
+
+// call performs one request/response towards target, mapping wire-level
+// failures onto transport errors.
+func (p *Peer) call(target int, t byte, payload []byte) ([]byte, error) {
+	c, err := p.conn(target)
+	if err != nil {
+		return nil, err
+	}
+	reply, err := c.Call(t, payload)
+	if err == nil {
+		return reply, nil
+	}
+	var rf wire.RemoteFail
+	if errors.As(err, &rf) {
+		if rf.Code == wire.CodePeerDead {
+			return nil, transport.PeerDeadError{Rank: rf.Rank}
+		}
+		return nil, transport.RemoteError{Msg: rf.Msg}
+	}
+	if errors.Is(err, wire.ErrDown) {
+		p.declareDead(target)
+		return nil, transport.PeerDeadError{Rank: target}
+	}
+	return nil, err
+}
+
+// ---- Transport (client side) ------------------------------------------------
+
+// Flush frames the epoch's whole batch as one message, sends it, and
+// decodes the reply's get data into the ops' destination buffers.
+func (p *Peer) Flush(src, target int, ops []transport.Op) error {
+	if target == p.cfg.Self {
+		return p.cfg.Local.Flush(src, target, ops)
+	}
+	var e wire.Enc
+	e.I(src)
+	e.I(target)
+	encodeOps(&e, ops)
+	reply, err := p.call(target, tFlush, e.Bytes())
+	if err != nil {
+		return err
+	}
+	d := wire.NewDec(reply)
+	for i := range ops {
+		if ops[i].Kind != transport.KindGet {
+			continue
+		}
+		if !d.WordsInto(ops[i].Dest) {
+			return transport.RemoteError{Msg: "malformed flush reply"}
+		}
+	}
+	return nil
+}
+
+func (p *Peer) CompareAndSwap(src, target, off int, old, new uint64) (uint64, error) {
+	if target == p.cfg.Self {
+		return p.cfg.Local.CompareAndSwap(src, target, off, old, new)
+	}
+	var e wire.Enc
+	e.I(src)
+	e.I(target)
+	e.I(off)
+	e.W64(old)
+	e.W64(new)
+	reply, err := p.call(target, tCAS, e.Bytes())
+	if err != nil {
+		return 0, err
+	}
+	return wire.NewDec(reply).W64(), nil
+}
+
+func (p *Peer) FetchAndOp(src, target, off int, operand uint64, red uint8) (uint64, error) {
+	if target == p.cfg.Self {
+		return p.cfg.Local.FetchAndOp(src, target, off, operand, red)
+	}
+	var e wire.Enc
+	e.I(src)
+	e.I(target)
+	e.I(off)
+	e.W64(operand)
+	e.B(red)
+	reply, err := p.call(target, tFAO, e.Bytes())
+	if err != nil {
+		return 0, err
+	}
+	return wire.NewDec(reply).W64(), nil
+}
+
+func (p *Peer) GetAccumulate(src, target, off int, data []uint64, red uint8) ([]uint64, error) {
+	if target == p.cfg.Self {
+		return p.cfg.Local.GetAccumulate(src, target, off, data, red)
+	}
+	var e wire.Enc
+	e.I(src)
+	e.I(target)
+	e.I(off)
+	e.B(red)
+	e.Words(data)
+	reply, err := p.call(target, tGetAcc, e.Bytes())
+	if err != nil {
+		return nil, err
+	}
+	prev := make([]uint64, len(data))
+	if !wire.NewDec(reply).WordsInto(prev) {
+		return nil, transport.RemoteError{Msg: "malformed get-accumulate reply"}
+	}
+	return prev, nil
+}
+
+func (p *Peer) Lock(src, target, str int, now, latency float64) (float64, error) {
+	if target == p.cfg.Self {
+		return p.cfg.Local.Lock(src, target, str, now, latency)
+	}
+	var e wire.Enc
+	e.I(src)
+	e.I(target)
+	e.I(str)
+	e.F(now)
+	e.F(latency)
+	reply, err := p.call(target, tLock, e.Bytes())
+	if err != nil {
+		return 0, err
+	}
+	return wire.NewDec(reply).F(), nil
+}
+
+func (p *Peer) Unlock(src, target, str int, now, latency float64) error {
+	if target == p.cfg.Self {
+		return p.cfg.Local.Unlock(src, target, str, now, latency)
+	}
+	var e wire.Enc
+	e.I(src)
+	e.I(target)
+	e.I(str)
+	e.F(now)
+	e.F(latency)
+	_, err := p.call(target, tUnlock, e.Bytes())
+	return err
+}
+
+// ---- Server side ------------------------------------------------------------
+
+// serve handles one incoming request frame against the local handler.
+func (p *Peer) serve(t byte, payload []byte) (byte, []byte, error) {
+	d := wire.NewDec(payload)
+	switch t {
+	case tFlush:
+		src, target := d.I(), d.I()
+		ops, err := decodeOps(d)
+		if err != nil {
+			return 0, nil, err
+		}
+		if err := p.cfg.Local.Flush(src, target, ops); err != nil {
+			return 0, nil, failOf(err)
+		}
+		var e wire.Enc
+		for i := range ops {
+			if ops[i].Kind == transport.KindGet {
+				e.Words(ops[i].Dest)
+			}
+		}
+		return t, e.Bytes(), nil
+	case tCAS:
+		src, target, off := d.I(), d.I(), d.I()
+		old, new := d.W64(), d.W64()
+		if d.Failed() {
+			return 0, nil, transport.RemoteError{Msg: "malformed cas"}
+		}
+		prev, err := p.cfg.Local.CompareAndSwap(src, target, off, old, new)
+		if err != nil {
+			return 0, nil, failOf(err)
+		}
+		var e wire.Enc
+		e.W64(prev)
+		return t, e.Bytes(), nil
+	case tFAO:
+		src, target, off := d.I(), d.I(), d.I()
+		operand, red := d.W64(), d.B()
+		if d.Failed() || !transport.ValidRed(red) {
+			return 0, nil, transport.RemoteError{Msg: "malformed fetch-and-op"}
+		}
+		prev, err := p.cfg.Local.FetchAndOp(src, target, off, operand, red)
+		if err != nil {
+			return 0, nil, failOf(err)
+		}
+		var e wire.Enc
+		e.W64(prev)
+		return t, e.Bytes(), nil
+	case tGetAcc:
+		src, target, off := d.I(), d.I(), d.I()
+		red := d.B()
+		data := d.Words()
+		if d.Failed() || !transport.ValidRed(red) {
+			return 0, nil, transport.RemoteError{Msg: "malformed get-accumulate"}
+		}
+		prev, err := p.cfg.Local.GetAccumulate(src, target, off, data, red)
+		if err != nil {
+			return 0, nil, failOf(err)
+		}
+		var e wire.Enc
+		e.Words(prev)
+		return t, e.Bytes(), nil
+	case tLock:
+		src, target, str := d.I(), d.I(), d.I()
+		now, latency := d.F(), d.F()
+		if d.Failed() {
+			return 0, nil, transport.RemoteError{Msg: "malformed lock"}
+		}
+		after, err := p.cfg.Local.Lock(src, target, str, now, latency)
+		if err != nil {
+			return 0, nil, failOf(err)
+		}
+		var e wire.Enc
+		e.F(after)
+		return t, e.Bytes(), nil
+	case tUnlock:
+		src, target, str := d.I(), d.I(), d.I()
+		now, latency := d.F(), d.F()
+		if d.Failed() {
+			return 0, nil, transport.RemoteError{Msg: "malformed unlock"}
+		}
+		if err := p.cfg.Local.Unlock(src, target, str, now, latency); err != nil {
+			return 0, nil, failOf(err)
+		}
+		return t, nil, nil
+	}
+	return 0, nil, transport.RemoteError{Msg: fmt.Sprintf("unknown frame type %#x", t)}
+}
+
+// failOf maps a local handler error onto a wire error reply.
+func failOf(err error) error {
+	if pd, ok := err.(transport.PeerDeadError); ok {
+		return wire.RemoteFail{Code: wire.CodePeerDead, Rank: pd.Rank, Msg: pd.Error()}
+	}
+	return err
+}
+
+// encodeOps frames one epoch batch: kind, reduce op, offset, and for
+// puts/accumulates the payload words; gets carry only offset and length.
+func encodeOps(e *wire.Enc, ops []transport.Op) {
+	e.I(len(ops))
+	for i := range ops {
+		op := &ops[i]
+		e.B(op.Kind)
+		switch op.Kind {
+		case transport.KindGet:
+			e.I(op.Off)
+			e.I(len(op.Dest))
+		default:
+			e.B(op.Red)
+			e.I(op.Off)
+			e.Words(op.Data)
+		}
+	}
+}
+
+// decodeOps is the server-side inverse, in two word-aligned passes over
+// the frame: the first validates every op header and sums the payload and
+// destination volumes (no allocation driven by unvalidated wire counts),
+// the second converts every payload into one shared backing buffer that
+// the window applies then copy straight out of — two allocations per
+// flush frame however many ops it carries.
+func decodeOps(d *wire.Dec) ([]transport.Op, error) {
+	n := d.I()
+	if d.Failed() || n < 0 || n > wire.MaxFrame/8 {
+		return nil, transport.RemoteError{Msg: "malformed op batch"}
+	}
+	// Pass 1: walk a value copy of the decoder to validate and size.
+	scan := *d
+	totalWords, getWords := 0, 0
+	for i := 0; i < n; i++ {
+		kind := scan.B()
+		switch kind {
+		case transport.KindGet:
+			scan.I()
+			ln := scan.I()
+			getWords += ln
+			totalWords += ln
+			// Get destinations are allocated before the reply proves the
+			// peer honest, so the batch's total get volume is bounded by
+			// what a single reply frame could legally carry.
+			if scan.Failed() || ln > wire.MaxFrame/8 || getWords > wire.MaxFrame/8 {
+				return nil, transport.RemoteError{Msg: "malformed get op"}
+			}
+		case transport.KindPut, transport.KindAcc:
+			red := scan.B()
+			scan.I()
+			totalWords += scan.SkipWords()
+			if scan.Failed() || !transport.ValidRed(red) {
+				return nil, transport.RemoteError{Msg: "malformed put op"}
+			}
+		default:
+			return nil, transport.RemoteError{Msg: fmt.Sprintf("unknown op kind %d", kind)}
+		}
+	}
+	// Pass 2: decode into the shared buffer.
+	ops := make([]transport.Op, 0, n)
+	buf := make([]uint64, totalWords)
+	for i := 0; i < n; i++ {
+		kind := d.B()
+		switch kind {
+		case transport.KindGet:
+			off, ln := d.I(), d.I()
+			dest := buf[:ln:ln]
+			buf = buf[ln:]
+			ops = append(ops, transport.Op{Kind: kind, Off: off, Dest: dest})
+		default:
+			red := d.B()
+			off := d.I()
+			w := d.WordsIntoPrefix(buf)
+			data := buf[:w:w]
+			buf = buf[w:]
+			ops = append(ops, transport.Op{Kind: kind, Red: red, Off: off, Data: data})
+		}
+	}
+	if d.Failed() {
+		return nil, transport.RemoteError{Msg: "malformed op batch payload"}
+	}
+	return ops, nil
+}

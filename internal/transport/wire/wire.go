@@ -1,0 +1,504 @@
+// Package wire is the framing layer of the tcp transport and the cluster
+// runtime: length-prefixed binary frames over a net.Conn, matched
+// request/response calls, background dispatch of incoming requests, and
+// heartbeat-based liveness.
+//
+// Frame layout:
+//
+//	uint32  length (big endian, of everything after itself)
+//	uint8   type   (high bit set = reply; 0xFF = error reply; 0x01 = heartbeat)
+//	uint32  id     (big endian; matches replies to calls, 0 = notification)
+//	payload
+//
+// Payloads are encoded with Enc/Dec: uvarints for counts and offsets,
+// fixed little-endian 64-bit for window words (word-aligned, so a batch
+// decode is one pass over the byte slice), IEEE bits for the virtual-time
+// floats of the lock protocol.
+package wire
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Reserved frame types. User protocols must use types >= 0x10 with the
+// high bit clear.
+const (
+	TypeHeartbeat byte = 0x01
+	typeErr       byte = 0xFF
+	replyBit      byte = 0x80
+)
+
+// MaxFrame bounds a frame's encoded size; a peer announcing more is
+// corrupt (or hostile) and the connection is dropped.
+const MaxFrame = 64 << 20
+
+// RemoteFail is an error reply decoded from the wire. Code distinguishes
+// protocol-level failure classes (the tcp transport maps CodePeerDead to
+// transport.PeerDeadError); Msg travels verbatim.
+type RemoteFail struct {
+	Code byte
+	Rank int
+	Msg  string
+}
+
+// Error codes of RemoteFail.
+const (
+	CodeGeneric  byte = 0
+	CodePeerDead byte = 1
+	CodeCrisis   byte = 2 // cluster: a recovery is pending, retry after Await
+)
+
+func (e RemoteFail) Error() string {
+	return fmt.Sprintf("wire: remote failure (code %d, rank %d): %s", e.Code, e.Rank, e.Msg)
+}
+
+// ErrDown reports a connection that died (closed, reset, or heartbeat
+// timeout); the underlying cause is wrapped.
+var ErrDown = errors.New("wire: connection down")
+
+// Handler serves one incoming request frame and returns the reply type and
+// payload, or an error (sent as an error reply). Handlers run on their own
+// goroutine per frame, so a handler may block (structure locks, barriers)
+// without stalling the connection.
+type Handler func(t byte, payload []byte) (byte, []byte, error)
+
+// Config tunes a Conn.
+type Config struct {
+	// Handler serves incoming requests; nil rejects them.
+	Handler Handler
+	// Heartbeat is the interval of outgoing heartbeat frames; 0 disables.
+	Heartbeat time.Duration
+	// ReadTimeout is the rolling per-frame read deadline — the failure
+	// detector's patience. 0 disables. It must comfortably exceed the
+	// peer's heartbeat interval.
+	ReadTimeout time.Duration
+	// OnDown is called exactly once when the connection dies, with the
+	// cause. It runs on the reader goroutine; it must not block.
+	OnDown func(error)
+}
+
+// Conn is a framed, multiplexed connection.
+type Conn struct {
+	nc  net.Conn
+	cfg Config
+
+	wmu    sync.Mutex
+	nextID atomic.Uint32
+
+	pmu     sync.Mutex
+	pending map[uint32]chan frame
+	downErr error // set under pmu once down
+
+	downOnce sync.Once
+	sent     atomic.Uint64
+	received atomic.Uint64
+}
+
+type frame struct {
+	t       byte
+	id      uint32
+	payload []byte
+}
+
+// New wraps nc and starts the reader (and heartbeat sender, if configured).
+func New(nc net.Conn, cfg Config) *Conn {
+	c := &Conn{nc: nc, cfg: cfg, pending: make(map[uint32]chan frame)}
+	go c.readLoop()
+	if cfg.Heartbeat > 0 {
+		go c.heartbeatLoop()
+	}
+	return c
+}
+
+// Sent returns the number of data frames written (requests, replies, and
+// notifications; heartbeats excluded). The frame-count assertions of the
+// conformance suite read it.
+func (c *Conn) Sent() uint64 { return c.sent.Load() }
+
+// Received returns the number of frames read.
+func (c *Conn) Received() uint64 { return c.received.Load() }
+
+// Close tears the connection down.
+func (c *Conn) Close() error {
+	c.markDown(ErrDown)
+	return nil
+}
+
+func (c *Conn) markDown(err error) {
+	c.downOnce.Do(func() {
+		c.pmu.Lock()
+		c.downErr = err
+		waiters := c.pending
+		c.pending = nil
+		c.pmu.Unlock()
+		c.nc.Close()
+		for _, ch := range waiters {
+			close(ch)
+		}
+		if c.cfg.OnDown != nil {
+			c.cfg.OnDown(err)
+		}
+	})
+}
+
+// ErrFrameTooLarge reports a payload exceeding MaxFrame. The connection
+// stays up — the frame was never sent — so the caller can surface a
+// diagnostic instead of the receiver dropping the link as corrupt.
+var ErrFrameTooLarge = errors.New("wire: frame exceeds MaxFrame")
+
+func (c *Conn) writeFrame(t byte, id uint32, payload []byte) error {
+	if len(payload)+5 > MaxFrame {
+		return fmt.Errorf("%w: %d bytes", ErrFrameTooLarge, len(payload))
+	}
+	buf := make([]byte, 9+len(payload))
+	binary.BigEndian.PutUint32(buf, uint32(5+len(payload)))
+	buf[4] = t
+	binary.BigEndian.PutUint32(buf[5:], id)
+	copy(buf[9:], payload)
+	c.wmu.Lock()
+	_, err := c.nc.Write(buf)
+	c.wmu.Unlock()
+	if err != nil {
+		c.markDown(fmt.Errorf("%w: write: %v", ErrDown, err))
+		return c.down()
+	}
+	if t != TypeHeartbeat {
+		c.sent.Add(1)
+	}
+	return nil
+}
+
+func (c *Conn) down() error {
+	c.pmu.Lock()
+	defer c.pmu.Unlock()
+	if c.downErr != nil {
+		return c.downErr
+	}
+	return ErrDown
+}
+
+// Call sends a request and blocks for its reply payload. A RemoteFail from
+// the peer is returned as the error; a dead connection returns ErrDown
+// (wrapped).
+func (c *Conn) Call(t byte, payload []byte) ([]byte, error) {
+	id := c.nextID.Add(1)
+	if id == 0 {
+		id = c.nextID.Add(1)
+	}
+	ch := make(chan frame, 1)
+	c.pmu.Lock()
+	if c.downErr != nil {
+		err := c.downErr
+		c.pmu.Unlock()
+		return nil, err
+	}
+	c.pending[id] = ch
+	c.pmu.Unlock()
+
+	if err := c.writeFrame(t, id, payload); err != nil {
+		c.pmu.Lock()
+		if c.pending != nil {
+			delete(c.pending, id)
+		}
+		c.pmu.Unlock()
+		return nil, err
+	}
+	f, ok := <-ch
+	if !ok {
+		return nil, c.down()
+	}
+	if f.t == typeErr {
+		return nil, decodeFail(f.payload)
+	}
+	return f.payload, nil
+}
+
+// Notify sends a fire-and-forget frame (id 0, no reply expected).
+func (c *Conn) Notify(t byte, payload []byte) error {
+	return c.writeFrame(t, 0, payload)
+}
+
+func (c *Conn) heartbeatLoop() {
+	tick := time.NewTicker(c.cfg.Heartbeat)
+	defer tick.Stop()
+	for range tick.C {
+		if c.Notify(TypeHeartbeat, nil) != nil {
+			return
+		}
+	}
+}
+
+func (c *Conn) readLoop() {
+	hdr := make([]byte, 4)
+	for {
+		if c.cfg.ReadTimeout > 0 {
+			c.nc.SetReadDeadline(time.Now().Add(c.cfg.ReadTimeout))
+		}
+		if err := readFull(c.nc, hdr); err != nil {
+			c.markDown(fmt.Errorf("%w: read: %v", ErrDown, err))
+			return
+		}
+		n := binary.BigEndian.Uint32(hdr)
+		if n < 5 || n > MaxFrame {
+			c.markDown(fmt.Errorf("%w: bad frame length %d", ErrDown, n))
+			return
+		}
+		body := make([]byte, n)
+		if err := readFull(c.nc, body); err != nil {
+			c.markDown(fmt.Errorf("%w: read: %v", ErrDown, err))
+			return
+		}
+		c.received.Add(1)
+		f := frame{t: body[0], id: binary.BigEndian.Uint32(body[1:5]), payload: body[5:]}
+		switch {
+		case f.t == TypeHeartbeat:
+			// Liveness only; the read itself reset the deadline.
+		case f.t&replyBit != 0 || f.t == typeErr:
+			c.pmu.Lock()
+			ch := c.pending[f.id]
+			delete(c.pending, f.id)
+			c.pmu.Unlock()
+			if ch != nil {
+				ch <- f
+			}
+		default:
+			go c.serve(f)
+		}
+	}
+}
+
+func (c *Conn) serve(f frame) {
+	if c.cfg.Handler == nil {
+		if f.id != 0 {
+			c.writeFrame(typeErr, f.id, encodeFail(RemoteFail{Code: CodeGeneric, Msg: "no handler"}))
+		}
+		return
+	}
+	rt, payload, err := func() (rt byte, payload []byte, err error) {
+		defer func() {
+			if e := recover(); e != nil {
+				err = RemoteFail{Code: CodeGeneric, Msg: fmt.Sprint(e)}
+			}
+		}()
+		return c.cfg.Handler(f.t, f.payload)
+	}()
+	if f.id == 0 {
+		return // notification: nothing to reply to
+	}
+	if err != nil {
+		var rf RemoteFail
+		if !errors.As(err, &rf) {
+			rf = RemoteFail{Code: CodeGeneric, Msg: err.Error()}
+		}
+		c.writeFrame(typeErr, f.id, encodeFail(rf))
+		return
+	}
+	c.writeFrame(rt|replyBit, f.id, payload)
+}
+
+func readFull(nc net.Conn, buf []byte) error {
+	_, err := io.ReadFull(nc, buf)
+	return err
+}
+
+func encodeFail(f RemoteFail) []byte {
+	var e Enc
+	e.B(f.Code)
+	e.I(f.Rank)
+	e.Str(f.Msg)
+	return e.Bytes()
+}
+
+func decodeFail(b []byte) error {
+	d := NewDec(b)
+	f := RemoteFail{Code: d.B(), Rank: d.I(), Msg: d.Str()}
+	if d.Failed() {
+		return RemoteFail{Code: CodeGeneric, Msg: "undecodable error reply"}
+	}
+	return f
+}
+
+// ---- Payload encoding -------------------------------------------------------
+
+// Enc builds a payload: uvarints, raw bytes, 64-bit words, floats, strings.
+type Enc struct{ b []byte }
+
+// B appends one byte.
+func (e *Enc) B(v byte) { e.b = append(e.b, v) }
+
+// U appends a uvarint.
+func (e *Enc) U(v uint64) { e.b = binary.AppendUvarint(e.b, v) }
+
+// I appends a non-negative int as a uvarint.
+func (e *Enc) I(v int) { e.U(uint64(v)) }
+
+// F appends a float64 as its IEEE bits.
+func (e *Enc) F(v float64) {
+	e.b = binary.LittleEndian.AppendUint64(e.b, math.Float64bits(v))
+}
+
+// W64 appends one word, fixed width.
+func (e *Enc) W64(v uint64) { e.b = binary.LittleEndian.AppendUint64(e.b, v) }
+
+// Words appends a length-prefixed word vector, fixed 8 bytes per word so
+// the decode side can alias or bulk-copy word-aligned runs.
+func (e *Enc) Words(w []uint64) {
+	e.I(len(w))
+	for _, v := range w {
+		e.W64(v)
+	}
+}
+
+// Str appends a length-prefixed string.
+func (e *Enc) Str(s string) {
+	e.I(len(s))
+	e.b = append(e.b, s...)
+}
+
+// Bytes returns the encoded payload.
+func (e *Enc) Bytes() []byte { return e.b }
+
+// Dec consumes a payload. A malformed payload poisons the decoder (Failed
+// reports it) instead of panicking; zero values are returned after poison.
+type Dec struct {
+	b    []byte
+	fail bool
+}
+
+// NewDec wraps a payload.
+func NewDec(b []byte) *Dec { return &Dec{b: b} }
+
+// Failed reports whether any read ran off the payload.
+func (d *Dec) Failed() bool { return d.fail }
+
+func (d *Dec) poison() {
+	d.fail = true
+	d.b = nil
+}
+
+// B reads one byte.
+func (d *Dec) B() byte {
+	if len(d.b) < 1 {
+		d.poison()
+		return 0
+	}
+	v := d.b[0]
+	d.b = d.b[1:]
+	return v
+}
+
+// U reads a uvarint.
+func (d *Dec) U() uint64 {
+	v, n := binary.Uvarint(d.b)
+	if n <= 0 {
+		d.poison()
+		return 0
+	}
+	d.b = d.b[n:]
+	return v
+}
+
+// I reads a uvarint as an int, rejecting values no legitimate count,
+// offset, or length of this protocol can reach (they would otherwise
+// wrap negative or drive pathological allocations in handlers).
+func (d *Dec) I() int {
+	v := d.U()
+	if v >= 1<<32 {
+		d.poison()
+		return 0
+	}
+	return int(v)
+}
+
+// F reads a float64.
+func (d *Dec) F() float64 { return math.Float64frombits(d.W64()) }
+
+// W64 reads one fixed-width word.
+func (d *Dec) W64() uint64 {
+	if len(d.b) < 8 {
+		d.poison()
+		return 0
+	}
+	v := binary.LittleEndian.Uint64(d.b)
+	d.b = d.b[8:]
+	return v
+}
+
+// Words reads a length-prefixed word vector into a fresh slice.
+func (d *Dec) Words() []uint64 {
+	n := d.I()
+	if d.fail || n > len(d.b)/8 {
+		d.poison()
+		return nil
+	}
+	out := make([]uint64, n)
+	d.wordsInto(out)
+	return out
+}
+
+// WordsInto reads a length-prefixed word vector into dst; the vector's
+// length must equal len(dst). This is the zero-allocation decode path the
+// tcp server uses to move put payloads and get replies straight into
+// window-destined buffers.
+func (d *Dec) WordsInto(dst []uint64) bool {
+	n := d.I()
+	if d.fail || n != len(dst) || n > len(d.b)/8 {
+		d.poison()
+		return false
+	}
+	d.wordsInto(dst)
+	return !d.fail
+}
+
+func (d *Dec) wordsInto(dst []uint64) {
+	for i := range dst {
+		dst[i] = binary.LittleEndian.Uint64(d.b[8*i:])
+	}
+	d.b = d.b[8*len(dst):]
+}
+
+// WordsIntoPrefix reads a length-prefixed word vector into the front of
+// dst and returns its length (which must fit dst). Batch decoders carve
+// consecutive vectors out of one shared backing buffer with it.
+func (d *Dec) WordsIntoPrefix(dst []uint64) int {
+	n := d.I()
+	if d.fail || n > len(dst) || n > len(d.b)/8 {
+		d.poison()
+		return 0
+	}
+	d.wordsInto(dst[:n])
+	return n
+}
+
+// SkipWords advances past a length-prefixed word vector without decoding
+// it, returning its length. Two-pass decoders use it to size one shared
+// backing buffer before converting payloads.
+func (d *Dec) SkipWords() int {
+	n := d.I()
+	if d.fail || n > len(d.b)/8 {
+		d.poison()
+		return 0
+	}
+	d.b = d.b[8*n:]
+	return n
+}
+
+// Str reads a length-prefixed string.
+func (d *Dec) Str() string {
+	n := d.I()
+	if d.fail || n > len(d.b) {
+		d.poison()
+		return ""
+	}
+	s := string(d.b[:n])
+	d.b = d.b[n:]
+	return s
+}

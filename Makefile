@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet staticcheck test test-noasm bench-short bench bench-gate race tier1 ci
+.PHONY: all build vet staticcheck test test-noasm bench-short bench bench-gate race tier1 ci docs-check
 
 all: build vet test
 
@@ -56,6 +56,11 @@ smoke-rankd:
 # The tier-1 gate the roadmap pins.
 tier1: build test
 
+# Docs gate: vet, Example tests, markdown link check (CI's `docs` job).
+docs-check:
+	./scripts/check_docs.sh
+
 # Mirrors the full CI workflow locally: build, vet, staticcheck, tests on
-# both kernel paths, the race detector, and the bench-regression gate.
-ci: build vet staticcheck test test-noasm race bench-gate
+# both kernel paths, the race detector, the bench-regression gate, and
+# the docs gate.
+ci: build vet staticcheck test test-noasm race bench-gate docs-check

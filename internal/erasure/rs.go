@@ -106,6 +106,25 @@ func (rs *RS) UpdateParityDeltaWords(parity []uint64, i, j int, old, new []uint6
 	return nil
 }
 
+// UpdateParityWords folds a precomputed word delta (old XOR new) of data
+// shard j into parity shard i in place: parity ^= coef(i, j)·delta. The
+// wire-fed parity hosts use it — the member computes the delta once and
+// ships it, the host folds it where the parity lives. Bit-identical to
+// UpdateParityDeltaWords over the same old/new pair (the code is linear).
+func (rs *RS) UpdateParityWords(parity []uint64, i, j int, delta []uint64) error {
+	if err := rs.checkParityIndex(i, j); err != nil {
+		return err
+	}
+	if len(parity) != len(delta) {
+		return fmt.Errorf("erasure: parity length %d != delta length %d", len(parity), len(delta))
+	}
+	c := rs.coef(i, j)
+	pshardWords(len(delta), func(lo, hi int) {
+		MulSliceXorWords(c, parity[lo:hi], delta[lo:hi])
+	})
+	return nil
+}
+
 // AddShardWords folds complete data shard j into parity shard i:
 // parity ^= coef(i, j)·data. Used to (re)build a parity shard from shard
 // copies without going through a delta (e.g. re-seeding group parity after

@@ -11,18 +11,21 @@ import (
 
 // maybeDemandCheckpoint runs after log growth: when the log budget is
 // exceeded, first try to trim against peers' existing checkpoints, then
-// request a demand checkpoint of the peer holding the most log bytes here.
-func (p *Process) maybeDemandCheckpoint() {
+// request a demand checkpoint of the peer holding the most log bytes
+// here. bytesNow is the footprint the triggering append reported, so the
+// common under-budget case costs no extra residence read (over the wire
+// that read would be a round trip per logged op).
+func (p *Process) maybeDemandCheckpoint(bytesNow int) {
 	budget := p.sys.cfg.LogBudgetBytes
-	if budget == 0 || p.logs.bytes() <= budget {
+	if budget == 0 || bytesNow <= budget {
 		return
 	}
-	victim, _ := p.logs.largestPeer()
+	victim, _ := p.logs.LargestPeer()
 	if victim < 0 {
 		return
 	}
 	p.trimAgainst(victim)
-	if p.logs.bytes() <= budget {
+	if p.logs.Bytes() <= budget {
 		return
 	}
 	vp := p.sys.procs[victim]
@@ -65,10 +68,10 @@ func (p *Process) trimAgainst(q int) {
 	self := p.Rank()
 	freed := 0
 	p.inner.Lock(self, rma.StrLP)
-	freed += p.logs.trimLP(q, snap.epochs[self])
+	freed += p.logs.TrimLP(q, snap.epochs[self])
 	p.inner.Unlock(self, rma.StrLP)
 	p.inner.Lock(self, rma.StrLG)
-	freed += p.logs.trimLG(q, snap.snap.GNC, snap.snap.GC)
+	freed += p.logs.TrimLG(q, snap.snap.GNC, snap.snap.GC)
 	p.inner.Unlock(self, rma.StrLG)
 	if freed > 0 {
 		p.sys.bumpStats(func(st *Stats) { st.LogBytesTrimmed += freed })
@@ -107,15 +110,17 @@ func (p *Process) planCheckpoint(dst, base []uint64, gen uint64) ckptPlan {
 }
 
 // commitCheckpoint integrates a planned checkpoint: fold the batches into
-// the parity shards through the StreamDepth worker pool and refresh the
-// base copy. Pure computation — no virtual-time charging, no kill points.
-// Runs with p.ckptMu held.
-func (p *Process) commitCheckpoint(grp *chGroup, parity [][]uint64, base []uint64, plan ckptPlan) {
+// one level's parity shards — wherever they reside — through the
+// StreamDepth worker pool and refresh the base copy. Pure computation
+// locally; over a remote ParityHost the fold travels as parity-fold
+// frames. No virtual-time charging, no kill points. Runs with p.ckptMu
+// held.
+func (p *Process) commitCheckpoint(grp *chGroup, level int, base []uint64, plan ckptPlan) {
 	workers := 1
 	if p.sys.cfg.StreamingDemandCheckpoints {
 		workers = p.sys.cfg.StreamDepth
 	}
-	grp.foldRanges(parity, p.Rank(), base, plan.src, plan.batches, workers)
+	grp.fold(level, p.Rank(), base, plan.src, plan.batches, workers)
 	for _, r := range plan.ranges {
 		copy(base[r.Off:r.Off+r.Len], plan.src[r.Off:r.Off+r.Len])
 	}
@@ -217,7 +222,7 @@ func (p *Process) takeUCCheckpoint() {
 	defer p.ckptMu.Unlock()
 	plan := p.planCheckpoint(p.scratch, p.ucData, p.ucGen)
 	p.chargeCheckpoint(grp, plan.batches) // kill points live here
-	p.commitCheckpoint(grp, grp.ucParity, p.ucData, plan)
+	p.commitCheckpoint(grp, LevelUC, p.ucData, plan)
 	p.ucGen = plan.gen
 
 	grp.mu.Lock()
@@ -406,10 +411,10 @@ func (p *Process) ccRound() {
 	// plans' range lists, which survive the snapshot buffer's reuse.
 	p.ckptMu.Lock()
 	ccPlan := p.planCheckpoint(p.scratch, p.ccData, p.ccGen)
-	p.commitCheckpoint(grp, grp.ccParity, p.ccData, ccPlan)
+	p.commitCheckpoint(grp, LevelCC, p.ccData, ccPlan)
 	p.ccGen = ccPlan.gen
 	ucPlan := p.planCheckpoint(p.scratch, p.ucData, p.ucGen)
-	p.commitCheckpoint(grp, grp.ucParity, p.ucData, ucPlan)
+	p.commitCheckpoint(grp, LevelUC, p.ucData, ucPlan)
 	p.ucGen = ucPlan.gen
 	p.ckptMu.Unlock()
 
@@ -468,7 +473,7 @@ func (p *Process) clearAllLogs() {
 	self := p.Rank()
 	p.inner.Lock(self, rma.StrLP)
 	p.inner.Lock(self, rma.StrLG)
-	freed := p.logs.clear()
+	freed := p.logs.Clear()
 	p.inner.Unlock(self, rma.StrLG)
 	p.inner.Unlock(self, rma.StrLP)
 	if freed > 0 {

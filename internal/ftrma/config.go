@@ -22,6 +22,31 @@
 //
 // A Process wraps an rma.Proc and intercepts every RMA call, exactly as the
 // paper's library interposes via the PMPI profiling interface (§6.1).
+//
+// # State residence
+//
+// Where the protocol's recovery state lives is pluggable (hosting.go):
+// each rank's access logs sit behind the LogHost seam and each (group,
+// level)'s parity shards behind the ParityHost seam. By default both are
+// local (the pre-distribution behavior, with the paper's checksum
+// processes modeled infallible); Config.PeerParityHosts elects hosting
+// ranks in-process so that a host's death loses the shards and forces
+// the rebuild + re-election path; the transport/cluster coordinator
+// installs wire-backed residences so the state genuinely lives in worker
+// processes.
+//
+// # Invariants
+//
+//   - Byte accounting: LogHost.Bytes() — the value the §6.2 demand
+//     budget compares against Config.LogBudgetBytes — always equals the
+//     summed footprints (64 + 8·payload words) of the live records;
+//     logs_property_test.go asserts it after every mutation.
+//   - Parity ≡ encode(current checkpoint base copies): every fold keeps
+//     base and shards in lock step, so a level lost with its host is
+//     re-encoded bit-identically from the surviving members' copies.
+//   - Recovered state is bit-identical to a failure-free oracle at the
+//     matching phase boundary — the crash-recovery property test pins it
+//     across random kills, configs, and peer-hosted placements.
 package ftrma
 
 import (
@@ -116,6 +141,16 @@ type Config struct {
 	// Zero selects the default (0.5), negative disables compaction; must
 	// stay below 1.
 	LogCompactFraction float64
+	// PeerParityHosts moves each group's parity shards from the paper's
+	// dedicated (infallible) checksum processes onto elected peer ranks:
+	// the ElectParityHost policy places every (group, level) on an alive
+	// rank — outside the group when possible, the UC and CC levels on
+	// distinct ranks when possible — and the hosting rank's death loses
+	// the shards, forcing a rebuild from the surviving members' copies
+	// and a handoff to a freshly elected host. This is the in-process
+	// model of the cluster's peer-to-peer parity hosting; the cluster
+	// installs real wire-backed hosts via System.EnablePeerParityHosts.
+	PeerParityHosts bool
 	// TAware enables topology-aware group formation; Placement must then
 	// describe where ranks run.
 	TAware    bool
@@ -197,6 +232,15 @@ func (c Config) Validate(n int) error {
 	return nil
 }
 
+// ResolvedLogTuning returns the log-arena tuning knobs with defaults
+// resolved — what a remote log residence must be built with
+// (NewLocalLogHost) so that its byte accounting is computed from
+// structures identical to the coordinator's.
+func (c Config) ResolvedLogTuning() (slabWords, segmentRecords int, compactFraction float64) {
+	t := c.logTuning()
+	return t.slabWords, t.segRecords, t.compactRatio
+}
+
 // logTuning packages the arena knobs for the store, resolving defaults for
 // any zero values (callers may hold a raw, un-normalized Config).
 func (c Config) logTuning() logTuning {
@@ -220,6 +264,8 @@ type Stats struct {
 	PFSCheckpoints    int // per-rank stable-storage flushes (multi-level)
 	Recoveries        int
 	Fallbacks         int // causal recovery aborted, rolled back to CC
+	ParityRebuilds    int // parity re-encoded after its hosting rank died
+	ParityHandoffs    int // parity re-elections onto a new hosting rank
 	ActionsReplayed   int
 	CheckpointSeconds float64 // virtual time spent checkpointing
 }

@@ -132,8 +132,9 @@ func checkBoundary(t *testing.T, w *rma.World, snap [][]uint64, ph int, when str
 
 // runCrashRecoverySeed executes one seed: oracle run, failure run with
 // injected kills, and bit-identity checks after every recovery and at the
-// end. Returns how many causal recoveries and coordinated fallbacks ran.
-func runCrashRecoverySeed(t *testing.T, seed int64) (causal, fallback int) {
+// end. Returns how many causal recoveries, coordinated fallbacks, and
+// host-death parity rebuilds ran.
+func runCrashRecoverySeed(t *testing.T, seed int64) (causal, fallback, rebuilds int) {
 	crng := rand.New(rand.NewSource(seed * 0x9e3779b1))
 	combining := crng.Intn(2) == 0
 	cfg := Config{
@@ -163,6 +164,16 @@ func runCrashRecoverySeed(t *testing.T, seed int64) (causal, fallback int) {
 		cfg.StreamingDemandCheckpoints = true
 		cfg.StreamChunkBytes = 256
 		cfg.StreamDepth = 1 + crng.Intn(4)
+	}
+	if cfg.Groups >= 2 && crng.Intn(2) == 0 {
+		// Peer-hosted parity: every (group, level) resides at an elected
+		// rank and dies with it, so random kills also hit parity hosts and
+		// exercise the rebuild + re-election path. Restricted to >= 2
+		// groups, where the out-of-group placement policy always holds and
+		// every single kill stays recoverable: a lost member's group still
+		// has its (remotely hosted) parity, a lost host's group still has
+		// every member copy to re-encode from.
+		cfg.PeerParityHosts = true
 	}
 
 	nk := 1 + crng.Intn(2)
@@ -241,20 +252,21 @@ func runCrashRecoverySeed(t *testing.T, seed int64) (causal, fallback int) {
 		}
 	}
 	checkBoundary(t, w, snaps[crPhases], crPhases, "final state")
-	return causal, fallback
+	return causal, fallback, sys.Stats().ParityRebuilds
 }
 
 // TestRandomizedCrashRecovery drives the property over crSeeds seeds, one
 // subtest each, and checks that the suite as a whole exercised both
 // recovery paths (causal replay and coordinated fallback).
 func TestRandomizedCrashRecovery(t *testing.T) {
-	causal, fallback := 0, 0
+	causal, fallback, rebuilds := 0, 0, 0
 	for seed := int64(1); seed <= crSeeds; seed++ {
 		seed := seed
 		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
-			c, f := runCrashRecoverySeed(t, seed)
+			c, f, rb := runCrashRecoverySeed(t, seed)
 			causal += c
 			fallback += f
+			rebuilds += rb
 		})
 	}
 	if t.Failed() {
@@ -266,5 +278,9 @@ func TestRandomizedCrashRecovery(t *testing.T) {
 	if fallback == 0 {
 		t.Error("no seed exercised the coordinated fallback")
 	}
-	t.Logf("recoveries across %d seeds: %d causal, %d fallback", crSeeds, causal, fallback)
+	if rebuilds == 0 {
+		t.Error("no seed killed an elected parity host (rebuild path unexercised)")
+	}
+	t.Logf("recoveries across %d seeds: %d causal, %d fallback, %d parity rebuilds",
+		crSeeds, causal, fallback, rebuilds)
 }

@@ -143,7 +143,7 @@ func TestPutLoggedAtSource(t *testing.T) {
 		p.Flush(1)
 	})
 	logs := sys.Process(0).logs
-	lp := logs.copyLP(1)
+	lp := logs.CopyLP(1)
 	if len(lp) != 2 {
 		t.Fatalf("LP_0[1] has %d records, want 2", len(lp))
 	}
@@ -154,7 +154,7 @@ func TestPutLoggedAtSource(t *testing.T) {
 	if r0.Data[0] != 7 || r0.Data[1] != 8 || r0.Off != 3 {
 		t.Errorf("logged record wrong: %+v", r0)
 	}
-	if r0.Combine || logs.flagM(1) {
+	if r0.Combine || logs.FlagM(1) {
 		t.Error("replacing put marked combining")
 	}
 	st := sys.Stats()
@@ -172,7 +172,7 @@ func TestCombiningPutSetsMFlag(t *testing.T) {
 			p.Flush(1)
 		}
 	})
-	if !sys.Process(0).logs.flagM(1) {
+	if !sys.Process(0).logs.FlagM(1) {
 		t.Error("M_0[1] not set after combining put")
 	}
 }
@@ -187,18 +187,18 @@ func TestGetLoggedAtTargetAfterEpochClose(t *testing.T) {
 		p := sys.Process(0)
 		p.GetInto(1, 4, 1, 0)
 		// Phase 1: N flag raised at the target, nothing in LG yet.
-		if !sys.Process(1).logs.flagN(0) {
+		if !sys.Process(1).logs.FlagN(0) {
 			t.Error("N_1[0] not raised during open epoch")
 		}
-		if len(sys.Process(1).logs.copyLG(0)) != 0 {
+		if len(sys.Process(1).logs.CopyLG(0)) != 0 {
 			t.Error("get logged before epoch close")
 		}
 		p.Flush(1)
 		// Phase 2: record lands at the target with the data, N cleared.
-		if sys.Process(1).logs.flagN(0) {
+		if sys.Process(1).logs.FlagN(0) {
 			t.Error("N_1[0] not cleared after epoch close")
 		}
-		lg := sys.Process(1).logs.copyLG(0)
+		lg := sys.Process(1).logs.CopyLG(0)
 		if len(lg) != 1 {
 			t.Fatalf("LG_1[0] has %d records, want 1", len(lg))
 		}
@@ -215,13 +215,13 @@ func TestAtomicsLoggedBothSidesAndSetM(t *testing.T) {
 			sys.Process(0).FetchAndOp(1, 0, 3, rma.OpSum)
 		}
 	})
-	if len(sys.Process(0).logs.copyLP(1)) != 1 {
+	if len(sys.Process(0).logs.CopyLP(1)) != 1 {
 		t.Error("atomic put side not logged at source")
 	}
-	if len(sys.Process(1).logs.copyLG(0)) != 1 {
+	if len(sys.Process(1).logs.CopyLG(0)) != 1 {
 		t.Error("atomic get side not logged at target")
 	}
-	if !sys.Process(0).logs.flagM(1) {
+	if !sys.Process(0).logs.FlagM(1) {
 		t.Error("atomic did not set M flag")
 	}
 }
@@ -237,7 +237,7 @@ func TestSCCountersUnderLocks(t *testing.T) {
 		p.PutValue(2, r, uint64(r+1))
 		p.Unlock(2, rma.StrWindow)
 	})
-	recs := append(sys.Process(0).logs.copyLP(2), sys.Process(1).logs.copyLP(2)...)
+	recs := append(sys.Process(0).logs.CopyLP(2), sys.Process(1).logs.CopyLP(2)...)
 	if len(recs) != 2 {
 		t.Fatalf("%d put logs, want 2", len(recs))
 	}
@@ -265,7 +265,7 @@ func TestGNCStampsGsyncPhases(t *testing.T) {
 		}
 		p.Gsync()
 	})
-	recs := sys.Process(0).logs.copyLP(1)
+	recs := sys.Process(0).logs.CopyLP(1)
 	if len(recs) != 2 {
 		t.Fatalf("%d records", len(recs))
 	}
@@ -364,7 +364,7 @@ func TestRecoveryUsesCheckpointThenReplays(t *testing.T) {
 			p.Flush(1)
 		}
 	})
-	if got := len(sys.Process(0).logs.copyLP(1)); got != 1 {
+	if got := len(sys.Process(0).logs.CopyLP(1)); got != 1 {
 		t.Fatalf("after trim, LP has %d records, want 1", got)
 	}
 	w.Kill(1)

@@ -17,17 +17,17 @@ func TestGetAccumulateLoggedBothSides(t *testing.T) {
 			}
 		}
 	})
-	if len(sys.Process(0).logs.copyLP(1)) != 1 {
+	if len(sys.Process(0).logs.CopyLP(1)) != 1 {
 		t.Error("put side not logged at source")
 	}
-	lg := sys.Process(1).logs.copyLG(0)
+	lg := sys.Process(1).logs.CopyLG(0)
 	if len(lg) != 1 {
 		t.Fatal("get side not logged at target")
 	}
 	if lg[0].Data[0] != 7 {
 		t.Errorf("logged get data = %v, want the previous contents [7]", lg[0].Data)
 	}
-	if !sys.Process(0).logs.flagM(1) {
+	if !sys.Process(0).logs.FlagM(1) {
 		t.Error("combining access did not raise the M flag")
 	}
 }

@@ -1,0 +1,347 @@
+package ftrma
+
+// Residence seams of the peer-to-peer protocol state (§5, §6.1).
+//
+// The paper's model keeps every piece of recovery state in some process's
+// volatile memory: a rank holds its own access logs and checkpoint copy,
+// and a checksum process (CH) per group holds the parity shards. The
+// in-process System realizes both locally; a distributed runtime (the
+// transport/cluster coordinator) plugs its own residences in through the
+// two interfaces below, so the *same protocol code* runs whether the state
+// lives on the Go heap next to the runtime or in a worker process across a
+// socket:
+//
+//   - LogHost is where one rank's LP/LG records and N/M flags reside. The
+//     cluster backs it with log-append/log-fetch wire frames to the worker
+//     process owning the rank, so a recovery's log gathering becomes real
+//     request/response traffic and a worker's death genuinely loses its
+//     records — exactly the paper's failure model.
+//   - ParityHost is where one (group, level)'s parity shards reside. The
+//     cluster elects a hosting rank per group and feeds it parity-fold
+//     frames; the fold arithmetic runs where the parity lives.
+//
+// Both seams are behaviour-preserving: the local implementations are the
+// exact pre-seam code paths, and the remote ones move identical bytes
+// through the same kernels, so recovered states stay bit-identical.
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/erasure"
+	"repro/internal/rma"
+)
+
+// Parity levels: each group guards its members' uncoordinated (demand)
+// checkpoints and their coordinated checkpoints with separate shard sets.
+const (
+	// LevelUC is the uncoordinated (demand) checkpoint parity.
+	LevelUC = 0
+	// LevelCC is the coordinated checkpoint parity.
+	LevelCC = 1
+	// NumLevels counts the parity levels of a group.
+	NumLevels = 2
+)
+
+// LogHost is where one rank's access-log state resides: the put logs
+// LP[q], the get logs LG[q], and the N/M recovery flags of §4. The local
+// implementation is the arena-backed logStore; the cluster's is a stub
+// that turns every call into a wire frame towards the worker process
+// owning the rank. Byte returns must be exact (they drive the §6.2 demand
+// checkpoint budget), and CopyLP/CopyLG must return owned records that
+// later trims cannot perturb.
+//
+// Callers serialize protocol-level access with the owning rank's
+// StrLP/StrLG/StrMeta structure locks, exactly as with the local store;
+// implementations additionally guard their own memory.
+type LogHost interface {
+	// AppendLP logs a put towards target and returns the host's total log
+	// footprint in bytes after the append.
+	AppendLP(target int, rec LogRecord) int
+	// AppendLG logs a get that src issued at this rank; returns the total
+	// footprint after the append.
+	AppendLG(src int, rec LogRecord) int
+	// SetN writes the N flag for src (Algorithm 1 lines 1 and 8).
+	SetN(src int, v bool)
+	// FlagN reads the N flag for src.
+	FlagN(src int) bool
+	// FlagM reads the M flag towards target (§4.2).
+	FlagM(target int) bool
+	// CopyLP materializes LP[target] into owned records (recovery fetch).
+	CopyLP(target int) []LogRecord
+	// CopyLG materializes LG[src] into owned records (recovery fetch).
+	CopyLG(src int) []LogRecord
+	// TrimLP drops put records towards target covered by the target's
+	// checkpoint (EC < epochNow) and returns the bytes freed.
+	TrimLP(target, epochNow int) int
+	// TrimLG drops get records of issuer src covered by its checkpoint
+	// snapshot ((GNC, GC) lexicographically below) and returns the bytes
+	// freed.
+	TrimLG(src, snapGNC, snapGC int) int
+	// Clear drops every record (a coordinated checkpoint subsumes all
+	// logs; N flags describe open epochs and stay). Returns bytes freed.
+	Clear() int
+	// Reset wipes everything including the N flags (post-rollback: the
+	// aborted epochs no longer exist).
+	Reset()
+	// Bytes returns the total log footprint at this rank.
+	Bytes() int
+	// LargestPeer returns the rank whose records occupy the most bytes
+	// here and that size (§6.2 demand-checkpoint victim), or (-1, 0).
+	LargestPeer() (int, int)
+}
+
+// LogFetcher is an optional LogHost extension: one call returning
+// everything a recovery needs to know about one peer — the N and M flags
+// plus the materialized LP and LG records. Remote residences implement it
+// so the recovery's log gathering costs one request/response frame per
+// survivor instead of four.
+type LogFetcher interface {
+	FetchAbout(peer int) (n, m bool, lp, lg []LogRecord)
+}
+
+// fetchAbout gathers the recovery tuple through the single-call fast path
+// when the host offers it.
+func fetchAbout(h LogHost, peer int) (n, m bool, lp, lg []LogRecord) {
+	if f, ok := h.(LogFetcher); ok {
+		return f.FetchAbout(peer)
+	}
+	return h.FlagN(peer), h.FlagM(peer), h.CopyLP(peer), h.CopyLG(peer)
+}
+
+// NewLocalLogHost returns an in-memory LogHost backed by the slab-arena
+// log store. Worker processes of the cluster use it as the real residence
+// of their rank's records; zero/negative tuning values select the
+// defaults.
+func NewLocalLogHost(slabWords, segmentRecords int, compactFraction float64) LogHost {
+	c := Config{
+		LogSlabWords:       slabWords,
+		LogSegmentRecords:  segmentRecords,
+		LogCompactFraction: compactFraction,
+	}
+	return newLogStore(c.logTuning())
+}
+
+// ---- logStore as a LogHost --------------------------------------------------
+
+var _ LogHost = (*logStore)(nil)
+
+// AppendLP implements LogHost over the arena store.
+func (s *logStore) AppendLP(q int, r LogRecord) int {
+	s.appendLP(q, r)
+	return s.bytes()
+}
+
+// AppendLG implements LogHost over the arena store.
+func (s *logStore) AppendLG(q int, r LogRecord) int {
+	s.appendLG(q, r)
+	return s.bytes()
+}
+
+// SetN implements LogHost.
+func (s *logStore) SetN(q int, v bool) { s.setN(q, v) }
+
+// FlagN implements LogHost.
+func (s *logStore) FlagN(q int) bool { return s.flagN(q) }
+
+// FlagM implements LogHost.
+func (s *logStore) FlagM(q int) bool { return s.flagM(q) }
+
+// CopyLP implements LogHost.
+func (s *logStore) CopyLP(q int) []LogRecord { return s.copyLP(q) }
+
+// CopyLG implements LogHost.
+func (s *logStore) CopyLG(q int) []LogRecord { return s.copyLG(q) }
+
+// TrimLP implements LogHost.
+func (s *logStore) TrimLP(q, epochNow int) int { return s.trimLP(q, epochNow) }
+
+// TrimLG implements LogHost.
+func (s *logStore) TrimLG(q, snapGNC, snapGC int) int { return s.trimLG(q, snapGNC, snapGC) }
+
+// Clear implements LogHost.
+func (s *logStore) Clear() int { return s.clear() }
+
+// Reset implements LogHost: Clear plus dropped N flags.
+func (s *logStore) Reset() {
+	s.clear()
+	s.mu.Lock()
+	for q := range s.nFlag {
+		delete(s.nFlag, q)
+	}
+	s.mu.Unlock()
+}
+
+// FetchAbout implements LogFetcher locally (four store reads; the seam
+// exists for the wire residences, where it saves three round trips).
+func (s *logStore) FetchAbout(peer int) (n, m bool, lp, lg []LogRecord) {
+	return s.flagN(peer), s.flagM(peer), s.copyLP(peer), s.copyLG(peer)
+}
+
+// Bytes implements LogHost.
+func (s *logStore) Bytes() int { return s.bytes() }
+
+// LargestPeer implements LogHost.
+func (s *logStore) LargestPeer() (int, int) { return s.largestPeer() }
+
+// ---- Parity hosting ---------------------------------------------------------
+
+// ParityHost is where the m parity shards of one (group, level) reside.
+// The local implementation owns plain arrays (the paper's dedicated CH
+// process, modeled infallible); the cluster's remote implementation ships
+// folds as wire frames to the elected hosting rank, where the shard
+// arithmetic runs.
+//
+// Callers hold the owning chGroup's mutex across every method, so
+// implementations never see concurrent folds, fetches, or installs for
+// one level.
+type ParityHost interface {
+	// FoldRanges integrates one member's checkpoint change — old -> new at
+	// the given word ranges — into every shard. memberIdx is the member's
+	// shard position within the group (the Reed–Solomon column); workers
+	// bounds intra-fold concurrency (Config.StreamDepth). It reports
+	// whether the residence still exists: false means the hosting process
+	// died and the shards are lost — the caller marks the level invalid
+	// and relies on the rebuild path. It must NOT panic on a dead
+	// residence: folds run inside barrier-bracketed collectives, where an
+	// unwind would strand the other ranks in the rendezvous.
+	FoldRanges(memberIdx int, oldData, newData []uint64, ranges []rma.DirtyRange, workers int) bool
+	// Shards returns the current shard contents. Local hosts return
+	// direct references that the caller must treat as read-only; remote
+	// hosts return fetched copies.
+	Shards() [][]uint64
+	// Install replaces the shard contents wholesale (initial seeding, a
+	// handoff to a re-elected host, or a post-rollback re-encode).
+	Install(shards [][]uint64)
+}
+
+// localParityHost keeps the shards as plain arrays next to the protocol
+// state — the pre-distribution behavior, and the modeling default.
+type localParityHost struct {
+	rs     *erasure.RS // nil for m == 1 (plain XOR)
+	shards [][]uint64
+}
+
+func newLocalParityHost(rs *erasure.RS, m, words int) *localParityHost {
+	h := &localParityHost{rs: rs, shards: make([][]uint64, m)}
+	for i := range h.shards {
+		h.shards[i] = make([]uint64, words)
+	}
+	return h
+}
+
+// FoldRanges folds old -> new word-natively with the delta fused into the
+// erasure kernel (no serialization, no temporary delta buffer). The
+// batches are disjoint word ranges, so the shard writes never overlap and
+// the worker goroutines need no locking.
+func (h *localParityHost) FoldRanges(memberIdx int, oldData, newData []uint64, ranges []rma.DirtyRange, workers int) bool {
+	fold := func(r rma.DirtyRange) {
+		lo, hi := r.Off, r.Off+r.Len
+		if h.rs == nil {
+			// XOR: parity ^= old ^ new.
+			erasure.XorDeltaWords(h.shards[0][lo:hi], oldData[lo:hi], newData[lo:hi])
+			return
+		}
+		for i := range h.shards {
+			if err := h.rs.UpdateParityDeltaWords(h.shards[i][lo:hi], i, memberIdx, oldData[lo:hi], newData[lo:hi]); err != nil {
+				panic(fmt.Sprintf("ftrma: parity update: %v", err))
+			}
+		}
+	}
+	if workers > len(ranges) {
+		workers = len(ranges)
+	}
+	if workers < 2 {
+		for _, r := range ranges {
+			fold(r)
+		}
+		return true
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := w; i < len(ranges); i += workers {
+				fold(ranges[i])
+			}
+		}(w)
+	}
+	wg.Wait()
+	return true
+}
+
+// Shards returns the live arrays (read-only for callers).
+func (h *localParityHost) Shards() [][]uint64 { return h.shards }
+
+// Install copies the given contents over the resident arrays.
+func (h *localParityHost) Install(shards [][]uint64) {
+	for i := range h.shards {
+		copy(h.shards[i], shards[i])
+	}
+}
+
+// FoldDelta applies a precomputed xor-delta (old ^ new) of member shard
+// memberIdx to every shard at word offset off: shards[0] ^= delta for XOR
+// parity, shards[i] ^= coef(i, memberIdx)·delta under Reed–Solomon. It is
+// the arithmetic a wire-fed parity host runs on an incoming parity-fold
+// frame — the member computes the delta once, the host folds it where the
+// parity lives. Bit-identical to the fused local FoldRanges path (the
+// code is linear, so folding coef·(old^new) equals folding the fused
+// delta).
+func FoldDelta(rs *erasure.RS, shards [][]uint64, memberIdx, off int, delta []uint64) {
+	lo, hi := off, off+len(delta)
+	if rs == nil {
+		erasure.XorWords(shards[0][lo:hi], delta)
+		return
+	}
+	for i := range shards {
+		if err := rs.UpdateParityWords(shards[i][lo:hi], i, memberIdx, delta); err != nil {
+			panic(fmt.Sprintf("ftrma: parity fold: %v", err))
+		}
+	}
+}
+
+// ---- Placement policy -------------------------------------------------------
+
+// ElectParityHost picks the rank that hosts one (group, level)'s parity
+// shards among the alive ranks. The policy prefers, in order:
+//
+//  1. alive ranks outside the group, excluding avoid;
+//  2. alive ranks outside the group (avoid permitted);
+//  3. alive group members, excluding avoid;
+//  4. alive group members.
+//
+// Hosting outside the group means a single failure never takes a member's
+// checkpoint copy down together with the parity guarding it — the group
+// analogue of the paper's t-aware placement (§5.2). avoid is typically
+// the other level's host, so the two levels lose at most one of
+// themselves per failure. Within a preference class the choice rotates by
+// group and level so hosting duty spreads across ranks deterministically
+// (every elector computes the same result). Returns -1 if no rank is
+// alive.
+func ElectParityHost(n int, members []int, group, level int, alive func(int) bool, avoid int) int {
+	inGroup := make(map[int]bool, len(members))
+	for _, r := range members {
+		inGroup[r] = true
+	}
+	pick := func(allowGroup, allowAvoid bool) int {
+		var cands []int
+		for r := 0; r < n; r++ {
+			if !alive(r) || (!allowGroup && inGroup[r]) || (!allowAvoid && r == avoid) {
+				continue
+			}
+			cands = append(cands, r)
+		}
+		if len(cands) == 0 {
+			return -1
+		}
+		return cands[(group*NumLevels+level)%len(cands)]
+	}
+	for _, try := range [][2]bool{{false, false}, {false, true}, {true, false}, {true, true}} {
+		if r := pick(try[0], try[1]); r >= 0 {
+			return r
+		}
+	}
+	return -1
+}

@@ -25,7 +25,7 @@ type pendingGet struct {
 type Process struct {
 	inner *rma.Proc
 	sys   *System
-	logs  *logStore
+	logs  LogHost
 
 	// Order-information counters (§4.1). gc, gnc, and scSelf are atomics
 	// because demand-checkpoint snapshots read them from other goroutines.
@@ -76,7 +76,7 @@ func newProcess(s *System, inner *rma.Proc) *Process {
 	p := &Process{
 		inner:         s.world.Proc(inner.Rank()),
 		sys:           s,
-		logs:          newLogStore(s.cfg.logTuning()),
+		logs:          s.newLogHost(inner.Rank()),
 		scHeld:        make(map[int]int),
 		appliedEpochs: make([]atomic.Int64, s.world.N()),
 		qPending:      make(map[int][]pendingGet),
@@ -120,7 +120,7 @@ func (p *Process) Inner() *rma.Proc { return p.inner }
 func (p *Process) AdvanceTime(dt float64) { p.inner.AdvanceTime(dt) }
 
 // LogBytes returns the current log footprint at this rank.
-func (p *Process) LogBytes() int { return p.logs.bytes() }
+func (p *Process) LogBytes() int { return p.logs.Bytes() }
 
 // GNC returns the rank's gsync counter (§4.1 E); after a recovery it
 // reflects the restored checkpoint, telling applications which phase to
@@ -192,16 +192,16 @@ func (p *Process) logPut(target, off int, data []uint64, op rma.ReduceOp) {
 		Data: data, LocalOff: -1, Op: op, Combine: op.Combining(),
 		EC: ec, GC: gc, SC: sc, GNC: gnc,
 	}
-	p.logs.appendLP(target, rec)
+	after := p.logs.AppendLP(target, rec)
 	p.inner.AdvanceTime(p.sys.world.Params().CopyTime(8 * len(data)))
 	p.inner.Unlock(self, rma.StrLP)
 	p.sys.bumpStats(func(st *Stats) {
 		st.PutsLogged++
-		if b := p.logs.bytes(); b > st.LogBytesPeak {
-			st.LogBytesPeak = b
+		if after > st.LogBytesPeak {
+			st.LogBytesPeak = after
 		}
 	})
-	p.maybeDemandCheckpoint()
+	p.maybeDemandCheckpoint(after)
 }
 
 // Get intercepts a get whose destination is private memory.
@@ -272,7 +272,7 @@ func (p *Process) GetBlocking(target, off, n int) []uint64 {
 // setRemoteN writes N_target[p] := v in target's protocol memory.
 func (p *Process) setRemoteN(target int, v bool) {
 	p.inner.Lock(target, rma.StrMeta)
-	p.sys.procs[target].logs.setN(p.Rank(), v)
+	p.sys.procs[target].logs.SetN(p.Rank(), v)
 	p.inner.Unlock(target, rma.StrMeta)
 }
 
@@ -301,19 +301,19 @@ func (p *Process) GetAccumulate(target, off int, data []uint64, op rma.ReduceOp)
 		self := p.Rank()
 		p.inner.Lock(self, rma.StrLP)
 		ec, gc, sc, gnc := p.counters(target)
-		p.logs.appendLP(target, LogRecord{
+		after := p.logs.AppendLP(target, LogRecord{
 			Kind: LogAtomic, Src: self, Trg: target, Off: off,
 			Data: data, LocalOff: -1, Op: op, Combine: true,
 			EC: ec, GC: gc, SC: sc, GNC: gnc,
 		})
 		p.inner.Unlock(self, rma.StrLP)
 		p.sys.bumpStats(func(st *Stats) { st.PutsLogged++ })
-		p.maybeDemandCheckpoint()
+		p.maybeDemandCheckpoint(after)
 	}
 	prev := p.inner.GetAccumulate(target, off, data, op)
 	if p.sys.cfg.LogGets {
 		ec, gc, sc, gnc := p.counters(target)
-		p.sys.procs[target].logs.appendLG(p.Rank(), LogRecord{
+		p.sys.procs[target].logs.AppendLG(p.Rank(), LogRecord{
 			Kind: LogAtomic, Src: p.Rank(), Trg: target, Off: off,
 			Data: prev, LocalOff: -1, Combine: true,
 			EC: ec, GC: gc, SC: sc, GNC: gnc,
@@ -341,14 +341,14 @@ func (p *Process) logAtomicPut(target, off int, operand uint64) {
 	self := p.Rank()
 	p.inner.Lock(self, rma.StrLP)
 	ec, gc, sc, gnc := p.counters(target)
-	p.logs.appendLP(target, LogRecord{
+	after := p.logs.AppendLP(target, LogRecord{
 		Kind: LogAtomic, Src: self, Trg: target, Off: off,
 		Data: []uint64{operand}, LocalOff: -1, Combine: true,
 		EC: ec, GC: gc, SC: sc, GNC: gnc,
 	})
 	p.inner.Unlock(self, rma.StrLP)
 	p.sys.bumpStats(func(st *Stats) { st.PutsLogged++ })
-	p.maybeDemandCheckpoint()
+	p.maybeDemandCheckpoint(after)
 }
 
 // logAtomicGet records the get side of a blocking atomic at the target's
@@ -359,7 +359,7 @@ func (p *Process) logAtomicPut(target, off int, operand uint64) {
 // transfer, with no lock queueing behind concurrent loggers.
 func (p *Process) logAtomicGet(target, off int, value uint64) {
 	ec, gc, sc, gnc := p.counters(target)
-	p.sys.procs[target].logs.appendLG(p.Rank(), LogRecord{
+	p.sys.procs[target].logs.AppendLG(p.Rank(), LogRecord{
 		Kind: LogAtomic, Src: p.Rank(), Trg: target, Off: off,
 		Data: []uint64{value}, LocalOff: -1, Combine: true,
 		EC: ec, GC: gc, SC: sc, GNC: gnc,
@@ -441,11 +441,12 @@ func (p *Process) closeEpochTo(target int) {
 	if pend := p.qPending[target]; len(pend) > 0 {
 		p.inner.Lock(target, rma.StrLG) // Algorithm 1 line 4
 		totalBytes := 0
+		after := 0
 		for _, g := range pend {
-			// appendLG copies g.dest into the target's log arena, so the
-			// destination buffer (possibly a local-window alias) is read
-			// exactly once here, at epoch close.
-			p.sys.procs[target].logs.appendLG(p.Rank(), LogRecord{
+			// AppendLG copies g.dest into the target's log residence, so
+			// the destination buffer (possibly a local-window alias) is
+			// read exactly once here, at epoch close.
+			after = p.sys.procs[target].logs.AppendLG(p.Rank(), LogRecord{
 				Kind: LogGet, Src: p.Rank(), Trg: target, Off: g.off,
 				Data: g.dest, LocalOff: g.localOff,
 				EC: g.ec, GC: g.gc, SC: g.sc, GNC: g.gnc,
@@ -458,8 +459,8 @@ func (p *Process) closeEpochTo(target int) {
 		p.qPending[target] = nil
 		p.sys.bumpStats(func(st *Stats) {
 			st.GetsLogged += len(pend)
-			if b := p.sys.procs[target].logs.bytes(); b > st.LogBytesPeak {
-				st.LogBytesPeak = b
+			if after > st.LogBytesPeak {
+				st.LogBytesPeak = after
 			}
 		})
 	}

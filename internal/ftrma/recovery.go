@@ -39,6 +39,10 @@ func (s *System) Recover(f int) (*RecoverResult, error) {
 		return nil, fmt.Errorf("ftrma: rank %d has not failed", f)
 	}
 	s.bumpStats(func(st *Stats) { st.Recoveries++ })
+	// Parity that resided at a now-dead rank is gone: rebuild what the
+	// surviving member copies allow and re-elect hosts, before anything
+	// below consults a shard.
+	s.repairParityHosts()
 	// Concurrent failures: the logs held at another dead rank died with it,
 	// so Algorithm 2's fetch (lines 4-11) cannot be complete — causal
 	// recovery is impossible and the coordinated level (whose parity
@@ -54,7 +58,10 @@ func (s *System) Recover(f int) (*RecoverResult, error) {
 	s.procs[f] = pnew
 
 	var puts, gets []LogRecord
-	fallback := concurrent
+	// A group whose uncoordinated parity died with its host (and could not
+	// be rebuilt because a member copy is missing too — necessarily f's
+	// own) cannot reconstruct f causally: fall back directly.
+	fallback := concurrent || !s.groupOf(f).parityValid(LevelUC)
 	s.world.RunRank(f, func() {
 		if fallback {
 			return
@@ -66,24 +73,24 @@ func (s *System) Recover(f int) (*RecoverResult, error) {
 				continue
 			}
 			qp := s.procs[q]
+			// One gathering per survivor, under all three structure locks
+			// (the protocol-level exclusion the separate reads used to
+			// bracket individually): the flags plus the materialized
+			// LP/LG records, owned copies that later trims or slab
+			// compaction at the survivor cannot perturb. Over the wire
+			// this is a single log-fetch request/response frame.
 			inner.Lock(q, rma.StrMeta)
-			n := qp.logs.flagN(f)
-			inner.Unlock(q, rma.StrMeta)
 			inner.Lock(q, rma.StrLP)
-			m := qp.logs.flagM(f)
-			// copyLP/copyLG materialize the arena-resident records into
-			// owned slices under the store mutex, so later trims or slab
-			// compaction at the survivor cannot perturb the replay data.
-			lp := qp.logs.copyLP(f)
+			inner.Lock(q, rma.StrLG)
+			n, m, lp, lg := fetchAbout(qp.logs, f)
+			inner.Unlock(q, rma.StrLG)
 			inner.Unlock(q, rma.StrLP)
+			inner.Unlock(q, rma.StrMeta)
 			if n || m {
 				// Algorithm 2 line 6: stop and fall back.
 				fallback = true
 				return
 			}
-			inner.Lock(q, rma.StrLG)
-			lg := qp.logs.copyLG(f)
-			inner.Unlock(q, rma.StrLG)
 			bytes := 0
 			for _, r := range lp {
 				bytes += r.Bytes()
@@ -139,7 +146,7 @@ func (s *System) reconstructUC(f int) ([]uint64, memberSnap, error) {
 		survivors[r] = cloneWords(rp.ucData)
 		rp.ckptMu.Unlock()
 	}
-	rec, err := grp.reconstruct(grp.ucParity, survivors, missingMembers(s, grp, f))
+	rec, err := grp.reconstruct(LevelUC, survivors, missingMembers(s, grp, f))
 	if err != nil {
 		return nil, memberSnap{}, err
 	}
@@ -187,6 +194,9 @@ func (s *System) restoreRank(p *Process, data []uint64, snap memberSnap) {
 // ranks' current checkpoint copies. Rollback paths call it after restoring
 // the copies: the pre-rollback contributions of failed ranks died with
 // them, so the incremental parities cannot be patched — only re-encoded.
+// Levels whose hosting rank died are handed to a freshly elected host on
+// the way (every rank is alive again at this point, so a host is always
+// found).
 func (s *System) reseedGroupParity() {
 	for _, grp := range s.groups {
 		uc := make([][]uint64, len(grp.members))
@@ -198,9 +208,27 @@ func (s *System) reseedGroupParity() {
 			cc[j] = cloneWords(rp.ccData)
 			rp.ckptMu.Unlock()
 		}
-		grp.reseed(grp.ucParity, uc)
-		grp.reseed(grp.ccParity, cc)
+		ucShards := grp.encodeShards(uc)
+		ccShards := grp.encodeShards(cc)
+		grp.mu.Lock()
+		s.reinstallLevelLocked(grp, LevelUC, ucShards)
+		s.reinstallLevelLocked(grp, LevelCC, ccShards)
+		grp.mu.Unlock()
 	}
+}
+
+// reinstallLevelLocked refreshes one level's shards after a rollback,
+// re-electing the hosting rank first if the previous one died (grp.mu
+// held).
+func (s *System) reinstallLevelLocked(grp *chGroup, level int, shards [][]uint64) {
+	pr := &grp.parity[level]
+	if pr.rank >= 0 && (!pr.valid || !s.parityAlive(pr.rank)) {
+		s.placeLevelLocked(grp, level, shards)
+		s.bumpStats(func(st *Stats) { st.ParityHandoffs++ })
+		return
+	}
+	pr.host.Install(shards)
+	pr.valid = true
 }
 
 // ReplayAll applies every fetched record in causal order (the recovery loop
@@ -294,6 +322,10 @@ func applyOp(op rma.ReduceOp, old, operand uint64) uint64 {
 // iteration.
 func (s *System) FallbackToCC(f int) error {
 	s.bumpStats(func(st *Stats) { st.Fallbacks++ })
+	// Direct callers (the cluster's BSP policy) may reach here without
+	// passing through Recover: repair dead-host parity first. Idempotent —
+	// levels Recover already repaired have live hosts again.
+	s.repairParityHosts()
 	// Every rank whose coordinated copy is gone: f itself (it may already
 	// have been respawned with empty state by Recover) plus all currently
 	// dead ranks.
@@ -320,7 +352,7 @@ func (s *System) FallbackToCC(f int) error {
 		if len(missing) == 0 {
 			continue
 		}
-		out, err := grp.reconstruct(grp.ccParity, survivors, missing)
+		out, err := grp.reconstruct(LevelCC, survivors, missing)
 		if err != nil {
 			return fmt.Errorf("ftrma: catastrophic failure: %w", err)
 		}
@@ -379,7 +411,7 @@ func (s *System) FallbackToCC(f int) error {
 // after a coordinated rollback, and resets the coordinated-checkpoint
 // schedule so every rank re-anchors at the same future gsync.
 func (p *Process) resetVolatileProtocolState() {
-	p.logs = newLogStore(p.sys.cfg.logTuning())
+	p.logs.Reset()
 	p.qPending = make(map[int][]pendingGet)
 	p.nOpen = make(map[int]bool)
 	p.scHeld = make(map[int]int)

@@ -29,26 +29,41 @@ type memberSnap struct {
 	epochs []int
 }
 
-// chGroup is the checksum-process state of one group: m parity shards over
-// the members' checkpoint copies (XOR for m=1, Reed–Solomon beyond), one
-// per CH process, each with a shared-bandwidth resource that serializes
-// concurrent checkpoint transfers to that CH — this is what makes |CH| a
-// performance knob (Fig. 12).
+// parityResidence is where one level's shards live: the hosting rank (-1
+// models the paper's dedicated CH process, which never computes and never
+// fails) and the ParityHost holding the shard contents. valid drops to
+// false between the hosting rank's death and the level's rebuild — a
+// window in which the shards are simply gone.
+type parityResidence struct {
+	host  ParityHost
+	rank  int
+	valid bool
+}
+
+// chGroup is the checksum state of one group: m parity shards per level
+// over the members' checkpoint copies (XOR for m=1, Reed–Solomon beyond),
+// each checksum with a shared-bandwidth resource that serializes
+// concurrent checkpoint transfers to it — this is what makes |CH| a
+// performance knob (Fig. 12). Where the shards physically reside is the
+// parityResidence's business: next to the runtime by default, or at an
+// elected peer rank (Config.PeerParityHosts, or a cluster-installed
+// remote ParityHost).
 type chGroup struct {
 	group   int
 	members []int       // compute ranks, defining the shard order
+	m       int         // checksums (shards) per level
+	words   int         // shard length
 	rs      *erasure.RS // nil when m == 1 (plain XOR)
 
-	mu       sync.Mutex
-	ucParity [][]uint64 // m shards guarding uncoordinated checkpoints
-	ccParity [][]uint64 // m shards guarding coordinated checkpoints
-	ucSnaps  map[int]memberSnap
-	ccSnaps  map[int]memberSnap
-	res      []*sim.SharedResource
+	mu      sync.Mutex
+	parity  [NumLevels]parityResidence
+	ucSnaps map[int]memberSnap
+	ccSnaps map[int]memberSnap
+	res     []*sim.SharedResource
 }
 
 func newCHGroup(group int, members []int, m, words int, params sim.Params) (*chGroup, error) {
-	g := &chGroup{group: group, members: members}
+	g := &chGroup{group: group, members: members, m: m, words: words}
 	var rs *erasure.RS
 	if m > 1 {
 		var err error
@@ -58,17 +73,32 @@ func newCHGroup(group int, members []int, m, words int, params sim.Params) (*chG
 		}
 	}
 	g.rs = rs
-	g.ucParity = make([][]uint64, m)
-	g.ccParity = make([][]uint64, m)
+	for l := 0; l < NumLevels; l++ {
+		g.parity[l] = parityResidence{host: newLocalParityHost(rs, m, words), rank: -1, valid: true}
+	}
 	g.ucSnaps = make(map[int]memberSnap)
 	g.ccSnaps = make(map[int]memberSnap)
 	g.res = make([]*sim.SharedResource, m)
 	for i := 0; i < m; i++ {
-		g.ucParity[i] = make([]uint64, words)
-		g.ccParity[i] = make([]uint64, words)
 		g.res[i] = sim.NewSharedResource(params.NetBW, params.NetLatency)
 	}
 	return g, nil
+}
+
+// parityValid reports whether one level's shards currently exist (mu is
+// taken internally; the answer can only flip to false at a kill, which
+// recovery serializes).
+func (g *chGroup) parityValid(level int) bool {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.parity[level].valid
+}
+
+// hostRank returns the rank hosting one level's shards (-1 = runtime).
+func (g *chGroup) hostRank(level int) int {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.parity[level].rank
 }
 
 // memberIndex returns a rank's shard position within the group.
@@ -81,89 +111,66 @@ func (g *chGroup) memberIndex(rank int) int {
 	return -1
 }
 
-// foldRanges folds the given word ranges of a member's checkpoint change
-// (old -> new copy) into the parity shards, word-natively and with the
-// delta fused into the erasure kernel (no serialization, no temporary
-// delta buffer). oldData is the member's previous checkpoint copy, newData
-// the buffer holding the new window contents at the dirty positions. The
-// checkpoint pipeline hands it the chunk batches of one stream and
-// `workers` (Config.StreamDepth) goroutines fold them concurrently. The
-// batches are disjoint word ranges, so the shard writes never overlap;
-// g.mu is held once for the whole batch set, excluding other members'
-// concurrent folds and reconstructions.
-func (g *chGroup) foldRanges(parity [][]uint64, rank int, oldData, newData []uint64, ranges []rma.DirtyRange, workers int) {
+// fold integrates one member's checkpoint change (old -> new at the given
+// ranges) into one level's parity, wherever that parity resides. g.mu is
+// held once for the whole batch set, excluding other members' concurrent
+// folds and reconstructions. A level whose host died (invalid) skips the
+// fold: the shards are gone and will be re-encoded wholesale at the
+// rebuild.
+func (g *chGroup) fold(level, rank int, oldData, newData []uint64, ranges []rma.DirtyRange, workers int) {
 	g.mu.Lock()
 	defer g.mu.Unlock()
-	j := -1
-	if g.rs != nil {
-		j = g.memberIndex(rank)
-	}
-	fold := func(r rma.DirtyRange) {
-		lo, hi := r.Off, r.Off+r.Len
-		if g.rs == nil {
-			// XOR: parity ^= old ^ new.
-			erasure.XorDeltaWords(parity[0][lo:hi], oldData[lo:hi], newData[lo:hi])
-			return
-		}
-		for i := range parity {
-			if err := g.rs.UpdateParityDeltaWords(parity[i][lo:hi], i, j, oldData[lo:hi], newData[lo:hi]); err != nil {
-				panic(fmt.Sprintf("ftrma: parity update: %v", err))
-			}
-		}
-	}
-	if workers > len(ranges) {
-		workers = len(ranges)
-	}
-	if workers < 2 {
-		for _, r := range ranges {
-			fold(r)
-		}
+	pr := &g.parity[level]
+	if !pr.valid {
 		return
 	}
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func(w int) {
-			defer wg.Done()
-			for i := w; i < len(ranges); i += workers {
-				fold(ranges[i])
-			}
-		}(w)
+	if !pr.host.FoldRanges(g.memberIndex(rank), oldData, newData, ranges, workers) {
+		// The hosting process died under the fold: the shards are gone.
+		// Recovery's repairParityHosts re-encodes and re-elects; until
+		// then the level is simply lost, exactly like a dead CH.
+		pr.valid = false
 	}
-	wg.Wait()
 }
 
-// reseed rebuilds the parity shards from scratch out of the members'
-// current checkpoint copies (indexed by member position). Global rollbacks
-// use it: a failed rank's pre-rollback parity contribution is unknowable,
-// so incremental folding cannot repair the parity — re-encoding can, and
-// is cheap with the word kernels.
-func (g *chGroup) reseed(parity [][]uint64, copies [][]uint64) {
-	g.mu.Lock()
-	defer g.mu.Unlock()
-	for i := range parity {
-		for j := range parity[i] {
-			parity[i][j] = 0
-		}
+// encodeShards computes fresh parity shards from the members' checkpoint
+// copies (indexed by member position). Rebuilds and global rollbacks use
+// it: a failed rank's pre-rollback parity contribution is unknowable, so
+// incremental folding cannot repair parity — re-encoding can, and is
+// cheap with the word kernels. Because every fold keeps the base copies
+// and the parity in lock step, the encode of the current copies is
+// bit-identical to the incrementally folded shards it replaces.
+func (g *chGroup) encodeShards(copies [][]uint64) [][]uint64 {
+	shards := make([][]uint64, g.m)
+	for i := range shards {
+		shards[i] = make([]uint64, g.words)
 	}
 	for j, c := range copies {
 		if g.rs == nil {
-			erasure.XorWords(parity[0], c)
+			erasure.XorWords(shards[0], c)
 			continue
 		}
-		for i := range parity {
-			if err := g.rs.AddShardWords(parity[i], i, j, c); err != nil {
-				panic(fmt.Sprintf("ftrma: parity reseed: %v", err))
+		for i := range shards {
+			if err := g.rs.AddShardWords(shards[i], i, j, c); err != nil {
+				panic(fmt.Sprintf("ftrma: parity encode: %v", err))
 			}
 		}
 	}
+	return shards
 }
 
 // reconstruct recovers the checkpoint copies of the failed members from the
-// survivors' copies and the parity shards. survivors maps rank -> copy.
-func (g *chGroup) reconstruct(parity [][]uint64, survivors map[int][]uint64, failed []int) (map[int][]uint64, error) {
+// survivors' copies and one level's parity shards. survivors maps
+// rank -> copy. A level whose shards died with their host refuses with an
+// error, which steers recovery to the next line of defense (the
+// coordinated fallback, or a catastrophic-failure report).
+func (g *chGroup) reconstruct(level int, survivors map[int][]uint64, failed []int) (map[int][]uint64, error) {
 	g.mu.Lock()
 	defer g.mu.Unlock()
+	pr := &g.parity[level]
+	if !pr.valid {
+		return nil, fmt.Errorf("ftrma: group %d level-%d parity died with its host rank %d", g.group, level, pr.rank)
+	}
+	parity := pr.host.Shards()
 	out := make(map[int][]uint64, len(failed))
 	if g.rs == nil {
 		if len(failed) != 1 {
@@ -216,6 +223,15 @@ type System struct {
 	grouping machine.Grouping
 	procs    []*Process
 	groups   []*chGroup
+
+	// Residence hooks of the peer-to-peer state (see hosting.go). All nil
+	// by default: logs and parity live next to the runtime. The cluster
+	// coordinator installs wire-backed residences through SetLogHosting /
+	// EnablePeerParityHosts, and a session-based liveness predicate
+	// through SetHostAlive.
+	parityFactory ParityHostFactory
+	logHostFor    func(rank int) LogHost
+	hostAlive     func(rank int) bool
 
 	pfs *pfsStore
 
@@ -280,7 +296,228 @@ func NewSystem(w *rma.World, cfg Config) (*System, error) {
 	for r := 0; r < n; r++ {
 		s.procs[r] = newProcess(s, w.Proc(r))
 	}
+	if cfg.PeerParityHosts {
+		s.EnablePeerParityHosts(nil)
+	}
 	return s, nil
+}
+
+// ---- State residence --------------------------------------------------------
+
+// ParityHostFactory builds the residence of one (group, level)'s parity
+// shards at hostRank. The cluster's factory returns a stub that frames
+// every fold/fetch/install towards the worker process owning hostRank.
+type ParityHostFactory func(group, level, hostRank int) ParityHost
+
+// SetLogHosting re-binds every rank's access-log residence through f
+// (nil restores local arena stores). Call it before any logged
+// communication — existing records are not migrated, they are assumed
+// absent (the cluster coordinator installs hosts at the membership gate,
+// while the op pipeline is still closed).
+func (s *System) SetLogHosting(f func(rank int) LogHost) {
+	s.logHostFor = f
+	for r, p := range s.procs {
+		p.logs = s.newLogHost(r)
+	}
+}
+
+func (s *System) newLogHost(rank int) LogHost {
+	if s.logHostFor != nil {
+		return s.logHostFor(rank)
+	}
+	return newLogStore(s.cfg.logTuning())
+}
+
+// SetHostAlive installs the liveness predicate elections and host repair
+// consult (nil restores World.Alive). The cluster supplies "has a live
+// worker session": a respawned-but-not-yet-rejoined rank is World-alive
+// yet cannot host anything.
+func (s *System) SetHostAlive(f func(rank int) bool) { s.hostAlive = f }
+
+func (s *System) parityAlive(r int) bool {
+	if s.hostAlive != nil {
+		return s.hostAlive(r)
+	}
+	return s.world.Alive(r)
+}
+
+// EnablePeerParityHosts moves every group's parity shards onto elected
+// peer ranks (the ElectParityHost policy), carrying the current contents
+// over. factory builds each residence; nil keeps the shards in local
+// arrays but tags them with the hosting rank, which models the placement
+// in-process: the hosting rank's death still loses the shards and forces
+// the rebuild path, it just never moves real bytes. Config.PeerParityHosts
+// calls this at NewSystem; the cluster coordinator calls it with its
+// wire-backed factory at the membership gate.
+//
+// It returns whether every level was placed. Remote residences can fail
+// mid-placement (the elected rank dying between election and install);
+// the affected level then falls back to a local residence holding the
+// snapshotted contents — nothing is lost, no lock is left held — and the
+// caller may retry once the membership refills.
+func (s *System) EnablePeerParityHosts(factory ParityHostFactory) bool {
+	s.parityFactory = factory
+	complete := true
+	for _, grp := range s.groups {
+		for level := 0; level < NumLevels; level++ {
+			if !s.placeLevelSafe(grp, level) {
+				complete = false
+			}
+		}
+	}
+	return complete
+}
+
+// placeLevelSafe re-places one level on a freshly elected host,
+// tolerating residence failures on both sides: the shard contents are
+// snapshotted first (re-encoded from the members' base copies if the old
+// residence is unreachable — possible on a retry after a partial
+// placement), and an install that dies leaves the level on a local
+// residence with the snapshot, so a retry can pick it up. Member copies
+// are gathered before grp.mu (the ckptMu -> grp.mu lock order of the
+// checkpoint path).
+func (s *System) placeLevelSafe(grp *chGroup, level int) (ok bool) {
+	shards, good := s.snapshotShards(grp, level)
+	if !good {
+		copies := make([][]uint64, len(grp.members))
+		for j, r := range grp.members {
+			rp := s.procs[r]
+			rp.ckptMu.Lock()
+			if level == LevelUC {
+				copies[j] = cloneWords(rp.ucData)
+			} else {
+				copies[j] = cloneWords(rp.ccData)
+			}
+			rp.ckptMu.Unlock()
+		}
+		shards = grp.encodeShards(copies)
+	}
+	grp.mu.Lock()
+	defer grp.mu.Unlock()
+	defer func() {
+		if e := recover(); e != nil {
+			// The elected residence died mid-install: park the contents
+			// locally (rank -1 never fails) and report the incomplete
+			// placement for the caller's retry.
+			local := newLocalParityHost(grp.rs, grp.m, grp.words)
+			local.Install(shards)
+			grp.parity[level] = parityResidence{host: local, rank: -1, valid: true}
+			ok = false
+		}
+	}()
+	s.placeLevelLocked(grp, level, shards)
+	return true
+}
+
+// snapshotShards reads one level's current contents, reporting false if
+// the residence is unreachable (a dead remote host).
+func (s *System) snapshotShards(grp *chGroup, level int) (shards [][]uint64, ok bool) {
+	grp.mu.Lock()
+	defer grp.mu.Unlock()
+	defer func() {
+		if e := recover(); e != nil {
+			shards, ok = nil, false
+		}
+	}()
+	if !grp.parity[level].valid {
+		return nil, false
+	}
+	return grp.parity[level].host.Shards(), true
+}
+
+// placeLevelLocked elects a hosting rank for one level, builds the
+// residence there, and installs shards as its contents (grp.mu held).
+func (s *System) placeLevelLocked(grp *chGroup, level int, shards [][]uint64) {
+	avoid := grp.parity[1-level].rank
+	rank := ElectParityHost(s.world.N(), grp.members, grp.group, level, s.parityAlive, avoid)
+	var host ParityHost
+	if s.parityFactory != nil && rank >= 0 {
+		host = s.parityFactory(grp.group, level, rank)
+	} else {
+		host = newLocalParityHost(grp.rs, grp.m, grp.words)
+	}
+	host.Install(shards)
+	grp.parity[level] = parityResidence{host: host, rank: rank, valid: true}
+}
+
+// PeerHosted reports whether the recovery state fully resides off the
+// runtime: the log residences re-bound through SetLogHosting and every
+// parity level hosted at a rank. The cluster smoke asserts it — the
+// coordinator must hold no log payload or parity shards of its own.
+func (s *System) PeerHosted() bool {
+	if s.logHostFor == nil {
+		return false
+	}
+	for _, grp := range s.groups {
+		for l := 0; l < NumLevels; l++ {
+			if grp.hostRank(l) < 0 {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// ParityHostRank returns the rank hosting (group, level)'s parity shards,
+// or -1 while they reside next to the runtime. Kill schedulers of the
+// host-failure tests aim with it.
+func (s *System) ParityHostRank(group, level int) int {
+	return s.groups[group].hostRank(level)
+}
+
+// repairParityHosts handles parity that died with its hosting rank: for
+// every level whose host is no longer alive, the shards are lost. If all
+// members of the group survive, the level is re-encoded from their
+// current checkpoint copies and handed to a freshly elected host (a
+// parity handoff); otherwise the level stays invalid — reconstruction
+// against it fails, steering recovery to the coordinated fallback, or
+// (if the coordinated level itself died together with a member copy) to
+// a catastrophic-failure report, exactly as concurrently losing a CH and
+// a CM of one group exceeds the code's tolerance in the paper (§5.1).
+// Recovery calls it first, before touching any parity.
+func (s *System) repairParityHosts() {
+	for _, grp := range s.groups {
+		allMembersAlive := true
+		for _, r := range grp.members {
+			if !s.world.Alive(r) {
+				allMembersAlive = false
+			}
+		}
+		for level := 0; level < NumLevels; level++ {
+			grp.mu.Lock()
+			pr := grp.parity[level]
+			grp.mu.Unlock()
+			if pr.rank < 0 || s.parityAlive(pr.rank) {
+				continue
+			}
+			if !allMembersAlive {
+				grp.mu.Lock()
+				grp.parity[level].valid = false
+				grp.mu.Unlock()
+				continue
+			}
+			copies := make([][]uint64, len(grp.members))
+			for j, r := range grp.members {
+				rp := s.procs[r]
+				rp.ckptMu.Lock()
+				if level == LevelUC {
+					copies[j] = cloneWords(rp.ucData)
+				} else {
+					copies[j] = cloneWords(rp.ccData)
+				}
+				rp.ckptMu.Unlock()
+			}
+			shards := grp.encodeShards(copies)
+			grp.mu.Lock()
+			grp.parity[level].valid = false
+			s.placeLevelLocked(grp, level, shards)
+			grp.mu.Unlock()
+			s.bumpStats(func(st *Stats) {
+				st.ParityRebuilds++
+				st.ParityHandoffs++
+			})
+		}
+	}
 }
 
 // Process returns the protocol wrapper of a rank. Applications use this in

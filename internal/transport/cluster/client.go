@@ -10,7 +10,11 @@ import (
 	"repro/internal/transport/wire"
 )
 
-// Cluster frame types (distinct from the tcp peer protocol's).
+// Cluster frame types (distinct from the tcp peer protocol's). The 0x2X
+// range flows worker -> coordinator (the op protocol); the 0x3X range
+// flows coordinator -> worker (the host-service protocol: the worker
+// process is the residence of its rank's ftRMA recovery state). See
+// docs/WIRE.md for the normative layouts.
 const (
 	cJoin   byte = 0x20
 	cBatch  byte = 0x21
@@ -20,6 +24,17 @@ const (
 	cLocal  byte = 0x25
 	cAwait  byte = 0x26
 	cFinish byte = 0x27
+
+	cHostInit      byte = 0x30 // build the log residence (arena tuning)
+	cLogAppend     byte = 0x31 // append one LP/LG record -> footprint after
+	cLogSetN       byte = 0x32 // write an N flag (Algorithm 1 lines 1/8)
+	cLogTrim       byte = 0x33 // §6.2 covered-record trim -> bytes freed
+	cLogClear      byte = 0x34 // clear (CC subsumption) or reset (rollback)
+	cLogQuery      byte = 0x35 // footprint / largest-peer victim scan
+	cLogFetch      byte = 0x36 // recovery log fetch: flags + LP + LG records
+	cParityHandoff byte = 0x37 // install (group, level) shards at this worker
+	cParityFold    byte = 0x38 // fold a member's checkpoint delta into shards
+	cParityFetch   byte = 0x39 // read shards back (recovery reconstruction)
 )
 
 // cBatch close modes.
@@ -158,7 +173,13 @@ func Dial(cfg DialConfig) (*Client, error) {
 	if err != nil {
 		return nil, fmt.Errorf("cluster: dial %s: %w", cfg.Addr, err)
 	}
+	// The worker is not just an op driver: it hosts its rank's ftRMA
+	// recovery state (access logs, and any parity shards elected onto this
+	// rank), served from the connection handler on per-frame goroutines —
+	// so host frames are answered even while the rank's own op blocks in a
+	// collective.
 	conn := wire.New(nc, wire.Config{
+		Handler:     newStateHost().handle,
 		Heartbeat:   cfg.HeartbeatInterval,
 		ReadTimeout: time.Duration(cfg.HeartbeatMiss) * cfg.HeartbeatInterval,
 	})

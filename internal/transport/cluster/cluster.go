@@ -1,15 +1,37 @@
-// Package cluster is the process-per-rank runtime: a Coordinator process
-// hosts the RMA windows and the full ftRMA protocol state (the memory
-// side of the machine — where an RMA target's exposed windows live), and
+// Package cluster is the process-per-rank, peer-to-peer runtime: a
+// Coordinator process arbitrates membership and crises and hosts the
+// simulated runtime fabric (windows, virtual clocks, barriers), while
 // one worker process per rank drives its rank's computation over the
-// epoch-batched wire protocol (the compute side). Ranks therefore live in
-// separate OS processes and die for real: a kill -9 of a worker drops its
+// epoch-batched wire protocol AND is the residence of that rank's ftRMA
+// recovery state. Each rank's access-log records and N/M flags live in
+// its own worker (fed by log-append frames, fetched during recovery via
+// log-fetch request/responses), and every checkpoint-parity (group,
+// level) is hosted at an elected worker rank (fed by parity-fold frames
+// — the shard arithmetic runs where the shards live; re-seeded onto a
+// new host via parity-handoff frames when its host dies). Ranks live in
+// separate OS processes and die for real: a kill -9 drops the
 // connection, the heartbeat failure detector condemns the rank, the
 // coordinator maps the death onto the runtime's fail-stop Kill, and the
-// existing ftRMA recovery path — log gathering, M/N-flag inspection,
-// parity reconstruction, and (for this BSP workload) the coordinated
-// rollback — restores a consistent cut that the surviving and replacement
-// workers re-execute to a bit-identical final state.
+// ftRMA recovery path — wire log gathering, M/N-flag inspection, parity
+// rebuild + re-election for state that died with its host, parity
+// reconstruction for the victim, and (for this BSP workload) the
+// coordinated rollback — restores a consistent cut that the surviving
+// and replacement workers re-execute to a bit-identical final state.
+// See docs/ARCHITECTURE.md for the who-hosts-what table and
+// docs/WIRE.md for every frame.
+//
+// # State residence invariants
+//
+//   - The op pipeline opens only after the initial membership is
+//     complete and the recovery state is distributed (Coordinator.Started);
+//     a record can never target a residence that does not exist.
+//   - Host-state writes towards a dead residence degrade silently
+//     (records and shards die with their process — the paper's model);
+//     writes towards an alive-but-unbound rank wait for its replacement
+//     worker's join. Nothing fails before the crisis protocol Kills the
+//     rank at a quiescent point.
+//   - After a completed run, PeerHosted() reports true: the coordinator
+//     holds no log payload and no parity shards of its own.
 //
 // # Membership
 //
@@ -175,14 +197,27 @@ type session struct {
 
 // Coordinator hosts the world and serves the workers.
 type Coordinator struct {
-	cfg Config
-	wl  Workload
-	w   *rma.World
-	sys *ftrma.System
-	ln  net.Listener
+	cfg   Config
+	wl    Workload
+	w     *rma.World
+	sys   *ftrma.System
+	ln    net.Listener
+	ftCfg ftrma.Config
+
+	// sessMu guards the rank -> session binding alone. It is a leaf lock:
+	// the ftRMA recovery path calls back into sessionConn/sessionAlive
+	// while the coordinator holds mu, so the binding must be readable
+	// without mu.
+	sessMu   sync.Mutex
+	sessions []*session
+
+	// hostingOnce fires the peer-hosting installation exactly once, when
+	// the initial membership completes.
+	hostingOnce sync.Once
 
 	mu      sync.Mutex
 	cond    *sync.Cond
+	started bool // initial membership complete, state distributed, ops admitted
 	status  []rankStatus
 	busy    []bool
 	inGsync []bool
@@ -219,16 +254,18 @@ func NewCoordinator(cfg Config) (*Coordinator, error) {
 		return nil, err
 	}
 	c := &Coordinator{
-		cfg:     cfg,
-		wl:      wl,
-		w:       w,
-		sys:     sys,
-		status:  make([]rankStatus, wl.Ranks),
-		busy:    make([]bool, wl.Ranks),
-		inGsync: make([]bool, wl.Ranks),
-		parked:  make([]bool, wl.Ranks),
-		gsyncs:  make([]int, wl.Ranks),
-		deaths:  make(chan int, 4*wl.Ranks),
+		cfg:      cfg,
+		wl:       wl,
+		w:        w,
+		sys:      sys,
+		ftCfg:    ftCfg,
+		sessions: make([]*session, wl.Ranks),
+		status:   make([]rankStatus, wl.Ranks),
+		busy:     make([]bool, wl.Ranks),
+		inGsync:  make([]bool, wl.Ranks),
+		parked:   make([]bool, wl.Ranks),
+		gsyncs:   make([]int, wl.Ranks),
+		deaths:   make(chan int, 4*wl.Ranks),
 	}
 	c.cond = sync.NewCond(&c.mu)
 	c.ln = cfg.Listener
@@ -319,14 +356,22 @@ func (c *Coordinator) acceptLoop() {
 			return
 		}
 		sess := &session{c: c, rank: -1, pendGets: make(map[int][]hostGet)}
+		// wire.New serves frames immediately; hold them until sess.conn is
+		// published (the join handler initializes the worker's log
+		// residence over that very connection).
+		ready := make(chan struct{})
 		sess.conn = wire.New(nc, wire.Config{
-			Handler:     sess.handle,
+			Handler: func(t byte, payload []byte) (byte, []byte, error) {
+				<-ready
+				return sess.handle(t, payload)
+			},
 			Heartbeat:   c.cfg.HeartbeatInterval,
 			ReadTimeout: time.Duration(c.cfg.HeartbeatMiss) * c.cfg.HeartbeatInterval,
 			OnDown: func(error) {
 				c.mu.Lock()
 				r := sess.rank
 				c.mu.Unlock()
+				c.unbindSession(r, sess)
 				if r >= 0 {
 					select {
 					case c.deaths <- r:
@@ -337,6 +382,7 @@ func (c *Coordinator) acceptLoop() {
 				}
 			},
 		})
+		close(ready)
 	}
 }
 
@@ -349,6 +395,13 @@ var errCrisis = wire.RemoteFail{Code: wire.CodeCrisis, Msg: "recovery pending; a
 func (c *Coordinator) beginOp(r int, gsync bool, gen uint64) error {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	// The op pipeline opens only once the initial membership is complete
+	// and the recovery state has been distributed to its peer hosts: an
+	// early worker's first op must not log into a residence that does not
+	// exist yet.
+	for !c.started && c.doneErr == nil {
+		c.cond.Wait()
+	}
 	if c.doneErr != nil {
 		return wire.RemoteFail{Code: wire.CodeGeneric, Msg: c.doneErr.Error()}
 	}
@@ -457,8 +510,30 @@ func (s *session) handleJoin() (byte, []byte, error) {
 			s.rank = r
 			resume := c.resume
 			gen := c.generation
+			full := true
+			for _, st := range c.status {
+				if st == rankEmpty {
+					full = false
+				}
+			}
 			c.mu.Unlock()
 			c.cond.Broadcast()
+			// Every worker — original or replacement — becomes the
+			// residence of its rank's log records the moment it joins; a
+			// replacement naturally starts empty, which is exactly the
+			// post-rollback state of its rank. The residence is built
+			// BEFORE the session is published: the moment bindSession
+			// lands, other ranks' epoch closes may append here.
+			if err := c.initLogHost(s); err != nil {
+				return 0, nil, wire.RemoteFail{Code: wire.CodeGeneric, Msg: fmt.Sprintf("log residence init: %v", err)}
+			}
+			c.bindSession(r, s)
+			if full {
+				// Initial membership (or any later full house — the Once
+				// makes repeats free): distribute the recovery state and
+				// open the op pipeline.
+				go c.hostingOnce.Do(c.startPeerHosting)
+			}
 			var e wire.Enc
 			e.I(r)
 			e.I(c.wl.Ranks)
@@ -800,10 +875,14 @@ func (c *Coordinator) controller() {
 	}
 }
 
-// condemnLocked marks a freshly dead rank for recovery (mu held).
+// condemnLocked marks a freshly dead rank for recovery (mu held). The
+// broadcast releases any residence writes parked in awaitSessionConn for
+// the rank — they drop their records (lost with the dying rank) and let
+// the machine quiesce.
 func (c *Coordinator) condemnLocked(r int) {
 	if r >= 0 && r < len(c.status) && c.status[r] == rankJoined {
 		c.status[r] = rankCondemned
+		c.cond.Broadcast()
 	}
 }
 
@@ -942,14 +1021,26 @@ func (c *Coordinator) recoverLocked(v int) {
 	// normally force the coordinated fallback; if a causal recovery
 	// succeeds regardless, cluster policy still rolls back to the phase
 	// boundary — BSP workers resume at phase granularity.
-	c.w.Kill(v)
-	_, err := c.sys.Recover(v)
-	switch {
-	case err == nil:
-		err = c.sys.FallbackToCC(v)
-	case errors.Is(err, ftrma.ErrFallback):
-		err = nil
-	}
+	err := func() (err error) {
+		// The recovery path now crosses the wire (log fetches from the
+		// survivors' residences, parity fetches and handoffs): a worker
+		// dying at exactly the wrong moment surfaces as a panic, which
+		// must condemn the run, not the coordinator process.
+		defer func() {
+			if e := recover(); e != nil {
+				err = fmt.Errorf("recovery interrupted: %v", e)
+			}
+		}()
+		c.w.Kill(v)
+		_, rerr := c.sys.Recover(v)
+		switch {
+		case rerr == nil:
+			rerr = c.sys.FallbackToCC(v)
+		case errors.Is(rerr, ftrma.ErrFallback):
+			rerr = nil
+		}
+		return rerr
+	}()
 	if err != nil {
 		c.doneErr = fmt.Errorf("cluster: recovery of rank %d: %w", v, err)
 		return
@@ -979,4 +1070,189 @@ func (c *Coordinator) anyBusy() bool {
 		}
 	}
 	return false
+}
+
+// ---- Peer-hosted recovery state ---------------------------------------------
+
+func (c *Coordinator) bindSession(r int, s *session) {
+	c.sessMu.Lock()
+	c.sessions[r] = s
+	c.sessMu.Unlock()
+	// Appends may be parked in awaitSessionConn for this rank's residence.
+	c.cond.Broadcast()
+}
+
+func (c *Coordinator) unbindSession(r int, s *session) {
+	c.sessMu.Lock()
+	if r >= 0 && r < len(c.sessions) && c.sessions[r] == s {
+		c.sessions[r] = nil
+	}
+	c.sessMu.Unlock()
+}
+
+// sessionConn returns the live wire connection of rank r's worker, or nil
+// when the rank is unbound (dead, or its replacement has not joined yet).
+// Leaf-locked: safe from any goroutine, including recovery paths holding
+// the coordinator mutex.
+func (c *Coordinator) sessionConn(r int) *wire.Conn {
+	c.sessMu.Lock()
+	defer c.sessMu.Unlock()
+	if r < 0 || r >= len(c.sessions) || c.sessions[r] == nil {
+		return nil
+	}
+	return c.sessions[r].conn
+}
+
+// awaitSessionConn returns rank's live session connection, waiting out
+// the window in which the rank is alive in the runtime but its
+// replacement worker has not bound yet. The paper's model hands p_new to
+// the batch system before computation resumes; here survivors may race
+// ahead of the replacement's join, and a record destined for the rank's
+// residence must wait for the residence rather than vanish.
+//
+// It gives up (nil) once the rank is genuinely dying or dead: a
+// condemned rank is about to be Killed — records bound for it are lost
+// with it by design, and waiting for it would wedge the very quiescence
+// the crisis protocol needs (the waiter counts as busy). Likewise for a
+// World-dead rank and a finished run.
+func (c *Coordinator) awaitSessionConn(rank int) *wire.Conn {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for {
+		if conn := c.sessionConn(rank); conn != nil {
+			return conn
+		}
+		if c.doneErr != nil || rank < 0 || rank >= c.wl.Ranks ||
+			!c.w.Alive(rank) || c.status[rank] == rankCondemned {
+			return nil
+		}
+		c.cond.Wait()
+	}
+}
+
+// sessionAlive is the liveness predicate the ftRMA host elections use: a
+// rank can host recovery state only while a worker session is bound to
+// it. (World.Alive is weaker — a respawned rank is World-alive before its
+// replacement worker joins.)
+func (c *Coordinator) sessionAlive(r int) bool { return c.sessionConn(r) != nil }
+
+// startPeerHosting distributes the ftRMA recovery state to its peer
+// residences and opens the op pipeline. It runs once, triggered by the
+// join that completes the initial membership, and retries after any
+// worker death that interrupts the distribution (the replacement's join
+// refills the house).
+func (c *Coordinator) startPeerHosting() {
+	for {
+		c.mu.Lock()
+		for c.doneErr == nil && !c.fullHouseLocked() {
+			c.cond.Wait()
+		}
+		done := c.doneErr != nil
+		c.mu.Unlock()
+		if done {
+			return
+		}
+		if c.distributeState() {
+			c.mu.Lock()
+			c.started = true
+			c.mu.Unlock()
+			c.cond.Broadcast()
+			return
+		}
+	}
+}
+
+// fullHouseLocked reports whether every rank slot has a bound, live
+// worker session (mu held; sessMu is a leaf and may be taken under it).
+func (c *Coordinator) fullHouseLocked() bool {
+	for r, st := range c.status {
+		if st == rankEmpty || !c.sessionAlive(r) {
+			return false
+		}
+	}
+	return true
+}
+
+// distributeState moves the recovery state onto the workers: every
+// rank's log residence is initialized with the coordinator's resolved
+// arena tuning (so the byte accounting driving the demand-checkpoint
+// budget is computed identically on both sides), the System's log and
+// liveness hooks are re-bound to the wire, and every group's parity
+// levels are elected onto peer ranks and seeded there. Returns false if
+// a worker died mid-distribution; the retry re-elects and re-installs
+// idempotently.
+func (c *Coordinator) distributeState() (ok bool) {
+	defer func() {
+		if e := recover(); e != nil {
+			ok = false // a residence died mid-install; retry on the next full house
+		}
+	}()
+	c.sys.SetHostAlive(c.sessionAlive)
+	c.sys.SetLogHosting(func(rank int) ftrma.LogHost {
+		return &remoteLogHost{c: c, rank: rank}
+	})
+	c.sys.EnablePeerParityHosts(c.newRemoteParityHost)
+	return true
+}
+
+// initLogHost builds a freshly joined worker's log residence with the
+// coordinator's resolved arena tuning, so the byte accounting that drives
+// the §6.2 demand-checkpoint budget is computed from identical structures
+// on both sides of the wire.
+func (c *Coordinator) initLogHost(s *session) error {
+	slab, seg, compact := c.ftCfg.ResolvedLogTuning()
+	var e wire.Enc
+	e.I(slab)
+	e.I(seg)
+	e.F(compact)
+	_, err := s.conn.Call(cHostInit, e.Bytes())
+	return err
+}
+
+func (c *Coordinator) newRemoteParityHost(group, level, hostRank int) ftrma.ParityHost {
+	return &remoteParityHost{
+		c:     c,
+		group: group,
+		level: level,
+		rank:  hostRank,
+		k:     len(c.sys.Grouping().ComputeMembers(group)),
+		m:     c.ftCfg.ChecksumsPerGroup,
+		words: c.wl.WindowWords(),
+	}
+}
+
+// ParityHostRank returns the rank whose worker hosts (group, level)'s
+// parity shards, or -1 before the state is distributed. The parity-host
+// kill smoke aims with it.
+func (c *Coordinator) ParityHostRank(group, level int) int {
+	return c.sys.ParityHostRank(group, level)
+}
+
+// PeerHosted reports whether the recovery state fully resides in worker
+// processes — every rank's log records at its own worker, every parity
+// level at an elected host rank — leaving the coordinator with membership,
+// the runtime windows, and crisis arbitration only.
+func (c *Coordinator) PeerHosted() bool { return c.sys.PeerHosted() }
+
+// Started reports whether the initial membership completed and the
+// recovery state was distributed (the op pipeline is open).
+func (c *Coordinator) Started() bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.started
+}
+
+// RanksJoined counts the rank slots currently bound to a worker. Tests
+// spawn workers one at a time against it to pin the rank <-> process
+// correspondence.
+func (c *Coordinator) RanksJoined() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	n := 0
+	for _, st := range c.status {
+		if st != rankEmpty {
+			n++
+		}
+	}
+	return n
 }

@@ -1,0 +1,9 @@
+package cluster
+
+import "os"
+
+func init() {
+	if os.Getenv("REPRO_CLUSTER_DEBUG") != "" {
+		debugCrisis = true
+	}
+}

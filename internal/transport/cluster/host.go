@@ -1,0 +1,397 @@
+package cluster
+
+// Worker-side state hosting: the peer-to-peer half of the cluster's ftRMA
+// protocol. Before this service existed the coordinator held every rank's
+// access logs and every group's parity shards next to the runtime; now a
+// worker process is the *residence* of (a) its own rank's LP/LG records
+// and N/M flags and (b) the parity shards of any group whose host
+// election landed on its rank. The coordinator drives the state over the
+// wire — log-append and parity-fold frames on the hot path, log-fetch and
+// parity-fetch request/responses during recovery, parity-handoff when a
+// dead host's shards are rebuilt onto a new rank — so a kill -9 of a
+// worker genuinely destroys the records and shards it hosted, which is
+// exactly the failure model the paper's recovery protocol is built for.
+//
+// All host frames are served from the worker's wire connection Handler on
+// per-frame goroutines; the stateHost mutex makes them atomic against
+// each other. The coordinator serializes protocol-level access exactly as
+// it did for local state (structure locks for logs, the group mutex for
+// parity), so the per-frame locking is memory safety, not protocol order.
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/erasure"
+	"repro/internal/ftrma"
+	"repro/internal/rma"
+	"repro/internal/transport"
+	"repro/internal/transport/wire"
+)
+
+// parityKey addresses one hosted shard set.
+type parityKey struct {
+	group int
+	level int
+}
+
+// hostedParity is one (group, level)'s resident shards plus the code that
+// folds into them.
+type hostedParity struct {
+	k      int // members (data shards)
+	rs     *erasure.RS
+	shards [][]uint64
+}
+
+// stateHost is a worker process's resident ftRMA recovery state.
+type stateHost struct {
+	mu     sync.Mutex
+	logs   ftrma.LogHost
+	parity map[parityKey]*hostedParity
+}
+
+func newStateHost() *stateHost {
+	return &stateHost{parity: make(map[parityKey]*hostedParity)}
+}
+
+// handle serves one host-service frame; it is the worker connection's
+// wire.Handler (workers never receive cluster op frames — those flow the
+// other way).
+func (h *stateHost) handle(t byte, payload []byte) (byte, []byte, error) {
+	d := wire.NewDec(payload)
+	var reply wire.Enc
+	err := func() error {
+		h.mu.Lock()
+		defer h.mu.Unlock()
+		switch t {
+		case cHostInit:
+			return h.init(d)
+		case cLogAppend:
+			return h.logAppend(d, &reply)
+		case cLogSetN:
+			return h.logSetN(d)
+		case cLogTrim:
+			return h.logTrim(d, &reply)
+		case cLogClear:
+			return h.logClear(d, &reply)
+		case cLogQuery:
+			return h.logQuery(d, &reply)
+		case cLogFetch:
+			return h.logFetch(d, &reply)
+		case cParityHandoff:
+			return h.parityHandoff(d)
+		case cParityFold:
+			return h.parityFold(d)
+		case cParityFetch:
+			return h.parityFetch(d, &reply)
+		}
+		return fmt.Errorf("unknown host frame type %#x", t)
+	}()
+	if err != nil {
+		return 0, nil, wire.RemoteFail{Code: wire.CodeGeneric, Msg: err.Error()}
+	}
+	return t, reply.Bytes(), nil
+}
+
+// init builds the log residence with the coordinator's resolved arena
+// tuning, so byte accounting (the §6.2 demand-checkpoint budget) is
+// computed from identical structures on both sides.
+func (h *stateHost) init(d *wire.Dec) error {
+	slabWords := d.I()
+	segRecords := d.I()
+	compact := d.F()
+	if d.Failed() {
+		return fmt.Errorf("malformed host init")
+	}
+	h.logs = ftrma.NewLocalLogHost(slabWords, segRecords, compact)
+	return nil
+}
+
+func (h *stateHost) store() (ftrma.LogHost, error) {
+	if h.logs == nil {
+		return nil, fmt.Errorf("log host not initialized")
+	}
+	return h.logs, nil
+}
+
+// Log-frame trim/clear modes.
+const (
+	logModeLP byte = 0 // cLogAppend/cLogTrim: put log
+	logModeLG byte = 1 // cLogAppend/cLogTrim: get log
+
+	clearModeClear byte = 0 // cLogClear: Clear (N flags survive)
+	clearModeReset byte = 1 // cLogClear: Reset (post-rollback wipe)
+
+	queryModeBytes       byte = 0 // cLogQuery: total footprint
+	queryModeLargestPeer byte = 1 // cLogQuery: §6.2 victim scan
+)
+
+func (h *stateHost) logAppend(d *wire.Dec, reply *wire.Enc) error {
+	mode := d.B()
+	peer := d.I()
+	rec, ok := decRecord(d)
+	if !ok || d.Failed() {
+		return fmt.Errorf("malformed log append")
+	}
+	logs, err := h.store()
+	if err != nil {
+		return err
+	}
+	var after int
+	switch mode {
+	case logModeLP:
+		after = logs.AppendLP(peer, rec)
+	case logModeLG:
+		after = logs.AppendLG(peer, rec)
+	default:
+		return fmt.Errorf("unknown log append mode %d", mode)
+	}
+	reply.I(after)
+	return nil
+}
+
+func (h *stateHost) logSetN(d *wire.Dec) error {
+	src := d.I()
+	v := d.B()
+	if d.Failed() {
+		return fmt.Errorf("malformed set-n")
+	}
+	logs, err := h.store()
+	if err != nil {
+		return err
+	}
+	logs.SetN(src, v != 0)
+	return nil
+}
+
+func (h *stateHost) logTrim(d *wire.Dec, reply *wire.Enc) error {
+	mode := d.B()
+	peer := d.I()
+	a := d.I()
+	b := d.I()
+	if d.Failed() {
+		return fmt.Errorf("malformed log trim")
+	}
+	logs, err := h.store()
+	if err != nil {
+		return err
+	}
+	switch mode {
+	case logModeLP:
+		reply.I(logs.TrimLP(peer, a))
+	case logModeLG:
+		reply.I(logs.TrimLG(peer, a, b))
+	default:
+		return fmt.Errorf("unknown log trim mode %d", mode)
+	}
+	return nil
+}
+
+func (h *stateHost) logClear(d *wire.Dec, reply *wire.Enc) error {
+	mode := d.B()
+	if d.Failed() {
+		return fmt.Errorf("malformed log clear")
+	}
+	logs, err := h.store()
+	if err != nil {
+		return err
+	}
+	switch mode {
+	case clearModeClear:
+		reply.I(logs.Clear())
+	case clearModeReset:
+		logs.Reset()
+		reply.I(0)
+	default:
+		return fmt.Errorf("unknown log clear mode %d", mode)
+	}
+	return nil
+}
+
+func (h *stateHost) logQuery(d *wire.Dec, reply *wire.Enc) error {
+	mode := d.B()
+	if d.Failed() {
+		return fmt.Errorf("malformed log query")
+	}
+	logs, err := h.store()
+	if err != nil {
+		return err
+	}
+	switch mode {
+	case queryModeBytes:
+		reply.I(logs.Bytes())
+	case queryModeLargestPeer:
+		peer, bytes := logs.LargestPeer()
+		reply.I(peer + 1) // -1 encodes as 0
+		reply.I(bytes)
+	default:
+		return fmt.Errorf("unknown log query mode %d", mode)
+	}
+	return nil
+}
+
+// logFetch serves a recovery's log gathering about one failed peer: the N
+// and M flags plus the materialized LP and LG records, in one
+// request/response frame.
+func (h *stateHost) logFetch(d *wire.Dec, reply *wire.Enc) error {
+	peer := d.I()
+	if d.Failed() {
+		return fmt.Errorf("malformed log fetch")
+	}
+	logs, err := h.store()
+	if err != nil {
+		return err
+	}
+	boolByte := func(v bool) byte {
+		if v {
+			return 1
+		}
+		return 0
+	}
+	reply.B(boolByte(logs.FlagN(peer)))
+	reply.B(boolByte(logs.FlagM(peer)))
+	lp := logs.CopyLP(peer)
+	lg := logs.CopyLG(peer)
+	reply.I(len(lp))
+	for _, r := range lp {
+		encRecord(reply, r)
+	}
+	reply.I(len(lg))
+	for _, r := range lg {
+		encRecord(reply, r)
+	}
+	return nil
+}
+
+// parityHandoff installs (group, level)'s shard contents at this worker:
+// the initial seeding at the membership gate, or the rebuilt shards after
+// the previous host died.
+func (h *stateHost) parityHandoff(d *wire.Dec) error {
+	group := d.I()
+	level := d.I()
+	k := d.I()
+	m := d.I()
+	words := d.I()
+	if d.Failed() || m < 1 || k < 1 || words < 0 || m > 64 || words > wire.MaxFrame/8 {
+		return fmt.Errorf("malformed parity handoff")
+	}
+	shards := make([][]uint64, m)
+	for i := range shards {
+		shards[i] = make([]uint64, words)
+		if !d.WordsInto(shards[i]) {
+			return fmt.Errorf("malformed parity handoff shard %d", i)
+		}
+	}
+	hp := &hostedParity{k: k, shards: shards}
+	if m > 1 {
+		rs, err := erasure.NewRS(k, m)
+		if err != nil {
+			return err
+		}
+		hp.rs = rs
+	}
+	h.parity[parityKey{group, level}] = hp
+	return nil
+}
+
+// parityFold folds one member's checkpoint delta into the resident
+// shards, where they live: shards[0] ^= delta for XOR, coef-multiplied
+// under Reed–Solomon — bit-identical to the coordinator's old local fold.
+func (h *stateHost) parityFold(d *wire.Dec) error {
+	group := d.I()
+	level := d.I()
+	memberIdx := d.I()
+	count := d.I()
+	// Cap before allocating: a corrupt count must produce an error reply,
+	// not a fatal OOM in the hosting worker (the same guard the sibling
+	// decoders apply).
+	if d.Failed() || count > wire.MaxFrame/16 {
+		return fmt.Errorf("malformed parity fold")
+	}
+	hp := h.parity[parityKey{group, level}]
+	if hp == nil {
+		return fmt.Errorf("group %d level %d parity is not hosted here", group, level)
+	}
+	if memberIdx >= hp.k {
+		return fmt.Errorf("member index %d out of range", memberIdx)
+	}
+	words := len(hp.shards[0])
+	// Decode and validate every range before folding the first one, so a
+	// malformed tail can never leave the shards half-folded.
+	offs := make([]int, 0, min(count, 4096))
+	deltas := make([][]uint64, 0, min(count, 4096))
+	for i := 0; i < count; i++ {
+		off := d.I()
+		delta := d.Words()
+		if d.Failed() || len(delta) > words || off > words-len(delta) {
+			return fmt.Errorf("malformed parity fold range %d", i)
+		}
+		offs = append(offs, off)
+		deltas = append(deltas, delta)
+	}
+	for i := range offs {
+		ftrma.FoldDelta(hp.rs, hp.shards, memberIdx, offs[i], deltas[i])
+	}
+	return nil
+}
+
+func (h *stateHost) parityFetch(d *wire.Dec, reply *wire.Enc) error {
+	group := d.I()
+	level := d.I()
+	if d.Failed() {
+		return fmt.Errorf("malformed parity fetch")
+	}
+	hp := h.parity[parityKey{group, level}]
+	if hp == nil {
+		return fmt.Errorf("group %d level %d parity is not hosted here", group, level)
+	}
+	reply.I(len(hp.shards))
+	for _, s := range hp.shards {
+		reply.Words(s)
+	}
+	return nil
+}
+
+// ---- LogRecord wire form ----------------------------------------------------
+
+// encRecord appends one log record (docs/WIRE.md "record" production).
+func encRecord(e *wire.Enc, r ftrma.LogRecord) {
+	e.B(byte(r.Kind))
+	e.I(r.Src)
+	e.I(r.Trg)
+	e.I(r.Off)
+	e.I(r.LocalOff + 1) // -1 (private destination) encodes as 0
+	e.B(byte(r.Op))
+	if r.Combine {
+		e.B(1)
+	} else {
+		e.B(0)
+	}
+	e.I(r.EC)
+	e.I(r.GC)
+	e.I(r.SC)
+	e.I(r.GNC)
+	e.Words(r.Data)
+}
+
+// decRecord reads one log record.
+func decRecord(d *wire.Dec) (ftrma.LogRecord, bool) {
+	var r ftrma.LogRecord
+	r.Kind = ftrma.LogKind(d.B())
+	r.Src = d.I()
+	r.Trg = d.I()
+	r.Off = d.I()
+	r.LocalOff = d.I() - 1
+	op := d.B()
+	if !transport.ValidRed(op) {
+		return r, false
+	}
+	r.Op = rma.ReduceOp(op)
+	r.Combine = d.B() != 0
+	r.EC = d.I()
+	r.GC = d.I()
+	r.SC = d.I()
+	r.GNC = d.I()
+	r.Data = d.Words()
+	return r, !d.Failed()
+}

@@ -1,0 +1,353 @@
+package cluster
+
+// Coordinator-side stubs of the peer-hosted ftRMA state: remoteLogHost
+// and remoteParityHost implement the ftrma residence seams by framing
+// every operation towards the worker process that owns the state. Both
+// resolve the owning rank's session at call time — membership changes
+// (a death, a replacement joining) never invalidate a stub, only the
+// frames it would send.
+//
+// Failure mapping follows the crisis protocol's core invariant — nothing
+// may fail before the coordinator Kills the rank at a quiescent point:
+//
+//   - State *writes* (appends, N flags, parity folds, trims, clears)
+//     towards a dead residence degrade silently: the state at a dead rank
+//     is destroyed anyway (the paper's own semantics — records and shards
+//     die with their process), and these writes run inside epoch closes
+//     and barrier-bracketed checkpoint rounds, where an unwind would
+//     strand the surviving ranks in the collective rendezvous.
+//   - Recovery-time *reads* (log fetch, parity fetch) target survivors
+//     only; if one dies mid-recovery regardless, the raised
+//     rma.TargetFailedError is caught by the coordinator's recovery guard
+//     and condemns the run, not the process.
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/ftrma"
+	"repro/internal/rma"
+	"repro/internal/transport/wire"
+)
+
+// hostFrameWords caps how many delta words one parity-fold frame carries;
+// larger folds split into consecutive frames (folds commute, so the split
+// is invisible).
+const hostFrameWords = 1 << 17 // 1 MiB of payload words
+
+// remoteCall performs one host-service call towards rank's worker,
+// converting connection loss into the fail-stop TargetFailedError.
+func (c *Coordinator) remoteCall(rank int, t byte, payload []byte) []byte {
+	conn := c.sessionConn(rank)
+	if conn == nil {
+		panic(rma.TargetFailedError{Rank: rank})
+	}
+	reply, err := conn.Call(t, payload)
+	if err != nil {
+		if errors.Is(err, wire.ErrDown) {
+			panic(rma.TargetFailedError{Rank: rank})
+		}
+		panic(fmt.Errorf("cluster: host frame %#x to rank %d: %w", t, rank, err))
+	}
+	return reply
+}
+
+// remoteCallIdempotent is remoteCall for destructive no-ops: a dead or
+// unbound target returns (nil, false) instead of failing.
+func (c *Coordinator) remoteCallIdempotent(rank int, t byte, payload []byte) ([]byte, bool) {
+	return c.callConn(c.sessionConn(rank), rank, t, payload)
+}
+
+// remoteCallAwait is remoteCallIdempotent that first waits out a live
+// rank's unbound window (its replacement worker joining): records and
+// flags bound for an alive rank's residence must land there, not vanish.
+func (c *Coordinator) remoteCallAwait(rank int, t byte, payload []byte) ([]byte, bool) {
+	return c.callConn(c.awaitSessionConn(rank), rank, t, payload)
+}
+
+func (c *Coordinator) callConn(conn *wire.Conn, rank int, t byte, payload []byte) ([]byte, bool) {
+	if conn == nil {
+		return nil, false
+	}
+	reply, err := conn.Call(t, payload)
+	if err != nil {
+		if errors.Is(err, wire.ErrDown) {
+			return nil, false
+		}
+		panic(fmt.Errorf("cluster: host frame %#x to rank %d: %w", t, rank, err))
+	}
+	return reply, true
+}
+
+// ---- remoteLogHost ----------------------------------------------------------
+
+// remoteLogHost is the coordinator's handle on the log records resident
+// in rank's worker process.
+type remoteLogHost struct {
+	c    *Coordinator
+	rank int
+}
+
+var _ ftrma.LogHost = (*remoteLogHost)(nil)
+
+// append ships one record to the residence. A dead residence drops the
+// record silently — that is the paper's own semantics (a rank's records
+// die with it), and the protocol invariant demands it: appends run inside
+// epoch closes and barrier-bracketed checkpoint rounds, where unwinding a
+// survivor would strand the other ranks in the collective. Nothing is
+// lost semantically: state at a dead rank is unreachable for recovery
+// anyway, and the round it was appended in is rolled back or re-executed.
+func (h *remoteLogHost) append(mode byte, peer int, rec ftrma.LogRecord) int {
+	var e wire.Enc
+	e.B(mode)
+	e.I(peer)
+	encRecord(&e, rec)
+	reply, ok := h.c.remoteCallAwait(h.rank, cLogAppend, e.Bytes())
+	if !ok {
+		return 0
+	}
+	d := wire.NewDec(reply)
+	after := d.I()
+	if d.Failed() {
+		panic(errors.New("cluster: malformed log-append reply"))
+	}
+	return after
+}
+
+func (h *remoteLogHost) AppendLP(target int, rec ftrma.LogRecord) int {
+	return h.append(logModeLP, target, rec)
+}
+
+func (h *remoteLogHost) AppendLG(src int, rec ftrma.LogRecord) int {
+	return h.append(logModeLG, src, rec)
+}
+
+// SetN degrades like append: an N flag at a dead rank no longer guards
+// anything.
+func (h *remoteLogHost) SetN(src int, v bool) {
+	var e wire.Enc
+	e.I(src)
+	if v {
+		e.B(1)
+	} else {
+		e.B(0)
+	}
+	h.c.remoteCallAwait(h.rank, cLogSetN, e.Bytes())
+}
+
+// fetch runs the recovery's log-fetch request/response about one peer.
+func (h *remoteLogHost) fetch(peer int) (n, m bool, lp, lg []ftrma.LogRecord) {
+	var e wire.Enc
+	e.I(peer)
+	d := wire.NewDec(h.c.remoteCall(h.rank, cLogFetch, e.Bytes()))
+	n = d.B() != 0
+	m = d.B() != 0
+	decList := func() []ftrma.LogRecord {
+		count := d.I()
+		if d.Failed() || count > wire.MaxFrame/16 {
+			panic(errors.New("cluster: malformed log-fetch reply"))
+		}
+		out := make([]ftrma.LogRecord, 0, min(count, 4096))
+		for i := 0; i < count; i++ {
+			rec, ok := decRecord(d)
+			if !ok {
+				panic(errors.New("cluster: malformed log-fetch record"))
+			}
+			out = append(out, rec)
+		}
+		return out
+	}
+	lp = decList()
+	lg = decList()
+	if d.Failed() {
+		panic(errors.New("cluster: malformed log-fetch reply"))
+	}
+	return n, m, lp, lg
+}
+
+// FetchAbout implements ftrma.LogFetcher: the recovery's whole gathering
+// about one peer in a single log-fetch request/response.
+func (h *remoteLogHost) FetchAbout(peer int) (n, m bool, lp, lg []ftrma.LogRecord) {
+	return h.fetch(peer)
+}
+
+func (h *remoteLogHost) FlagN(src int) bool {
+	n, _, _, _ := h.fetch(src)
+	return n
+}
+
+func (h *remoteLogHost) FlagM(target int) bool {
+	_, m, _, _ := h.fetch(target)
+	return m
+}
+
+func (h *remoteLogHost) CopyLP(target int) []ftrma.LogRecord {
+	_, _, lp, _ := h.fetch(target)
+	return lp
+}
+
+func (h *remoteLogHost) CopyLG(src int) []ftrma.LogRecord {
+	_, _, _, lg := h.fetch(src)
+	return lg
+}
+
+func (h *remoteLogHost) trim(mode byte, peer, a, b int) int {
+	var e wire.Enc
+	e.B(mode)
+	e.I(peer)
+	e.I(a)
+	e.I(b)
+	reply, ok := h.c.remoteCallIdempotent(h.rank, cLogTrim, e.Bytes())
+	if !ok {
+		return 0
+	}
+	d := wire.NewDec(reply)
+	freed := d.I()
+	if d.Failed() {
+		panic(errors.New("cluster: malformed log-trim reply"))
+	}
+	return freed
+}
+
+func (h *remoteLogHost) TrimLP(target, epochNow int) int {
+	return h.trim(logModeLP, target, epochNow, 0)
+}
+
+func (h *remoteLogHost) TrimLG(src, snapGNC, snapGC int) int {
+	return h.trim(logModeLG, src, snapGNC, snapGC)
+}
+
+func (h *remoteLogHost) clear(mode byte) int {
+	var e wire.Enc
+	e.B(mode)
+	reply, ok := h.c.remoteCallIdempotent(h.rank, cLogClear, e.Bytes())
+	if !ok {
+		return 0 // a dead worker's records are already gone
+	}
+	d := wire.NewDec(reply)
+	freed := d.I()
+	if d.Failed() {
+		panic(errors.New("cluster: malformed log-clear reply"))
+	}
+	return freed
+}
+
+func (h *remoteLogHost) Clear() int { return h.clear(clearModeClear) }
+
+func (h *remoteLogHost) Reset() { h.clear(clearModeReset) }
+
+func (h *remoteLogHost) Bytes() int {
+	var e wire.Enc
+	e.B(queryModeBytes)
+	reply, ok := h.c.remoteCallIdempotent(h.rank, cLogQuery, e.Bytes())
+	if !ok {
+		return 0
+	}
+	d := wire.NewDec(reply)
+	b := d.I()
+	if d.Failed() {
+		panic(errors.New("cluster: malformed log-query reply"))
+	}
+	return b
+}
+
+func (h *remoteLogHost) LargestPeer() (int, int) {
+	var e wire.Enc
+	e.B(queryModeLargestPeer)
+	reply, ok := h.c.remoteCallIdempotent(h.rank, cLogQuery, e.Bytes())
+	if !ok {
+		return -1, 0
+	}
+	d := wire.NewDec(reply)
+	peer := d.I() - 1
+	bytes := d.I()
+	if d.Failed() {
+		panic(errors.New("cluster: malformed log-query reply"))
+	}
+	return peer, bytes
+}
+
+// ---- remoteParityHost -------------------------------------------------------
+
+// remoteParityHost is the coordinator's handle on the parity shards of
+// one (group, level), resident at the elected hosting rank's worker.
+type remoteParityHost struct {
+	c     *Coordinator
+	group int
+	level int
+	rank  int
+	k     int // group members (data shards)
+	m     int // checksums (parity shards)
+	words int // shard length
+}
+
+var _ ftrma.ParityHost = (*remoteParityHost)(nil)
+
+// FoldRanges ships the member's checkpoint change as parity-fold frames:
+// the coordinator computes each range's xor-delta once (old is its base
+// copy, which never leaves it) and the host folds the delta into every
+// shard where the shards live. Frames are split at hostFrameWords; folds
+// commute, so the split is invisible in the resulting bits. A residence
+// that died under the fold returns false — the shards are lost and the
+// group marks the level invalid; panicking here is forbidden (folds run
+// inside barrier-bracketed collectives).
+func (h *remoteParityHost) FoldRanges(memberIdx int, oldData, newData []uint64, ranges []rma.DirtyRange, workers int) bool {
+	i := 0
+	for i < len(ranges) {
+		var e wire.Enc
+		e.I(h.group)
+		e.I(h.level)
+		e.I(memberIdx)
+		// Count how many ranges fit this frame.
+		n, words := 0, 0
+		for i+n < len(ranges) && (n == 0 || words+ranges[i+n].Len <= hostFrameWords) {
+			words += ranges[i+n].Len
+			n++
+		}
+		e.I(n)
+		for _, r := range ranges[i : i+n] {
+			e.I(r.Off)
+			e.I(r.Len)
+			for w := r.Off; w < r.Off+r.Len; w++ {
+				e.W64(oldData[w] ^ newData[w])
+			}
+		}
+		if _, ok := h.c.remoteCallIdempotent(h.rank, cParityFold, e.Bytes()); !ok {
+			return false
+		}
+		i += n
+	}
+	return true
+}
+
+func (h *remoteParityHost) Shards() [][]uint64 {
+	var e wire.Enc
+	e.I(h.group)
+	e.I(h.level)
+	d := wire.NewDec(h.c.remoteCall(h.rank, cParityFetch, e.Bytes()))
+	m := d.I()
+	if d.Failed() || m != h.m {
+		panic(errors.New("cluster: malformed parity-fetch reply"))
+	}
+	shards := make([][]uint64, m)
+	for i := range shards {
+		shards[i] = make([]uint64, h.words)
+		if !d.WordsInto(shards[i]) {
+			panic(errors.New("cluster: malformed parity-fetch shard"))
+		}
+	}
+	return shards
+}
+
+func (h *remoteParityHost) Install(shards [][]uint64) {
+	var e wire.Enc
+	e.I(h.group)
+	e.I(h.level)
+	e.I(h.k)
+	e.I(h.m)
+	e.I(h.words)
+	for _, s := range shards {
+		e.Words(s)
+	}
+	h.c.remoteCall(h.rank, cParityHandoff, e.Bytes())
+}

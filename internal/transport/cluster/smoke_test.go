@@ -91,6 +91,114 @@ func TestClusterMultiProcess(t *testing.T) {
 	if st.PutsLogged == 0 || st.GetsLogged == 0 {
 		t.Fatalf("access logging saw no traffic: %+v", st)
 	}
+	// The recovery state must have been peer-hosted: every rank's logs at
+	// its own worker, every (group, level) parity at an elected worker
+	// rank — the coordinator arbitrates, it does not host.
+	if !c.PeerHosted() {
+		t.Fatalf("recovery state still hosted by the coordinator")
+	}
+	for g := 0; g < 2; g++ {
+		for l := 0; l < 2; l++ {
+			if h := c.ParityHostRank(g, l); h < 0 || h >= wl.Ranks {
+				t.Fatalf("group %d level %d parity host rank = %d", g, l, h)
+			}
+		}
+	}
+}
+
+// spawnWorkerForRank spawns one worker and waits until the coordinator
+// has bound it, so worker process i corresponds to rank i exactly (joins
+// assign the lowest free rank, and we admit them one at a time).
+func spawnWorkerForRank(t *testing.T, c *Coordinator, rank int) *exec.Cmd {
+	t.Helper()
+	w := spawnWorker(t, c.Addr())
+	deadline := time.Now().Add(30 * time.Second)
+	for c.RanksJoined() < rank+1 {
+		if time.Now().After(deadline) {
+			t.Fatalf("worker for rank %d never joined", rank)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	return w
+}
+
+// TestClusterParityHostKill9 is the peer-to-peer acceptance smoke: the
+// rank elected to host group 0's UC parity is SIGKILLed mid-run. The
+// coordinator must detect the death, rebuild the lost shards from the
+// surviving members' checkpoint copies, hand them to a freshly elected
+// host (a parity handoff over the wire), recover the dead rank itself
+// through the ordinary crisis protocol, and still finish bit-identical to
+// the failure-free oracle.
+func TestClusterParityHostKill9(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-process smoke skipped in -short")
+	}
+	wl := Workload{
+		Ranks:           4,
+		Phases:          10,
+		InsertsPerPhase: 5,
+		TableSlots:      512,
+		PhaseDelay:      60 * time.Millisecond,
+	}
+	c, err := NewCoordinator(Config{Listen: "127.0.0.1:0", Workload: wl, Timeout: 90 * time.Second})
+	if err != nil {
+		t.Fatalf("coordinator: %v", err)
+	}
+	defer c.Close()
+	workers := make([]*exec.Cmd, wl.Ranks)
+	for i := 0; i < wl.Ranks; i++ {
+		workers[i] = spawnWorkerForRank(t, c, i)
+		defer workers[i].Process.Kill()
+	}
+
+	// Wait for the state distribution, find the elected host of group 0's
+	// UC parity, and let it survive a few checkpointed phase boundaries
+	// before the kill.
+	deadline := time.Now().Add(60 * time.Second)
+	for !c.Started() {
+		if time.Now().After(deadline) {
+			t.Fatal("cluster never distributed its recovery state")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	victim := c.ParityHostRank(0, 0)
+	if victim < 0 || victim >= wl.Ranks {
+		t.Fatalf("no peer host elected for group 0 UC parity: rank %d", victim)
+	}
+	for c.PhasesDone(victim) < 3 {
+		if time.Now().After(deadline) {
+			t.Fatalf("cluster never reached phase 3")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if err := workers[victim].Process.Signal(syscall.SIGKILL); err != nil {
+		t.Fatalf("kill -9 parity host: %v", err)
+	}
+	workers[victim].Wait()
+
+	replacement := spawnWorker(t, c.Addr())
+	defer replacement.Process.Kill()
+
+	got, err := c.Run()
+	if err != nil {
+		t.Fatalf("run after parity-host kill -9: %v", err)
+	}
+	st := c.Stats()
+	if st.Recoveries < 1 {
+		t.Fatalf("parity-host kill did not trigger a recovery: %+v", st)
+	}
+	if st.ParityRebuilds < 1 {
+		t.Fatalf("killed host's parity was never rebuilt: %+v", st)
+	}
+	if st.ParityHandoffs < 1 {
+		t.Fatalf("no parity handoff to a new host: %+v", st)
+	}
+	if h := c.ParityHostRank(0, 0); h == victim {
+		t.Fatalf("group 0 UC parity still registered at the dead rank %d", victim)
+	}
+	compareToOracle(t, wl, got)
+	t.Logf("recovered from parity-host kill -9 of rank %d: %d recoveries, %d fallbacks, %d rebuilds, %d handoffs, new host %d",
+		victim, st.Recoveries, st.Fallbacks, st.ParityRebuilds, st.ParityHandoffs, c.ParityHostRank(0, 0))
 }
 
 // TestClusterKill9Recovery is the acceptance smoke: 4 rank processes, a

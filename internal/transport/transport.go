@@ -22,7 +22,24 @@
 // the semantics the in-process World always had), tcp (a length-prefixed
 // binary wire protocol between OS processes), and flaky (a fault-injecting
 // wrapper for tests). The cluster subpackage builds a process-per-rank
-// runtime on top of the same wire format.
+// runtime on top of the same wire format, including the host-service
+// frames that carry the peer-hosted ftRMA recovery state.
+//
+// # Invariants
+//
+//   - One frame per epoch close: closing an epoch towards a target is
+//     exactly one Flush call, and on the tcp transport exactly one framed
+//     flush message (and one reply) however many accesses the epoch
+//     buffered. TestTCPFlushIsOneFrame asserts it; BENCH_transport.json's
+//     frames_per_flush gates it in CI.
+//   - Observational equivalence: the conformance suite runs one scenario
+//     table (intra-epoch ordering, epoch visibility, atomics, locks,
+//     kill-mid-epoch) against every transport and demands bit-identical
+//     window outcomes.
+//   - Fail-stop surfacing: transports report an unreachable or condemned
+//     peer as PeerDeadError, which package rma maps onto its fail-stop
+//     TargetFailedError; failure detection is heartbeat + read-deadline
+//     based (see the wire subpackage's rules, normative in docs/WIRE.md).
 package transport
 
 import "fmt"

@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet staticcheck test test-noasm bench-short bench bench-gate race tier1 ci docs-check
+.PHONY: all build vet staticcheck test test-noasm bench-short bench bench-gate race tier1 ci docs-check smoke-rankd chaos-smoke
 
 all: build vet test
 
@@ -43,8 +43,8 @@ bench:
 # compare against the committed BENCH_*.json baselines (deterministic
 # virtual-time metrics gate tightly; wall-clock MB/s is a coarse tripwire).
 bench-gate:
-	$(GO) test -run xxx -bench 'BenchmarkDemandCheckpointStreamPipeline|BenchmarkErasureThroughput|BenchmarkCheckpointRound|BenchmarkTransportFlush|BenchmarkTransportAtomic' -benchtime=100ms -count=1 . | tee bench.out
-	$(GO) run ./cmd/benchgate -bench bench.out -baseline BENCH_stream.json -baseline BENCH_baseline.json -baseline BENCH_logs.json -baseline BENCH_transport.json -out bench-results.json
+	$(GO) test -run xxx -bench 'BenchmarkDemandCheckpointStreamPipeline|BenchmarkErasureThroughput|BenchmarkCheckpointRound|BenchmarkTransportFlush|BenchmarkTransportAtomic|BenchmarkRecoveryPaths' -benchtime=100ms -count=1 . | tee bench.out
+	$(GO) run ./cmd/benchgate -bench bench.out -baseline BENCH_stream.json -baseline BENCH_baseline.json -baseline BENCH_logs.json -baseline BENCH_transport.json -baseline BENCH_recovery.json -out bench-results.json
 
 # Multi-process smoke: 4 rankd worker processes against a live
 # coordinator, kill -9 of one mid-run, replacement rejoin, bit-identical
@@ -52,6 +52,14 @@ bench-gate:
 # in-process of `go test`; this target exercises the shipped binary).
 smoke-rankd:
 	./scripts/smoke_rankd.sh
+
+# Multi-failure chaos harness under the race detector: causal replay over
+# the wire, correlated whole-node kills (survivable and catastrophic),
+# a kill of the replacement mid-replay, a kill of a user-lock holder,
+# seeded host-frame fault injection, and the Timeout watchdog aborting a
+# run wedged behind the coordinator mutex. Seeds are fixed in the tests.
+chaos-smoke:
+	$(GO) test -race -count=1 -v -run 'TestClusterCausalReplayKill9|TestClusterCorrelated|TestClusterKillReplacementMidReplay|TestClusterLockHolderKill9|TestClusterHostFrameFaults|TestClusterTimeoutAbortsWedgedRun' ./internal/transport/cluster
 
 # The tier-1 gate the roadmap pins.
 tier1: build test

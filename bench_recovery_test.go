@@ -1,0 +1,106 @@
+package repro
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"repro/internal/ftrma"
+	"repro/internal/rma"
+)
+
+// BenchmarkRecoveryPaths prices the paper's two recovery paths against
+// the same bulk-synchronous run shape (4 ranks, 6 gsync'd phases), one
+// sub-benchmark per path:
+//
+//   - causal: a conflict-free put workload (no combining, every get
+//     absent), so Recover hands back the survivors' logs and the
+//     replacement replays them — the dead rank's phases are re-derived,
+//     nobody else loses work;
+//   - fallback: the same schedule issued as combining accumulates, whose
+//     M flags force the coordinated rollback — every rank returns to the
+//     last coordinated checkpoint and the lost phases are recomputed.
+//
+// actions_replayed (causal) and redone_phases (fallback) are exact
+// deterministic protocol counts, gated tightly by cmd/benchgate against
+// BENCH_recovery.json; recovery_us is the wall-clock cost of the
+// recovery step itself (Recover + replay for causal, Recover including
+// the rollback for fallback), recorded as an ungated machine-dependent
+// observation — the cluster chaos harness measures the same split over
+// the wire via Stats.CausalRecoveryUs/FallbackRecoveryUs.
+func BenchmarkRecoveryPaths(b *testing.B) {
+	const (
+		n      = 4
+		phases = 6
+		ipp    = 8
+		victim = 3
+	)
+	words := n * phases * ipp
+	ftCfg := ftrma.Config{Groups: 2, ChecksumsPerGroup: 1, LogPuts: true, LogGets: true}
+	payload := func(r, ph int) []uint64 {
+		data := make([]uint64, ipp)
+		for i := range data {
+			data[i] = uint64(r+1)<<40 | uint64(ph+1)<<20 | uint64(i+1)
+		}
+		return data
+	}
+
+	b.Run("causal", func(b *testing.B) {
+		var wall time.Duration
+		var replayed float64
+		for i := 0; i < b.N; i++ {
+			w := rma.NewWorld(rma.Config{N: n, WindowWords: words})
+			sys, err := ftrma.NewSystem(w, ftCfg)
+			if err != nil {
+				b.Fatal(err)
+			}
+			w.Run(func(r int) {
+				p := sys.Process(r)
+				for ph := 0; ph < phases; ph++ {
+					p.Put((r+1)%n, (r*phases+ph)*ipp, payload(r, ph))
+					p.Gsync()
+				}
+			})
+			w.Kill(victim)
+			start := time.Now()
+			res, err := sys.Recover(victim)
+			if err != nil {
+				b.Fatalf("conflict-free failure did not recover causally: %v", err)
+			}
+			w.RunRank(victim, func() { res.Proc.ReplayAll(res.Logs) })
+			wall += time.Since(start)
+			replayed = float64(res.Logs.Len())
+		}
+		b.ReportMetric(replayed, "actions_replayed")
+		b.ReportMetric(wall.Seconds()*1e6/float64(b.N), "recovery_us")
+	})
+
+	b.Run("fallback", func(b *testing.B) {
+		var wall time.Duration
+		var redone float64
+		for i := 0; i < b.N; i++ {
+			w := rma.NewWorld(rma.Config{N: n, WindowWords: words})
+			sys, err := ftrma.NewSystem(w, ftCfg)
+			if err != nil {
+				b.Fatal(err)
+			}
+			w.Run(func(r int) {
+				p := sys.Process(r)
+				for ph := 0; ph < phases; ph++ {
+					p.Accumulate((r+1)%n, (r*phases+ph)*ipp, payload(r, ph), rma.OpSum)
+					p.Gsync()
+				}
+			})
+			w.Kill(victim)
+			start := time.Now()
+			res, err := sys.Recover(victim)
+			if !errors.Is(err, ftrma.ErrFallback) {
+				b.Fatalf("combining workload did not force the fallback: %v", err)
+			}
+			wall += time.Since(start)
+			redone = float64(phases - res.Proc.GNC())
+		}
+		b.ReportMetric(redone, "redone_phases")
+		b.ReportMetric(wall.Seconds()*1e6/float64(b.N), "recovery_us")
+	})
+}

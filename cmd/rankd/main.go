@@ -38,17 +38,24 @@ func main() {
 		slots       = flag.Int("slots", 1024, "hash-table slots per volume (coordinator)")
 		phaseDelay  = flag.Duration("phase-delay", 100*time.Millisecond, "wall-clock think time per round (stretches the run so kills land mid-flight)")
 		timeout     = flag.Duration("timeout", 2*time.Minute, "coordinator: abort if the run has not completed in time")
+		mode        = flag.String("mode", "combining", "workload mode: combining (forces coordinated fallback), causal (conflict-free, recovers by wire replay), locked (causal + a user-locked critical section)")
 	)
 	flag.Parse()
 
 	switch {
 	case *coordinator:
+		wm, err := parseMode(*mode)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "rankd:", err)
+			os.Exit(2)
+		}
 		os.Exit(runCoordinator(*listen, cluster.Workload{
 			Ranks:           *n,
 			Phases:          *phases,
 			InsertsPerPhase: *inserts,
 			TableSlots:      *slots,
 			PhaseDelay:      *phaseDelay,
+			Mode:            wm,
 		}, *timeout))
 	case *join != "":
 		if err := cluster.RunWorker(cluster.DialConfig{Addr: *join}); err != nil {
@@ -59,6 +66,18 @@ func main() {
 		fmt.Fprintln(os.Stderr, "rankd: need -coordinator or -join ADDR")
 		os.Exit(2)
 	}
+}
+
+func parseMode(s string) (cluster.WorkloadMode, error) {
+	switch s {
+	case "combining":
+		return cluster.ModeCombining, nil
+	case "causal":
+		return cluster.ModeCausal, nil
+	case "locked":
+		return cluster.ModeLocked, nil
+	}
+	return 0, fmt.Errorf("unknown -mode %q (want combining, causal, or locked)", s)
 }
 
 func runCoordinator(listen string, wl cluster.Workload, timeout time.Duration) int {
@@ -98,8 +117,14 @@ func runCoordinator(listen string, wl cluster.Workload, timeout time.Duration) i
 		return 1
 	}
 	st := c.Stats()
-	fmt.Printf("run complete: %d recoveries (%d coordinated fallbacks), %d UC checkpoints, %d CC rounds, %d puts + %d gets logged\n",
-		st.Recoveries, st.Fallbacks, st.UCCheckpoints, st.CCCheckpoints, st.PutsLogged, st.GetsLogged)
+	fmt.Printf("run complete: %d recoveries (%d causal replays, %d coordinated fallbacks), %d UC checkpoints, %d CC rounds, %d puts + %d gets logged\n",
+		st.Recoveries, st.CausalRecoveries, st.Fallbacks, st.UCCheckpoints, st.CCCheckpoints, st.PutsLogged, st.GetsLogged)
+	if st.CausalRecoveries > 0 {
+		fmt.Printf("causal recovery wall time: %.0fus total, %d actions replayed\n", st.CausalRecoveryUs, st.ActionsReplayed)
+	}
+	if st.Fallbacks > 0 {
+		fmt.Printf("fallback recovery wall time: %.0fus total\n", st.FallbackRecoveryUs)
+	}
 
 	want, err := wl.Oracle()
 	if err != nil {

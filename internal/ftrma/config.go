@@ -264,8 +264,14 @@ type Stats struct {
 	PFSCheckpoints    int // per-rank stable-storage flushes (multi-level)
 	Recoveries        int
 	Fallbacks         int // causal recovery aborted, rolled back to CC
+	CausalRecoveries  int // recoveries completed on the cheap path (§4: replay, no rollback)
 	ParityRebuilds    int // parity re-encoded after its hosting rank died
 	ParityHandoffs    int // parity re-elections onto a new hosting rank
 	ActionsReplayed   int
 	CheckpointSeconds float64 // virtual time spent checkpointing
+	// Wall-clock recovery cost, accumulated by the driver (the cluster
+	// coordinator times its crisis Phase C) — the paper's Fig. 12 metric,
+	// split by which path recovery took.
+	CausalRecoveryUs   float64
+	FallbackRecoveryUs float64
 }

@@ -548,3 +548,21 @@ func (s *System) bumpStats(f func(*Stats)) {
 	f(&s.stats)
 	s.statsMu.Unlock()
 }
+
+// NoteCausalRecovery records a completed causal (replay) recovery and the
+// wall-clock microseconds its driver spent on it. Recover itself cannot
+// know: whether the cheap path *completes* is the driver's call (the
+// cluster coordinator still has to stream the records to a replacement).
+func (s *System) NoteCausalRecovery(us float64) {
+	s.bumpStats(func(st *Stats) {
+		st.CausalRecoveries++
+		st.CausalRecoveryUs += us
+	})
+}
+
+// NoteFallbackRecovery records the wall-clock microseconds a driver spent
+// on a coordinated-rollback recovery (the Fallbacks counter itself is
+// bumped by FallbackToCC).
+func (s *System) NoteFallbackRecovery(us float64) {
+	s.bumpStats(func(st *Stats) { st.FallbackRecoveryUs += us })
+}

@@ -62,6 +62,11 @@ func (c CorrelatedConfig) rankOfSlot(node, slot int) int {
 	return node + slot*c.Nodes
 }
 
+// RankOfSlot exposes the placement's (node, slot) -> rank mapping: the
+// cluster chaos harness derives its correlated whole-node kill schedules
+// from the same mapping the simulation uses.
+func (c CorrelatedConfig) RankOfSlot(node, slot int) int { return c.rankOfSlot(node, slot) }
+
 // Validate checks the configuration.
 func (c CorrelatedConfig) Validate() error {
 	n := c.Nodes * c.RanksPerNode

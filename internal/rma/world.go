@@ -176,6 +176,25 @@ func (w *World) Kill(r int) {
 	w.barrier.Leave(r)
 }
 
+// ReleaseLocksHeldBy force-releases every structure lock rank r holds on
+// any rank's window, without fail-stopping r. It is the lock half of Kill,
+// split out for crisis protocols that must break a condemned rank's locks
+// *before* the machine can quiesce: a survivor blocked in Lock on a lock
+// the dead rank held can never drain into the collective rendezvous that
+// gates Kill itself. Only call it for ranks that are certainly dead or
+// condemned — force-releasing a live holder's lock corrupts the critical
+// section (and the holder's own Unlock will panic). Reports whether any
+// lock was released.
+func (w *World) ReleaseLocksHeldBy(r int) bool {
+	released := false
+	for _, win := range w.windows {
+		if win.releaseIfHeldBy(r) {
+			released = true
+		}
+	}
+	return released
+}
+
 // Respawn replaces a failed rank with a fresh process (the batch system
 // providing p_new, §4.3): a zeroed window, reset epochs, and a new clock
 // starting at the maximum virtual time of the surviving ranks (the

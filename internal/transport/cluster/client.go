@@ -4,9 +4,12 @@ import (
 	"errors"
 	"fmt"
 	"net"
+	"os"
 	"time"
 
+	"repro/internal/ftrma"
 	"repro/internal/rma"
+	"repro/internal/transport/flaky"
 	"repro/internal/transport/wire"
 )
 
@@ -24,6 +27,7 @@ const (
 	cLocal  byte = 0x25
 	cAwait  byte = 0x26
 	cFinish byte = 0x27
+	cReplay byte = 0x28 // causal replacement catch-up: per-phase records / done
 
 	cHostInit      byte = 0x30 // build the log residence (arena tuning)
 	cLogAppend     byte = 0x31 // append one LP/LG record -> footprint after
@@ -35,6 +39,13 @@ const (
 	cParityHandoff byte = 0x37 // install (group, level) shards at this worker
 	cParityFold    byte = 0x38 // fold a member's checkpoint delta into shards
 	cParityFetch   byte = 0x39 // read shards back (recovery reconstruction)
+	cReplayInstall byte = 0x3A // stream causally ordered replay records to the replacement
+)
+
+// cReplay modes.
+const (
+	replayPhase byte = 0 // apply one phase's causally ordered records
+	replayDone  byte = 1 // catch-up complete: adopt phase, re-checkpoint all ranks
 )
 
 // cBatch close modes.
@@ -102,11 +113,19 @@ type bufOp struct {
 // rma.Proc.
 type Client struct {
 	conn  *wire.Conn
+	host  *stateHost
 	rank  int
 	n     int
 	words int
 	wl    Workload
 	start int
+
+	// replayTo, when > 0 (with replay set), marks this worker as a causal
+	// replacement: before running phases normally it must catch up from
+	// start to replayTo, driving a replay frame per phase between
+	// re-executions.
+	replay   bool
+	replayTo int
 
 	pend    map[int][]bufOp
 	dests   map[uint64][]uint64
@@ -174,12 +193,15 @@ func Dial(cfg DialConfig) (*Client, error) {
 		return nil, fmt.Errorf("cluster: dial %s: %w", cfg.Addr, err)
 	}
 	// The worker is not just an op driver: it hosts its rank's ftRMA
-	// recovery state (access logs, and any parity shards elected onto this
-	// rank), served from the connection handler on per-frame goroutines —
-	// so host frames are answered even while the rank's own op blocks in a
-	// collective.
+	// recovery state (access logs, replay-install streams, and any parity
+	// shards elected onto this rank), served from the connection handler
+	// on per-frame goroutines — so host frames are answered even while the
+	// rank's own op blocks in a collective. Seeded host-frame fault
+	// injection (REPRO_CLUSTER_HOSTFRAME_FAULTS) wraps the handler here,
+	// perturbing exactly the 0x30–0x3A service path.
+	host := newStateHost()
 	conn := wire.New(nc, wire.Config{
-		Handler:     newStateHost().handle,
+		Handler:     hostFaultsFromEnv(host.handle),
 		Heartbeat:   cfg.HeartbeatInterval,
 		ReadTimeout: time.Duration(cfg.HeartbeatMiss) * cfg.HeartbeatInterval,
 	})
@@ -191,6 +213,7 @@ func Dial(cfg DialConfig) (*Client, error) {
 	d := wire.NewDec(reply)
 	c := &Client{
 		conn:  conn,
+		host:  host,
 		rank:  d.I(),
 		n:     d.I(),
 		words: d.I(),
@@ -206,6 +229,9 @@ func Dial(cfg DialConfig) (*Client, error) {
 		pend:  make(map[int][]bufOp),
 		dests: make(map[uint64][]uint64),
 	}
+	c.wl.Mode = WorkloadMode(d.B())
+	c.replay = d.B() != 0
+	c.replayTo = d.I()
 	if d.Failed() {
 		conn.Close()
 		return nil, errors.New("cluster: malformed join reply")
@@ -539,8 +565,38 @@ func (c *Client) Finish() {
 	panic(fmt.Errorf("cluster: rank %d: finish: %w", c.rank, err))
 }
 
+// hostFaultsEnv, when set to "seed:maxdelay_ms", arms seeded fault
+// injection on this worker's host-service frames (delays that genuinely
+// reorder the per-frame goroutines) — the chaos tests shake the
+// log-fetch, parity-fold, and replay-install paths with it.
+const hostFaultsEnv = "REPRO_CLUSTER_HOSTFRAME_FAULTS"
+
+func hostFaultsFromEnv(h wire.Handler) wire.Handler {
+	spec := os.Getenv(hostFaultsEnv)
+	if spec == "" {
+		return h
+	}
+	var seed int64
+	var ms int
+	if _, err := fmt.Sscanf(spec, "%d:%d", &seed, &ms); err != nil {
+		return h
+	}
+	return flaky.WrapFrameFaults(h, flaky.FrameConfig{
+		Seed:     seed,
+		MaxDelay: time.Duration(ms) * time.Millisecond,
+		MinType:  cHostInit,
+		MaxType:  cReplayInstall,
+	})
+}
+
 // RunWorker drives one rank end to end: join, execute phases (resuming
 // across rollbacks), finish. It is the whole main loop of a rankd worker.
+// A causal replacement first catches up to the survivors' phase:
+// Algorithm 2 over the wire — await the coordinator's replay-install
+// stream, then per missed phase send the phase's causally ordered records
+// (the replay half) and re-execute the deterministic phase work (the
+// recomputation half), closing with the done frame that re-checkpoints
+// the cluster and lifts the crisis.
 func RunWorker(cfg DialConfig) error {
 	c, err := Dial(cfg)
 	if err != nil {
@@ -550,6 +606,13 @@ func RunWorker(cfg DialConfig) error {
 	wl := c.Workload()
 	sched := wl.Schedule()
 	phase := c.StartPhase()
+	if c.replay {
+		next, err := runReplay(c, wl, sched)
+		if err != nil {
+			return err
+		}
+		phase = next
+	}
 	for phase < wl.Phases+1 {
 		next, err := runStep(c, wl, sched, phase)
 		if err != nil {
@@ -558,6 +621,73 @@ func RunWorker(cfg DialConfig) error {
 		phase = next
 	}
 	return nil
+}
+
+// runReplay performs a replacement's whole catch-up and returns the phase
+// to continue from. A rollback mid-catch-up (another failure forced the
+// coordinated path after all) surfaces as RolledBack and simply moves the
+// resume point.
+func runReplay(c *Client, wl Workload, sched [][][]uint64) (next int, err error) {
+	defer func() {
+		if e := recover(); e != nil {
+			if rb, ok := e.(RolledBack); ok {
+				next = rb.Resume
+				return
+			}
+			if pe, ok := e.(error); ok {
+				err = pe
+				return
+			}
+			panic(e)
+		}
+	}()
+	puts, gets := c.host.AwaitReplayLogs()
+	for phase := c.start; phase < c.replayTo; phase++ {
+		c.sendReplayPhase(phase, puts, gets)
+		if err := wl.RunPhase(c, sched, c.rank, phase); err != nil {
+			return 0, err
+		}
+		// No gsync: the survivors already completed these phases'
+		// collectives; re-entering them would wait forever. FlushAll
+		// closes the re-executed epochs without a rendezvous.
+		c.FlushAll()
+	}
+	e := c.enc()
+	e.B(replayDone)
+	c.call(cReplay, e.Bytes())
+	return c.replayTo, nil
+}
+
+// sendReplayPhase streams one phase's slice of the installed records
+// back as a replay frame; the host applies them to the respawned rank in
+// their causal order (the filter is stable, so the stream's Theorem-4.2
+// order is preserved). The first frame also carries any straggler records
+// below the restored phase — their effects are in the checkpoint already,
+// but untrimmed stragglers replay harmlessly in order rather than being
+// silently dropped.
+func (c *Client) sendReplayPhase(phase int, puts, gets []ftrma.LogRecord) {
+	e := c.enc()
+	e.B(replayPhase)
+	e.I(phase)
+	sel := func(recs []ftrma.LogRecord) []ftrma.LogRecord {
+		out := recs[:0:0]
+		for _, r := range recs {
+			if r.GNC == phase || (phase == c.start && r.GNC < phase) {
+				out = append(out, r)
+			}
+		}
+		return out
+	}
+	p, g := sel(puts), sel(gets)
+	e.I(len(p))
+	for _, r := range p {
+		encRecord(e, r)
+	}
+	e.I(len(g))
+	for _, r := range g {
+		encRecord(e, r)
+	}
+	c.call(cReplay, e.Bytes())
 }
 
 // runStep executes one phase (or, past the last phase, the finish

@@ -55,17 +55,33 @@
 // phase-boundary checkpoint round, which is exactly what BSP
 // re-execution needs.
 //
-// # Limitations
+// # Recovery paths
+//
+// Recovery takes the paper's cheap path whenever it genuinely applies:
+// if the victim's gathered flags are clean (no in-flight get, no
+// combining access — §3.2.3/§4.2), the coordinator respawns the rank in
+// the runtime, admits a replacement worker mid-crisis, streams the
+// causally ordered log records to it over the wire (replay-install
+// frames), and the replacement drives its own catch-up — alternating a
+// replay frame per phase with re-execution of its deterministic phase
+// work, Algorithm 2's replay/recompute interleaving — while the
+// survivors stay parked; nothing rolls back. Only when ftrma.Recover
+// reports ErrFallback (or a concurrent failure) does the cluster take
+// the coordinated rollback, re-executing from the last coordinated cut.
+// Stats().CausalRecoveries / Fallbacks distinguish the paths.
+//
+// # Lock-aware crisis
 //
 // The crisis protocol quiesces at collective boundaries: gsync and
 // barrier both drain through the shared rendezvous the victim's
 // impersonated arrival completes. A rank that dies between a Lock and
-// its Unlock, however, leaves a survivor's blocked Lock un-drainable
-// (only the eventual Kill would break the lock, and Kill is gated behind
-// the quiescence the blocked Lock prevents) — such a run aborts at
-// Config.Timeout instead of recovering. Keep cluster workloads lock-free
-// across frames, as the shipped kvstore workload is; a lock-aware
-// quiesce is a roadmap item.
+// its Unlock would leave a survivor's blocked Lock un-drainable, so
+// condemnation force-releases every structure and user lock the dead
+// rank holds anywhere (World.ReleaseLocksHeldBy), and the rendezvous
+// wait re-sweeps on every wake — a condemned rank's own parked Lock
+// request may acquire a freshly released lock and must be broken again.
+// Cluster workloads may therefore lock across frames; the shipped
+// ModeLocked workload does exactly that to prove it.
 package cluster
 
 import (
@@ -233,6 +249,25 @@ type Coordinator struct {
 	crisis     bool
 	doneErr    error
 
+	// Causal-replay crisis state (all mu-guarded). While a causal
+	// recovery is in flight, crisis stays true and replaying names the
+	// victim rank: its replacement worker is the only rank admitted
+	// through beginOp, catching up from replayFrom (the restored
+	// checkpoint's phase) to replayTarget (the survivors' phase) before
+	// the crisis lifts. replayLogs holds the gathered records until they
+	// are streamed to the replacement's residence; replayDone flips when
+	// the replacement's done frame has been finalized.
+	replaying    int
+	replayFrom   int
+	replayTarget int
+	replayLogs   *ftrma.ReplayLogs
+	replayDone   bool
+
+	// watchdog aborts the run at Config.Timeout; it is stopped when the
+	// run completes so a clean run does not leave the timer's goroutine
+	// (and its reference to the whole coordinator) behind.
+	watchdog *time.Timer
+
 	deaths chan int
 }
 
@@ -248,24 +283,28 @@ func NewCoordinator(cfg Config) (*Coordinator, error) {
 	if cfg.FT != nil {
 		ftCfg = *cfg.FT
 	}
-	w := rma.NewWorld(rma.Config{N: wl.Ranks, WindowWords: wl.WindowWords()})
+	// One user lock beyond the standard structures: the ModeLocked
+	// workload's critical sections (and the lock-aware crisis tests) use
+	// it; it costs nothing when unused.
+	w := rma.NewWorld(rma.Config{N: wl.Ranks, WindowWords: wl.WindowWords(), ExtraLocks: 1})
 	sys, err := ftrma.NewSystem(w, ftCfg)
 	if err != nil {
 		return nil, err
 	}
 	c := &Coordinator{
-		cfg:      cfg,
-		wl:       wl,
-		w:        w,
-		sys:      sys,
-		ftCfg:    ftCfg,
-		sessions: make([]*session, wl.Ranks),
-		status:   make([]rankStatus, wl.Ranks),
-		busy:     make([]bool, wl.Ranks),
-		inGsync:  make([]bool, wl.Ranks),
-		parked:   make([]bool, wl.Ranks),
-		gsyncs:   make([]int, wl.Ranks),
-		deaths:   make(chan int, 4*wl.Ranks),
+		cfg:       cfg,
+		wl:        wl,
+		w:         w,
+		sys:       sys,
+		ftCfg:     ftCfg,
+		sessions:  make([]*session, wl.Ranks),
+		status:    make([]rankStatus, wl.Ranks),
+		busy:      make([]bool, wl.Ranks),
+		inGsync:   make([]bool, wl.Ranks),
+		parked:    make([]bool, wl.Ranks),
+		gsyncs:    make([]int, wl.Ranks),
+		replaying: -1,
+		deaths:    make(chan int, 4*wl.Ranks),
 	}
 	c.cond = sync.NewCond(&c.mu)
 	c.ln = cfg.Listener
@@ -279,10 +318,28 @@ func NewCoordinator(cfg Config) (*Coordinator, error) {
 	go c.acceptLoop()
 	go c.controller()
 	if cfg.Timeout > 0 {
-		go func() {
-			<-time.After(cfg.Timeout)
-			c.fatal(fmt.Errorf("cluster: run exceeded timeout %v", cfg.Timeout))
-		}()
+		c.watchdog = time.AfterFunc(cfg.Timeout, func() {
+			err := fmt.Errorf("cluster: run exceeded timeout %v", cfg.Timeout)
+			// fatal needs mu, and the very hang the watchdog exists to
+			// abort can be a coordinator goroutine holding mu across a
+			// host call towards a live-but-unresponsive worker — the
+			// connection's ReadTimeout never fires while heartbeats keep
+			// arriving, so the call (and mu) wedge forever. If fatal
+			// cannot land within a grace period, down every worker
+			// connection: the wedged call fails with ErrDown, its holder
+			// unwinds and releases mu, and the abort proceeds.
+			done := make(chan struct{})
+			go func() {
+				c.fatal(err)
+				close(done)
+			}()
+			select {
+			case <-done:
+			case <-time.After(2 * time.Second):
+				c.downSessions()
+				<-done
+			}
+		})
 	}
 	return c, nil
 }
@@ -305,6 +362,9 @@ func (c *Coordinator) PhasesDone(r int) int {
 // Close shuts the listener down. Worker connections die with their
 // sessions; call after Run returns.
 func (c *Coordinator) Close() {
+	if c.watchdog != nil {
+		c.watchdog.Stop()
+	}
 	c.ln.Close()
 }
 
@@ -326,6 +386,11 @@ func (c *Coordinator) Run() ([][]uint64, error) {
 	}
 	err := c.doneErr
 	c.mu.Unlock()
+	if c.watchdog != nil {
+		// The run is over either way; a clean run must not leave the
+		// timeout goroutine (and its coordinator reference) behind.
+		c.watchdog.Stop()
+	}
 	c.cond.Broadcast() // release finish-parked sessions
 	if err != nil {
 		return nil, err
@@ -405,7 +470,10 @@ func (c *Coordinator) beginOp(r int, gsync bool, gen uint64) error {
 	if c.doneErr != nil {
 		return wire.RemoteFail{Code: wire.CodeGeneric, Msg: c.doneErr.Error()}
 	}
-	if c.crisis || c.status[r] != rankJoined || gen != c.generation {
+	// A crisis bounces every rank except the causal replacement: the
+	// replaying rank's catch-up (replay frames interleaved with
+	// re-executed phase work) is the crisis' whole business.
+	if (c.crisis && r != c.replaying) || c.status[r] != rankJoined || gen != c.generation {
 		return errCrisis
 	}
 	c.busy[r] = true
@@ -484,6 +552,8 @@ func (s *session) handle(t byte, payload []byte) (byte, []byte, error) {
 		return s.handleLock(d, gen)
 	case cLocal:
 		return s.handleLocal(d, gen)
+	case cReplay:
+		return s.handleReplay(d, gen)
 	}
 	return 0, nil, wire.RemoteFail{Code: wire.CodeGeneric, Msg: fmt.Sprintf("unknown frame type %#x", t)}
 }
@@ -499,16 +569,31 @@ func (s *session) handleJoin() (byte, []byte, error) {
 			return 0, nil, wire.RemoteFail{Code: wire.CodeGeneric, Msg: c.doneErr.Error()}
 		}
 		r := -1
-		for i, st := range c.status {
-			if st == rankEmpty {
-				r = i
-				break
+		if c.crisis {
+			// Mid-crisis the only admissible join is the causal
+			// replacement: the recovery loop freed exactly the replaying
+			// rank's slot and is waiting for a worker to inherit it.
+			if c.replaying >= 0 && c.status[c.replaying] == rankEmpty {
+				r = c.replaying
+			}
+		} else {
+			for i, st := range c.status {
+				if st == rankEmpty {
+					r = i
+					break
+				}
 			}
 		}
-		if r >= 0 && !c.crisis {
+		if r >= 0 {
 			c.status[r] = rankJoined
 			s.rank = r
 			resume := c.resume
+			catchup := false
+			if c.crisis && r == c.replaying {
+				resume = c.replayFrom
+				catchup = true
+			}
+			replayTo := c.replayTarget
 			gen := c.generation
 			full := true
 			for _, st := range c.status {
@@ -545,6 +630,14 @@ func (s *session) handleJoin() (byte, []byte, error) {
 			e.I(c.wl.InsertsPerPhase)
 			e.I(c.wl.TableSlots)
 			e.U(uint64(c.wl.PhaseDelay))
+			e.B(byte(c.wl.Mode))
+			if catchup {
+				e.B(1)
+				e.I(replayTo)
+			} else {
+				e.B(0)
+				e.I(0)
+			}
 			return cJoin, e.Bytes(), nil
 		}
 		pending := c.crisis
@@ -854,6 +947,70 @@ func (s *session) handleLocal(d *wire.Dec, gen uint64) (byte, []byte, error) {
 	return cLocal, reply.Bytes(), nil
 }
 
+// handleReplay serves the causal replacement's catch-up frames. A phase
+// frame carries the causally ordered records of one gsync phase (the
+// slice of the coordinator's replay-install stream the worker filtered
+// out) and applies them to the respawned rank — Algorithm 2's replay
+// half; the worker re-executes its own phase work between frames. The
+// done frame finalizes the recovery: the replacement adopts the
+// survivors' gsync counter and every rank takes an uncoordinated
+// checkpoint, re-establishing log coverage (the victim's source-side
+// records died with it — without fresh checkpoints a later survivor
+// failure would silently miss them).
+func (s *session) handleReplay(d *wire.Dec, gen uint64) (byte, []byte, error) {
+	c := s.c
+	mode := d.B()
+	switch mode {
+	case replayPhase:
+		d.I() // phase, informational: the frame's records carry their own GNC
+		puts, ok1 := decRecordList(d)
+		gets, ok2 := decRecordList(d)
+		if d.Failed() || !ok1 || !ok2 {
+			return 0, nil, wire.RemoteFail{Code: wire.CodeGeneric, Msg: "malformed replay frame"}
+		}
+		err := c.exec(s, false, gen, func(p *ftrma.Process) {
+			// ReplayAll walks the frame's GNCs in ascending order: for a
+			// steady-state frame (one phase's records) it is ReplayPhase;
+			// for the first frame it also applies the straggler records
+			// below the restored phase, oldest first.
+			p.ReplayAll(&ftrma.ReplayLogs{Puts: puts, Gets: gets})
+		})
+		if err != nil {
+			return 0, nil, err
+		}
+		return cReplay, nil, nil
+	case replayDone:
+		if d.Failed() {
+			return 0, nil, wire.RemoteFail{Code: wire.CodeGeneric, Msg: "malformed replay frame"}
+		}
+		c.mu.Lock()
+		valid := c.crisis && c.replaying == s.rank && !c.replayDone &&
+			c.status[s.rank] == rankJoined
+		target := c.replayTarget
+		c.mu.Unlock()
+		if !valid {
+			return 0, nil, errCrisis
+		}
+		err := c.exec(s, false, gen, func(p *ftrma.Process) {
+			p.SyncGNC(target)
+			for r := 0; r < c.wl.Ranks; r++ {
+				if c.w.Alive(r) {
+					c.sys.Process(r).UCCheckpoint()
+				}
+			}
+		})
+		if err != nil {
+			return 0, nil, err
+		}
+		c.mu.Lock()
+		c.replayDone = true
+		c.mu.Unlock()
+		c.cond.Broadcast()
+		return cReplay, nil, nil
+	}
+	return 0, nil, wire.RemoteFail{Code: wire.CodeGeneric, Msg: "unknown replay mode"}
+}
+
 // ---- Failure handling -------------------------------------------------------
 
 // controller serializes death handling. Deaths that arrive while one
@@ -882,7 +1039,28 @@ func (c *Coordinator) controller() {
 func (c *Coordinator) condemnLocked(r int) {
 	if r >= 0 && r < len(c.status) && c.status[r] == rankJoined {
 		c.status[r] = rankCondemned
+		// Lock-aware crisis: break every structure and user lock the dead
+		// rank holds anywhere, immediately — a survivor blocked in Lock on
+		// one of them could otherwise never drain into the rendezvous that
+		// gates the Kill (which would be the only other lock breaker).
+		c.w.ReleaseLocksHeldBy(r)
 		c.cond.Broadcast()
+	}
+}
+
+// sweepCondemnedLocksLocked re-runs the condemnation lock sweep for every
+// condemned rank (mu held). The one-shot sweep in condemnLocked is not
+// enough: a dead rank's own host-side Lock goroutine may still be parked
+// on a lock a *live* rank holds, acquire it the moment that rank unlocks,
+// and wedge it all over again — so the rendezvous waits sweep on every
+// wake. Releasing a condemned rank's locks is idempotent and can never
+// corrupt a critical section (the rank is dead; nothing of it will run
+// again except unwinds).
+func (c *Coordinator) sweepCondemnedLocksLocked() {
+	for r, st := range c.status {
+		if st == rankCondemned {
+			c.w.ReleaseLocksHeldBy(r)
+		}
 	}
 }
 
@@ -954,6 +1132,7 @@ func (c *Coordinator) recoverLocked(v int) {
 	// silence cannot stall the wait.
 	for {
 		c.drainDeathsLocked()
+		c.sweepCondemnedLocksLocked()
 		if c.quiescedFor(v) || c.doneErr != nil {
 			break
 		}
@@ -1005,24 +1184,27 @@ func (c *Coordinator) recoverLocked(v int) {
 		for (injected < injections || c.anyBusy()) && c.doneErr == nil {
 			c.cond.Wait()
 			c.drainDeathsLocked()
+			c.sweepCondemnedLocksLocked()
 		}
 	} else {
 		for c.anyBusy() && c.doneErr == nil {
 			c.cond.Wait()
 			c.drainDeathsLocked()
+			c.sweepCondemnedLocksLocked()
 		}
 	}
 	if c.doneErr != nil {
 		return
 	}
 
-	// Phase C: fail-stop the rank for real and run the existing ftRMA
-	// recovery. The M flags the workload's combining beacons guarantee
-	// normally force the coordinated fallback; if a causal recovery
-	// succeeds regardless, cluster policy still rolls back to the phase
-	// boundary — BSP workers resume at phase granularity.
+	// Phase C: fail-stop the condemned ranks for real and run the ftRMA
+	// recovery for v. The cheap path is taken whenever Recover grants it;
+	// ErrFallback (forced by in-flight gets, combining accesses, or a
+	// concurrent failure) selects the coordinated rollback.
+	began := time.Now()
+	var res *ftrma.RecoverResult
 	err := func() (err error) {
-		// The recovery path now crosses the wire (log fetches from the
+		// The recovery path crosses the wire (log fetches from the
 		// survivors' residences, parity fetches and handoffs): a worker
 		// dying at exactly the wrong moment surfaces as a panic, which
 		// must condemn the run, not the coordinator process.
@@ -1031,16 +1213,36 @@ func (c *Coordinator) recoverLocked(v int) {
 				err = fmt.Errorf("recovery interrupted: %v", e)
 			}
 		}()
+		// Kill every condemned rank, not just v: a second condemned rank
+		// left World-alive would be gathered from as a "survivor", and its
+		// unbound session would abort the run. Killing it makes Recover
+		// see the concurrent failure and choose the fallback, which
+		// restores all the dead at once. Likewise a rank whose slot is
+		// empty but whose replacement never joined is no log residence —
+		// kill it so it rides the same fallback.
 		c.w.Kill(v)
-		_, rerr := c.sys.Recover(v)
-		switch {
-		case rerr == nil:
-			rerr = c.sys.FallbackToCC(v)
-		case errors.Is(rerr, ftrma.ErrFallback):
-			rerr = nil
+		for r, st := range c.status {
+			if r != v && st == rankCondemned {
+				c.w.Kill(r)
+			}
+			if c.started && st == rankEmpty && !c.sessionAlive(r) && c.w.Alive(r) {
+				c.w.Kill(r)
+			}
 		}
-		return rerr
+		res, err = c.sys.Recover(v)
+		return err
 	}()
+
+	switch {
+	case err == nil:
+		// The cheap path: nothing rolled back. Stream the gathered records
+		// to a replacement worker and let it replay/re-execute its way to
+		// the survivors' phase; the crisis stays open until it is done.
+		c.recoverCausalLocked(v, res, began)
+		return
+	case errors.Is(err, ftrma.ErrFallback):
+		err = nil
+	}
 	if err != nil {
 		c.doneErr = fmt.Errorf("cluster: recovery of rank %d: %w", v, err)
 		return
@@ -1056,11 +1258,181 @@ func (c *Coordinator) recoverLocked(v int) {
 	}
 	c.generation++
 	if debugCrisis {
-		fmt.Printf("cluster debug: recovered rank %d, resume=%d, gsyncs=%v, stats=%+v\n", v, c.resume, c.gsyncs, c.sys.Stats())
+		fmt.Printf("cluster debug: recovered rank %d (fallback), resume=%d, gsyncs=%v, stats=%+v\n", v, c.resume, c.gsyncs, c.sys.Stats())
 	}
-	c.status[v] = rankEmpty // the slot awaits a replacement worker
+	// The fallback restored (and respawned) every dead rank; all their
+	// slots now await replacement workers.
+	for r, st := range c.status {
+		if st == rankCondemned {
+			c.status[r] = rankEmpty
+		}
+	}
+	c.status[v] = rankEmpty
 	c.crisis = false
 	c.sys.SetCCSuspended(false)
+	c.sys.NoteFallbackRecovery(float64(time.Since(began)) / float64(time.Microsecond))
+}
+
+// recoverCausalLocked drives the cheap recovery path after a successful
+// ftrma.Recover (mu held, crisis open): free v's slot so a replacement
+// worker can inherit it mid-crisis, stream the causally ordered records
+// into the replacement's residence, and wait for its catch-up — phase
+// replay frames interleaved with re-executed phase work — to finish. If
+// the replacement itself dies mid-replay, the crisis stays open and the
+// controller loop re-enters recoverLocked(v): the respawned rank is
+// killed for real this time, the survivors' records about v are still in
+// place (nothing trimmed them), and a fresh Recover reproduces the same
+// result for the next replacement.
+func (c *Coordinator) recoverCausalLocked(v int, res *ftrma.RecoverResult, began time.Time) {
+	target := c.replayTargetLocked(v)
+	c.replaying = v
+	c.replayFrom = res.Proc.GNC()
+	c.replayTarget = target
+	c.replayLogs = res.Logs
+	c.replayDone = false
+	c.status[v] = rankEmpty // handleJoin admits the replacement mid-crisis
+	if debugCrisis {
+		fmt.Printf("cluster debug: causal recovery of rank %d, replay [%d..%d), %d records\n",
+			v, c.replayFrom, target, res.Logs.Len())
+	}
+	c.cond.Broadcast()
+
+	abort := func() {
+		// The replacement died (or never came) — leave the crisis open and
+		// let the controller loop re-run recoverLocked for v.
+		c.replaying = -1
+		c.replayLogs = nil
+		c.replayDone = false
+	}
+
+	// Wait for the replacement worker to join and bind.
+	for c.status[v] != rankJoined || !c.sessionAlive(v) {
+		if c.doneErr != nil {
+			return
+		}
+		if c.status[v] == rankCondemned {
+			abort()
+			return
+		}
+		c.cond.Wait()
+		c.drainDeathsLocked()
+		c.sweepCondemnedLocksLocked()
+	}
+
+	// Stream the gathered records into the replacement's residence. The
+	// worker's host handler never calls back into the coordinator, so
+	// holding mu across the calls cannot deadlock — and everyone else is
+	// parked anyway. A failed stream means the replacement died; the
+	// OnDown condemnation surfaces in the wait below.
+	c.streamReplayLogs(v, res.Logs)
+	c.replayLogs = nil // handed off (or lost with the replacement)
+	// A failed stream needs no special case: only a dying replacement can
+	// fail it, and its OnDown condemnation ends this wait.
+	for !c.replayDone && c.status[v] == rankJoined && c.doneErr == nil {
+		c.cond.Wait()
+		c.drainDeathsLocked()
+		c.sweepCondemnedLocksLocked()
+	}
+	if c.doneErr != nil {
+		return
+	}
+	if !c.replayDone {
+		abort()
+		return
+	}
+
+	// Catch-up complete: the replacement is at the survivors' phase, all
+	// ranks hold fresh uncoordinated checkpoints, nothing was rolled
+	// back. Close the crisis without bumping the rollback generation —
+	// no survivor state was invalidated.
+	c.resume = target
+	c.gsyncs[v] = target
+	c.replaying = -1
+	c.replayDone = false
+	if debugCrisis {
+		fmt.Printf("cluster debug: causal recovery of rank %d complete, resume=%d, stats=%+v\n", v, c.resume, c.sys.Stats())
+	}
+	c.crisis = false
+	c.sys.SetCCSuspended(false)
+	c.sys.NoteCausalRecovery(float64(time.Since(began)) / float64(time.Microsecond))
+}
+
+// replayTargetLocked returns the phase the survivors stand at (mu held,
+// post-drain): the phase the causal replacement must catch up to. In BSP
+// lockstep every live rank agrees; finished ranks sit at Phases.
+func (c *Coordinator) replayTargetLocked(v int) int {
+	target := 0
+	for r, st := range c.status {
+		if r == v {
+			continue
+		}
+		if st == rankJoined || st == rankFinished {
+			if g := c.sys.Process(r).GNC(); g > target {
+				target = g
+			}
+		}
+	}
+	return target
+}
+
+// streamReplayLogs ships the replay records to rank v's residence as
+// replay-install frames, chunked so no frame outgrows the host-frame
+// budget; the final chunk carries the done marker that releases the
+// worker's catch-up. Returns false if the residence died mid-stream (the
+// caller's wait resolves via the replacement's condemnation either way).
+func (c *Coordinator) streamReplayLogs(v int, logs *ftrma.ReplayLogs) (ok bool) {
+	defer func() {
+		if recover() != nil {
+			ok = false // a malformed reply; the worker is condemned by OnDown or timeout
+		}
+	}()
+	conn := c.sessionConn(v)
+	if conn == nil {
+		return false
+	}
+	send := func(done bool, puts, gets []ftrma.LogRecord) bool {
+		var e wire.Enc
+		if done {
+			e.B(1)
+		} else {
+			e.B(0)
+		}
+		e.I(len(puts))
+		for _, r := range puts {
+			encRecord(&e, r)
+		}
+		e.I(len(gets))
+		for _, r := range gets {
+			encRecord(&e, r)
+		}
+		_, sent := c.callConn(conn, v, cReplayInstall, e.Bytes())
+		return sent
+	}
+	var puts, gets []ftrma.LogRecord
+	words := 0
+	flush := func(done bool) bool {
+		sent := send(done, puts, gets)
+		puts, gets = nil, nil
+		words = 0
+		return sent
+	}
+	for _, r := range logs.Puts {
+		puts = append(puts, r)
+		if words += len(r.Data) + 12; words >= hostFrameWords {
+			if !flush(false) {
+				return false
+			}
+		}
+	}
+	for _, r := range logs.Gets {
+		gets = append(gets, r)
+		if words += len(r.Data) + 12; words >= hostFrameWords {
+			if !flush(false) {
+				return false
+			}
+		}
+	}
+	return flush(true)
 }
 
 func (c *Coordinator) anyBusy() bool {
@@ -1080,6 +1452,21 @@ func (c *Coordinator) bindSession(r int, s *session) {
 	c.sessMu.Unlock()
 	// Appends may be parked in awaitSessionConn for this rank's residence.
 	c.cond.Broadcast()
+}
+
+// downSessions force-closes every bound worker connection. Leaf-locked
+// (sessMu only): the timeout watchdog calls it precisely when mu may be
+// wedged under a host call that will never complete, so it must not need
+// mu. Closing a connection fails that call with ErrDown and lets the
+// holder unwind.
+func (c *Coordinator) downSessions() {
+	c.sessMu.Lock()
+	defer c.sessMu.Unlock()
+	for _, s := range c.sessions {
+		if s != nil && s.conn != nil {
+			s.conn.Close()
+		}
+	}
 }
 
 func (c *Coordinator) unbindSession(r int, s *session) {
@@ -1240,6 +1627,16 @@ func (c *Coordinator) Started() bool {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return c.started
+}
+
+// Replaying returns the rank whose causal replacement is currently being
+// fed (joined, streamed, or catching up), or -1 when no causal recovery
+// is in flight. The chaos tests aim their kill-the-replacement-mid-replay
+// schedules with it.
+func (c *Coordinator) Replaying() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.replaying
 }
 
 // RanksJoined counts the rank slots currently bound to a worker. Tests

@@ -48,10 +48,29 @@ type stateHost struct {
 	mu     sync.Mutex
 	logs   ftrma.LogHost
 	parity map[parityKey]*hostedParity
+
+	// Replay-install stream: a causal replacement's coordinator feeds the
+	// gathered records here in chunks; the done marker releases the
+	// client's catch-up loop blocked in AwaitReplayLogs.
+	replayPuts  []ftrma.LogRecord
+	replayGets  []ftrma.LogRecord
+	replayReady chan struct{}
 }
 
 func newStateHost() *stateHost {
-	return &stateHost{parity: make(map[parityKey]*hostedParity)}
+	return &stateHost{
+		parity:      make(map[parityKey]*hostedParity),
+		replayReady: make(chan struct{}),
+	}
+}
+
+// AwaitReplayLogs blocks until the coordinator's replay-install stream is
+// complete and returns the causally ordered records (puts, gets).
+func (h *stateHost) AwaitReplayLogs() ([]ftrma.LogRecord, []ftrma.LogRecord) {
+	<-h.replayReady
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.replayPuts, h.replayGets
 }
 
 // handle serves one host-service frame; it is the worker connection's
@@ -84,6 +103,8 @@ func (h *stateHost) handle(t byte, payload []byte) (byte, []byte, error) {
 			return h.parityFold(d)
 		case cParityFetch:
 			return h.parityFetch(d, &reply)
+		case cReplayInstall:
+			return h.replayInstall(d)
 		}
 		return fmt.Errorf("unknown host frame type %#x", t)
 	}()
@@ -263,6 +284,30 @@ func (h *stateHost) logFetch(d *wire.Dec, reply *wire.Enc) error {
 	return nil
 }
 
+// replayInstall accumulates one chunk of the coordinator's causal replay
+// stream; the done marker completes the stream and wakes the client's
+// catch-up loop. Order within and across chunks is the coordinator's
+// sorted causal order and is preserved verbatim.
+func (h *stateHost) replayInstall(d *wire.Dec) error {
+	done := d.B()
+	puts, ok1 := decRecordList(d)
+	gets, ok2 := decRecordList(d)
+	if d.Failed() || !ok1 || !ok2 {
+		return fmt.Errorf("malformed replay install")
+	}
+	h.replayPuts = append(h.replayPuts, puts...)
+	h.replayGets = append(h.replayGets, gets...)
+	if done != 0 {
+		select {
+		case <-h.replayReady:
+			return fmt.Errorf("duplicate replay-install done marker")
+		default:
+			close(h.replayReady)
+		}
+	}
+	return nil
+}
+
 // parityHandoff installs (group, level)'s shard contents at this worker:
 // the initial seeding at the membership gate, or the rebuilt shards after
 // the previous host died.
@@ -372,6 +417,24 @@ func encRecord(e *wire.Enc, r ftrma.LogRecord) {
 	e.I(r.SC)
 	e.I(r.GNC)
 	e.Words(r.Data)
+}
+
+// decRecordList reads a counted record list (the shared production of the
+// log-fetch, replay-install, and replay frames).
+func decRecordList(d *wire.Dec) ([]ftrma.LogRecord, bool) {
+	count := d.I()
+	if d.Failed() || count > wire.MaxFrame/16 {
+		return nil, false
+	}
+	out := make([]ftrma.LogRecord, 0, min(count, 4096))
+	for i := 0; i < count; i++ {
+		rec, ok := decRecord(d)
+		if !ok {
+			return nil, false
+		}
+		out = append(out, rec)
+	}
+	return out, true
 }
 
 // decRecord reads one log record.

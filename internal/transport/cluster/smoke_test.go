@@ -32,11 +32,14 @@ func TestMain(m *testing.M) {
 	os.Exit(m.Run())
 }
 
-// spawnWorker launches one worker process bound to the coordinator.
-func spawnWorker(t *testing.T, addr string) *exec.Cmd {
+// spawnWorker launches one worker process bound to the coordinator;
+// extraEnv entries ("KEY=value") arm worker-side knobs such as the
+// host-frame fault injection.
+func spawnWorker(t *testing.T, addr string, extraEnv ...string) *exec.Cmd {
 	t.Helper()
 	cmd := exec.Command(os.Args[0], "-test.run=TestMain")
 	cmd.Env = append(os.Environ(), workerEnv+"="+addr)
+	cmd.Env = append(cmd.Env, extraEnv...)
 	cmd.Stdout = os.Stderr
 	cmd.Stderr = os.Stderr
 	if err := cmd.Start(); err != nil {

@@ -1,0 +1,71 @@
+package cluster
+
+import (
+	"net"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/transport/wire"
+)
+
+// TestClusterTimeoutAbortsWedgedRun pins the watchdog's last line of
+// defense. The hang it guards against: a coordinator goroutine holds mu
+// across a host call towards a live-but-unresponsive worker — the
+// connection stays healthy (heartbeats flow, the failure detector never
+// fires), the call never completes, and mu never frees. fatal needs mu,
+// so without the grace-period fallback the Timeout watchdog would wedge
+// right behind the hang it exists to abort. The fallback downs every
+// worker connection, which fails the stuck call with ErrDown, unwinds
+// the holder, and lets the abort land.
+func TestClusterTimeoutAbortsWedgedRun(t *testing.T) {
+	wl := Workload{Ranks: 2, Phases: 1, InsertsPerPhase: 1, TableSlots: 64}
+	c, err := NewCoordinator(Config{Listen: "127.0.0.1:0", Workload: wl, Timeout: 300 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	// A live-but-unresponsive worker: its handler parks forever, so a
+	// call towards it never completes — and never trips the failure
+	// detector, because the connection itself stays up.
+	a, b := net.Pipe()
+	defer a.Close()
+	defer b.Close()
+	park := make(chan struct{})
+	defer close(park)
+	wire.New(b, wire.Config{Handler: func(byte, []byte) (byte, []byte, error) {
+		<-park
+		return 0, nil, nil
+	}})
+	conn := wire.New(a, wire.Config{})
+	c.sessMu.Lock()
+	c.sessions[0] = &session{c: c, rank: 0, conn: conn}
+	c.sessMu.Unlock()
+
+	// Wedge mu exactly the way a crisis-path host call would.
+	wedged := make(chan error, 1)
+	go func() {
+		c.mu.Lock()
+		defer c.mu.Unlock()
+		_, err := conn.Call(0x42, nil)
+		wedged <- err
+	}()
+
+	done := make(chan error, 1)
+	go func() {
+		_, err := c.Run()
+		done <- err
+	}()
+	select {
+	case err := <-done:
+		if err == nil || !strings.Contains(err.Error(), "timeout") {
+			t.Fatalf("Run: err = %v, want the timeout abort", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("run did not abort: the watchdog could not land past the wedged mutex")
+	}
+	if err := <-wedged; err == nil {
+		t.Fatal("the wedged call completed cleanly; want ErrDown from the watchdog downing the session")
+	}
+}

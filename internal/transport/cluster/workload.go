@@ -8,40 +8,71 @@ import (
 	"repro/internal/rma"
 )
 
-// Workload is the cluster's bulk-synchronous kvstore benchmark: every rank
-// runs Phases rounds of InsertsPerPhase DHT inserts plus one combining
-// "beacon" accumulate towards every rank, closing each round with a gsync
-// (where the ftRMA layer transparently takes its coordinated checkpoint).
+// WorkloadMode selects the cluster workload's communication pattern —
+// and with it which recovery path a mid-run kill exercises.
+type WorkloadMode int
+
+const (
+	// ModeCombining is the original kvstore + beacon benchmark: the
+	// per-round combining accumulates set M flags at every peer (§4.2),
+	// steering recovery to the coordinated fallback.
+	ModeCombining WorkloadMode = iota
+	// ModeCausal is conflict-free: per-(rank, phase) disjoint replacing
+	// puts, single-frame blocking gets, no combining accesses — a kill
+	// leaves no N or M flag behind, so recovery takes the paper's cheap
+	// causal-replay path.
+	ModeCausal
+	// ModeLocked is ModeCausal plus a user-locked critical section per
+	// phase (with the phase delay spent inside it), so a kill likely
+	// lands while the victim holds a lock — the lock-aware crisis tests'
+	// workload.
+	ModeLocked
+)
+
+// Workload is the cluster's bulk-synchronous benchmark; Mode picks the
+// communication pattern. Every rank runs Phases rounds of per-rank work,
+// closing each round with a gsync (where the ftRMA layer transparently
+// takes its coordinated checkpoint).
 //
-// The key schedule is globally deterministic and conflict-free — no two
-// keys share a (volume, slot) pair, so every insert is a single CAS into
-// an empty slot and the final window contents are a pure function of the
-// phases executed, independent of inter-rank timing. That is what makes
-// the kill -9 smoke test's bit-identical oracle comparison meaningful: a
-// run that loses a rank mid-flight and recovers must converge to exactly
-// the failure-free windows.
+// All modes are globally deterministic and conflict-free: no two ranks
+// ever write the same word (the kvstore schedule is collision-free; the
+// causal modes write per-(rank, phase) disjoint blocks), so the final
+// window contents are a pure function of the phases executed, independent
+// of inter-rank timing. That is what makes the kill -9 smoke tests'
+// bit-identical oracle comparison meaningful: a run that loses a rank
+// mid-flight and recovers must converge to exactly the failure-free
+// windows.
 //
-// The beacons guarantee every rank's put log towards every peer holds a
-// combining access each round, steering recovery towards the coordinated
-// fallback (§4.2 M flags) — the rollback-and-reexecute path whose
-// semantics BSP re-execution needs.
+// ModeCombining's beacons guarantee every rank's put log towards every
+// peer holds a combining access each round, forcing the coordinated
+// fallback (§4.2 M flags); the causal modes guarantee the opposite, so
+// both of the paper's recovery paths are driven by real workloads.
 type Workload struct {
 	// Ranks is the number of compute processes.
 	Ranks int
 	// Phases is the number of bulk-synchronous rounds.
 	Phases int
-	// InsertsPerPhase is the number of DHT inserts per rank per round.
+	// InsertsPerPhase is the number of DHT inserts (combining) or put
+	// words per peer (causal modes) per rank per round.
 	InsertsPerPhase int
-	// TableSlots is the per-volume hash-table size.
+	// TableSlots is the per-volume hash-table size (ModeCombining only).
 	TableSlots int
 	// PhaseDelay is wall-clock think time per rank per round (virtual
 	// time is unaffected); the kill -9 smoke uses it to stretch the run so
-	// a signal lands mid-flight. Zero for full speed.
+	// a signal lands mid-flight. In ModeLocked it is spent inside the
+	// critical section, so kills land while holding the lock. Zero for
+	// full speed.
 	PhaseDelay time.Duration
+	// Mode selects the communication pattern; the zero value is the
+	// original combining benchmark.
+	Mode WorkloadMode
 }
 
 // Validate rejects nonsensical workloads with descriptive errors.
 func (wl Workload) Validate() error {
+	if wl.Mode < ModeCombining || wl.Mode > ModeLocked {
+		return fmt.Errorf("cluster: unknown workload mode %d", wl.Mode)
+	}
 	if wl.Ranks < 2 {
 		return fmt.Errorf("cluster: workload needs at least 2 ranks, got %d", wl.Ranks)
 	}
@@ -51,10 +82,12 @@ func (wl Workload) Validate() error {
 	if wl.InsertsPerPhase < 1 {
 		return fmt.Errorf("cluster: workload needs at least 1 insert per phase, got %d", wl.InsertsPerPhase)
 	}
-	need := wl.Ranks * wl.Phases * wl.InsertsPerPhase
-	if wl.TableSlots < 2*need/wl.Ranks {
-		return fmt.Errorf("cluster: %d table slots per volume cannot hold %d conflict-free inserts; need at least %d",
-			wl.TableSlots, need, 2*need/wl.Ranks)
+	if wl.Mode == ModeCombining {
+		need := wl.Ranks * wl.Phases * wl.InsertsPerPhase
+		if wl.TableSlots < 2*need/wl.Ranks {
+			return fmt.Errorf("cluster: %d table slots per volume cannot hold %d conflict-free inserts; need at least %d",
+				wl.TableSlots, need, 2*need/wl.Ranks)
+		}
 	}
 	if wl.PhaseDelay < 0 {
 		return fmt.Errorf("cluster: negative phase delay %v", wl.PhaseDelay)
@@ -73,9 +106,48 @@ func (wl Workload) kvConfig() kvstore.Config {
 // the DHT volume.
 func (wl Workload) beaconOff() int { return wl.kvConfig().WindowWords() }
 
-// WindowWords is the per-rank window size: the DHT volume plus one beacon
-// word per source rank.
-func (wl Workload) WindowWords() int { return wl.beaconOff() + wl.Ranks }
+// WindowWords is the per-rank window size. ModeCombining: the DHT volume
+// plus one beacon word per source rank. Causal modes: one
+// InsertsPerPhase-word block per (source, phase), one scratch word per
+// phase (the replayable local landing zone of the per-phase get), and in
+// ModeLocked one lock-protected word per (source, phase).
+func (wl Workload) WindowWords() int {
+	if wl.Mode == ModeCombining {
+		return wl.beaconOff() + wl.Ranks
+	}
+	words := wl.lockedOff(0, 0)
+	if wl.Mode == ModeLocked {
+		words += wl.Ranks * wl.Phases
+	}
+	return words
+}
+
+// causalOff is the window offset of source src's phase-p put block: the
+// blocks are disjoint per (src, phase), making every causal-mode put a
+// write-once replacing access.
+func (wl Workload) causalOff(src, phase int) int {
+	return (src*wl.Phases + phase) * wl.InsertsPerPhase
+}
+
+// scratchOff is the window offset of the local phase-p get landing zone,
+// past all put blocks. Each phase gets its own word so replayed gets
+// (which re-deposit into the scratch slot) stay write-once too.
+func (wl Workload) scratchOff(phase int) int {
+	return wl.causalOff(wl.Ranks, 0) + phase
+}
+
+// lockedOff is the window offset of source src's phase-p lock-protected
+// word (ModeLocked), past the scratch words.
+func (wl Workload) lockedOff(src, phase int) int {
+	return wl.scratchOff(wl.Phases) + src*wl.Phases + phase
+}
+
+// causalVal is the deterministic payload rank writes in phase p, word i.
+// Rank, phase, and index occupy disjoint bit ranges so a misplaced word
+// is self-describing in test failures.
+func causalVal(rank, phase, i int) uint64 {
+	return uint64(rank+1)<<40 | uint64(phase+1)<<20 | uint64(i+1)
+}
 
 // Schedule builds the global key schedule: Schedule()[phase][rank] lists
 // the keys that rank inserts in that phase. Keys are scanned in order and
@@ -83,6 +155,9 @@ func (wl Workload) WindowWords() int { return wl.beaconOff() + wl.Ranks }
 // ever collides — every process (workers, oracle) derives the identical
 // schedule locally.
 func (wl Workload) Schedule() [][][]uint64 {
+	if wl.Mode != ModeCombining {
+		return nil // causal modes derive their pattern from (rank, phase) alone
+	}
 	cfg := wl.kvConfig()
 	used := make(map[int]bool)
 	sched := make([][][]uint64, wl.Phases)
@@ -113,6 +188,9 @@ func (wl Workload) Schedule() [][][]uint64 {
 // previous round's keys (exercising the get path). The caller closes the
 // round with Gsync.
 func (wl Workload) RunPhase(api rma.API, sched [][][]uint64, rank, phase int) error {
+	if wl.Mode != ModeCombining {
+		return wl.runCausalPhase(api, rank, phase)
+	}
 	for t := 0; t < wl.Ranks; t++ {
 		api.Accumulate(t, wl.beaconOff()+rank, []uint64{uint64(phase + 1)}, rma.OpSum)
 	}
@@ -139,6 +217,55 @@ func (wl Workload) RunPhase(api rma.API, sched [][][]uint64, rank, phase int) er
 	return nil
 }
 
+// runCausalPhase is round p of the causal modes: disjoint replacing puts
+// to every peer, a blocking verify of the previous round's own writes,
+// and a copy-get landing in the local scratch word. Every get closes its
+// epoch in the frame that issues it (GetBlocking, or GetCopy followed
+// immediately by Flush), so a kill can never strand an in-flight get's N
+// flag at the target — which is exactly what keeps this workload on the
+// causal-replay path.
+func (wl Workload) runCausalPhase(api rma.API, rank, phase int) error {
+	data := make([]uint64, wl.InsertsPerPhase)
+	for i := range data {
+		data[i] = causalVal(rank, phase, i)
+	}
+	for t := 0; t < wl.Ranks; t++ {
+		if t != rank {
+			api.Put(t, wl.causalOff(rank, phase), data)
+		}
+	}
+	peer := (rank + 1) % wl.Ranks
+	if phase > 0 {
+		got := api.GetBlocking(peer, wl.causalOff(rank, phase-1), wl.InsertsPerPhase)
+		for i, v := range got {
+			if want := causalVal(rank, phase-1, i); v != want {
+				return fmt.Errorf("cluster: rank %d phase %d: readback word %d = %#x, want %#x", rank, phase, i, v, want)
+			}
+		}
+	}
+	// A get that lands inside the local window: its LG record carries a
+	// local offset, so replay re-deposits it (§4.1 get logs).
+	api.GetCopy(peer, wl.causalOff(rank, phase), 1, wl.scratchOff(phase))
+	api.Flush(peer)
+	if wl.Mode == ModeLocked {
+		// One global critical section: every rank contends for rank 0's
+		// user lock and spends its think time inside it, so a kill lands
+		// on a lock holder while survivors block acquiring — the
+		// lock-aware crisis' worst case. The protected words are still
+		// per-(rank, phase) disjoint; the lock is protocol exercise, not
+		// a correctness need.
+		api.Lock(0, rma.NumStructures)
+		api.Put(0, wl.lockedOff(rank, phase), []uint64{causalVal(rank, phase, 0) | 1<<60})
+		if wl.PhaseDelay > 0 {
+			time.Sleep(wl.PhaseDelay) // die here and you die holding the lock
+		}
+		api.Unlock(0, rma.NumStructures)
+	} else if wl.PhaseDelay > 0 {
+		time.Sleep(wl.PhaseDelay)
+	}
+	return nil
+}
+
 // Oracle runs the whole workload failure-free in-process (raw runtime, no
 // FT layer — the protocol layers never alter window contents) and returns
 // every rank's final window: the bit-exact reference the cluster run must
@@ -150,7 +277,7 @@ func (wl Workload) Oracle() ([][]uint64, error) {
 	oracle := wl
 	oracle.PhaseDelay = 0
 	sched := oracle.Schedule()
-	w := rma.NewWorld(rma.Config{N: wl.Ranks, WindowWords: wl.WindowWords()})
+	w := rma.NewWorld(rma.Config{N: wl.Ranks, WindowWords: wl.WindowWords(), ExtraLocks: 1})
 	var firstErr error
 	w.Run(func(r int) {
 		p := w.Proc(r)

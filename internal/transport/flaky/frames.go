@@ -1,0 +1,50 @@
+package flaky
+
+import (
+	"math/rand"
+	"sync"
+	"time"
+
+	"repro/internal/transport/wire"
+)
+
+// FrameConfig tunes wire-frame fault injection (WrapFrameFaults). The
+// zero value injects nothing.
+type FrameConfig struct {
+	// Seed fixes the fault schedule.
+	Seed int64
+	// MaxDelay sleeps a uniform [0, MaxDelay) before handling each
+	// in-range frame, modeling service-side jitter on the host-service
+	// plane (log fetch, parity folds, replay installs).
+	MaxDelay time.Duration
+	// MinType and MaxType bound (inclusive) the frame types perturbed;
+	// frames outside the range pass through untouched.
+	MinType, MaxType byte
+}
+
+// WrapFrameFaults wraps a wire handler with seeded, deterministic
+// per-frame delays for frame types in [MinType, MaxType]. Frames are
+// delayed, never dropped or reordered in-stream: the wire layer treats a
+// failed host-service call as a peer death (callers panic their way into
+// the crisis protocol), so a "dropped" frame is not a new fault mode —
+// the kill tests own it. What delays shake out is every ordering the
+// protocol claims to be indifferent to: log appends racing fetches,
+// parity folds racing trims, replay installs racing the catch-up run.
+func WrapFrameFaults(inner wire.Handler, cfg FrameConfig) wire.Handler {
+	if cfg.MaxDelay <= 0 {
+		return inner
+	}
+	var mu sync.Mutex
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	return func(t byte, payload []byte) (byte, []byte, error) {
+		if t >= cfg.MinType && t <= cfg.MaxType {
+			mu.Lock()
+			delay := time.Duration(rng.Int63n(int64(cfg.MaxDelay)))
+			mu.Unlock()
+			if delay > 0 {
+				time.Sleep(delay)
+			}
+		}
+		return inner(t, payload)
+	}
+}

@@ -1,0 +1,58 @@
+package flaky
+
+import (
+	"errors"
+	"reflect"
+	"testing"
+	"time"
+)
+
+// TestWrapFrameFaultsTransparency pins the wrapper's semantics: it may
+// only ever delay — type, payload, reply, and error must flow through
+// bit-unchanged for every frame, in and out of the perturbed range — and
+// a zero config must not even interpose.
+func TestWrapFrameFaultsTransparency(t *testing.T) {
+	inner := func(ft byte, payload []byte) (byte, []byte, error) {
+		if ft == 0x33 {
+			return 0, nil, errors.New("boom")
+		}
+		out := append([]byte{ft}, payload...)
+		return ft + 1, out, nil
+	}
+
+	if w := WrapFrameFaults(inner, FrameConfig{}); reflect.ValueOf(w).Pointer() != reflect.ValueOf(inner).Pointer() {
+		t.Fatal("zero config did not return the inner handler unchanged")
+	}
+
+	w := WrapFrameFaults(inner, FrameConfig{Seed: 7, MaxDelay: 2 * time.Millisecond, MinType: 0x30, MaxType: 0x3a})
+	for _, ft := range []byte{0x20, 0x30, 0x35, 0x3a, 0x40} {
+		rt, reply, err := w(ft, []byte{1, 2, 3})
+		if err != nil {
+			t.Fatalf("frame %#x: %v", ft, err)
+		}
+		if rt != ft+1 || len(reply) != 4 || reply[0] != ft {
+			t.Fatalf("frame %#x perturbed: type %#x, reply %v", ft, rt, reply)
+		}
+	}
+	if _, _, err := w(0x33, nil); err == nil || err.Error() != "boom" {
+		t.Fatalf("inner error not propagated: %v", err)
+	}
+
+	// Frames outside [MinType, MaxType] must never sleep: with an
+	// absurdly large MaxDelay any accidental in-range classification
+	// would hang far past the deadline.
+	slow := WrapFrameFaults(inner, FrameConfig{Seed: 1, MaxDelay: time.Hour, MinType: 0x30, MaxType: 0x3a})
+	done := make(chan struct{})
+	go func() {
+		for i := 0; i < 100; i++ {
+			slow(0x20, nil)
+			slow(0x3b, nil)
+		}
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatal("out-of-range frames were delayed")
+	}
+}

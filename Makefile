@@ -39,9 +39,11 @@ bench-short:
 bench:
 	$(GO) test -run xxx -bench . -benchmem .
 
-# Bench-regression gate: run the checkpoint/stream/erasure benchmarks and
-# compare against the committed BENCH_*.json baselines (deterministic
-# virtual-time metrics gate tightly; wall-clock MB/s is a coarse tripwire).
+# Bench-regression gate: run the checkpoint/stream/erasure/transport
+# benchmarks (the transport ones cover the loopback, tcp, and shm legs)
+# and compare against the committed BENCH_*.json baselines (deterministic
+# metrics — virtual time, frames and allocs per flush — gate tightly;
+# wall-clock MB/s is a coarse tripwire).
 bench-gate:
 	$(GO) test -run xxx -bench 'BenchmarkDemandCheckpointStreamPipeline|BenchmarkErasureThroughput|BenchmarkCheckpointRound|BenchmarkTransportFlush|BenchmarkTransportAtomic|BenchmarkRecoveryPaths' -benchtime=100ms -count=1 . | tee bench.out
 	$(GO) run ./cmd/benchgate -bench bench.out -baseline BENCH_stream.json -baseline BENCH_baseline.json -baseline BENCH_logs.json -baseline BENCH_transport.json -baseline BENCH_recovery.json -out bench-results.json

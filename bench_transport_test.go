@@ -1,20 +1,24 @@
 package repro
 
 // Transport-layer benchmarks: epoch flush batching and blocking-atomic
-// round trips on the loopback (in-process reference) and tcp (real
-// localhost sockets) transports. The deterministic headline metric is
-// frames_per_flush — however many accesses an epoch buffers, closing it
-// must cost exactly one framed message; cmd/benchgate pins it against
-// BENCH_transport.json. Wall-clock ns/op and MB/s are machine-dependent
-// documentation.
+// round trips on the loopback (in-process reference), tcp (real localhost
+// sockets), and shm (mmap'd ring pairs) transports. The deterministic
+// headline metrics are frames_per_flush — however many accesses an epoch
+// buffers, closing it must cost exactly one framed message — and
+// allocs_per_flush, which pins the zero-copy scatter/gather wire path:
+// steady state, a flush allocates a small constant independent of the
+// batch. cmd/benchgate gates both against BENCH_transport.json.
+// Wall-clock ns/op and MB/s are machine-dependent documentation.
 
 import (
 	"net"
+	"runtime"
 	"testing"
 
 	"repro/internal/rma"
 	"repro/internal/transport"
 	"repro/internal/transport/loopback"
+	"repro/internal/transport/shm"
 	"repro/internal/transport/tcp"
 )
 
@@ -43,6 +47,31 @@ func benchTCPWorld(b *testing.B, n, words int) (*rma.World, []*tcp.Peer) {
 			return nil, err
 		}
 		peers[rank] = p
+		return p, nil
+	}})
+	b.Cleanup(w.Close)
+	return w, peers
+}
+
+// benchShmWorld builds an n-rank world over one shared-memory fabric.
+func benchShmWorld(b *testing.B, n, words int) (*rma.World, []*tcp.Peer) {
+	b.Helper()
+	fab, err := shm.NewFabric(n, shm.FabricConfig{})
+	if err != nil {
+		b.Fatalf("fabric: %v", err)
+	}
+	b.Cleanup(func() { fab.Close() })
+	peers := make([]*tcp.Peer, n)
+	w := rma.NewWorld(rma.Config{N: n, WindowWords: words, Transport: func(rank, worldN int, ep func(int) transport.Endpoint) (transport.Transport, error) {
+		p, err := shm.New(shm.Config{
+			Self: rank, N: worldN, Fabric: fab,
+			Local:             loopback.New(ep),
+			HeartbeatInterval: -1,
+		})
+		if err != nil {
+			return nil, err
+		}
+		peers[rank] = p.Peer
 		return p, nil
 	}})
 	b.Cleanup(w.Close)
@@ -83,19 +112,34 @@ func BenchmarkTransportFlush(b *testing.B) {
 		}
 	})
 
-	b.Run("tcp", func(b *testing.B) {
-		w, peers := benchTCPWorld(b, 2, words)
+	wired := func(b *testing.B, w *rma.World, peers []*tcp.Peer) {
 		p := w.Proc(0)
 		p.PutValue(1, 0, 1)
 		p.Flush(1) // dial + hello outside the measurement
+		for i := 0; i < 100; i++ {
+			epoch(p) // converge the frame/scratch pools before counting allocs
+		}
 		start := peers[0].FramesTo(1)
+		var before runtime.MemStats
+		runtime.ReadMemStats(&before)
 		b.SetBytes(bytesPerFlush)
 		b.ResetTimer()
 		for i := 0; i < b.N; i++ {
 			epoch(p)
 		}
 		b.StopTimer()
+		var after runtime.MemStats
+		runtime.ReadMemStats(&after)
 		b.ReportMetric(float64(peers[0].FramesTo(1)-start)/float64(b.N), "frames_per_flush")
+		b.ReportMetric(float64(after.Mallocs-before.Mallocs)/float64(b.N), "allocs_per_flush")
+	}
+	b.Run("tcp", func(b *testing.B) {
+		w, peers := benchTCPWorld(b, 2, words)
+		wired(b, w, peers)
+	})
+	b.Run("shm", func(b *testing.B) {
+		w, peers := benchShmWorld(b, 2, words)
+		wired(b, w, peers)
 	})
 }
 
@@ -110,8 +154,7 @@ func BenchmarkTransportAtomic(b *testing.B) {
 			p.CompareAndSwap(1, 0, uint64(i), uint64(i+1))
 		}
 	})
-	b.Run("tcp", func(b *testing.B) {
-		w, peers := benchTCPWorld(b, 2, 64)
+	wired := func(b *testing.B, w *rma.World, peers []*tcp.Peer) {
 		p := w.Proc(0)
 		p.CompareAndSwap(1, 0, 0, 1) // dial + hello outside the measurement
 		start := peers[0].FramesTo(1)
@@ -121,5 +164,13 @@ func BenchmarkTransportAtomic(b *testing.B) {
 		}
 		b.StopTimer()
 		b.ReportMetric(float64(peers[0].FramesTo(1)-start)/float64(b.N), "frames_per_op")
+	}
+	b.Run("tcp", func(b *testing.B) {
+		w, peers := benchTCPWorld(b, 2, 64)
+		wired(b, w, peers)
+	})
+	b.Run("shm", func(b *testing.B) {
+		w, peers := benchShmWorld(b, 2, 64)
+		wired(b, w, peers)
 	})
 }

@@ -9,6 +9,9 @@
 //	  "section":   "after",                  // which top-level section holds the expectations
 //	  "metrics":   ["ckpt_us_virtual"],      // which metric keys to compare
 //	  "tolerance": 0.25,                     // relative regression allowed
+//	  "tolerances": {                        // optional per-metric overrides of "tolerance"
+//	    "allocs_per_flush": 0.35             // so deterministic metrics can stay tight while
+//	  },                                     // noisier ones get room
 //	  "ratios": [{                           // optional cross-benchmark invariants
 //	    "name":   "pipelined-vs-serial",
 //	    "metric": "ckpt_us_virtual",
@@ -46,10 +49,20 @@ type ratioSpec struct {
 }
 
 type gateSpec struct {
-	Section   string      `json:"section"`
-	Metrics   []string    `json:"metrics"`
-	Tolerance float64     `json:"tolerance"`
-	Ratios    []ratioSpec `json:"ratios"`
+	Section    string             `json:"section"`
+	Metrics    []string           `json:"metrics"`
+	Tolerance  float64            `json:"tolerance"`
+	Tolerances map[string]float64 `json:"tolerances"`
+	Ratios     []ratioSpec        `json:"ratios"`
+}
+
+// toleranceFor resolves a metric's allowed relative regression: the
+// per-metric override when present, the gate default otherwise.
+func (g *gateSpec) toleranceFor(key string) float64 {
+	if t, ok := g.Tolerances[key]; ok && t > 0 {
+		return t
+	}
+	return g.Tolerance
 }
 
 type multiFlag []string
@@ -216,11 +229,12 @@ func main() {
 					continue
 				}
 				checks++
+				tol := gate.toleranceFor(key)
 				bad := false
 				if higherIsBetter(key) {
-					bad = cur < base*(1-gate.Tolerance)
+					bad = cur < base*(1-tol)
 				} else {
-					bad = cur > base*(1+gate.Tolerance)
+					bad = cur > base*(1+tol)
 				}
 				status := "ok  "
 				if bad {
@@ -228,7 +242,7 @@ func main() {
 					failures++
 				}
 				fmt.Printf("%s %s %s: %s = %.4g (baseline %.4g, tolerance %.0f%%)\n",
-					status, path, name, key, cur, base, gate.Tolerance*100)
+					status, path, name, key, cur, base, tol*100)
 			}
 		}
 		for _, r := range gate.Ratios {

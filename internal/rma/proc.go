@@ -10,7 +10,7 @@ import (
 type pendingOp struct {
 	isPut      bool
 	off        int
-	data       []uint64 // put/accumulate payload (copied at issue time)
+	data       []uint64 // put/accumulate payload (copied into the per-target arena at issue time)
 	dest       []uint64 // get destination, filled at epoch close
 	localOff   int      // window destination for GetInto; -1 for plain Get
 	op         ReduceOp
@@ -65,6 +65,7 @@ type Proc struct {
 	clock   *sim.Clock
 	epoch   []int
 	pending [][]pendingOp
+	putbuf  [][]uint64     // per-target arenas for buffered put payloads
 	batch   []transport.Op // scratch for epoch-close flush batches
 	stats   OpStats
 }
@@ -78,6 +79,7 @@ func newProc(w *World, rank int) *Proc {
 		clock:   sim.NewClock(),
 		epoch:   make([]int, w.cfg.N),
 		pending: make([][]pendingOp, w.cfg.N),
+		putbuf:  make([][]uint64, w.cfg.N),
 	}
 }
 
@@ -230,7 +232,7 @@ func (p *Proc) putInternal(target, off int, data []uint64, op ReduceOp, kind str
 	p.checkTarget(target)
 	bytes := len(data) * 8
 	p.clock.Advance(p.world.params.InjectTime(bytes))
-	buf := make([]uint64, len(data))
+	buf := p.arenaAlloc(target, len(data))
 	copy(buf, data)
 	p.pending[target] = append(p.pending[target], pendingOp{
 		isPut:      true,
@@ -249,6 +251,22 @@ func (p *Proc) putInternal(target, off int, data []uint64, op ReduceOp, kind str
 		t.OnAction(TraceAction{Kind: kind, Src: p.rank, Trg: target, Words: len(data),
 			Combine: op.Combining(), Epoch: p.epoch[target]})
 	})
+}
+
+// arenaAlloc carves n words out of the per-target put arena. The epoch's
+// buffered payloads share one backing slab, reset when the epoch towards
+// that target closes — steady state, an epoch of puts allocates nothing.
+// Growth mid-epoch switches to a fresh slab: ops issued against the old
+// one keep it alive through their own slices, and it falls to the GC once
+// the flush consumes them.
+func (p *Proc) arenaAlloc(q, n int) []uint64 {
+	a := p.putbuf[q]
+	if cap(a)-len(a) < n {
+		c := max(2*cap(a), n, 64)
+		a = make([]uint64, 0, c)
+	}
+	p.putbuf[q] = a[:len(a)+n]
+	return p.putbuf[q][len(a) : len(a)+n]
 }
 
 // Get issues a non-blocking get of n words from target at off. The returned
@@ -394,6 +412,11 @@ func (p *Proc) applyPending(q int) {
 		return
 	}
 	p.pending[q] = p.pending[q][:0]
+	// Reset the put arena's watermark now (panic-safe: a dead-target
+	// unwind must not leave it growing forever). The slab's contents stay
+	// intact — ops reference them until the flush below consumes the
+	// batch, and nothing writes to the arena before this call returns.
+	p.putbuf[q] = p.putbuf[q][:0]
 	maxT := p.clock.Now()
 	for i := range ops {
 		if ops[i].completeAt > maxT {
@@ -492,6 +515,7 @@ func (p *Proc) FlushAll() {
 		case !p.world.Alive(q):
 			// Accesses in flight towards a dead rank are lost with it.
 			p.pending[q] = p.pending[q][:0]
+			p.putbuf[q] = p.putbuf[q][:0]
 		default:
 			p.applyPending(q)
 		}
@@ -566,6 +590,7 @@ func (p *Proc) Gsync() {
 			p.applyPending(q)
 		case !p.world.Alive(q):
 			p.pending[q] = p.pending[q][:0]
+			p.putbuf[q] = p.putbuf[q][:0]
 		default:
 			p.applyPending(q)
 		}

@@ -293,6 +293,7 @@ var _ ftrma.ParityHost = (*remoteParityHost)(nil)
 // inside barrier-bracketed collectives).
 func (h *remoteParityHost) FoldRanges(memberIdx int, oldData, newData []uint64, ranges []rma.DirtyRange, workers int) bool {
 	i := 0
+	var delta []uint64 // xor-delta scratch, reused across frames
 	for i < len(ranges) {
 		var e wire.Enc
 		e.I(h.group)
@@ -307,10 +308,14 @@ func (h *remoteParityHost) FoldRanges(memberIdx int, oldData, newData []uint64, 
 		e.I(n)
 		for _, r := range ranges[i : i+n] {
 			e.I(r.Off)
-			e.I(r.Len)
-			for w := r.Off; w < r.Off+r.Len; w++ {
-				e.W64(oldData[w] ^ newData[w])
+			if cap(delta) < r.Len {
+				delta = make([]uint64, r.Len)
 			}
+			delta = delta[:r.Len]
+			for j := range delta {
+				delta[j] = oldData[r.Off+j] ^ newData[r.Off+j]
+			}
+			e.Words(delta)
 		}
 		if _, ok := h.c.remoteCallIdempotent(h.rank, cParityFold, e.Bytes()); !ok {
 			return false

@@ -3,9 +3,10 @@ package transport_test
 // The transport conformance suite: one table of semantic scenarios —
 // intra-epoch ordering, epoch visibility, blocking atomics, structure
 // locks, kill-mid-epoch — executed against every transport implementation
-// (loopback, tcp over real localhost sockets, and the fault-injecting
-// flaky wrapper), asserting that each produces bit-identical final state.
-// The loopback is the reference; tcp and flaky must match it exactly.
+// (loopback, tcp over real localhost sockets, shm over mmap'd rings, and
+// the fault-injecting flaky wrapper), asserting that each produces
+// bit-identical final state. The loopback is the reference; the others
+// must match it exactly.
 
 import (
 	"net"
@@ -17,6 +18,7 @@ import (
 	"repro/internal/transport"
 	"repro/internal/transport/flaky"
 	"repro/internal/transport/loopback"
+	"repro/internal/transport/shm"
 	"repro/internal/transport/tcp"
 )
 
@@ -70,6 +72,43 @@ func tcpFactory(t *testing.T, n int) ([]*tcp.Peer, rma.TransportFactory) {
 	return peers, factory
 }
 
+// shmWorld runs every rank over the shared-memory transport: one fabric
+// for the world, each window only ever reached through mmap'd rings
+// (except a rank's own, which short-circuits like any RMA runtime).
+func shmWorld(t *testing.T, n int) *rma.World {
+	_, factory := shmFactory(t, n)
+	w := rma.NewWorld(rma.Config{N: n, WindowWords: confWords, Transport: factory})
+	t.Cleanup(w.Close)
+	return w
+}
+
+// shmFactory builds the world's fabric (cleaned up after the world: live
+// conns hold views into its mappings) and the per-rank factory.
+func shmFactory(t *testing.T, n int) ([]*shm.Peer, rma.TransportFactory) {
+	t.Helper()
+	fab, err := shm.NewFabric(n, shm.FabricConfig{})
+	if err != nil {
+		t.Fatalf("shm fabric: %v", err)
+	}
+	t.Cleanup(func() { fab.Close() })
+	peers := make([]*shm.Peer, n)
+	factory := func(rank, worldN int, endpoint func(int) transport.Endpoint) (transport.Transport, error) {
+		p, err := shm.New(shm.Config{
+			Self:              rank,
+			N:                 worldN,
+			Fabric:            fab,
+			Local:             loopback.New(endpoint),
+			HeartbeatInterval: -1, // liveness handled by the test, not timers
+		})
+		if err != nil {
+			return nil, err
+		}
+		peers[rank] = p
+		return p, nil
+	}
+	return peers, factory
+}
+
 func flakyWorld(t *testing.T, n int) *rma.World {
 	factory := func(rank, worldN int, endpoint func(int) transport.Endpoint) (transport.Transport, error) {
 		return flaky.New(loopback.New(endpoint), flaky.Config{
@@ -86,6 +125,7 @@ func flakyWorld(t *testing.T, n int) *rma.World {
 var factories = []worldFactory{
 	{"loopback", loopbackWorld},
 	{"tcp", tcpWorld},
+	{"shm", shmWorld},
 	{"flaky", flakyWorld},
 }
 

@@ -1,0 +1,236 @@
+package shm
+
+import (
+	"fmt"
+	"net"
+	"os"
+	"path/filepath"
+	"sync"
+	"time"
+)
+
+// FabricConfig tunes a Fabric. The zero value is usable.
+type FabricConfig struct {
+	// Dir holds the region files. Default: a fresh temp directory, removed
+	// on Close.
+	Dir string
+	// RingBytes is each direction's ring capacity, a power of two.
+	// Default 1 MiB. A frame larger than the ring still flows — the writer
+	// streams it through in ring-sized windows — but sizing the ring above
+	// the common frame size keeps flushes single-publish.
+	RingBytes int
+	// SpinYield is how many runtime.Gosched() yields a waiter burns before
+	// parking on its doorbell. Default 64.
+	SpinYield int
+	// PollInterval backstops a parked waiter: the longest a publish can go
+	// unnoticed if the doorbell is missed (doorbells are process-local; a
+	// peer mapped from another process relies on this poll). Default 200µs.
+	PollInterval time.Duration
+}
+
+func (c FabricConfig) withDefaults() FabricConfig {
+	if c.RingBytes == 0 {
+		c.RingBytes = defaultRingKB << 10
+	}
+	if c.SpinYield == 0 {
+		c.SpinYield = defaultSpin
+	}
+	if c.PollInterval == 0 {
+		c.PollInterval = defaultPoll
+	}
+	return c
+}
+
+// Fabric is the shared-memory plane of one world: the region files, the
+// per-rank accept queues, and the ring tuning. Build it once, hand it to
+// every rank's Config, and Close it after the Peers are closed (their
+// conns hold views into the mapped regions).
+type Fabric struct {
+	cfg FabricConfig
+	n   int
+	dir string
+
+	mu        sync.Mutex
+	regions   []*region
+	seq       int
+	closed    bool
+	listeners []*ringListener
+}
+
+// NewFabric prepares the shared plane of an n-rank world.
+func NewFabric(n int, cfg FabricConfig) (*Fabric, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("shm: world size %d, need at least one rank", n)
+	}
+	cfg = cfg.withDefaults()
+	if cfg.RingBytes < minRingBytes || cfg.RingBytes&(cfg.RingBytes-1) != 0 {
+		return nil, fmt.Errorf("shm: ring size %d must be a power of two >= %d", cfg.RingBytes, minRingBytes)
+	}
+	if cfg.SpinYield < 0 || cfg.PollInterval < 0 {
+		return nil, fmt.Errorf("shm: negative spin or poll interval")
+	}
+	dir := cfg.Dir
+	if dir == "" {
+		d, err := os.MkdirTemp("", "shm-fabric-")
+		if err != nil {
+			return nil, fmt.Errorf("shm: fabric dir: %w", err)
+		}
+		dir = d
+	}
+	f := &Fabric{cfg: cfg, n: n, dir: dir}
+	f.listeners = make([]*ringListener, n)
+	for r := range f.listeners {
+		f.listeners[r] = &ringListener{
+			ch:   make(chan net.Conn, n),
+			done: make(chan struct{}),
+			addr: shmAddr{fmt.Sprintf("%s/rank-%d", dir, r)},
+		}
+	}
+	return f, nil
+}
+
+// Close unmaps and removes every region. Only legal once every Peer of
+// the fabric is closed: live conns hold views into the mappings.
+func (f *Fabric) Close() error {
+	f.mu.Lock()
+	if f.closed {
+		f.mu.Unlock()
+		return nil
+	}
+	f.closed = true
+	regions := f.regions
+	f.regions = nil
+	f.mu.Unlock()
+	for _, l := range f.listeners {
+		l.Close()
+	}
+	var first error
+	for _, r := range regions {
+		if err := r.close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	if f.cfg.Dir == "" {
+		os.RemoveAll(f.dir)
+	}
+	return first
+}
+
+// listener returns rank's accept side.
+func (f *Fabric) listener(rank int) net.Listener { return f.listeners[rank] }
+
+// dial creates one duplex connection src->dst: a fresh two-ring region,
+// the dialer's endpoint returned, the acceptor's endpoint queued on dst's
+// listener.
+func (f *Fabric) dial(src, dst int) (net.Conn, error) {
+	if dst < 0 || dst >= f.n {
+		return nil, fmt.Errorf("shm: dial rank %d outside world of %d ranks", dst, f.n)
+	}
+	f.mu.Lock()
+	if f.closed {
+		f.mu.Unlock()
+		return nil, fmt.Errorf("shm: fabric closed")
+	}
+	f.seq++
+	seq := f.seq
+	f.mu.Unlock()
+
+	size := 2 * (ringHdrBytes + f.cfg.RingBytes)
+	name := fmt.Sprintf("conn-%d-%d-%d.ring", src, dst, seq)
+	reg, err := newRegion(filepath.Join(f.dir, name), size)
+	if err != nil {
+		return nil, err
+	}
+	f.mu.Lock()
+	if f.closed {
+		f.mu.Unlock()
+		reg.close()
+		return nil, fmt.Errorf("shm: fabric closed")
+	}
+	f.regions = append(f.regions, reg)
+	f.mu.Unlock()
+
+	// Ring A carries src->dst, ring B dst->src. Both endpoints are built
+	// here, over one mapping, so the doorbell channels are shared — the
+	// in-process fast path. (A cross-process attach would map the same
+	// file and run bell-less on the poll backstop.)
+	a := ringAt(reg, 0, f.cfg.RingBytes, f.cfg.SpinYield, f.cfg.PollInterval)
+	b := ringAt(reg, ringHdrBytes+f.cfg.RingBytes, f.cfg.RingBytes, f.cfg.SpinYield, f.cfg.PollInterval)
+	dialer := &conn{snd: a, rcv: b,
+		local:  shmAddr{fmt.Sprintf("%s:%d", f.listeners[src].addr.s, seq)},
+		remote: f.listeners[dst].addr,
+	}
+	acceptor := &conn{snd: b, rcv: a,
+		local:  f.listeners[dst].addr,
+		remote: shmAddr{fmt.Sprintf("%s:%d", f.listeners[src].addr.s, seq)},
+	}
+	if !f.listeners[dst].deliver(acceptor) {
+		dialer.Close()
+		return nil, fmt.Errorf("shm: rank %d is not accepting", dst)
+	}
+	return dialer, nil
+}
+
+// ringListener is a rank's accept side: dial queues the acceptor endpoint
+// here, the tcp accept loop picks it up.
+type ringListener struct {
+	ch   chan net.Conn
+	done chan struct{}
+	once sync.Once
+	addr shmAddr
+
+	mu     sync.Mutex
+	closed bool
+}
+
+var _ net.Listener = (*ringListener)(nil)
+
+// deliver queues the acceptor endpoint, refusing once the listener has
+// closed (the mutex orders delivery against Close's drain, so no conn can
+// slip into the queue after it — its dialer would block on a hello
+// forever). The queue holds one slot per rank, covering every peer's one
+// cached connection; a full queue means the rank stopped accepting.
+func (l *ringListener) deliver(c net.Conn) bool {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return false
+	}
+	select {
+	case l.ch <- c:
+		return true
+	default:
+		return false
+	}
+}
+
+func (l *ringListener) Accept() (net.Conn, error) {
+	select {
+	case c := <-l.ch:
+		return c, nil
+	case <-l.done:
+		return nil, net.ErrClosed
+	}
+}
+
+func (l *ringListener) Close() error {
+	l.once.Do(func() {
+		l.mu.Lock()
+		l.closed = true
+		close(l.done)
+		// Conns queued but never accepted would leave their dialers
+		// blocked on a hello forever; close them out.
+		for {
+			select {
+			case c := <-l.ch:
+				c.Close()
+			default:
+				l.mu.Unlock()
+				return
+			}
+		}
+	})
+	return nil
+}
+
+func (l *ringListener) Addr() net.Addr { return l.addr }

@@ -1,0 +1,16 @@
+//go:build !unix
+
+package shm
+
+import (
+	"errors"
+	"os"
+)
+
+// mapShared is unavailable without mmap; newRegion falls back to heap
+// memory (rings confined to one process).
+func mapShared(*os.File, int) ([]byte, error) {
+	return nil, errors.New("shm: no mmap on this platform")
+}
+
+func unmap([]byte) error { return nil }

@@ -1,0 +1,18 @@
+//go:build unix
+
+package shm
+
+import (
+	"os"
+	"syscall"
+)
+
+// mapShared maps size bytes of f MAP_SHARED, read-write. The mapping is
+// page aligned, which over-satisfies the rings' 8-byte atomics.
+func mapShared(f *os.File, size int) ([]byte, error) {
+	return syscall.Mmap(int(f.Fd()), 0, size, syscall.PROT_READ|syscall.PROT_WRITE, syscall.MAP_SHARED)
+}
+
+func unmap(b []byte) error {
+	return syscall.Munmap(b)
+}

@@ -1,0 +1,76 @@
+package shm
+
+import (
+	"fmt"
+	"os"
+	"sync"
+)
+
+// region is one connection's shared block: a file mapped MAP_SHARED so a
+// co-located process attaching the same path would see the same rings.
+// Platforms without mmap (and mmap failures) fall back to process-heap
+// memory — the rings still work, confined to one process.
+type region struct {
+	path string
+	f    *os.File
+	mem  []byte
+	heap bool
+
+	// mu fences ring memory accesses against the munmap in close: rings
+	// hold it shared strictly across cursor loads and data copies (never
+	// while parked), close holds it exclusive while unmapping — so a
+	// fabric torn down under a straggling reader produces a clean "ring
+	// gone" error, not a fault on unmapped pages.
+	mu       sync.RWMutex
+	unmapped bool
+}
+
+// acquire takes the shared fence; false means the region is gone.
+func (r *region) acquire() bool {
+	r.mu.RLock()
+	if r.unmapped {
+		r.mu.RUnlock()
+		return false
+	}
+	return true
+}
+
+func (r *region) release() { r.mu.RUnlock() }
+
+// newRegion creates path exclusively (a leftover file from a previous
+// crashed run must not be silently adopted as live rings), sizes it, and
+// maps it shared.
+func newRegion(path string, size int) (*region, error) {
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE|os.O_EXCL, 0o600)
+	if err != nil {
+		return nil, fmt.Errorf("shm: region %s: %w", path, err)
+	}
+	if err := f.Truncate(int64(size)); err != nil {
+		f.Close()
+		os.Remove(path)
+		return nil, fmt.Errorf("shm: region %s: truncate: %w", path, err)
+	}
+	mem, err := mapShared(f, size)
+	if err != nil {
+		f.Close()
+		os.Remove(path)
+		return &region{mem: make([]byte, size), heap: true}, nil
+	}
+	return &region{path: path, f: f, mem: mem}, nil
+}
+
+func (r *region) close() error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.unmapped {
+		return nil
+	}
+	r.unmapped = true
+	if r.heap {
+		return nil
+	}
+	err := unmap(r.mem)
+	r.f.Close()
+	os.Remove(r.path)
+	return err
+}

@@ -1,0 +1,104 @@
+// Package shm is the co-located transport: the same wire protocol as the
+// tcp transport — the same frames, the same one-flush-per-epoch batching,
+// the same fail-stop liveness — spoken over shared-memory rings instead
+// of sockets, for ranks placed on one machine.
+//
+// A Fabric owns the shared state of one world: an mmap'd region per
+// dialed connection, each holding two single-producer single-consumer
+// byte rings (one per direction) with atomic head/tail cursors on
+// separate cache lines. A connection is a net.Conn over a ring pair, and
+// the tcp transport's Dial seam plugs it in — shm.Peer IS a tcp.Peer
+// whose bytes travel through memory. Everything above the conn (framing,
+// call matching, scatter/gather, heartbeats, peer-death bookkeeping) is
+// shared code, which is what keeps the three transports bit-identical
+// under the conformance suite.
+//
+// Waiting is futex-style, pure Go: a consumer that finds its ring empty
+// spins a configured number of yields, then parks on a doorbell channel
+// the producer rings after publishing; a timed poll backstops the park so
+// progress never depends on the bell (the cursors in shared memory are
+// the ground truth — a cross-process attach, where channels cannot
+// reach, degrades to the poll path, and a co-located dead rank is caught
+// exactly like a dead tcp peer: its heartbeats stop, the read deadline
+// expires, and the peer is declared down). docs/SHM.md documents the ring
+// layout and the doorbell protocol.
+package shm
+
+import (
+	"fmt"
+	"net"
+	"time"
+
+	"repro/internal/transport"
+	"repro/internal/transport/tcp"
+)
+
+// Config describes one rank's shm transport.
+type Config struct {
+	// Self is this rank's id.
+	Self int
+	// N is the world size; peer ranks are 0..N-1.
+	N int
+	// Fabric is the world's shared-memory fabric. All ranks of one world
+	// share one Fabric, which must outlive every Peer built on it.
+	Fabric *Fabric
+	// Local handles operations that target Self (and is served to remote
+	// peers). Typically the world's loopback over its window endpoints.
+	Local transport.Handler
+	// HeartbeatInterval is the liveness beacon period. Default 500ms;
+	// negative disables heartbeats (and the read deadline).
+	HeartbeatInterval time.Duration
+	// HeartbeatMiss is how many intervals of silence declare a peer dead.
+	// Default 4.
+	HeartbeatMiss int
+	// OnPeerDown is called (once per rank, from a connection goroutine)
+	// when a peer is declared dead.
+	OnPeerDown func(rank int)
+}
+
+// Validate rejects nonsensical configurations with descriptive errors.
+func (c Config) Validate() error {
+	if c.Fabric == nil {
+		return fmt.Errorf("shm: need a Fabric")
+	}
+	if c.N != c.Fabric.n {
+		return fmt.Errorf("shm: world size %d does not match fabric of %d ranks", c.N, c.Fabric.n)
+	}
+	if c.Self < 0 || c.Self >= c.N {
+		return fmt.Errorf("shm: self rank %d outside world of %d ranks", c.Self, c.N)
+	}
+	// Everything else (Self, N, Local, heartbeat knobs) is validated by
+	// the embedded tcp transport's own Validate.
+	return nil
+}
+
+// Peer is one rank's shm transport. It is the tcp protocol peer verbatim,
+// dialing ring pairs instead of sockets.
+type Peer struct {
+	*tcp.Peer
+}
+
+var _ transport.Transport = (*Peer)(nil)
+
+// New validates cfg and registers the rank on its fabric.
+func New(cfg Config) (*Peer, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	f := cfg.Fabric
+	self := cfg.Self
+	p, err := tcp.New(tcp.Config{
+		Self:              cfg.Self,
+		N:                 cfg.N,
+		Listener:          f.listener(cfg.Self),
+		Dial:              func(target int) (net.Conn, error) { return f.dial(self, target) },
+		Local:             cfg.Local,
+		HeartbeatInterval: cfg.HeartbeatInterval,
+		HeartbeatMiss:     cfg.HeartbeatMiss,
+		OnPeerDown:        cfg.OnPeerDown,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Peer{Peer: p}, nil
+}

@@ -7,16 +7,26 @@
 // and accumulates it carries. Blocking atomics and structure locks are
 // request/response frames; a lock request may block server-side for as
 // long as the structure is held (each incoming frame is served on its own
-// goroutine, so a blocked lock never stalls the connection). Put payloads
-// and get replies are fixed-width 64-bit words on the wire, decoded in one
-// word-aligned pass and applied to window memory under the window lock via
-// the non-aliasing Endpoint write path.
+// goroutine, so a blocked lock never stalls the connection).
+//
+// The flush path is zero-copy in both directions. Sending, the frame is
+// assembled as a wire.Vec whose put payloads alias the rma layer's
+// epoch arenas and goes out as one vectored write — no staging copy.
+// Receiving, the two-pass decode validates then hands out WordsView
+// aliases of the frame buffer, which land in window memory under the
+// window lock via the non-aliasing Endpoint write path; get replies
+// gather straight from the ops' destination scratch, which returns to
+// its pool once the reply frame is written.
 //
 // Liveness: every connection exchanges heartbeats; a peer that misses the
 // read deadline (or whose connection resets — a kill -9 does both) is
 // declared dead, OnPeerDown fires, and every subsequent operation towards
 // it fails with transport.PeerDeadError, which the rma runtime maps onto
 // its fail-stop TargetFailedError.
+//
+// The dialing side is a seam: Config.Dial substitutes any net.Conn
+// factory for the TCP socket, which is how the shm transport speaks this
+// exact protocol over shared-memory rings.
 package tcp
 
 import (
@@ -54,6 +64,11 @@ type Config struct {
 	Listen   string
 	// Peers maps rank -> dial address for every other rank.
 	Peers map[int]string
+	// Dial, when set, replaces socket dialing: the transport calls it to
+	// reach target and speaks the same framed protocol over the returned
+	// conn. The shm transport plugs its ring pairs in here; Peers is then
+	// not consulted.
+	Dial func(target int) (net.Conn, error)
 	// Local handles operations that target Self (and is served to remote
 	// peers). Typically the world's loopback over its window endpoints.
 	Local transport.Handler
@@ -115,8 +130,10 @@ func (c Config) Validate() error {
 		if r < 0 || r >= c.N {
 			return fmt.Errorf("tcp: peer rank %d outside world of %d ranks", r, c.N)
 		}
-		if _, _, err := net.SplitHostPort(addr); err != nil {
-			return fmt.Errorf("tcp: peer %d address %q: %v", r, addr, err)
+		if c.Dial == nil {
+			if _, _, err := net.SplitHostPort(addr); err != nil {
+				return fmt.Errorf("tcp: peer %d address %q: %v", r, addr, err)
+			}
 		}
 	}
 	return nil
@@ -130,7 +147,7 @@ type Peer struct {
 
 	mu      sync.Mutex
 	conns   map[int]*wire.Conn // outbound, by target rank
-	inbound []*wire.Conn
+	inbound map[*wire.Conn]struct{}
 	dead    map[int]bool
 	closed  bool
 }
@@ -143,7 +160,7 @@ func New(cfg Config) (*Peer, error) {
 		return nil, err
 	}
 	cfg = cfg.withDefaults()
-	p := &Peer{cfg: cfg, ln: cfg.Listener, conns: make(map[int]*wire.Conn), dead: make(map[int]bool)}
+	p := &Peer{cfg: cfg, ln: cfg.Listener, conns: make(map[int]*wire.Conn), inbound: make(map[*wire.Conn]struct{}), dead: make(map[int]bool)}
 	if p.ln == nil {
 		ln, err := net.Listen("tcp", cfg.Listen)
 		if err != nil {
@@ -170,7 +187,9 @@ func (p *Peer) Close() error {
 	for _, c := range p.conns {
 		conns = append(conns, c)
 	}
-	conns = append(conns, p.inbound...)
+	for c := range p.inbound {
+		conns = append(conns, c)
+	}
 	p.mu.Unlock()
 	p.ln.Close()
 	for _, c := range conns {
@@ -179,8 +198,18 @@ func (p *Peer) Close() error {
 	return nil
 }
 
+// InboundCount reports the accepted connections currently tracked — a
+// test hook for the churn regression: a connection whose peer died or
+// reconnected must be pruned from the set, not accumulated for the
+// lifetime of the process.
+func (p *Peer) InboundCount() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return len(p.inbound)
+}
+
 func (p *Peer) wireConfig(onDown func(error)) wire.Config {
-	cfg := wire.Config{Handler: p.serve, OnDown: onDown}
+	cfg := wire.Config{VecHandler: p.serve, OnDown: onDown}
 	if p.cfg.HeartbeatInterval > 0 {
 		cfg.Heartbeat = p.cfg.HeartbeatInterval
 		cfg.ReadTimeout = time.Duration(p.cfg.HeartbeatMiss) * p.cfg.HeartbeatInterval
@@ -195,27 +224,47 @@ func (p *Peer) acceptLoop() {
 			return
 		}
 		// src is learned from the connection's Hello frame; until then the
-		// peer is anonymous and its death needs no bookkeeping.
+		// peer is anonymous and its death needs no bookkeeping. The hello
+		// rank is wire input: it must name a rank of this world, exactly
+		// once per connection — a corrupt frame must not drive declareDead
+		// (and so OnPeerDown) with a rank that doesn't exist.
 		var src atomic.Int32
 		src.Store(-1)
-		handler := func(t byte, payload []byte) (byte, []byte, error) {
+		handler := func(t byte, payload []byte) (byte, *wire.Vec, error) {
 			if t == tHello {
 				d := wire.NewDec(payload)
 				r := d.I()
-				if d.Failed() {
+				if d.Failed() || r < 0 || r >= p.cfg.N {
 					return 0, nil, transport.RemoteError{Msg: "malformed hello"}
 				}
-				src.Store(int32(r))
+				if !src.CompareAndSwap(-1, int32(r)) {
+					return 0, nil, transport.RemoteError{Msg: "duplicate hello"}
+				}
 				return tHello, nil, nil
 			}
 			return p.serve(t, payload)
 		}
+		// The conn's death both declares the peer dead and prunes the conn
+		// from the inbound set. wire.New starts the reader immediately, so
+		// OnDown can fire before the conn is registered below — the slot
+		// records the early death and registration then skips the set.
+		slot := &struct {
+			c    *wire.Conn
+			dead bool
+		}{}
 		cfg := p.wireConfig(nil)
-		cfg.Handler = handler
+		cfg.VecHandler = handler
 		cfg.OnDown = func(error) {
 			if s := src.Load(); s >= 0 {
 				p.declareDead(int(s))
 			}
+			p.mu.Lock()
+			if slot.c != nil {
+				delete(p.inbound, slot.c)
+			} else {
+				slot.dead = true
+			}
+			p.mu.Unlock()
 		}
 		wc := wire.New(nc, cfg)
 		p.mu.Lock()
@@ -224,7 +273,10 @@ func (p *Peer) acceptLoop() {
 			wc.Close()
 			continue
 		}
-		p.inbound = append(p.inbound, wc)
+		slot.c = wc
+		if !slot.dead {
+			p.inbound[wc] = struct{}{}
+		}
 		p.mu.Unlock()
 	}
 }
@@ -258,12 +310,18 @@ func (p *Peer) conn(target int) (*wire.Conn, error) {
 		p.mu.Unlock()
 		return c, nil
 	}
-	addr, ok := p.cfg.Peers[target]
 	p.mu.Unlock()
-	if !ok {
-		return nil, fmt.Errorf("tcp: no address for peer rank %d", target)
+	var nc net.Conn
+	var err error
+	if p.cfg.Dial != nil {
+		nc, err = p.cfg.Dial(target)
+	} else {
+		addr, ok := p.cfg.Peers[target]
+		if !ok {
+			return nil, fmt.Errorf("tcp: no address for peer rank %d", target)
+		}
+		nc, err = net.DialTimeout("tcp", addr, p.cfg.DialTimeout)
 	}
-	nc, err := net.DialTimeout("tcp", addr, p.cfg.DialTimeout)
 	if err != nil {
 		p.declareDead(target)
 		return nil, transport.PeerDeadError{Rank: target}
@@ -299,44 +357,50 @@ func (p *Peer) FramesTo(target int) uint64 {
 	return 0
 }
 
-// call performs one request/response towards target, mapping wire-level
-// failures onto transport errors.
-func (p *Peer) call(target int, t byte, payload []byte) ([]byte, error) {
+// callVec performs one vectored request/response towards target, mapping
+// wire-level failures onto transport errors. v is consumed.
+func (p *Peer) callVec(target int, t byte, v *wire.Vec) ([]byte, error) {
 	c, err := p.conn(target)
 	if err != nil {
+		v.Release()
 		return nil, err
 	}
-	reply, err := c.Call(t, payload)
+	reply, err := c.CallVec(t, v)
 	if err == nil {
 		return reply, nil
 	}
+	return nil, p.callErr(target, err)
+}
+
+func (p *Peer) callErr(target int, err error) error {
 	var rf wire.RemoteFail
 	if errors.As(err, &rf) {
 		if rf.Code == wire.CodePeerDead {
-			return nil, transport.PeerDeadError{Rank: rf.Rank}
+			return transport.PeerDeadError{Rank: rf.Rank}
 		}
-		return nil, transport.RemoteError{Msg: rf.Msg}
+		return transport.RemoteError{Msg: rf.Msg}
 	}
 	if errors.Is(err, wire.ErrDown) {
 		p.declareDead(target)
-		return nil, transport.PeerDeadError{Rank: target}
+		return transport.PeerDeadError{Rank: target}
 	}
-	return nil, err
+	return err
 }
 
 // ---- Transport (client side) ------------------------------------------------
 
-// Flush frames the epoch's whole batch as one message, sends it, and
-// decodes the reply's get data into the ops' destination buffers.
+// Flush frames the epoch's whole batch as one vectored message — put
+// payloads alias the caller's buffers until the write completes — sends
+// it, and decodes the reply's get data into the ops' destination buffers.
 func (p *Peer) Flush(src, target int, ops []transport.Op) error {
 	if target == p.cfg.Self {
 		return p.cfg.Local.Flush(src, target, ops)
 	}
-	var e wire.Enc
-	e.I(src)
-	e.I(target)
-	encodeOps(&e, ops)
-	reply, err := p.call(target, tFlush, e.Bytes())
+	v := wire.NewVec()
+	v.I(src)
+	v.I(target)
+	encodeOpsVec(v, ops)
+	reply, err := p.callVec(target, tFlush, v)
 	if err != nil {
 		return err
 	}
@@ -349,6 +413,7 @@ func (p *Peer) Flush(src, target int, ops []transport.Op) error {
 			return transport.RemoteError{Msg: "malformed flush reply"}
 		}
 	}
+	wire.Recycle(reply)
 	return nil
 }
 
@@ -356,47 +421,51 @@ func (p *Peer) CompareAndSwap(src, target, off int, old, new uint64) (uint64, er
 	if target == p.cfg.Self {
 		return p.cfg.Local.CompareAndSwap(src, target, off, old, new)
 	}
-	var e wire.Enc
-	e.I(src)
-	e.I(target)
-	e.I(off)
-	e.W64(old)
-	e.W64(new)
-	reply, err := p.call(target, tCAS, e.Bytes())
+	v := wire.NewVec()
+	v.I(src)
+	v.I(target)
+	v.I(off)
+	v.W64(old)
+	v.W64(new)
+	reply, err := p.callVec(target, tCAS, v)
 	if err != nil {
 		return 0, err
 	}
-	return wire.NewDec(reply).W64(), nil
+	prev := wire.NewDec(reply).W64()
+	wire.Recycle(reply)
+	return prev, nil
 }
 
 func (p *Peer) FetchAndOp(src, target, off int, operand uint64, red uint8) (uint64, error) {
 	if target == p.cfg.Self {
 		return p.cfg.Local.FetchAndOp(src, target, off, operand, red)
 	}
-	var e wire.Enc
-	e.I(src)
-	e.I(target)
-	e.I(off)
-	e.W64(operand)
-	e.B(red)
-	reply, err := p.call(target, tFAO, e.Bytes())
+	v := wire.NewVec()
+	v.I(src)
+	v.I(target)
+	v.I(off)
+	v.W64(operand)
+	v.B(red)
+	reply, err := p.callVec(target, tFAO, v)
 	if err != nil {
 		return 0, err
 	}
-	return wire.NewDec(reply).W64(), nil
+	prev := wire.NewDec(reply).W64()
+	wire.Recycle(reply)
+	return prev, nil
 }
 
 func (p *Peer) GetAccumulate(src, target, off int, data []uint64, red uint8) ([]uint64, error) {
 	if target == p.cfg.Self {
 		return p.cfg.Local.GetAccumulate(src, target, off, data, red)
 	}
-	var e wire.Enc
-	e.I(src)
-	e.I(target)
-	e.I(off)
-	e.B(red)
-	e.Words(data)
-	reply, err := p.call(target, tGetAcc, e.Bytes())
+	v := wire.NewVec()
+	v.I(src)
+	v.I(target)
+	v.I(off)
+	v.B(red)
+	v.Words(data)
+	reply, err := p.callVec(target, tGetAcc, v)
 	if err != nil {
 		return nil, err
 	}
@@ -404,6 +473,7 @@ func (p *Peer) GetAccumulate(src, target, off int, data []uint64, red uint8) ([]
 	if !wire.NewDec(reply).WordsInto(prev) {
 		return nil, transport.RemoteError{Msg: "malformed get-accumulate reply"}
 	}
+	wire.Recycle(reply)
 	return prev, nil
 }
 
@@ -411,55 +481,80 @@ func (p *Peer) Lock(src, target, str int, now, latency float64) (float64, error)
 	if target == p.cfg.Self {
 		return p.cfg.Local.Lock(src, target, str, now, latency)
 	}
-	var e wire.Enc
-	e.I(src)
-	e.I(target)
-	e.I(str)
-	e.F(now)
-	e.F(latency)
-	reply, err := p.call(target, tLock, e.Bytes())
+	v := wire.NewVec()
+	v.I(src)
+	v.I(target)
+	v.I(str)
+	v.F(now)
+	v.F(latency)
+	reply, err := p.callVec(target, tLock, v)
 	if err != nil {
 		return 0, err
 	}
-	return wire.NewDec(reply).F(), nil
+	after := wire.NewDec(reply).F()
+	wire.Recycle(reply)
+	return after, nil
 }
 
 func (p *Peer) Unlock(src, target, str int, now, latency float64) error {
 	if target == p.cfg.Self {
 		return p.cfg.Local.Unlock(src, target, str, now, latency)
 	}
-	var e wire.Enc
-	e.I(src)
-	e.I(target)
-	e.I(str)
-	e.F(now)
-	e.F(latency)
-	_, err := p.call(target, tUnlock, e.Bytes())
+	v := wire.NewVec()
+	v.I(src)
+	v.I(target)
+	v.I(str)
+	v.F(now)
+	v.F(latency)
+	_, err := p.callVec(target, tUnlock, v)
 	return err
 }
 
 // ---- Server side ------------------------------------------------------------
 
+// flushScratch is the pooled per-flush decode state: the op slice, plus
+// one backing buffer for get destinations and unaligned put fallbacks.
+// The reply frame gathers from the buffer, so the scratch returns to its
+// pool only once the reply is written (the Vec's OnRelease hook).
+type flushScratch struct {
+	ops []transport.Op
+	buf []uint64
+}
+
+var scratchPool = sync.Pool{New: func() any { return new(flushScratch) }}
+
+func putScratch(s *flushScratch) {
+	for i := range s.ops {
+		s.ops[i] = transport.Op{} // drop frame-buffer aliases
+	}
+	s.ops = s.ops[:0]
+	scratchPool.Put(s)
+}
+
 // serve handles one incoming request frame against the local handler.
-func (p *Peer) serve(t byte, payload []byte) (byte, []byte, error) {
+func (p *Peer) serve(t byte, payload []byte) (byte, *wire.Vec, error) {
 	d := wire.NewDec(payload)
 	switch t {
 	case tFlush:
 		src, target := d.I(), d.I()
-		ops, err := decodeOps(d)
+		s := scratchPool.Get().(*flushScratch)
+		ops, err := decodeOps(d, s)
 		if err != nil {
+			putScratch(s)
 			return 0, nil, err
 		}
 		if err := p.cfg.Local.Flush(src, target, ops); err != nil {
+			putScratch(s)
 			return 0, nil, failOf(err)
 		}
-		var e wire.Enc
+		v := wire.NewVec()
 		for i := range ops {
 			if ops[i].Kind == transport.KindGet {
-				e.Words(ops[i].Dest)
+				v.Words(ops[i].Dest)
 			}
 		}
-		return t, e.Bytes(), nil
+		v.OnRelease(func() { putScratch(s) })
+		return t, v, nil
 	case tCAS:
 		src, target, off := d.I(), d.I(), d.I()
 		old, new := d.W64(), d.W64()
@@ -470,9 +565,9 @@ func (p *Peer) serve(t byte, payload []byte) (byte, []byte, error) {
 		if err != nil {
 			return 0, nil, failOf(err)
 		}
-		var e wire.Enc
-		e.W64(prev)
-		return t, e.Bytes(), nil
+		v := wire.NewVec()
+		v.W64(prev)
+		return t, v, nil
 	case tFAO:
 		src, target, off := d.I(), d.I(), d.I()
 		operand, red := d.W64(), d.B()
@@ -483,9 +578,9 @@ func (p *Peer) serve(t byte, payload []byte) (byte, []byte, error) {
 		if err != nil {
 			return 0, nil, failOf(err)
 		}
-		var e wire.Enc
-		e.W64(prev)
-		return t, e.Bytes(), nil
+		v := wire.NewVec()
+		v.W64(prev)
+		return t, v, nil
 	case tGetAcc:
 		src, target, off := d.I(), d.I(), d.I()
 		red := d.B()
@@ -497,9 +592,9 @@ func (p *Peer) serve(t byte, payload []byte) (byte, []byte, error) {
 		if err != nil {
 			return 0, nil, failOf(err)
 		}
-		var e wire.Enc
-		e.Words(prev)
-		return t, e.Bytes(), nil
+		v := wire.NewVec()
+		v.Words(prev)
+		return t, v, nil
 	case tLock:
 		src, target, str := d.I(), d.I(), d.I()
 		now, latency := d.F(), d.F()
@@ -510,9 +605,9 @@ func (p *Peer) serve(t byte, payload []byte) (byte, []byte, error) {
 		if err != nil {
 			return 0, nil, failOf(err)
 		}
-		var e wire.Enc
-		e.F(after)
-		return t, e.Bytes(), nil
+		v := wire.NewVec()
+		v.F(after)
+		return t, v, nil
 	case tUnlock:
 		src, target, str := d.I(), d.I(), d.I()
 		now, latency := d.F(), d.F()
@@ -535,8 +630,29 @@ func failOf(err error) error {
 	return err
 }
 
-// encodeOps frames one epoch batch: kind, reduce op, offset, and for
-// puts/accumulates the payload words; gets carry only offset and length.
+// encodeOpsVec frames one epoch batch: kind, reduce op, offset, and for
+// puts/accumulates the payload words — gathered by reference, not copied;
+// gets carry only offset and length.
+func encodeOpsVec(v *wire.Vec, ops []transport.Op) {
+	v.I(len(ops))
+	for i := range ops {
+		op := &ops[i]
+		v.B(op.Kind)
+		switch op.Kind {
+		case transport.KindGet:
+			v.I(op.Off)
+			v.I(len(op.Dest))
+		default:
+			v.B(op.Red)
+			v.I(op.Off)
+			v.Words(op.Data)
+		}
+	}
+}
+
+// encodeOps is the staging-copy equivalent of encodeOpsVec. The wire
+// production is identical; fuzz and regression tests build adversarial
+// baselines with it.
 func encodeOps(e *wire.Enc, ops []transport.Op) {
 	e.I(len(ops))
 	for i := range ops {
@@ -557,12 +673,17 @@ func encodeOps(e *wire.Enc, ops []transport.Op) {
 // decodeOps is the server-side inverse, in two word-aligned passes over
 // the frame: the first validates every op header and sums the payload and
 // destination volumes (no allocation driven by unvalidated wire counts),
-// the second converts every payload into one shared backing buffer that
-// the window applies then copy straight out of — two allocations per
-// flush frame however many ops it carries.
-func decodeOps(d *wire.Dec) ([]transport.Op, error) {
+// the second hands out WordsView aliases of the frame buffer for put
+// payloads (scatter: the window copies them under its lock) and carves
+// get destinations out of the scratch buffer the reply will gather from.
+// Steady state this allocates nothing — the scratch is pooled.
+//
+// Trailing bytes after a complete batch are rejected: a frame is exactly
+// one batch, and silently ignoring a tail would let a corrupt (or
+// desynchronized) peer go undetected until its next frame.
+func decodeOps(d *wire.Dec, s *flushScratch) ([]transport.Op, error) {
 	n := d.I()
-	if d.Failed() || n < 0 || n > wire.MaxFrame/8 {
+	if d.Failed() || n > wire.MaxFrame/8 {
 		return nil, transport.RemoteError{Msg: "malformed op batch"}
 	}
 	// Pass 1: walk a value copy of the decoder to validate and size.
@@ -593,9 +714,19 @@ func decodeOps(d *wire.Dec) ([]transport.Op, error) {
 			return nil, transport.RemoteError{Msg: fmt.Sprintf("unknown op kind %d", kind)}
 		}
 	}
-	// Pass 2: decode into the shared buffer.
-	ops := make([]transport.Op, 0, n)
-	buf := make([]uint64, totalWords)
+	if scan.Rem() != 0 {
+		return nil, transport.RemoteError{Msg: "trailing bytes after op batch"}
+	}
+	// Pass 2: get dests carve the scratch; put data views the frame (or
+	// falls back into the scratch on an unaligned run).
+	if cap(s.buf) < totalWords {
+		s.buf = make([]uint64, totalWords)
+	}
+	buf := s.buf[:totalWords]
+	if cap(s.ops) < n {
+		s.ops = make([]transport.Op, 0, n)
+	}
+	ops := s.ops[:0]
 	for i := 0; i < n; i++ {
 		kind := d.B()
 		switch kind {
@@ -607,12 +738,12 @@ func decodeOps(d *wire.Dec) ([]transport.Op, error) {
 		default:
 			red := d.B()
 			off := d.I()
-			w := d.WordsIntoPrefix(buf)
-			data := buf[:w:w]
-			buf = buf[w:]
+			data := d.WordsView(buf)
+			buf = buf[len(data):]
 			ops = append(ops, transport.Op{Kind: kind, Red: red, Off: off, Data: data})
 		}
 	}
+	s.ops = ops // before the error check: putScratch clears what was appended
 	if d.Failed() {
 		return nil, transport.RemoteError{Msg: "malformed op batch payload"}
 	}

@@ -1,0 +1,102 @@
+package wire
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzDecAdversarial drives every Dec reader over arbitrary bytes. The
+// decoder's contract under garbage is: poison, never panic, never spin —
+// and the alignment bookkeeping must keep offsets consistent however the
+// input is shaped. `go test` runs the seed corpus, so these adversarial
+// shapes are part of the ordinary suite.
+func FuzzDecAdversarial(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{0x05})                               // word count with no words
+	f.Add([]byte{0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0x1F}) // uvarint ~2^37: past the int cap
+	f.Add(bytes.Repeat([]byte{0x80}, 11))             // non-terminating uvarint
+	var e Enc
+	mixedPayload(&e)
+	f.Add(e.Bytes())
+	f.Add(append(e.Bytes(), 0xAB)) // trailing garbage
+
+	f.Fuzz(func(t *testing.T, b []byte) {
+		scratch := make([]uint64, 16)
+		// Walk the payload with a rotation of readers; the input's own
+		// bytes pick the order, so the corpus explores interleavings.
+		d := NewDec(b)
+		for i := 0; !d.Failed() && d.Rem() > 0 && i < len(b)+8; i++ {
+			switch i % 7 {
+			case 0:
+				d.B()
+			case 1:
+				d.U()
+			case 2:
+				d.I()
+			case 3:
+				d.W64()
+			case 4:
+				d.Str()
+			case 5:
+				d.WordsView(scratch)
+			case 6:
+				d.SkipWords()
+			}
+		}
+		// A poisoned decoder must stay poisoned and keep returning zeros.
+		if d.Failed() {
+			if got := d.Words(); got != nil {
+				t.Fatalf("poisoned Words = %v", got)
+			}
+			if d.Rem() != 0 {
+				t.Fatalf("poisoned Rem = %d", d.Rem())
+			}
+		}
+	})
+}
+
+// FuzzWordsRoundTrip pins Enc.Words/Dec.Words (and the Vec gather
+// production) as exact inverses at every payload offset.
+func FuzzWordsRoundTrip(f *testing.F) {
+	f.Add(uint8(0), uint8(0), uint64(0))
+	f.Add(uint8(3), uint8(7), uint64(0x0123456789abcdef))
+	f.Add(uint8(64), uint8(1), ^uint64(0))
+
+	f.Fuzz(func(t *testing.T, count, prefix uint8, seed uint64) {
+		w := make([]uint64, int(count))
+		for i := range w {
+			w[i] = seed + uint64(i)*0x9e3779b97f4a7c15
+		}
+		var e Enc
+		v := NewVec()
+		for i := 0; i < int(prefix); i++ {
+			e.B(byte(i))
+			v.B(byte(i))
+		}
+		e.Words(w)
+		v.Words(w)
+		if flat := v.appendTo(nil); !bytes.Equal(flat, e.Bytes()) {
+			t.Fatalf("Vec production diverges from Enc:\n vec %x\n enc %x", flat, e.Bytes())
+		}
+		v.Release()
+
+		d := NewDec(e.Bytes())
+		for i := 0; i < int(prefix); i++ {
+			if got := d.B(); got != byte(i) {
+				t.Fatalf("prefix byte %d = %#x", i, got)
+			}
+		}
+		got := d.Words()
+		if d.Failed() || len(got) != len(w) {
+			t.Fatalf("decode failed=%v len=%d want %d", d.Failed(), len(got), len(w))
+		}
+		for i := range w {
+			if got[i] != w[i] {
+				t.Fatalf("word %d = %#x, want %#x", i, got[i], w[i])
+			}
+		}
+		if d.Rem() != 0 {
+			t.Fatalf("Rem = %d", d.Rem())
+		}
+	})
+}

@@ -11,9 +11,28 @@
 //	payload
 //
 // Payloads are encoded with Enc/Dec: uvarints for counts and offsets,
-// fixed little-endian 64-bit for window words (word-aligned, so a batch
-// decode is one pass over the byte slice), IEEE bits for the virtual-time
-// floats of the lock protocol.
+// fixed little-endian 64-bit for window words, IEEE bits for the virtual-
+// time floats of the lock protocol. Word vectors (Words and friends) are
+// 8-byte aligned relative to the payload start: after the uvarint count,
+// zero padding advances the stream to the next multiple of 8, so a
+// receiver that places the payload on an aligned boundary can hand out
+// zero-copy []uint64 views of put payloads (WordsView) instead of
+// decoding word by word. docs/WIRE.md is the normative spec.
+//
+// # Zero-copy paths
+//
+// The flush hot path avoids staging copies in both directions:
+//
+//   - Send: a Vec assembles a frame from encoded header bytes interleaved
+//     with externally owned word slices; writeFrameVec writes it with one
+//     vectored write (net.Buffers/writev on TCP), so put payloads travel
+//     from the caller's buffers to the socket without an intermediate
+//     copy. Small frames flatten into a pooled staging buffer instead —
+//     one syscall, no per-frame allocation.
+//   - Receive: request frame bodies come from a pool, are handed to the
+//     handler, and are recycled when it returns — the handler must not
+//     retain the payload (every decoder in this repo copies what it
+//     keeps). Word vectors can be viewed in place via Dec.WordsView.
 package wire
 
 import (
@@ -26,6 +45,7 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+	"unsafe"
 )
 
 // Reserved frame types. User protocols must use types >= 0x10 with the
@@ -39,6 +59,24 @@ const (
 // MaxFrame bounds a frame's encoded size; a peer announcing more is
 // corrupt (or hostile) and the connection is dropped.
 const MaxFrame = 64 << 20
+
+// hostLittle reports whether this machine stores words little-endian —
+// i.e. whether a []uint64 viewed as bytes IS the wire representation of
+// its words. On the (rare) big-endian hosts every bulk word path falls
+// back to per-word conversion.
+var hostLittle = func() bool {
+	var x uint16 = 1
+	return *(*byte)(unsafe.Pointer(&x)) == 1
+}()
+
+// wordBytes views a word slice as its little-endian wire bytes without
+// copying. Only valid when hostLittle; callers must check.
+func wordBytes(w []uint64) []byte {
+	if len(w) == 0 {
+		return nil
+	}
+	return unsafe.Slice((*byte)(unsafe.Pointer(&w[0])), 8*len(w))
+}
 
 // RemoteFail is an error reply decoded from the wire. Code distinguishes
 // protocol-level failure classes (the tcp transport maps CodePeerDead to
@@ -68,12 +106,30 @@ var ErrDown = errors.New("wire: connection down")
 // payload, or an error (sent as an error reply). Handlers run on their own
 // goroutine per frame, so a handler may block (structure locks, barriers)
 // without stalling the connection.
+//
+// The payload is only valid until the handler returns: request bodies are
+// pooled and recycled. A handler that keeps data must copy it (Dec's
+// Words/Str already do).
 type Handler func(t byte, payload []byte) (byte, []byte, error)
+
+// VecHandler is the zero-copy variant of Handler: it may return a
+// vectored reply (a *Vec) whose chunks alias handler-owned memory. The
+// connection writes the frame and then releases the Vec — its OnRelease
+// hook is where pooled reply scratch goes back to its pool. Returning a
+// nil Vec means an empty reply payload. The same payload-lifetime rule as
+// Handler applies.
+type VecHandler func(t byte, payload []byte) (byte, *Vec, error)
 
 // Config tunes a Conn.
 type Config struct {
-	// Handler serves incoming requests; nil rejects them.
+	// Handler serves incoming requests; nil rejects them (unless
+	// VecHandler is set).
 	Handler Handler
+	// VecHandler, when set, serves incoming requests instead of Handler
+	// and may reply with a vectored frame (see VecHandler's doc). The tcp
+	// transport uses it so flush get-replies gather straight from the
+	// ops' destination buffers.
+	VecHandler VecHandler
 	// Heartbeat is the interval of outgoing heartbeat frames; 0 disables.
 	Heartbeat time.Duration
 	// ReadTimeout is the rolling per-frame read deadline — the failure
@@ -91,6 +147,7 @@ type Conn struct {
 	cfg Config
 
 	wmu    sync.Mutex
+	wbufs  net.Buffers // scratch chunk list, guarded by wmu
 	nextID atomic.Uint32
 
 	pmu     sync.Mutex
@@ -154,11 +211,43 @@ func (c *Conn) markDown(err error) {
 // diagnostic instead of the receiver dropping the link as corrupt.
 var ErrFrameTooLarge = errors.New("wire: frame exceeds MaxFrame")
 
+// bufPool recycles frame bodies and small-frame staging buffers. Getting
+// a too-small buffer allocates a fresh one and drops the small one, so
+// the pool's contents converge towards each connection's steady-state
+// frame sizes.
+var bufPool sync.Pool
+
+func getBuf(n int) []byte {
+	if v := bufPool.Get(); v != nil {
+		if b := v.([]byte); cap(b) >= n {
+			return b[:n]
+		}
+	}
+	return make([]byte, n)
+}
+
+// Recycle returns a payload obtained from a Call (or a handler) to the
+// frame-body pool. Strictly optional — callers that skip it just leave
+// the buffer to the GC — and only legal once every value decoded from
+// the payload has been copied out: the buffer will be overwritten by a
+// future frame.
+func Recycle(b []byte) {
+	if cap(b) >= 16 {
+		bufPool.Put(b[:cap(b)])
+	}
+}
+
+// smallFrame is the flatten threshold of the vectored write path: frames
+// up to this size are assembled in one pooled staging buffer (a single
+// Write, no per-frame allocation); larger frames go out as one vectored
+// write whose chunks alias the caller's payload slices.
+const smallFrame = 2048
+
 func (c *Conn) writeFrame(t byte, id uint32, payload []byte) error {
 	if len(payload)+5 > MaxFrame {
 		return fmt.Errorf("%w: %d bytes", ErrFrameTooLarge, len(payload))
 	}
-	buf := make([]byte, 9+len(payload))
+	buf := getBuf(9 + len(payload))
 	binary.BigEndian.PutUint32(buf, uint32(5+len(payload)))
 	buf[4] = t
 	binary.BigEndian.PutUint32(buf[5:], id)
@@ -166,6 +255,58 @@ func (c *Conn) writeFrame(t byte, id uint32, payload []byte) error {
 	c.wmu.Lock()
 	_, err := c.nc.Write(buf)
 	c.wmu.Unlock()
+	Recycle(buf)
+	if err != nil {
+		c.markDown(fmt.Errorf("%w: write: %v", ErrDown, err))
+		return c.down()
+	}
+	if t != TypeHeartbeat {
+		c.sent.Add(1)
+	}
+	return nil
+}
+
+// writeFrameVec writes one frame assembled from v's chunks, then releases
+// v (pool return + OnRelease hook), whatever the outcome. A nil v is an
+// empty payload.
+func (c *Conn) writeFrameVec(t byte, id uint32, v *Vec) error {
+	if v == nil {
+		return c.writeFrame(t, id, nil)
+	}
+	defer v.free()
+	n := v.Len()
+	if n+5 > MaxFrame {
+		return fmt.Errorf("%w: %d bytes", ErrFrameTooLarge, n)
+	}
+	var err error
+	if n+9 <= smallFrame {
+		// Small frame: flatten into one pooled buffer, one Write.
+		buf := getBuf(9 + n)
+		binary.BigEndian.PutUint32(buf, uint32(5+n))
+		buf[4] = t
+		binary.BigEndian.PutUint32(buf[5:], id)
+		v.appendTo(buf[9:9])
+		c.wmu.Lock()
+		_, err = c.nc.Write(buf)
+		c.wmu.Unlock()
+		Recycle(buf)
+	} else {
+		var hdr [9]byte
+		binary.BigEndian.PutUint32(hdr[:], uint32(5+n))
+		hdr[4] = t
+		binary.BigEndian.PutUint32(hdr[5:], id)
+		c.wmu.Lock()
+		// One vectored write: writev on *net.TCPConn, sequential writes on
+		// anything else (still one frame — wmu holds across the chunks).
+		full := v.buffers(c.wbufs[:0], hdr[:])
+		bufs := full
+		_, err = bufs.WriteTo(c.nc) // consumes bufs, not full
+		for i := range full {
+			full[i] = nil // drop chunk refs so the scratch pins nothing
+		}
+		c.wbufs = full[:0]
+		c.wmu.Unlock()
+	}
 	if err != nil {
 		c.markDown(fmt.Errorf("%w: write: %v", ErrDown, err))
 		return c.down()
@@ -189,6 +330,18 @@ func (c *Conn) down() error {
 // the peer is returned as the error; a dead connection returns ErrDown
 // (wrapped).
 func (c *Conn) Call(t byte, payload []byte) ([]byte, error) {
+	return c.call(t, payload, nil)
+}
+
+// CallVec is Call with a vectored request: the frame is assembled from
+// v's chunks without staging the payload slices through a copy (for
+// frames above the flatten threshold). v is consumed — the connection
+// releases it after the write, whatever the outcome.
+func (c *Conn) CallVec(t byte, v *Vec) ([]byte, error) {
+	return c.call(t, nil, v)
+}
+
+func (c *Conn) call(t byte, payload []byte, v *Vec) ([]byte, error) {
 	id := c.nextID.Add(1)
 	if id == 0 {
 		id = c.nextID.Add(1)
@@ -198,12 +351,21 @@ func (c *Conn) Call(t byte, payload []byte) ([]byte, error) {
 	if c.downErr != nil {
 		err := c.downErr
 		c.pmu.Unlock()
+		if v != nil {
+			v.free()
+		}
 		return nil, err
 	}
 	c.pending[id] = ch
 	c.pmu.Unlock()
 
-	if err := c.writeFrame(t, id, payload); err != nil {
+	var err error
+	if v != nil {
+		err = c.writeFrameVec(t, id, v)
+	} else {
+		err = c.writeFrame(t, id, payload)
+	}
+	if err != nil {
 		c.pmu.Lock()
 		if c.pending != nil {
 			delete(c.pending, id)
@@ -237,7 +399,7 @@ func (c *Conn) heartbeatLoop() {
 }
 
 func (c *Conn) readLoop() {
-	hdr := make([]byte, 4)
+	hdr := make([]byte, 9)
 	for {
 		if c.cfg.ReadTimeout > 0 {
 			c.nc.SetReadDeadline(time.Now().Add(c.cfg.ReadTimeout))
@@ -251,16 +413,27 @@ func (c *Conn) readLoop() {
 			c.markDown(fmt.Errorf("%w: bad frame length %d", ErrDown, n))
 			return
 		}
-		body := make([]byte, n)
-		if err := readFull(c.nc, body); err != nil {
-			c.markDown(fmt.Errorf("%w: read: %v", ErrDown, err))
-			return
+		f := frame{t: hdr[4], id: binary.BigEndian.Uint32(hdr[5:9])}
+		pn := int(n) - 5
+		// The payload buffer starts at its allocation, so the aligned word
+		// vectors of the encoding land 8-byte aligned in memory and
+		// WordsView can alias them. Request bodies come from the pool and
+		// are recycled when the handler returns; reply payloads escape to
+		// the caller of Call, which may Recycle them once decoded.
+		if pn > 0 {
+			f.payload = getBuf(pn)
+			if err := readFull(c.nc, f.payload); err != nil {
+				c.markDown(fmt.Errorf("%w: read: %v", ErrDown, err))
+				return
+			}
 		}
 		c.received.Add(1)
-		f := frame{t: body[0], id: binary.BigEndian.Uint32(body[1:5]), payload: body[5:]}
 		switch {
 		case f.t == TypeHeartbeat:
 			// Liveness only; the read itself reset the deadline.
+			if f.payload != nil {
+				Recycle(f.payload)
+			}
 		case f.t&replyBit != 0 || f.t == typeErr:
 			c.pmu.Lock()
 			ch := c.pending[f.id]
@@ -276,13 +449,47 @@ func (c *Conn) readLoop() {
 }
 
 func (c *Conn) serve(f frame) {
-	if c.cfg.Handler == nil {
+	defer func() {
+		if f.payload != nil {
+			Recycle(f.payload)
+		}
+	}()
+	if c.cfg.Handler == nil && c.cfg.VecHandler == nil {
 		if f.id != 0 {
 			c.writeFrame(typeErr, f.id, encodeFail(RemoteFail{Code: CodeGeneric, Msg: "no handler"}))
 		}
 		return
 	}
-	rt, payload, err := func() (rt byte, payload []byte, err error) {
+	if c.cfg.VecHandler != nil {
+		rt, reply, err := func() (rt byte, reply *Vec, err error) {
+			defer func() {
+				if e := recover(); e != nil {
+					if reply != nil {
+						reply.free()
+						reply = nil
+					}
+					err = RemoteFail{Code: CodeGeneric, Msg: fmt.Sprint(e)}
+				}
+			}()
+			return c.cfg.VecHandler(f.t, f.payload)
+		}()
+		if f.id == 0 {
+			if reply != nil {
+				reply.free()
+			}
+			return // notification: nothing to reply to
+		}
+		if err != nil {
+			if reply != nil {
+				reply.free()
+			}
+			c.writeFrame(typeErr, f.id, encodeFail(toRemoteFail(err)))
+			return
+		}
+		c.writeFrameVec(rt|replyBit, f.id, reply)
+		return
+	}
+	rt, reply, err := func() (rt byte, reply []byte, err error) {
 		defer func() {
 			if e := recover(); e != nil {
 				err = RemoteFail{Code: CodeGeneric, Msg: fmt.Sprint(e)}
@@ -294,19 +501,23 @@ func (c *Conn) serve(f frame) {
 		return // notification: nothing to reply to
 	}
 	if err != nil {
-		var rf RemoteFail
-		if !errors.As(err, &rf) {
-			rf = RemoteFail{Code: CodeGeneric, Msg: err.Error()}
-		}
-		c.writeFrame(typeErr, f.id, encodeFail(rf))
+		c.writeFrame(typeErr, f.id, encodeFail(toRemoteFail(err)))
 		return
 	}
-	c.writeFrame(rt|replyBit, f.id, payload)
+	c.writeFrame(rt|replyBit, f.id, reply)
 }
 
 func readFull(nc net.Conn, buf []byte) error {
 	_, err := io.ReadFull(nc, buf)
 	return err
+}
+
+func toRemoteFail(err error) RemoteFail {
+	var rf RemoteFail
+	if errors.As(err, &rf) {
+		return rf
+	}
+	return RemoteFail{Code: CodeGeneric, Msg: err.Error()}
 }
 
 func encodeFail(f RemoteFail) []byte {
@@ -326,6 +537,140 @@ func decodeFail(b []byte) error {
 	return f
 }
 
+// ---- Vectored payload assembly ----------------------------------------------
+
+// Vec assembles a frame payload from encoded header bytes interleaved
+// with externally owned word slices ("gather"). The external slices are
+// aliased, not copied: they must stay unmodified until the Vec is written
+// (writes are synchronous — by the time CallVec or a handler's reply
+// write returns, the wire no longer references them).
+//
+// Vecs are pooled: obtain one with NewVec; passing it to CallVec or
+// returning it from a VecHandler consumes it.
+type Vec struct {
+	hdr       Enc      // accumulated header/metadata bytes
+	cuts      []int    // hdr offsets where an external chunk splices in
+	exts      [][]byte // external chunks, parallel to cuts
+	extLen    int      // total bytes across exts
+	onRelease func()
+}
+
+var vecPool = sync.Pool{New: func() any { return new(Vec) }}
+
+// NewVec returns an empty Vec from the pool.
+func NewVec() *Vec {
+	return vecPool.Get().(*Vec)
+}
+
+// Release resets the Vec and returns it to the pool, running the
+// OnRelease hook first. Only for Vecs that were never handed to the
+// connection — CallVec and VecHandler replies release automatically once
+// the frame is written (or abandoned), and a second release corrupts the
+// pool.
+func (v *Vec) Release() { v.free() }
+
+// free resets the Vec and returns it to the pool, running the OnRelease
+// hook first. Called by the connection once the frame is written (or
+// abandoned).
+func (v *Vec) free() {
+	if v.onRelease != nil {
+		v.onRelease()
+		v.onRelease = nil
+	}
+	v.hdr.b = v.hdr.b[:0]
+	v.cuts = v.cuts[:0]
+	for i := range v.exts {
+		v.exts[i] = nil
+	}
+	v.exts = v.exts[:0]
+	v.extLen = 0
+	vecPool.Put(v)
+}
+
+// OnRelease registers f to run when the Vec is released after its frame
+// is written — where pooled scratch that the chunks alias goes back to
+// its pool.
+func (v *Vec) OnRelease(f func()) { v.onRelease = f }
+
+// Len returns the total payload length assembled so far.
+func (v *Vec) Len() int { return len(v.hdr.b) + v.extLen }
+
+// B appends one byte.
+func (v *Vec) B(b byte) { v.hdr.B(b) }
+
+// U appends a uvarint.
+func (v *Vec) U(u uint64) { v.hdr.U(u) }
+
+// I appends a non-negative int as a uvarint.
+func (v *Vec) I(i int) { v.hdr.I(i) }
+
+// F appends a float64 as its IEEE bits.
+func (v *Vec) F(f float64) { v.hdr.F(f) }
+
+// W64 appends one word, fixed width.
+func (v *Vec) W64(w uint64) { v.hdr.W64(w) }
+
+// Str appends a length-prefixed string.
+func (v *Vec) Str(s string) { v.hdr.Str(s) }
+
+// Raw appends bytes verbatim.
+func (v *Vec) Raw(b []byte) { v.hdr.b = append(v.hdr.b, b...) }
+
+// Words appends a length-prefixed, 8-aligned word vector — the same
+// production as Enc.Words — aliasing w instead of copying it (on
+// little-endian hosts; big-endian falls back to an in-header copy).
+func (v *Vec) Words(w []uint64) {
+	v.hdr.I(len(w))
+	v.pad8()
+	if len(w) == 0 {
+		return
+	}
+	if !hostLittle {
+		for _, x := range w {
+			v.hdr.W64(x)
+		}
+		return
+	}
+	v.cuts = append(v.cuts, len(v.hdr.b))
+	v.exts = append(v.exts, wordBytes(w))
+	v.extLen += 8 * len(w)
+}
+
+// pad8 advances the payload to the next multiple of 8 with zero bytes.
+func (v *Vec) pad8() {
+	for (len(v.hdr.b)+v.extLen)&7 != 0 {
+		v.hdr.B(0)
+	}
+}
+
+// appendTo flattens the payload into buf (the small-frame path).
+func (v *Vec) appendTo(buf []byte) []byte {
+	prev := 0
+	for i, cut := range v.cuts {
+		buf = append(buf, v.hdr.b[prev:cut]...)
+		buf = append(buf, v.exts[i]...)
+		prev = cut
+	}
+	return append(buf, v.hdr.b[prev:]...)
+}
+
+// buffers appends the frame's chunk list (header first) to dst.
+func (v *Vec) buffers(dst net.Buffers, hdr []byte) net.Buffers {
+	dst = append(dst, hdr)
+	prev := 0
+	for i, cut := range v.cuts {
+		if cut > prev {
+			dst = append(dst, v.hdr.b[prev:cut])
+		}
+		dst = append(dst, v.exts[i])
+		prev = cut
+	}
+	if len(v.hdr.b) > prev {
+		dst = append(dst, v.hdr.b[prev:])
+	}
+	return dst
+}
+
 // ---- Payload encoding -------------------------------------------------------
 
 // Enc builds a payload: uvarints, raw bytes, 64-bit words, floats, strings.
@@ -337,8 +682,17 @@ func (e *Enc) B(v byte) { e.b = append(e.b, v) }
 // U appends a uvarint.
 func (e *Enc) U(v uint64) { e.b = binary.AppendUvarint(e.b, v) }
 
-// I appends a non-negative int as a uvarint.
-func (e *Enc) I(v int) { e.U(uint64(v)) }
+// I appends a non-negative int as a uvarint. Negative values have no
+// representation in this protocol (counts, offsets, lengths): encoding
+// one is a programming error and panics rather than framing a value the
+// peer would decode as a huge count. Callers with -1 sentinels shift
+// them non-negative first (the cluster encodes localOff+1).
+func (e *Enc) I(v int) {
+	if v < 0 {
+		panic(fmt.Sprintf("wire: Enc.I(%d): negative values are not encodable", v))
+	}
+	e.U(uint64(v))
+}
 
 // F appends a float64 as its IEEE bits.
 func (e *Enc) F(v float64) {
@@ -348,10 +702,19 @@ func (e *Enc) F(v float64) {
 // W64 appends one word, fixed width.
 func (e *Enc) W64(v uint64) { e.b = binary.LittleEndian.AppendUint64(e.b, v) }
 
-// Words appends a length-prefixed word vector, fixed 8 bytes per word so
-// the decode side can alias or bulk-copy word-aligned runs.
+// Words appends a length-prefixed word vector: a uvarint count, zero
+// padding up to the next 8-byte boundary of the payload, then the words
+// as fixed little-endian 64-bit. The alignment lets decode sides alias
+// or bulk-copy the run (see Dec.WordsView).
 func (e *Enc) Words(w []uint64) {
 	e.I(len(w))
+	for len(e.b)&7 != 0 {
+		e.b = append(e.b, 0)
+	}
+	if hostLittle {
+		e.b = append(e.b, wordBytes(w)...)
+		return
+	}
 	for _, v := range w {
 		e.W64(v)
 	}
@@ -368,16 +731,29 @@ func (e *Enc) Bytes() []byte { return e.b }
 
 // Dec consumes a payload. A malformed payload poisons the decoder (Failed
 // reports it) instead of panicking; zero values are returned after poison.
+//
+// Dec tracks its offset from the payload start so the word-vector
+// alignment padding (see Enc.Words) is deterministic on both sides;
+// construct it on a whole frame payload, not a sub-slice, or the
+// alignment bookkeeping goes wrong.
 type Dec struct {
 	b    []byte
+	n0   int // initial payload length; offset consumed = n0 - len(b)
 	fail bool
 }
 
 // NewDec wraps a payload.
-func NewDec(b []byte) *Dec { return &Dec{b: b} }
+func NewDec(b []byte) *Dec { return &Dec{b: b, n0: len(b)} }
 
 // Failed reports whether any read ran off the payload.
 func (d *Dec) Failed() bool { return d.fail }
+
+// Rem returns the number of unconsumed payload bytes. Protocols that pin
+// "no trailing garbage" (the tcp flush batch does) check Rem() == 0
+// after a full decode.
+func (d *Dec) Rem() int { return len(d.b) }
+
+func (d *Dec) off() int { return d.n0 - len(d.b) }
 
 func (d *Dec) poison() {
 	d.fail = true
@@ -406,16 +782,34 @@ func (d *Dec) U() uint64 {
 	return v
 }
 
+// maxWireInt bounds Dec.I: no legitimate count, offset, or length of this
+// protocol reaches 2^32, and nothing above the platform's MaxInt can be
+// represented as an int at all (on 32-bit GOARCH the int cast would wrap
+// negative — rejecting here is what keeps "lengths are non-negative" an
+// invariant handlers can rely on).
+const maxWireInt = math.MaxInt
+
+// intFromWire converts a decoded uvarint to an int, enforcing both the
+// protocol cap (2^32) and the platform cap (maxInt — math.MaxInt in
+// production; tests pass MaxInt32 to exercise the 32-bit rejection on a
+// 64-bit host). Reports ok=false when the value is unrepresentable.
+func intFromWire(v uint64, maxInt uint64) (int, bool) {
+	if v >= 1<<32 || v > maxInt {
+		return 0, false
+	}
+	return int(v), true
+}
+
 // I reads a uvarint as an int, rejecting values no legitimate count,
 // offset, or length of this protocol can reach (they would otherwise
 // wrap negative or drive pathological allocations in handlers).
 func (d *Dec) I() int {
-	v := d.U()
-	if v >= 1<<32 {
+	v, ok := intFromWire(d.U(), maxWireInt)
+	if !ok {
 		d.poison()
 		return 0
 	}
-	return int(v)
+	return v
 }
 
 // F reads a float64.
@@ -432,11 +826,32 @@ func (d *Dec) W64() uint64 {
 	return v
 }
 
+// wordsHeader consumes a word vector's count and alignment padding and
+// returns the count, verifying the padded words fit the remaining
+// payload.
+func (d *Dec) wordsHeader() int {
+	n := d.I()
+	if d.fail {
+		return 0
+	}
+	for d.off()&7 != 0 {
+		if len(d.b) == 0 {
+			d.poison()
+			return 0
+		}
+		d.b = d.b[1:]
+	}
+	if n > len(d.b)/8 {
+		d.poison()
+		return 0
+	}
+	return n
+}
+
 // Words reads a length-prefixed word vector into a fresh slice.
 func (d *Dec) Words() []uint64 {
-	n := d.I()
-	if d.fail || n > len(d.b)/8 {
-		d.poison()
+	n := d.wordsHeader()
+	if d.fail {
 		return nil
 	}
 	out := make([]uint64, n)
@@ -446,11 +861,11 @@ func (d *Dec) Words() []uint64 {
 
 // WordsInto reads a length-prefixed word vector into dst; the vector's
 // length must equal len(dst). This is the zero-allocation decode path the
-// tcp server uses to move put payloads and get replies straight into
-// window-destined buffers.
+// tcp client uses to move get replies straight into their destination
+// buffers.
 func (d *Dec) WordsInto(dst []uint64) bool {
-	n := d.I()
-	if d.fail || n != len(dst) || n > len(d.b)/8 {
+	n := d.wordsHeader()
+	if d.fail || n != len(dst) {
 		d.poison()
 		return false
 	}
@@ -459,8 +874,15 @@ func (d *Dec) WordsInto(dst []uint64) bool {
 }
 
 func (d *Dec) wordsInto(dst []uint64) {
-	for i := range dst {
-		dst[i] = binary.LittleEndian.Uint64(d.b[8*i:])
+	if len(dst) == 0 {
+		return
+	}
+	if hostLittle {
+		copy(wordBytes(dst), d.b[:8*len(dst)])
+	} else {
+		for i := range dst {
+			dst[i] = binary.LittleEndian.Uint64(d.b[8*i:])
+		}
 	}
 	d.b = d.b[8*len(dst):]
 }
@@ -469,8 +891,8 @@ func (d *Dec) wordsInto(dst []uint64) {
 // dst and returns its length (which must fit dst). Batch decoders carve
 // consecutive vectors out of one shared backing buffer with it.
 func (d *Dec) WordsIntoPrefix(dst []uint64) int {
-	n := d.I()
-	if d.fail || n > len(dst) || n > len(d.b)/8 {
+	n := d.wordsHeader()
+	if d.fail || n > len(dst) {
 		d.poison()
 		return 0
 	}
@@ -478,13 +900,40 @@ func (d *Dec) WordsIntoPrefix(dst []uint64) int {
 	return n
 }
 
+// WordsView reads a length-prefixed word vector ZERO-COPY where
+// possible: when the underlying bytes are 8-byte aligned in memory (the
+// encoder's alignment padding makes that the common case for payloads
+// starting on an aligned buffer) the returned slice aliases the payload;
+// otherwise the words decode into the front of scratch, which must be at
+// least as long as the vector (the decoder poisons if not — batch
+// decoders size it in a validation pass). Either way the returned slice
+// is valid only as long as the payload buffer is: callers hand it to
+// sinks that copy (the window's ApplyPut/ApplyAccumulate), never retain
+// it.
+func (d *Dec) WordsView(scratch []uint64) []uint64 {
+	n := d.wordsHeader()
+	if d.fail || n > len(scratch) {
+		d.poison()
+		return nil
+	}
+	if n == 0 {
+		return scratch[:0]
+	}
+	if hostLittle && uintptr(unsafe.Pointer(&d.b[0]))&7 == 0 {
+		view := unsafe.Slice((*uint64)(unsafe.Pointer(&d.b[0])), n)
+		d.b = d.b[8*n:]
+		return view
+	}
+	d.wordsInto(scratch[:n])
+	return scratch[:n]
+}
+
 // SkipWords advances past a length-prefixed word vector without decoding
 // it, returning its length. Two-pass decoders use it to size one shared
 // backing buffer before converting payloads.
 func (d *Dec) SkipWords() int {
-	n := d.I()
-	if d.fail || n > len(d.b)/8 {
-		d.poison()
+	n := d.wordsHeader()
+	if d.fail {
 		return 0
 	}
 	d.b = d.b[8*n:]

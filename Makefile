@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet staticcheck test test-noasm bench-short bench bench-gate race tier1 ci docs-check smoke-rankd chaos-smoke
+.PHONY: all build vet staticcheck test test-noasm bench-short bench bench-gate race tier1 ci docs-check api-check smoke-rankd chaos-smoke
 
 all: build vet test
 
@@ -58,10 +58,12 @@ smoke-rankd:
 # Multi-failure chaos harness under the race detector: causal replay over
 # the wire, correlated whole-node kills (survivable and catastrophic),
 # a kill of the replacement mid-replay, a kill of a user-lock holder,
-# seeded host-frame fault injection, and the Timeout watchdog aborting a
-# run wedged behind the coordinator mutex. Seeds are fixed in the tests.
+# seeded host-frame fault injection, the Timeout watchdog aborting a
+# run wedged behind the coordinator mutex, and the symmetric fabric's
+# coordinatorless kill -9 (any rank, seed closed, zero steady-state
+# coordinator frames). Seeds are fixed in the tests.
 chaos-smoke:
-	$(GO) test -race -count=1 -v -run 'TestClusterCausalReplayKill9|TestClusterCorrelated|TestClusterKillReplacementMidReplay|TestClusterLockHolderKill9|TestClusterHostFrameFaults|TestClusterTimeoutAbortsWedgedRun' ./internal/transport/cluster
+	$(GO) test -race -count=1 -v -run 'TestClusterCausalReplayKill9|TestClusterCorrelated|TestClusterKillReplacementMidReplay|TestClusterLockHolderKill9|TestClusterHostFrameFaults|TestClusterTimeoutAbortsWedgedRun|TestClusterCoordinatorlessKill9|TestClusterFabricFaultFree' ./internal/transport/cluster
 
 # The tier-1 gate the roadmap pins.
 tier1: build test
@@ -70,7 +72,12 @@ tier1: build test
 docs-check:
 	./scripts/check_docs.sh
 
+# Exported-API gate: the surface must match the committed API.txt
+# baseline; regenerate intentionally with `./scripts/apidiff.sh -update`.
+api-check:
+	./scripts/apidiff.sh
+
 # Mirrors the full CI workflow locally: build, vet, staticcheck, tests on
-# both kernel paths, the race detector, the bench-regression gate, and
-# the docs gate.
-ci: build vet staticcheck test test-noasm race bench-gate docs-check
+# both kernel paths, the race detector, the bench-regression gate, the
+# docs gate, and the exported-API gate.
+ci: build vet staticcheck test test-noasm race bench-gate docs-check api-check

@@ -1,0 +1,269 @@
+// Command apisurf prints the module's exported API surface — every
+// exported const, var, func, type, struct field, and method of every
+// non-main package — in a stable, diffable text form. The committed
+// baseline lives in API.txt; scripts/apidiff.sh regenerates the surface
+// and fails CI on any unacknowledged difference, so an exported-API
+// change (a redesign, a deprecation, an accidental export) is always a
+// reviewed diff of the baseline, never a silent drive-by.
+//
+// The surface is purely syntactic (go/parser, no type checking): doc
+// comments, function bodies, and unexported struct fields are stripped;
+// declarations are sorted per package. Unexported interface methods are
+// kept — they restrict who can implement the interface, which is API.
+package main
+
+import (
+	"bytes"
+	"flag"
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/printer"
+	"go/token"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strings"
+)
+
+func main() {
+	root := flag.String("root", ".", "module root to scan")
+	flag.Parse()
+	module, err := moduleName(filepath.Join(*root, "go.mod"))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "apisurf:", err)
+		os.Exit(1)
+	}
+	dirs, err := packageDirs(*root)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "apisurf:", err)
+		os.Exit(1)
+	}
+	var out bytes.Buffer
+	for _, dir := range dirs {
+		rel, _ := filepath.Rel(*root, dir)
+		if err := surface(&out, module, rel, dir); err != nil {
+			fmt.Fprintln(os.Stderr, "apisurf:", err)
+			os.Exit(1)
+		}
+	}
+	os.Stdout.Write(out.Bytes())
+}
+
+func moduleName(gomod string) (string, error) {
+	b, err := os.ReadFile(gomod)
+	if err != nil {
+		return "", err
+	}
+	m := regexp.MustCompile(`(?m)^module\s+(\S+)`).FindSubmatch(b)
+	if m == nil {
+		return "", fmt.Errorf("%s: no module line", gomod)
+	}
+	return string(m[1]), nil
+}
+
+// packageDirs lists every directory under root holding non-test Go
+// files, skipping VCS metadata and testdata trees.
+func packageDirs(root string) ([]string, error) {
+	seen := map[string]bool{}
+	err := filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			switch d.Name() {
+			case ".git", "testdata", "vendor":
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if strings.HasSuffix(path, ".go") && !strings.HasSuffix(path, "_test.go") {
+			seen[filepath.Dir(path)] = true
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	dirs := make([]string, 0, len(seen))
+	for d := range seen {
+		dirs = append(dirs, d)
+	}
+	sort.Strings(dirs)
+	return dirs, nil
+}
+
+// surface writes one package's exported declarations, sorted.
+func surface(out *bytes.Buffer, module, rel, dir string) error {
+	fset := token.NewFileSet()
+	pkgs, err := parser.ParseDir(fset, dir, func(fi fs.FileInfo) bool {
+		return !strings.HasSuffix(fi.Name(), "_test.go")
+	}, 0)
+	if err != nil {
+		return err
+	}
+	for _, pkg := range pkgs {
+		if pkg.Name == "main" || strings.HasSuffix(pkg.Name, "_test") {
+			continue
+		}
+		var decls []string
+		for _, f := range pkg.Files {
+			for _, d := range f.Decls {
+				for _, s := range exportedDecl(d) {
+					decls = append(decls, render(fset, s))
+				}
+			}
+		}
+		if len(decls) == 0 {
+			continue
+		}
+		sort.Strings(decls)
+		path := module
+		if rel != "." {
+			path += "/" + filepath.ToSlash(rel)
+		}
+		fmt.Fprintf(out, "# %s\n", path)
+		for _, d := range decls {
+			out.WriteString(d)
+			out.WriteString("\n")
+		}
+		out.WriteString("\n")
+	}
+	return nil
+}
+
+// exportedDecl filters one top-level declaration down to its exported
+// parts, returning zero or more printable declarations.
+func exportedDecl(d ast.Decl) []ast.Decl {
+	switch d := d.(type) {
+	case *ast.FuncDecl:
+		if !d.Name.IsExported() || recvUnexported(d) {
+			return nil
+		}
+		cp := *d
+		cp.Doc, cp.Body = nil, nil
+		return []ast.Decl{&cp}
+	case *ast.GenDecl:
+		var out []ast.Decl
+		for _, sp := range d.Specs {
+			switch sp := sp.(type) {
+			case *ast.ValueSpec:
+				if v := exportedValueSpec(sp); v != nil {
+					out = append(out, &ast.GenDecl{Tok: d.Tok, Specs: []ast.Spec{v}})
+				}
+			case *ast.TypeSpec:
+				if !sp.Name.IsExported() {
+					continue
+				}
+				cp := *sp
+				cp.Doc, cp.Comment = nil, nil
+				cp.Type = filterType(sp.Type)
+				out = append(out, &ast.GenDecl{Tok: d.Tok, Specs: []ast.Spec{&cp}})
+			}
+		}
+		return out
+	}
+	return nil
+}
+
+// recvUnexported reports a method on an unexported receiver type.
+func recvUnexported(d *ast.FuncDecl) bool {
+	if d.Recv == nil || len(d.Recv.List) == 0 {
+		return false
+	}
+	t := d.Recv.List[0].Type
+	for {
+		switch tt := t.(type) {
+		case *ast.StarExpr:
+			t = tt.X
+		case *ast.IndexExpr: // generic receiver
+			t = tt.X
+		case *ast.IndexListExpr:
+			t = tt.X
+		case *ast.Ident:
+			return !tt.IsExported()
+		default:
+			return true
+		}
+	}
+}
+
+// exportedValueSpec keeps only the exported names of a const/var spec.
+// Specs mixing exported and unexported names with per-name values are
+// printed whole — dropping a name would desynchronize the values.
+func exportedValueSpec(sp *ast.ValueSpec) *ast.ValueSpec {
+	any := false
+	for _, n := range sp.Names {
+		if n.IsExported() {
+			any = true
+		}
+	}
+	if !any {
+		return nil
+	}
+	cp := *sp
+	cp.Doc, cp.Comment = nil, nil
+	return &cp
+}
+
+// filterType strips unexported struct fields; everything else passes
+// through (interface methods stay whole — see the package comment).
+func filterType(t ast.Expr) ast.Expr {
+	st, ok := t.(*ast.StructType)
+	if !ok || st.Fields == nil {
+		return t
+	}
+	kept := &ast.FieldList{}
+	for _, f := range st.Fields.List {
+		cf := *f
+		cf.Doc, cf.Comment = nil, nil
+		if len(f.Names) == 0 { // embedded: exported iff the type name is
+			if embeddedExported(f.Type) {
+				kept.List = append(kept.List, &cf)
+			}
+			continue
+		}
+		var names []*ast.Ident
+		for _, n := range f.Names {
+			if n.IsExported() {
+				names = append(names, n)
+			}
+		}
+		if len(names) > 0 {
+			cf.Names = names
+			kept.List = append(kept.List, &cf)
+		}
+	}
+	return &ast.StructType{Struct: st.Struct, Fields: kept}
+}
+
+func embeddedExported(t ast.Expr) bool {
+	switch tt := t.(type) {
+	case *ast.StarExpr:
+		return embeddedExported(tt.X)
+	case *ast.SelectorExpr:
+		return tt.Sel.IsExported()
+	case *ast.Ident:
+		return tt.IsExported()
+	case *ast.IndexExpr:
+		return embeddedExported(tt.X)
+	case *ast.IndexListExpr:
+		return embeddedExported(tt.X)
+	}
+	return false
+}
+
+// render prints one declaration on normalized whitespace: the printer's
+// position-driven line breaks are collapsed so the output depends only
+// on the declaration's content, never on source formatting.
+func render(fset *token.FileSet, d ast.Decl) string {
+	var b bytes.Buffer
+	cfg := printer.Config{Mode: printer.RawFormat}
+	if err := cfg.Fprint(&b, fset, d); err != nil {
+		return fmt.Sprintf("<!render error: %v>", err)
+	}
+	fields := strings.Fields(b.String())
+	return strings.Join(fields, " ")
+}

@@ -11,6 +11,14 @@
 //
 //	rankd -join 127.0.0.1:7100
 //
+// Coordinatorless (symmetric fabric): one process seeds the bootstrap
+// rendezvous, N processes join it and run the causal workload entirely
+// peer-to-peer — the seed serves no frame after bootstrap and may be
+// killed; a replacement worker rejoins through any surviving member:
+//
+//	rankd -fabric-seed -listen 127.0.0.1:7100 -n 4 -phases 12 -mode causal
+//	rankd -fabric-join 127.0.0.1:7100
+//
 // The coordinator runs the deterministic kvstore workload, waits for
 // every rank to finish, then verifies the final windows bit-for-bit
 // against an in-process failure-free oracle of the same workload — kill
@@ -39,10 +47,32 @@ func main() {
 		phaseDelay  = flag.Duration("phase-delay", 100*time.Millisecond, "wall-clock think time per round (stretches the run so kills land mid-flight)")
 		timeout     = flag.Duration("timeout", 2*time.Minute, "coordinator: abort if the run has not completed in time")
 		mode        = flag.String("mode", "combining", "workload mode: combining (forces coordinated fallback), causal (conflict-free, recovers by wire replay), locked (causal + a user-locked critical section)")
+		fabricSeed  = flag.Bool("fabric-seed", false, "run the coordinatorless bootstrap seed (causal mode only)")
+		fabricJoin  = flag.String("fabric-join", "", "symmetric worker mode: seed (or surviving member) address to join")
 	)
 	flag.Parse()
 
 	switch {
+	case *fabricSeed:
+		wm, err := parseMode(*mode)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "rankd:", err)
+			os.Exit(2)
+		}
+		os.Exit(runFabricSeed(*listen, cluster.Workload{
+			Ranks:           *n,
+			Phases:          *phases,
+			InsertsPerPhase: *inserts,
+			TableSlots:      *slots,
+			PhaseDelay:      *phaseDelay,
+			Mode:            wm,
+		}, *timeout))
+	case *fabricJoin != "":
+		logf := func(format string, args ...any) { fmt.Fprintf(os.Stderr, "rankd fabric: "+format+"\n", args...) }
+		if err := cluster.RunFabricWorker(*fabricJoin, logf); err != nil {
+			fmt.Fprintf(os.Stderr, "rankd fabric worker: %v\n", err)
+			os.Exit(1)
+		}
 	case *coordinator:
 		wm, err := parseMode(*mode)
 		if err != nil {
@@ -66,6 +96,48 @@ func main() {
 		fmt.Fprintln(os.Stderr, "rankd: need -coordinator or -join ADDR")
 		os.Exit(2)
 	}
+}
+
+func runFabricSeed(listen string, wl cluster.Workload, timeout time.Duration) int {
+	s, err := cluster.NewFabricSeed(cluster.Config{Listen: listen, Workload: wl, Timeout: timeout})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "rankd fabric seed: %v\n", err)
+		return 1
+	}
+	defer s.Close()
+	fmt.Printf("rankd fabric seed: rendezvous on %s, %d ranks x %d phases\n", s.Addr(), wl.Ranks, wl.Phases)
+	for s.Joined() < wl.Ranks {
+		time.Sleep(50 * time.Millisecond)
+	}
+	members := s.Members()
+	frames := s.FramesServed()
+	fmt.Printf("rankd fabric seed: bootstrap complete (%d frames served); the run is now coordinatorless\n", frames)
+
+	got, err := cluster.CollectFabric(members[0].Addr, wl, timeout)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "rankd fabric seed: %v\n", err)
+		return 1
+	}
+	if after := s.FramesServed(); after != frames {
+		fmt.Fprintf(os.Stderr, "rankd fabric seed: served %d frames after bootstrap — steady state was not coordinatorless\n", after-frames)
+		return 1
+	}
+	cluster.ShutdownFabric(members[0].Addr)
+	want, err := wl.Oracle()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "rankd fabric seed: oracle: %v\n", err)
+		return 1
+	}
+	for r := range want {
+		for i := range want[r] {
+			if got[r][i] != want[r][i] {
+				fmt.Fprintf(os.Stderr, "MISMATCH: rank %d word %d: got %#x want %#x\n", r, i, got[r][i], want[r][i])
+				return 1
+			}
+		}
+	}
+	fmt.Println("final windows bit-identical to the failure-free oracle")
+	return 0
 }
 
 func parseMode(s string) (cluster.WorkloadMode, error) {

@@ -35,7 +35,8 @@ func main() {
 	// Fault-tolerant run.
 	w := core.NewWorld(core.WorldConfig{N: p, WindowWords: cfg.WindowWords()})
 	sys, err := core.NewSystem(w, core.Config{
-		Groups: 2, ChecksumsPerGroup: 1, LogPuts: true,
+		Groups: 2, ChecksumsPerGroup: 1,
+		Log: core.LogConfig{Puts: true},
 	})
 	if err != nil {
 		log.Fatal(err)

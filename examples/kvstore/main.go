@@ -41,7 +41,7 @@ func main() {
 			var err error
 			sys, err = core.NewSystem(w, core.Config{
 				Groups: 2, ChecksumsPerGroup: 1,
-				LogPuts: true, LogGets: kind == "f-puts-gets",
+				Log: core.LogConfig{Puts: true, Gets: kind == "f-puts-gets"},
 			})
 			if err != nil {
 				log.Fatal(err)

@@ -22,8 +22,7 @@ func main() {
 	sys, err := core.NewSystem(w, core.Config{
 		Groups:            2, // two groups, one checksum process each
 		ChecksumsPerGroup: 1,
-		LogPuts:           true,
-		LogGets:           true,
+		Log:               core.LogConfig{Puts: true, Gets: true},
 	})
 	if err != nil {
 		log.Fatal(err)
@@ -42,8 +41,9 @@ func main() {
 	})
 
 	victim := 3
+	before := w.Proc(victim).ReadAt(0, 2)
 	fmt.Printf("before failure: rank %d window[0]=%d window[1]=%d (virtual time %.2fus)\n",
-		victim, w.Proc(victim).Local()[0], w.Proc(victim).Local()[1], w.MaxTime()*1e6)
+		victim, before[0], before[1], w.MaxTime()*1e6)
 
 	// Fail-stop the rank: its volatile memory is gone.
 	w.Kill(victim)
@@ -56,7 +56,7 @@ func main() {
 	}
 	w.RunRank(victim, func() { res.Proc.ReplayAll(res.Logs) })
 
-	got := w.Proc(victim).Local()
+	got := w.Proc(victim).ReadAt(0, 2)
 	fmt.Printf("after recovery: rank %d window[0]=%d window[1]=%d (replayed %d accesses)\n",
 		victim, got[0], got[1], res.Logs.Len())
 	if got[0] != uint64(100+victim-1) || got[1] != uint64(100+victim) {

@@ -25,8 +25,10 @@ func main() {
 	w := core.NewWorld(core.WorldConfig{N: n, WindowWords: cfg.WindowWords()})
 	sys, err := core.NewSystem(w, core.Config{
 		Groups: 2, ChecksumsPerGroup: 1,
-		LogPuts:        true,
-		LogBudgetBytes: 8 << 10, // tiny: forces demand checkpoints
+		Log: core.LogConfig{
+			Puts:        true,
+			BudgetBytes: 8 << 10, // tiny: forces demand checkpoints
+		},
 	})
 	if err != nil {
 		log.Fatal(err)
@@ -62,7 +64,7 @@ func main() {
 	w2 := core.NewWorld(core.WorldConfig{N: 4, WindowWords: 64})
 	sys2, err := core.NewSystem(w2, core.Config{
 		Groups: 1, ChecksumsPerGroup: 1,
-		LogPuts: true, LogGets: true,
+		Log:           core.LogConfig{Puts: true, Gets: true},
 		FixedInterval: 1e-9, // checkpoint at (almost) every gsync
 	})
 	if err != nil {

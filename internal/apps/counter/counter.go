@@ -76,7 +76,7 @@ func Run(api rma.API, cfg Config, from, to int) {
 func Gather(w interface{ Proc(int) *rma.Proc }, cfg Config, n int) []uint64 {
 	out := make([]uint64, 0, n*cfg.Slots)
 	for r := 0; r < n; r++ {
-		out = append(out, w.Proc(r).Local()[:cfg.Slots]...)
+		out = append(out, w.Proc(r).ReadAt(0, cfg.Slots)...)
 	}
 	return out
 }

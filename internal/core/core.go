@@ -15,7 +15,7 @@
 //	sys, err := core.NewSystem(w, core.Config{
 //	    Groups: 4, ChecksumsPerGroup: 1,
 //	    UseDaly: true, MTBF: 86400,
-//	    LogPuts: true, LogGets: true,
+//	    Log: core.LogConfig{Puts: true, Gets: true},
 //	})
 //	...
 //	w.Run(func(r int) { app(sys.Process(r)) })
@@ -51,6 +51,11 @@ type (
 	System = ftrma.System
 	// Config tunes the protocol.
 	Config = ftrma.Config
+	// LogConfig groups Config.Log, the access-logging knobs.
+	LogConfig = ftrma.LogConfig
+	// StreamConfig groups Config.Stream, the demand-checkpoint
+	// streaming knobs.
+	StreamConfig = ftrma.StreamConfig
 	// Process is the per-rank protocol wrapper (implements API).
 	Process = ftrma.Process
 	// RecoverResult is the outcome of recovering a failed rank.

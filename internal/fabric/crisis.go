@@ -1,0 +1,406 @@
+package fabric
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/erasure"
+	"repro/internal/ftrma"
+	"repro/internal/transport/wire"
+)
+
+// maybeArbiter starts the crisis routine when this node is the lowest
+// surviving rank and somebody is dead. Arbitration is deterministic —
+// every survivor computes the same arbiter from its own table — and
+// survives the arbiter's own death: the next-lowest survivor takes over
+// the next vacancy (a second failure while a crisis is still open is a
+// double failure and fails the run instead).
+func (nd *Node) maybeArbiter() {
+	if !nd.installed.Load() || nd.failedOrClosed() != nil {
+		return
+	}
+	select {
+	case <-nd.shutdown:
+		return
+	default:
+	}
+	nd.mmu.Lock()
+	lowest := -1
+	victims := 0
+	victim, vinc := -1, 0
+	for _, m := range nd.members {
+		if m.Alive {
+			if lowest < 0 {
+				lowest = m.Rank
+			}
+		} else {
+			victims++
+			if victim < 0 {
+				victim, vinc = m.Rank, m.Incarnation
+			}
+		}
+	}
+	start := lowest == nd.rank && victims > 0 && !nd.crisisBusy
+	if start {
+		nd.crisisBusy = true
+	}
+	nd.mmu.Unlock()
+	if !start {
+		return
+	}
+	go func() {
+		err := nd.runCrisis(victim, vinc, victims)
+		nd.mmu.Lock()
+		nd.crisisBusy = false
+		nd.mmu.Unlock()
+		if err != nil {
+			nd.fail(err)
+		}
+	}()
+}
+
+// runCrisis is the arbiter's recovery of one dead rank, start to finish:
+// quiesce, gather, repair hosting, reconstruct, install, resume.
+func (nd *Node) runCrisis(victim, vinc, victims int) error {
+	if victims > 1 {
+		return fmt.Errorf("fabric: %d ranks dead at once; the fabric recovers single failures", victims)
+	}
+	nd.logf("fabric: rank %d arbitrates crisis for rank %d (inc %d)", nd.rank, victim, vinc)
+
+	// 1. Quiesce: own checkpoints first (taking ckptMu waits out our own
+	// in-flight fold), then every survivor. An ack certifies the
+	// survivor's parity/base exchange is at rest until fCrisisEnd.
+	nd.ckptMu.Lock()
+	nd.inCrisis = true
+	nd.ckptMu.Unlock()
+	survivors := nd.surviving(victim)
+	var e wire.Enc
+	e.I(victim)
+	e.I(vinc)
+	beginPayload := e.Bytes()
+	for _, s := range survivors {
+		if _, err := nd.callPeer(s, fCrisisBegin, beginPayload); err != nil {
+			return fmt.Errorf("fabric: crisis quiesce of rank %d failed (double failure?): %w", s.Rank, err)
+		}
+	}
+
+	// 2. Gather the victim's logs from every survivor and from ourselves.
+	nd.logMu.Lock()
+	puts := nd.logs.CopyLP(victim)
+	gets := nd.logs.CopyLG(victim)
+	flagged := nd.logs.FlagN(victim) || nd.logs.FlagM(victim)
+	nd.logMu.Unlock()
+	var v wire.Enc
+	v.I(victim)
+	fetchPayload := v.Bytes()
+	for _, s := range survivors {
+		reply, err := nd.callPeer(s, fLogFetch, fetchPayload)
+		if err != nil {
+			return fmt.Errorf("fabric: log fetch from rank %d failed: %w", s.Rank, err)
+		}
+		d := wire.NewDec(reply)
+		n, m := d.B() != 0, d.B() != 0
+		lp, ok := decRecordList(d)
+		if !ok {
+			return fmt.Errorf("fabric: undecodable log fetch reply from rank %d", s.Rank)
+		}
+		lg, ok := decRecordList(d)
+		if !ok {
+			return fmt.Errorf("fabric: undecodable log fetch reply from rank %d", s.Rank)
+		}
+		flagged = flagged || n || m
+		puts = append(puts, lp...)
+		gets = append(gets, lg...)
+	}
+	if flagged {
+		return errors.New("fabric: victim has N/M-flagged epochs; non-causal replay needs the coordinator runtime")
+	}
+
+	// 3. Re-home every parity group the victim hosted: rebuild the
+	// shards from the members' committed bases and install them at a
+	// freshly elected host. (Quiesce guarantees base/parity agreement.)
+	hostings := nd.Hostings()
+	alive := func(r int) bool {
+		nd.mmu.Lock()
+		defer nd.mmu.Unlock()
+		return nd.members[r].Alive
+	}
+	for _, h := range hostings {
+		if h.Host != victim {
+			continue
+		}
+		members := groupMembers(nd.n, nd.groups, h.Group)
+		bases := make([][]uint64, len(members))
+		snaps := make([]snap, len(members))
+		folded := make([]int, len(members))
+		for i, r := range members {
+			if r == victim {
+				return fmt.Errorf("fabric: group %d lost both a member and its parity host (rank %d)", h.Group, victim)
+			}
+			s, base, err := nd.fetchBase(r)
+			if err != nil {
+				return err
+			}
+			bases[i] = base
+			snaps[i] = s
+			folded[i] = s.phase
+		}
+		rs, err := erasure.NewRS(len(members), 1)
+		if err != nil {
+			return err
+		}
+		shards, err := rs.EncodeWords(bases)
+		if err != nil {
+			return fmt.Errorf("fabric: rebuilding parity of group %d: %w", h.Group, err)
+		}
+		newHost := ftrma.ElectParityHost(nd.n, members, h.Group, 0, alive, victim)
+		if newHost < 0 {
+			return fmt.Errorf("fabric: no electable parity host left for group %d", h.Group)
+		}
+		hg := &hostedGroup{k: len(members), rs: rs, shards: shards, snaps: snaps, folded: folded}
+		if newHost == nd.rank {
+			nd.parMu.Lock()
+			nd.hosted[h.Group] = hg
+			nd.parMu.Unlock()
+		} else {
+			var pe wire.Enc
+			pe.I(h.Group)
+			encHostedGroup(&pe, hg)
+			if _, err := nd.callRank(newHost, fParityInstall, pe.Bytes()); err != nil {
+				return fmt.Errorf("fabric: parity install at rank %d failed: %w", newHost, err)
+			}
+		}
+		nd.mmu.Lock()
+		nd.hostings[h.Group] = Hosting{Group: h.Group, Host: newHost, Version: h.Version + 1}
+		nd.mmu.Unlock()
+		nd.logf("fabric: group %d parity re-homed from rank %d to rank %d", h.Group, victim, newHost)
+	}
+
+	// 4. Reconstruct the victim's committed base from its group's parity
+	// and the surviving members' bases.
+	vg := victim % nd.groups
+	vIdx := memberIndex(victim, nd.groups)
+	members := groupMembers(nd.n, nd.groups, vg)
+	nd.mmu.Lock()
+	host := nd.hostings[vg]
+	nd.mmu.Unlock()
+	if host.Host < 0 || host.Host == victim {
+		return fmt.Errorf("fabric: group %d parity unavailable for reconstruction", vg)
+	}
+	hg, err := nd.fetchParity(host.Host, vg)
+	if err != nil {
+		return err
+	}
+	if hg.k != len(members) || vIdx >= hg.k {
+		return fmt.Errorf("fabric: parity of group %d has %d members, expected %d", vg, hg.k, len(members))
+	}
+	shards := make([][]uint64, hg.k+len(hg.shards))
+	for i, r := range members {
+		if r == victim {
+			continue
+		}
+		_, base, err := nd.fetchBase(r)
+		if err != nil {
+			return err
+		}
+		shards[i] = base
+	}
+	copy(shards[hg.k:], hg.shards)
+	if err := hg.rs.ReconstructWords(shards); err != nil {
+		return fmt.Errorf("fabric: reconstructing rank %d: %w", victim, err)
+	}
+	vSnap := hg.snaps[vIdx]
+	vBase := shards[vIdx]
+
+	// 5. Select the replay: records with GNC ≥ the victim's committed
+	// phase survive trimming and cover both lost phases and straggler
+	// same-phase deliveries that its last checkpoint missed (replay is
+	// idempotent under the causal model, so the overlap is safe).
+	in := &install{snap: vSnap, base: vBase}
+	for _, r := range puts {
+		if vSnap.phase < 0 || r.GNC >= vSnap.phase {
+			in.puts = append(in.puts, r)
+		}
+	}
+	for _, r := range gets {
+		if vSnap.phase < 0 || r.GNC >= vSnap.phase {
+			in.gets = append(in.gets, r)
+		}
+	}
+	sortReplayRecords(in.puts, in.gets)
+
+	// 6. Park the install for the replacement's fJoin and wait for the
+	// handoff; then publish the post-crisis world and resume.
+	pi := &pendingInstall{rank: victim, inc: vinc + 1, in: in, handed: make(chan struct{})}
+	nd.mmu.Lock()
+	nd.pending = pi
+	nd.mmu.Unlock()
+	nd.logf("fabric: rank %d reconstructed (phase %d, %d put / %d get replays); awaiting replacement",
+		victim, vSnap.phase, len(in.puts), len(in.gets))
+	select {
+	case <-pi.handed:
+	case <-nd.stop:
+		return ErrClosed
+	}
+
+	var end wire.Enc
+	nd.mmu.Lock()
+	encMembers(&end, nd.members)
+	encHostings(&end, nd.hostings)
+	peers := nd.alivePeersLocked()
+	nd.recoveries++
+	nd.mmu.Unlock()
+	endPayload := end.Bytes()
+	for _, p := range peers {
+		nd.bestEffortNotify(p, fCrisisEnd, endPayload)
+	}
+	nd.ckptMu.Lock()
+	nd.inCrisis = false
+	nd.ckptMu.Unlock()
+	nd.ckptCond.Broadcast()
+	nd.mcond.Broadcast()
+	nd.logf("fabric: crisis for rank %d resolved (inc %d)", victim, vinc+1)
+	return nil
+}
+
+// surviving snapshots the live peers other than victim and self.
+func (nd *Node) surviving(victim int) []Member {
+	nd.mmu.Lock()
+	defer nd.mmu.Unlock()
+	var out []Member
+	for _, m := range nd.members {
+		if m.Rank != nd.rank && m.Rank != victim && m.Alive {
+			out = append(out, m)
+		}
+	}
+	return out
+}
+
+// callPeer performs one crisis call towards a known-live member; any
+// failure is terminal for the crisis (treated as a double failure).
+func (nd *Node) callPeer(m Member, t byte, payload []byte) ([]byte, error) {
+	nd.cmu.Lock()
+	pc := nd.conns[m.Rank]
+	nd.cmu.Unlock()
+	if pc == nil || pc.inc != m.Incarnation {
+		var err error
+		pc, err = nd.dialPeer(m)
+		if err != nil {
+			return nil, err
+		}
+	}
+	return pc.c.Call(t, payload)
+}
+
+func (nd *Node) callRank(rank int, t byte, payload []byte) ([]byte, error) {
+	nd.mmu.Lock()
+	m := nd.members[rank]
+	nd.mmu.Unlock()
+	if !m.Alive {
+		return nil, fmt.Errorf("fabric: rank %d is down", rank)
+	}
+	return nd.callPeer(m, t, payload)
+}
+
+// fetchBase returns rank's committed base and snapshot — locally or over
+// the wire — consistent with its group parity (quiesce is in force).
+func (nd *Node) fetchBase(rank int) (snap, []uint64, error) {
+	if rank == nd.rank {
+		nd.ckptMu.Lock()
+		defer nd.ckptMu.Unlock()
+		return nd.snapSelf, append([]uint64(nil), nd.base...), nil
+	}
+	reply, err := nd.callRank(rank, fBaseFetch, nil)
+	if err != nil {
+		return snap{}, nil, fmt.Errorf("fabric: base fetch from rank %d failed: %w", rank, err)
+	}
+	d := wire.NewDec(reply)
+	s, ok := decSnap(d)
+	if !ok {
+		return snap{}, nil, fmt.Errorf("fabric: undecodable base fetch reply from rank %d", rank)
+	}
+	base := d.Words()
+	if d.Failed() || len(base) != nd.windowWords {
+		return snap{}, nil, fmt.Errorf("fabric: base fetch from rank %d returned %d words, window is %d", rank, len(base), nd.windowWords)
+	}
+	return s, base, nil
+}
+
+// fetchParity returns group g's hosted shard set from host.
+func (nd *Node) fetchParity(host, g int) (*hostedGroup, error) {
+	if host == nd.rank {
+		nd.parMu.Lock()
+		defer nd.parMu.Unlock()
+		hg := nd.hosted[g]
+		if hg == nil {
+			return nil, fmt.Errorf("fabric: rank %d is not hosting group %d", nd.rank, g)
+		}
+		cp := &hostedGroup{k: hg.k, rs: hg.rs, snaps: append([]snap(nil), hg.snaps...), folded: append([]int(nil), hg.folded...)}
+		for _, s := range hg.shards {
+			cp.shards = append(cp.shards, append([]uint64(nil), s...))
+		}
+		return cp, nil
+	}
+	var e wire.Enc
+	e.I(g)
+	reply, err := nd.callRank(host, fParityFetch, e.Bytes())
+	if err != nil {
+		return nil, fmt.Errorf("fabric: parity fetch from rank %d failed: %w", host, err)
+	}
+	hg, err := decHostedGroup(wire.NewDec(reply), nd.windowWords)
+	if err != nil {
+		return nil, fmt.Errorf("fabric: parity fetch from rank %d: %w", host, err)
+	}
+	return hg, nil
+}
+
+// handleJoin serves fJoin: on the arbiter with a reconstruction parked,
+// the reply is the replacement's full install; elsewhere it redirects to
+// the arbiter (or asks for a retry while one is still being elected or
+// the reconstruction is still running).
+func (nd *Node) handleJoin(d *wire.Dec) (byte, []byte, error) {
+	addr := d.Str()
+	if d.Failed() || addr == "" {
+		return fJoin, nil, errBadFrame
+	}
+	var e wire.Enc
+	nd.mmu.Lock()
+	if pi := nd.pending; pi != nil {
+		nd.pending = nil
+		m := &nd.members[pi.rank]
+		*m = Member{Rank: pi.rank, Addr: addr, Incarnation: pi.inc, Alive: true, Watermark: pi.in.snap.phase + 1}
+		w := world{
+			rank: pi.rank, n: nd.n, windowWords: nd.windowWords, groups: nd.groups,
+			tuning: nd.tun(), meta: nd.meta,
+			members:  append([]Member(nil), nd.members...),
+			hostings: append([]Hosting(nil), nd.hostings...),
+		}
+		nd.mmu.Unlock()
+		e.B(jmWorld)
+		encWorld(&e, w)
+		e.B(1)
+		encInstall(&e, pi.in)
+		close(pi.handed)
+		nd.mcond.Broadcast()
+		go nd.gossipNow()
+		return fJoin, e.Bytes(), nil
+	}
+	lowest := -1
+	var lowestAddr string
+	for _, m := range nd.members {
+		if m.Alive {
+			lowest = m.Rank
+			lowestAddr = m.Addr
+			break
+		}
+	}
+	nd.mmu.Unlock()
+	if lowest >= 0 && lowest != nd.rank {
+		e.B(jmRedirect)
+		e.Str(lowestAddr)
+		return fJoin, e.Bytes(), nil
+	}
+	e.B(jmRetry)
+	e.I(int(nd.tun().GossipInterval.Milliseconds()) + 1)
+	return fJoin, e.Bytes(), nil
+}

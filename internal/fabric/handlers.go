@@ -1,0 +1,401 @@
+package fabric
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"repro/internal/erasure"
+	"repro/internal/ftrma"
+	"repro/internal/transport/wire"
+)
+
+// errBadFrame is the shared reply for undecodable payloads.
+var errBadFrame = errors.New("fabric: undecodable frame")
+
+func (nd *Node) acceptLoop() {
+	for {
+		nc, err := nd.ln.Accept()
+		if err != nil {
+			return
+		}
+		st := &connState{rank: -1}
+		wc := wire.New(nc, wire.Config{
+			Handler: func(t byte, p []byte) (byte, []byte, error) { return nd.handle(st, t, p) },
+			// Heartbeat keeps transient joiner connections alive through
+			// long rendezvous waits; the lease (ReadTimeout) only runs on
+			// attributed peer connections — probe connections from tests
+			// and joiners never hello and may idle.
+			Heartbeat: nd.tun().LeaseInterval,
+			OnDown: func(err error) {
+				st.mu.Lock()
+				rank, inc, helloed := st.rank, st.inc, st.helloed
+				st.mu.Unlock()
+				if helloed {
+					nd.condemn(rank, inc, fmt.Errorf("inbound connection down: %w", err))
+				}
+			},
+		})
+		nd.cmu.Lock()
+		nd.accepted = append(nd.accepted, wc)
+		nd.cmu.Unlock()
+	}
+}
+
+// handle dispatches one fabric frame. It runs on a per-frame goroutine
+// (wire.Handler contract), so handlers may block on node locks.
+func (nd *Node) handle(st *connState, t byte, payload []byte) (byte, []byte, error) {
+	d := wire.NewDec(payload)
+	switch t {
+	case fHello:
+		rank, inc := d.I(), d.I()
+		if d.Failed() {
+			return t, nil, errBadFrame
+		}
+		st.mu.Lock()
+		st.rank, st.inc, st.helloed = rank, inc, true
+		st.mu.Unlock()
+		return t, nil, nil
+	case fJoin:
+		return nd.handleJoin(d)
+	case fGossip:
+		ms, ok := decMembers(d)
+		if !ok {
+			return t, nil, errBadFrame
+		}
+		hs, ok := decHostings(d)
+		if !ok {
+			return t, nil, errBadFrame
+		}
+		nd.mergeMembers(ms, hs)
+		return t, nil, nil
+	case fGsyncReady:
+		rank, inc, wm := d.I(), d.I(), d.I()
+		if d.Failed() {
+			return t, nil, errBadFrame
+		}
+		nd.mergeMembers([]Member{{Rank: rank, Incarnation: inc, Alive: true, Watermark: wm}}, nil)
+		return t, nil, nil
+	case fShutdown:
+		nd.shutOnce.Do(func() { close(nd.shutdown) })
+		return t, nil, nil
+	}
+	// Everything below touches rank state: refuse it until the world
+	// (and a replacement's install) is applied, so a survivor's parked
+	// redelivery cannot race the install's base restore.
+	if !nd.installed.Load() {
+		return t, nil, wire.RemoteFail{Code: wire.CodeCrisis, Msg: "fabric: node is installing"}
+	}
+	switch t {
+	case fBatch:
+		return nd.handleBatch(d)
+	case fParityFold:
+		return nd.handleParityFold(d)
+	case fParityFetch:
+		return nd.handleParityFetch(d)
+	case fParityInstall:
+		return nd.handleParityInstall(d)
+	case fBaseFetch:
+		return nd.handleBaseFetch()
+	case fLogFetch:
+		return nd.handleLogFetch(d)
+	case fCrisisBegin:
+		return nd.handleCrisisBegin(d)
+	case fCrisisEnd:
+		nd.handleCrisisEnd(d)
+		return t, nil, nil
+	case fMembers:
+		var e wire.Enc
+		nd.mmu.Lock()
+		encMembers(&e, nd.members)
+		encHostings(&e, nd.hostings)
+		nd.mmu.Unlock()
+		return t, e.Bytes(), nil
+	case fWindowFetch:
+		var e wire.Enc
+		nd.winMu.Lock()
+		e.Words(nd.window)
+		nd.winMu.Unlock()
+		return t, e.Bytes(), nil
+	}
+	return t, nil, fmt.Errorf("fabric: unknown frame type %#x", t)
+}
+
+// handleBatch applies one epoch close from a peer: puts land in the
+// window, gets are served and logged target-side (LG) so a requester
+// crash can re-deposit its exposed get landings.
+func (nd *Node) handleBatch(d *wire.Dec) (byte, []byte, error) {
+	src, _, phase := d.I(), d.I(), d.I()
+	nputs := d.I()
+	if d.Failed() || nputs < 0 || nputs > wire.MaxFrame/8 {
+		return fBatch, nil, errBadFrame
+	}
+	type putOp struct {
+		off  int
+		data []uint64
+	}
+	type getOp struct {
+		off, n, localOff, gc int
+	}
+	puts := make([]putOp, nputs)
+	for i := range puts {
+		puts[i].off = d.I()
+		puts[i].data = d.Words() // private copy: the frame payload is pooled
+	}
+	ngets := d.I()
+	if d.Failed() || ngets < 0 || ngets > wire.MaxFrame/8 {
+		return fBatch, nil, errBadFrame
+	}
+	gets := make([]getOp, ngets)
+	for i := range gets {
+		gets[i].off = d.I()
+		gets[i].n = d.I()
+		gets[i].localOff = d.I() - 1
+		gets[i].gc = d.I()
+	}
+	if d.Failed() || src < 0 || src >= nd.n {
+		return fBatch, nil, errBadFrame
+	}
+	got := make([][]uint64, ngets)
+	nd.winMu.Lock()
+	for _, p := range puts {
+		if p.off < 0 || p.off+len(p.data) > nd.windowWords {
+			nd.winMu.Unlock()
+			return fBatch, nil, fmt.Errorf("fabric: put out of window ([%d,%d) of %d)", p.off, p.off+len(p.data), nd.windowWords)
+		}
+		copy(nd.window[p.off:], p.data)
+	}
+	for i, g := range gets {
+		if g.off < 0 || g.n < 0 || g.off+g.n > nd.windowWords {
+			nd.winMu.Unlock()
+			return fBatch, nil, fmt.Errorf("fabric: get out of window ([%d,%d) of %d)", g.off, g.off+g.n, nd.windowWords)
+		}
+		got[i] = append([]uint64(nil), nd.window[g.off:g.off+g.n]...)
+	}
+	nd.winMu.Unlock()
+	if len(gets) > 0 {
+		nd.logMu.Lock()
+		for i, g := range gets {
+			nd.logs.AppendLG(src, ftrma.LogRecord{
+				Kind: ftrma.LogGet, Src: src, Trg: nd.rank,
+				Off: g.off, Data: got[i], LocalOff: g.localOff,
+				GC: g.gc, GNC: phase,
+			})
+		}
+		nd.logMu.Unlock()
+	}
+	var e wire.Enc
+	e.I(ngets)
+	for i := range got {
+		e.Words(got[i])
+	}
+	return fBatch, e.Bytes(), nil
+}
+
+// handleParityFold folds one member's checkpoint delta into hosted
+// parity and stores its counter snapshot atomically with it.
+func (nd *Node) handleParityFold(d *wire.Dec) (byte, []byte, error) {
+	_, _, g, memberIdx, phase := d.I(), d.I(), d.I(), d.I(), d.I()
+	s, ok := decSnap(d)
+	if !ok {
+		return fParityFold, nil, errBadFrame
+	}
+	nranges := d.I()
+	if d.Failed() || nranges < 0 || nranges > wire.MaxFrame/8 {
+		return fParityFold, nil, errBadFrame
+	}
+	offs := make([]int, nranges)
+	deltas := make([][]uint64, nranges)
+	for i := 0; i < nranges; i++ {
+		offs[i] = d.I()
+		deltas[i] = d.Words()
+	}
+	if d.Failed() {
+		return fParityFold, nil, errBadFrame
+	}
+	nd.parMu.Lock()
+	defer nd.parMu.Unlock()
+	hg := nd.hosted[g]
+	if hg == nil {
+		return fParityFold, nil, fmt.Errorf("fabric: rank %d is not hosting group %d", nd.rank, g)
+	}
+	if memberIdx < 0 || memberIdx >= hg.k {
+		return fParityFold, nil, fmt.Errorf("fabric: fold for member %d of a %d-member group", memberIdx, hg.k)
+	}
+	for i := range offs {
+		if offs[i] < 0 || offs[i]+len(deltas[i]) > nd.windowWords {
+			return fParityFold, nil, fmt.Errorf("fabric: fold range out of window")
+		}
+	}
+	hg.fold(memberIdx, phase, s, offs, deltas)
+	return fParityFold, nil, nil
+}
+
+// handleParityFetch hands a hosted shard set to the crisis arbiter.
+func (nd *Node) handleParityFetch(d *wire.Dec) (byte, []byte, error) {
+	g := d.I()
+	if d.Failed() {
+		return fParityFetch, nil, errBadFrame
+	}
+	nd.parMu.Lock()
+	defer nd.parMu.Unlock()
+	hg := nd.hosted[g]
+	if hg == nil {
+		return fParityFetch, nil, fmt.Errorf("fabric: rank %d is not hosting group %d", nd.rank, g)
+	}
+	var e wire.Enc
+	encHostedGroup(&e, hg)
+	return fParityFetch, e.Bytes(), nil
+}
+
+// handleParityInstall stores a rebuilt shard set the arbiter re-homed
+// here after the previous host died.
+func (nd *Node) handleParityInstall(d *wire.Dec) (byte, []byte, error) {
+	g := d.I()
+	if d.Failed() {
+		return fParityInstall, nil, errBadFrame
+	}
+	hg, err := decHostedGroup(d, nd.windowWords)
+	if err != nil {
+		return fParityInstall, nil, err
+	}
+	nd.parMu.Lock()
+	nd.hosted[g] = hg
+	nd.parMu.Unlock()
+	return fParityInstall, nil, nil
+}
+
+func encHostedGroup(e *wire.Enc, hg *hostedGroup) {
+	e.I(hg.k)
+	e.I(len(hg.shards))
+	for i := range hg.snaps {
+		e.I(hg.folded[i] + 1)
+		encSnap(e, hg.snaps[i])
+	}
+	for _, s := range hg.shards {
+		e.Words(s)
+	}
+}
+
+func decHostedGroup(d *wire.Dec, words int) (*hostedGroup, error) {
+	k := d.I()
+	m := d.I()
+	if d.Failed() || k < 1 || m != 1 {
+		return nil, errBadFrame
+	}
+	rs, err := erasure.NewRS(k, 1)
+	if err != nil {
+		return nil, err
+	}
+	hg := &hostedGroup{k: k, rs: rs, snaps: make([]snap, k), folded: make([]int, k)}
+	for i := 0; i < k; i++ {
+		hg.folded[i] = d.I() - 1
+		s, ok := decSnap(d)
+		if !ok {
+			return nil, errBadFrame
+		}
+		hg.snaps[i] = s
+	}
+	hg.shards = make([][]uint64, m)
+	for i := range hg.shards {
+		hg.shards[i] = d.Words()
+		if len(hg.shards[i]) != words {
+			return nil, fmt.Errorf("fabric: parity shard has %d words, window is %d", len(hg.shards[i]), words)
+		}
+	}
+	if d.Failed() {
+		return nil, errBadFrame
+	}
+	return hg, nil
+}
+
+// handleBaseFetch hands the last committed base and its counter snapshot
+// to the crisis arbiter, under the checkpoint lock so the copy is
+// consistent with the group parity.
+func (nd *Node) handleBaseFetch() (byte, []byte, error) {
+	nd.ckptMu.Lock()
+	defer nd.ckptMu.Unlock()
+	var e wire.Enc
+	encSnap(&e, nd.snapSelf)
+	e.Words(nd.base)
+	return fBaseFetch, e.Bytes(), nil
+}
+
+// handleLogFetch hands everything this node logged by or about the
+// victim: its own puts towards the victim (LP) and the gets the victim
+// issued against this window (LG).
+func (nd *Node) handleLogFetch(d *wire.Dec) (byte, []byte, error) {
+	victim := d.I()
+	if d.Failed() || victim < 0 || victim >= nd.n {
+		return fLogFetch, nil, errBadFrame
+	}
+	nd.logMu.Lock()
+	lp := nd.logs.CopyLP(victim)
+	lg := nd.logs.CopyLG(victim)
+	n := nd.logs.FlagN(victim)
+	m := nd.logs.FlagM(victim)
+	nd.logMu.Unlock()
+	var e wire.Enc
+	if n {
+		e.B(1)
+	} else {
+		e.B(0)
+	}
+	if m {
+		e.B(1)
+	} else {
+		e.B(0)
+	}
+	encRecordList(&e, lp)
+	encRecordList(&e, lg)
+	return fLogFetch, e.Bytes(), nil
+}
+
+// handleCrisisBegin quiesces this node for a recovery: the victim is
+// condemned and the ack — which waits for any in-flight checkpoint fold
+// to finish — promises the arbiter that parity equals the encoded
+// committed bases until fCrisisEnd.
+func (nd *Node) handleCrisisBegin(d *wire.Dec) (byte, []byte, error) {
+	victim, inc := d.I(), d.I()
+	if d.Failed() || victim < 0 || victim >= nd.n {
+		return fCrisisBegin, nil, errBadFrame
+	}
+	nd.condemn(victim, inc, errors.New("crisis verdict from arbiter"))
+	nd.ckptMu.Lock()
+	nd.inCrisis = true
+	nd.ckptMu.Unlock()
+	return fCrisisBegin, nil, nil
+}
+
+// handleCrisisEnd applies the arbiter's post-crisis world and unparks
+// checkpoints.
+func (nd *Node) handleCrisisEnd(d *wire.Dec) {
+	ms, ok := decMembers(d)
+	if !ok {
+		return
+	}
+	hs, ok := decHostings(d)
+	if !ok {
+		return
+	}
+	nd.mergeMembers(ms, hs)
+	nd.ckptMu.Lock()
+	was := nd.inCrisis
+	nd.inCrisis = false
+	nd.ckptMu.Unlock()
+	nd.ckptCond.Broadcast()
+	if was {
+		nd.mmu.Lock()
+		nd.recoveries++
+		nd.mmu.Unlock()
+	}
+	nd.mcond.Broadcast()
+}
+
+// sleepUnlessStopped is a stop-aware sleep for retry loops.
+func (nd *Node) sleepUnlessStopped(dur time.Duration) {
+	select {
+	case <-nd.stop:
+	case <-time.After(dur):
+	}
+}

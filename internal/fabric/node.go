@@ -1,0 +1,1292 @@
+package fabric
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/erasure"
+	"repro/internal/ftrma"
+	"repro/internal/rma"
+	"repro/internal/transport"
+	"repro/internal/transport/wire"
+)
+
+// ErrClosed reports an operation on a node after Close.
+var ErrClosed = errors.New("fabric: node closed")
+
+// JoinConfig configures one worker's entry into the fabric.
+type JoinConfig struct {
+	// Join is the address to join through: the seed during bootstrap, or
+	// any live member when rejoining as a replacement (the member
+	// redirects to the crisis arbiter if it is not the arbiter itself).
+	Join string
+	// Addr is the address peers dial this node's Listener at.
+	Addr string
+	// Listener accepts the node's peer connections. The node owns it.
+	Listener net.Listener
+	// Dialer opens the node's peer connections.
+	Dialer transport.Dialer
+	// Logf, when set, receives progress lines (testing.T.Logf shape).
+	Logf func(format string, args ...any)
+}
+
+// pendOp is one buffered access of the open epoch towards a target.
+type pendOp struct {
+	put      bool
+	off      int
+	data     []uint64 // puts: private copy of the payload
+	n        int      // gets: word count
+	localOff int      // gets: exposed landing offset, -1 private
+	dest     []uint64 // gets: the slice handed to the caller
+	sc       int      // puts: global source sequence
+	gc       int      // gets: global get counter
+}
+
+// peerConn is one attributed outbound connection.
+type peerConn struct {
+	c    *wire.Conn
+	rank int
+	inc  int
+	// quiet marks a deliberate local close (duplicate-dial dedupe, stale
+	// replacement, orderly drop): OnDown must not read it as a death.
+	quiet atomic.Bool
+}
+
+// connState attributes an inbound connection once its fHello arrives.
+type connState struct {
+	mu      sync.Mutex
+	rank    int
+	inc     int
+	helloed bool
+}
+
+// hostedGroup is the parity shard set this node hosts for one group.
+type hostedGroup struct {
+	k      int
+	rs     *erasure.RS
+	shards [][]uint64 // m parity shards, each windowWords long
+	snaps  []snap     // per memberIdx: counters of the folded base
+	folded []int      // per memberIdx: last folded phase (dedupes retries)
+}
+
+// pendingInstall is the reconstructed state a crisis arbiter holds for
+// the replacement of a dead rank until it joins.
+type pendingInstall struct {
+	rank   int
+	inc    int
+	in     *install
+	handed chan struct{}
+}
+
+// Node is a symmetric fabric worker: it hosts its own rank's window and
+// logs, an elected share of parity, and speaks every fabric frame both
+// ways. It implements Fabric.
+type Node struct {
+	rank        int
+	n           int
+	windowWords int
+	groups      int
+	inc         int
+	addr        string
+	meta        []byte
+	// tuning is read by the accept loop from the moment the listener is
+	// up and replaced once by applyWorld (the seed distributes the whole
+	// fabric's timings), hence the atomic pointer.
+	tuning atomic.Pointer[Tuning]
+	dialer transport.Dialer
+	ln          net.Listener
+	logf        func(string, ...any)
+
+	// window is the rank's exposed memory; winMu keeps remote batches,
+	// local reads/writes, and checkpoint diffs atomic to each other.
+	winMu  sync.Mutex
+	window []uint64
+
+	// ckptMu serializes the checkpoint protocol (diff, fold, base
+	// commit) against crisis quiesce and base fetches; ckptCond parks
+	// checkpoints while inCrisis.
+	ckptMu   sync.Mutex
+	ckptCond *sync.Cond
+	inCrisis bool
+	base     []uint64
+	snapSelf snap
+
+	// logMu guards the access logs and the causal counters.
+	logMu sync.Mutex
+	logs  ftrma.LogHost
+	ec    []int // per-target epoch counters
+	sc    int   // global put sequence
+	gc    int   // global get counter
+	phase int   // the phase executing next (== own watermark)
+	ecAt  map[int][]int
+	gcAt  map[int]int
+
+	// pend is the open epoch per target; workload-thread only.
+	pend [][]pendOp
+
+	// mmu guards the membership and hosting tables and crisis trackers;
+	// mcond wakes watermark barriers and parked deliveries.
+	mmu        sync.Mutex
+	mcond      *sync.Cond
+	members    []Member
+	hostings   []Hosting
+	strikes    map[int]*strike
+	crisisBusy bool
+	recoveries int
+	pending    *pendingInstall
+
+	parMu  sync.Mutex
+	hosted map[int]*hostedGroup
+
+	cmu      sync.Mutex
+	conns    map[int]*peerConn
+	accepted []*wire.Conn
+
+	installed atomic.Bool
+	closed    atomic.Bool
+	stop      chan struct{}
+	shutdown  chan struct{}
+	shutOnce  sync.Once
+	closeOnce sync.Once
+
+	failMu  sync.Mutex
+	failErr error
+}
+
+type strike struct {
+	inc int
+	n   int
+}
+
+var _ Fabric = (*Node)(nil)
+
+// tun returns the node's current timing knobs.
+func (nd *Node) tun() Tuning { return *nd.tuning.Load() }
+
+// Join enters the fabric through cfg.Join and returns a ready node: the
+// listener is serving, the world (and, for a replacement rank, the
+// reconstructed install state) is applied, and gossip is running.
+func Join(cfg JoinConfig) (*Node, error) {
+	if cfg.Listener == nil || cfg.Dialer == nil {
+		return nil, errors.New("fabric: JoinConfig needs a Listener and a Dialer")
+	}
+	nd := &Node{
+		addr:     cfg.Addr,
+		dialer:   cfg.Dialer,
+		ln:       cfg.Listener,
+		logf:     cfg.Logf,
+		conns:    make(map[int]*peerConn),
+		hosted:   make(map[int]*hostedGroup),
+		strikes:  make(map[int]*strike),
+		stop:     make(chan struct{}),
+		shutdown: make(chan struct{}),
+	}
+	if nd.logf == nil {
+		nd.logf = func(string, ...any) {}
+	}
+	tun := Tuning{}.WithDefaults()
+	nd.tuning.Store(&tun)
+	nd.ckptCond = sync.NewCond(&nd.ckptMu)
+	nd.mcond = sync.NewCond(&nd.mmu)
+	go nd.acceptLoop()
+
+	w, in, err := nd.joinLoop(cfg.Join)
+	if err != nil {
+		nd.Close()
+		return nil, err
+	}
+	if err := nd.applyWorld(w, in); err != nil {
+		nd.Close()
+		return nil, err
+	}
+	go nd.gossipLoop()
+	return nd, nil
+}
+
+// joinLoop walks the retry/redirect protocol until a world arrives. A
+// failing address falls back to the original one: a survivor may
+// redirect to a stale "lowest alive" rank that is in fact the corpse
+// we are replacing, and the survivor itself stays reachable until its
+// own failure detector catches up and redirects to the real arbiter.
+func (nd *Node) joinLoop(addr string) (world, *install, error) {
+	orig := addr
+	deadline := time.Now().Add(60 * time.Second)
+	for dialErrs := 0; ; {
+		if time.Now().After(deadline) {
+			return world{}, nil, fmt.Errorf("fabric: join via %s: no world within 60s", addr)
+		}
+		r, err := nd.joinOnce(addr)
+		if err != nil {
+			dialErrs++
+			if dialErrs > 200 {
+				return world{}, nil, fmt.Errorf("fabric: join via %s: %w", addr, err)
+			}
+			addr = orig
+			time.Sleep(nd.tun().GossipInterval)
+			continue
+		}
+		dialErrs = 0
+		switch r.mode {
+		case jmRetry:
+			time.Sleep(time.Duration(r.retryMs) * time.Millisecond)
+		case jmRedirect:
+			addr = r.redirect
+		case jmWorld:
+			return r.w, r.in, nil
+		}
+	}
+}
+
+// joinReply is one decoded fJoin exchange.
+type joinReply struct {
+	mode     byte
+	retryMs  int
+	redirect string
+	w        world
+	in       *install
+}
+
+func (nd *Node) joinOnce(addr string) (joinReply, error) {
+	var r joinReply
+	nc, err := nd.dialer.Dial(addr)
+	if err != nil {
+		return r, err
+	}
+	wc := wire.New(nc, wire.Config{Heartbeat: nd.tun().LeaseInterval})
+	defer wc.Close()
+	var e wire.Enc
+	e.Str(nd.addr)
+	reply, err := wc.Call(fJoin, e.Bytes())
+	if err != nil {
+		return r, err
+	}
+	d := wire.NewDec(reply)
+	switch r.mode = d.B(); r.mode {
+	case jmRetry:
+		r.retryMs = d.I()
+	case jmRedirect:
+		r.redirect = d.Str()
+	case jmWorld:
+		var ok bool
+		if r.w, ok = decWorld(d); !ok {
+			return r, errors.New("fabric: undecodable join world")
+		}
+		if d.B() != 0 {
+			if r.in, ok = decInstall(d); !ok {
+				return r, errors.New("fabric: undecodable join install")
+			}
+		}
+	default:
+		return r, fmt.Errorf("fabric: unknown join reply mode %d", r.mode)
+	}
+	if d.Failed() {
+		return r, errors.New("fabric: undecodable join reply")
+	}
+	return r, nil
+}
+
+// applyWorld installs the join reply: identity, tables, hosted parity,
+// and — for a replacement — the reconstructed base and causal replay.
+func (nd *Node) applyWorld(w world, in *install) error {
+	if w.n < 2 || w.rank < 0 || w.rank >= w.n || w.windowWords < 1 ||
+		w.groups < 1 || w.groups > w.n || len(w.members) != w.n {
+		return fmt.Errorf("fabric: malformed world (rank %d of %d, %d window words, %d groups, %d members)",
+			w.rank, w.n, w.windowWords, w.groups, len(w.members))
+	}
+	nd.rank, nd.n, nd.windowWords, nd.groups = w.rank, w.n, w.windowWords, w.groups
+	tw := w.tuning.WithDefaults()
+	nd.tuning.Store(&tw)
+	nd.meta = w.meta
+	nd.inc = w.members[w.rank].Incarnation
+	nd.window = make([]uint64, w.windowWords)
+	nd.base = make([]uint64, w.windowWords)
+	nd.snapSelf = snap{phase: -1, ec: make([]int, w.n)}
+	nd.logs = ftrma.NewLocalLogHost(4096, 128, 0.5)
+	nd.ec = make([]int, w.n)
+	nd.ecAt = map[int][]int{0: make([]int, w.n)}
+	nd.gcAt = map[int]int{0: 0}
+	nd.pend = make([][]pendOp, w.n)
+	nd.members = append([]Member(nil), w.members...)
+	nd.hostings = append([]Hosting(nil), w.hostings...)
+	for _, h := range w.hostings {
+		if h.Host == nd.rank {
+			hg, err := newHostedGroup(nd.n, nd.groups, h.Group, nd.windowWords)
+			if err != nil {
+				return err
+			}
+			nd.hosted[h.Group] = hg
+		}
+	}
+	if in != nil {
+		if err := nd.applyInstall(in); err != nil {
+			return err
+		}
+	}
+	nd.installed.Store(true)
+	nd.logf("fabric: rank %d inc %d joined at phase %d", nd.rank, nd.inc, nd.phase)
+	return nil
+}
+
+// applyInstall replays the reconstructed state of a replacement rank:
+// base, counters, then the causally sorted put redeliveries and get
+// re-deposits with GNC ≥ the committed phase.
+func (nd *Node) applyInstall(in *install) error {
+	if len(in.base) != nd.windowWords {
+		return fmt.Errorf("fabric: install base has %d words, window is %d", len(in.base), nd.windowWords)
+	}
+	copy(nd.base, in.base)
+	copy(nd.window, in.base)
+	nd.snapSelf = in.snap
+	if len(in.snap.ec) == nd.n {
+		copy(nd.ec, in.snap.ec)
+	}
+	nd.gc = in.snap.gc
+	nd.phase = in.snap.phase + 1
+	nd.ecAt = map[int][]int{nd.phase: append([]int(nil), nd.ec...)}
+	nd.gcAt = map[int]int{nd.phase: nd.gc}
+	sortReplayRecords(in.puts, in.gets)
+	for _, r := range in.puts {
+		if r.Combine || r.Op != rma.OpReplace {
+			return fmt.Errorf("fabric: replay of combining put (op %v) is not supported", r.Op)
+		}
+		if r.Off < 0 || r.Off+len(r.Data) > nd.windowWords {
+			return fmt.Errorf("fabric: replay put out of window ([%d,%d) of %d)", r.Off, r.Off+len(r.Data), nd.windowWords)
+		}
+		copy(nd.window[r.Off:], r.Data)
+	}
+	for _, r := range in.gets {
+		if r.LocalOff < 0 {
+			continue // private destination: re-execution re-fetches it
+		}
+		if r.LocalOff+len(r.Data) > nd.windowWords {
+			return fmt.Errorf("fabric: replay get deposit out of window")
+		}
+		copy(nd.window[r.LocalOff:], r.Data)
+	}
+	return nil
+}
+
+// sortReplayRecords orders replay like ftrma's recovery: puts by
+// (GNC, SC, EC), gets by (GNC, GC).
+func sortReplayRecords(puts, gets []ftrma.LogRecord) {
+	sort.SliceStable(puts, func(i, j int) bool {
+		a, b := puts[i], puts[j]
+		if a.GNC != b.GNC {
+			return a.GNC < b.GNC
+		}
+		if a.SC != b.SC {
+			return a.SC < b.SC
+		}
+		return a.EC < b.EC
+	})
+	sort.SliceStable(gets, func(i, j int) bool {
+		a, b := gets[i], gets[j]
+		if a.GNC != b.GNC {
+			return a.GNC < b.GNC
+		}
+		return a.GC < b.GC
+	})
+}
+
+func newHostedGroup(n, groups, g, words int) (*hostedGroup, error) {
+	k := len(groupMembers(n, groups, g))
+	rs, err := erasure.NewRS(k, 1)
+	if err != nil {
+		return nil, err
+	}
+	hg := &hostedGroup{
+		k:      k,
+		rs:     rs,
+		shards: [][]uint64{make([]uint64, words)},
+		snaps:  make([]snap, k),
+		folded: make([]int, k),
+	}
+	for i := range hg.snaps {
+		hg.snaps[i] = snap{phase: -1}
+		hg.folded[i] = -1
+	}
+	return hg, nil
+}
+
+// ---- Liveness, failure, shutdown --------------------------------------------
+
+func (nd *Node) fail(err error) {
+	nd.failMu.Lock()
+	if nd.failErr == nil {
+		nd.failErr = err
+		nd.logf("fabric: rank %d failed: %v", nd.rank, err)
+	}
+	nd.failMu.Unlock()
+	nd.mcond.Broadcast()
+	nd.ckptCond.Broadcast()
+}
+
+// failedOrClosed returns the terminal error of the node, if any.
+func (nd *Node) failedOrClosed() error {
+	if nd.closed.Load() {
+		return ErrClosed
+	}
+	nd.failMu.Lock()
+	defer nd.failMu.Unlock()
+	return nd.failErr
+}
+
+// Close implements Fabric.
+func (nd *Node) Close() error {
+	nd.closeOnce.Do(func() {
+		nd.closed.Store(true)
+		close(nd.stop)
+		nd.shutOnce.Do(func() { close(nd.shutdown) })
+		nd.ln.Close()
+		nd.cmu.Lock()
+		for _, pc := range nd.conns {
+			pc.c.Close()
+		}
+		acc := nd.accepted
+		nd.accepted = nil
+		nd.cmu.Unlock()
+		for _, c := range acc {
+			c.Close()
+		}
+		nd.mcond.Broadcast()
+		nd.ckptCond.Broadcast()
+	})
+	return nil
+}
+
+// AwaitShutdown implements Fabric.
+func (nd *Node) AwaitShutdown() { <-nd.shutdown }
+
+// Meta implements Fabric.
+func (nd *Node) Meta() []byte { return nd.meta }
+
+// Addr implements Fabric.
+func (nd *Node) Addr() string { return nd.addr }
+
+// ---- Membership -------------------------------------------------------------
+
+// Self implements Membership.
+func (nd *Node) Self() Member {
+	nd.mmu.Lock()
+	defer nd.mmu.Unlock()
+	return nd.members[nd.rank]
+}
+
+// Members implements Membership.
+func (nd *Node) Members() []Member {
+	nd.mmu.Lock()
+	defer nd.mmu.Unlock()
+	return append([]Member(nil), nd.members...)
+}
+
+// Hostings implements Membership.
+func (nd *Node) Hostings() []Hosting {
+	nd.mmu.Lock()
+	defer nd.mmu.Unlock()
+	return append([]Hosting(nil), nd.hostings...)
+}
+
+// InCrisis implements Crisis.
+func (nd *Node) InCrisis() bool {
+	nd.ckptMu.Lock()
+	defer nd.ckptMu.Unlock()
+	return nd.inCrisis
+}
+
+// Recoveries implements Crisis.
+func (nd *Node) Recoveries() int {
+	nd.mmu.Lock()
+	defer nd.mmu.Unlock()
+	return nd.recoveries
+}
+
+// condemn marks (rank, inc) dead: the local half of the failure
+// detector. Verdicts are per-incarnation so a replacement is never
+// condemned by stale evidence against its predecessor.
+func (nd *Node) condemn(rank, inc int, cause error) {
+	if rank == nd.rank || nd.closed.Load() {
+		return
+	}
+	select {
+	case <-nd.shutdown: // orderly teardown: peers closing is not a death
+		return
+	default:
+	}
+	nd.mmu.Lock()
+	m := &nd.members[rank]
+	if m.Incarnation != inc || !m.Alive {
+		nd.mmu.Unlock()
+		return
+	}
+	m.Alive = false
+	nd.mmu.Unlock()
+	nd.logf("fabric: rank %d condemns rank %d (inc %d): %v", nd.rank, rank, inc, cause)
+	nd.dropConn(rank)
+	nd.mcond.Broadcast()
+	go func() {
+		nd.gossipNow()
+		nd.maybeArbiter()
+	}()
+}
+
+// strikeDial records a failed dial towards (rank, inc); LeaseMiss
+// consecutive strikes condemn the peer. This is the detector for peers
+// we hold no live connection to (established connections are covered by
+// wire heartbeats + OnDown).
+func (nd *Node) strikeDial(rank, inc int, cause error) {
+	nd.mmu.Lock()
+	s := nd.strikes[rank]
+	if s == nil || s.inc != inc {
+		s = &strike{inc: inc}
+		nd.strikes[rank] = s
+	}
+	s.n++
+	hit := s.n >= nd.tun().LeaseMiss
+	nd.mmu.Unlock()
+	if hit {
+		nd.condemn(rank, inc, fmt.Errorf("unreachable after %d dial attempts: %w", nd.tun().LeaseMiss, cause))
+	}
+}
+
+func (nd *Node) clearStrikes(rank int) {
+	nd.mmu.Lock()
+	delete(nd.strikes, rank)
+	nd.mmu.Unlock()
+}
+
+// mergeMembers folds a remote view into ours: higher incarnations win a
+// slot outright; within one incarnation deaths are sticky and watermarks
+// are monotone.
+func (nd *Node) mergeMembers(ms []Member, hs []Hosting) {
+	if !nd.installed.Load() {
+		return
+	}
+	changed := false
+	nd.mmu.Lock()
+	for _, m := range ms {
+		if m.Rank < 0 || m.Rank >= nd.n || m.Rank == nd.rank {
+			continue
+		}
+		cur := &nd.members[m.Rank]
+		switch {
+		case m.Incarnation > cur.Incarnation:
+			*cur = m
+			changed = true
+		case m.Incarnation == cur.Incarnation:
+			if cur.Alive && !m.Alive {
+				cur.Alive = false
+				changed = true
+			}
+			if m.Watermark > cur.Watermark {
+				cur.Watermark = m.Watermark
+				changed = true
+			}
+			if cur.Addr == "" && m.Addr != "" {
+				cur.Addr = m.Addr
+				changed = true
+			}
+		}
+	}
+	for _, h := range hs {
+		if h.Group < 0 || h.Group >= len(nd.hostings) {
+			continue
+		}
+		if h.Version > nd.hostings[h.Group].Version {
+			nd.hostings[h.Group] = h
+			changed = true
+		}
+	}
+	nd.mmu.Unlock()
+	if changed {
+		nd.mcond.Broadcast()
+		nd.maybeArbiter()
+	}
+}
+
+func (nd *Node) gossipLoop() {
+	t := time.NewTicker(nd.tun().GossipInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-nd.stop:
+			return
+		case <-t.C:
+		}
+		nd.gossipNow()
+		nd.maybeArbiter()
+	}
+}
+
+func (nd *Node) gossipNow() {
+	if nd.failedOrClosed() != nil {
+		return
+	}
+	var e wire.Enc
+	nd.mmu.Lock()
+	encMembers(&e, nd.members)
+	encHostings(&e, nd.hostings)
+	peers := nd.alivePeersLocked()
+	nd.mmu.Unlock()
+	payload := e.Bytes()
+	for _, p := range peers {
+		nd.bestEffortNotify(p, fGossip, payload)
+	}
+}
+
+// alivePeersLocked snapshots the live peers (rank, incarnation ≠ self).
+func (nd *Node) alivePeersLocked() []Member {
+	var out []Member
+	for _, m := range nd.members {
+		if m.Rank != nd.rank && m.Alive && m.Addr != "" {
+			out = append(out, m)
+		}
+	}
+	return out
+}
+
+// bestEffortNotify sends one notification towards m, dialing at most
+// once; failures feed the dial-strike detector instead of blocking.
+func (nd *Node) bestEffortNotify(m Member, t byte, payload []byte) {
+	nd.cmu.Lock()
+	pc := nd.conns[m.Rank]
+	nd.cmu.Unlock()
+	if pc == nil || pc.inc != m.Incarnation {
+		var err error
+		pc, err = nd.dialPeer(m)
+		if err != nil {
+			nd.strikeDial(m.Rank, m.Incarnation, err)
+			return
+		}
+	}
+	pc.c.Notify(t, payload)
+}
+
+// dialPeer opens and registers the outbound connection to m.
+func (nd *Node) dialPeer(m Member) (*peerConn, error) {
+	nc, err := nd.dialer.Dial(m.Addr)
+	if err != nil {
+		return nil, err
+	}
+	st := &connState{rank: m.Rank, inc: m.Incarnation, helloed: true}
+	pc := &peerConn{rank: m.Rank, inc: m.Incarnation}
+	pc.c = wire.New(nc, wire.Config{
+		Handler:     func(t byte, p []byte) (byte, []byte, error) { return nd.handle(st, t, p) },
+		Heartbeat:   nd.tun().LeaseInterval,
+		ReadTimeout: nd.tun().LeaseInterval * time.Duration(nd.tun().LeaseMiss),
+		OnDown: func(err error) {
+			if pc.quiet.Load() {
+				return
+			}
+			nd.condemn(m.Rank, m.Incarnation, fmt.Errorf("connection down: %w", err))
+		},
+	})
+	var e wire.Enc
+	e.I(nd.rank)
+	e.I(nd.inc)
+	pc.c.Notify(fHello, e.Bytes())
+	nd.cmu.Lock()
+	if old := nd.conns[m.Rank]; old != nil && old.inc == m.Incarnation {
+		nd.cmu.Unlock()
+		pc.quiet.Store(true)
+		pc.c.Close()
+		return old, nil
+	} else if old != nil {
+		old.quiet.Store(true)
+		old.c.Close()
+	}
+	nd.conns[m.Rank] = pc
+	nd.cmu.Unlock()
+	nd.clearStrikes(m.Rank)
+	return pc, nil
+}
+
+func (nd *Node) dropConn(rank int) {
+	nd.cmu.Lock()
+	pc := nd.conns[rank]
+	delete(nd.conns, rank)
+	nd.cmu.Unlock()
+	if pc != nil {
+		pc.quiet.Store(true)
+		pc.c.Close()
+	}
+}
+
+// conn returns a live connection to target, parking (interruptibly)
+// while the target is dead and its replacement has not joined yet.
+func (nd *Node) conn(target int) (*peerConn, error) {
+	for {
+		if err := nd.failedOrClosed(); err != nil {
+			return nil, err
+		}
+		nd.mmu.Lock()
+		m := nd.members[target]
+		nd.mmu.Unlock()
+		if m.Alive && m.Addr != "" {
+			nd.cmu.Lock()
+			pc := nd.conns[target]
+			nd.cmu.Unlock()
+			if pc != nil && pc.inc == m.Incarnation {
+				return pc, nil
+			}
+			pc, err := nd.dialPeer(m)
+			if err == nil {
+				return pc, nil
+			}
+			nd.strikeDial(target, m.Incarnation, err)
+			time.Sleep(nd.tun().GossipInterval)
+			continue
+		}
+		// Dead: park until gossip shows a replacement incarnation.
+		nd.mmu.Lock()
+		if cur := nd.members[target]; cur.Incarnation == m.Incarnation && !cur.Alive {
+			nd.mcond.Wait()
+		}
+		nd.mmu.Unlock()
+	}
+}
+
+// ---- The rma.API surface ----------------------------------------------------
+
+// Rank implements rma.API.
+func (nd *Node) Rank() int { return nd.rank }
+
+// N implements rma.API.
+func (nd *Node) N() int { return nd.n }
+
+// ReadAt implements rma.API.
+func (nd *Node) ReadAt(off, n int) []uint64 {
+	out := make([]uint64, n)
+	nd.winMu.Lock()
+	copy(out, nd.window[off:off+n])
+	nd.winMu.Unlock()
+	return out
+}
+
+// ReadInto is the allocation-free read path rma.ReadWindow probes for.
+func (nd *Node) ReadInto(off int, dst []uint64) {
+	nd.winMu.Lock()
+	copy(dst, nd.window[off:off+len(dst)])
+	nd.winMu.Unlock()
+}
+
+// WriteAt implements rma.API. Local writes are captured by the
+// content diff of the next checkpoint.
+func (nd *Node) WriteAt(off int, data []uint64) {
+	nd.winMu.Lock()
+	copy(nd.window[off:], data)
+	nd.winMu.Unlock()
+}
+
+// Put implements rma.API.
+func (nd *Node) Put(target, off int, data []uint64) {
+	if target == nd.rank {
+		nd.WriteAt(off, data)
+		return
+	}
+	cp := append([]uint64(nil), data...)
+	nd.logMu.Lock()
+	sc := nd.sc
+	nd.sc++
+	nd.logMu.Unlock()
+	nd.pend[target] = append(nd.pend[target], pendOp{put: true, off: off, data: cp, sc: sc})
+}
+
+// PutValue implements rma.API.
+func (nd *Node) PutValue(target, off int, v uint64) { nd.Put(target, off, []uint64{v}) }
+
+// Get implements rma.API.
+func (nd *Node) Get(target, off, n int) []uint64 { return nd.addGet(target, off, n, -1) }
+
+// GetCopy implements rma.API.
+func (nd *Node) GetCopy(target, off, n, localOff int) []uint64 {
+	return nd.addGet(target, off, n, localOff)
+}
+
+// GetInto implements rma.API by rejection: the fabric window never hands
+// out aliases (GetCopy covers the recoverable-landing use).
+func (nd *Node) GetInto(target, off, n, localOff int) []uint64 {
+	panic("fabric: GetInto (window aliasing) is not supported; use GetCopy")
+}
+
+// GetBlocking implements rma.API.
+func (nd *Node) GetBlocking(target, off, n int) []uint64 {
+	if target == nd.rank {
+		return nd.ReadAt(off, n)
+	}
+	dest := nd.addGet(target, off, n, -1)
+	nd.Flush(target)
+	return dest
+}
+
+func (nd *Node) addGet(target, off, n, localOff int) []uint64 {
+	dest := make([]uint64, n)
+	if target == nd.rank {
+		nd.winMu.Lock()
+		copy(dest, nd.window[off:off+n])
+		if localOff >= 0 {
+			copy(nd.window[localOff:], dest)
+		}
+		nd.winMu.Unlock()
+		return dest
+	}
+	nd.logMu.Lock()
+	gc := nd.gc
+	nd.gc++
+	nd.logMu.Unlock()
+	nd.pend[target] = append(nd.pend[target], pendOp{off: off, n: n, localOff: localOff, dest: dest, gc: gc})
+	return dest
+}
+
+// Flush implements rma.API: it closes the epoch towards target by
+// shipping the buffered batch peer-to-peer. Delivery failures park and
+// redeliver to the target's replacement (idempotent under the causal
+// model); terminal node failures surface at the next Sync.
+func (nd *Node) Flush(target int) {
+	if target == nd.rank || len(nd.pend[target]) == 0 {
+		return
+	}
+	ops := nd.pend[target]
+	nd.pend[target] = nil
+	nd.deliver(target, ops)
+}
+
+// FlushAll implements rma.API.
+func (nd *Node) FlushAll() {
+	for t := 0; t < nd.n; t++ {
+		nd.Flush(t)
+	}
+}
+
+func (nd *Node) deliver(target int, ops []pendOp) {
+	nd.logMu.Lock()
+	phase := nd.phase
+	nd.logMu.Unlock()
+	var e wire.Enc
+	e.I(nd.rank)
+	e.I(nd.inc)
+	e.I(phase)
+	nputs, ngets := 0, 0
+	for _, op := range ops {
+		if op.put {
+			nputs++
+		} else {
+			ngets++
+		}
+	}
+	e.I(nputs)
+	for _, op := range ops {
+		if op.put {
+			e.I(op.off)
+			e.Words(op.data)
+		}
+	}
+	e.I(ngets)
+	for _, op := range ops {
+		if !op.put {
+			e.I(op.off)
+			e.I(op.n)
+			e.I(op.localOff + 1)
+			e.I(op.gc)
+		}
+	}
+	payload := e.Bytes()
+	for {
+		if nd.failedOrClosed() != nil {
+			return
+		}
+		pc, err := nd.conn(target)
+		if err != nil {
+			return
+		}
+		reply, err := pc.c.Call(fBatch, payload)
+		if err == nil {
+			nd.ackBatch(target, phase, ops, reply)
+			return
+		}
+		var rf wire.RemoteFail
+		if errors.As(err, &rf) {
+			if rf.Code == wire.CodeCrisis {
+				// Replacement still installing: retry shortly.
+				time.Sleep(nd.tun().GossipInterval)
+				continue
+			}
+			nd.fail(fmt.Errorf("fabric: batch to rank %d rejected: %w", target, err))
+			return
+		}
+		// Connection death: OnDown condemns, conn() parks for the
+		// replacement, and redelivery is idempotent.
+		time.Sleep(nd.tun().GossipInterval)
+	}
+}
+
+// ackBatch commits a delivered epoch: source-side put logs and get
+// result placement.
+func (nd *Node) ackBatch(target, phase int, ops []pendOp, reply []byte) {
+	nd.logMu.Lock()
+	epoch := nd.ec[target]
+	for _, op := range ops {
+		if !op.put {
+			continue
+		}
+		nd.logs.AppendLP(target, ftrma.LogRecord{
+			Kind: ftrma.LogPut, Src: nd.rank, Trg: target,
+			Off: op.off, Data: op.data, LocalOff: -1,
+			EC: epoch, SC: op.sc, GNC: phase,
+		})
+	}
+	nd.ec[target] = epoch + 1
+	nd.logMu.Unlock()
+	d := wire.NewDec(reply)
+	count := d.I()
+	for _, op := range ops {
+		if op.put {
+			continue
+		}
+		if count <= 0 {
+			nd.fail(fmt.Errorf("fabric: batch reply from rank %d misses get results", target))
+			return
+		}
+		count--
+		if !d.WordsInto(op.dest) {
+			nd.fail(fmt.Errorf("fabric: undecodable batch reply from rank %d", target))
+			return
+		}
+		if op.localOff >= 0 {
+			nd.winMu.Lock()
+			copy(nd.window[op.localOff:], op.dest)
+			nd.winMu.Unlock()
+		}
+	}
+}
+
+// Unsupported coordinator-runtime surface (see the package doc: the
+// fabric is scoped to causal workloads).
+func (nd *Node) Accumulate(target, off int, data []uint64, op rma.ReduceOp) {
+	if op == rma.OpReplace {
+		nd.Put(target, off, data)
+		return
+	}
+	panic("fabric: combining Accumulate requires the coordinator runtime")
+}
+
+// CompareAndSwap implements rma.API by rejection.
+func (nd *Node) CompareAndSwap(target, off int, old, new uint64) uint64 {
+	panic("fabric: CompareAndSwap requires the coordinator runtime")
+}
+
+// FetchAndOp implements rma.API by rejection.
+func (nd *Node) FetchAndOp(target, off int, operand uint64, op rma.ReduceOp) uint64 {
+	panic("fabric: FetchAndOp requires the coordinator runtime")
+}
+
+// GetAccumulate implements rma.API by rejection.
+func (nd *Node) GetAccumulate(target, off int, data []uint64, op rma.ReduceOp) []uint64 {
+	panic("fabric: GetAccumulate requires the coordinator runtime")
+}
+
+// Lock implements rma.API by rejection.
+func (nd *Node) Lock(target, str int) {
+	panic("fabric: structure locks require the coordinator runtime")
+}
+
+// Unlock implements rma.API by rejection.
+func (nd *Node) Unlock(target, str int) {
+	panic("fabric: structure locks require the coordinator runtime")
+}
+
+// Barrier implements rma.API by rejection (Gsync is the fabric's only
+// collective).
+func (nd *Node) Barrier() {
+	panic("fabric: Barrier requires the coordinator runtime; use Gsync")
+}
+
+// Compute implements rma.API (the fabric carries no virtual clock).
+func (nd *Node) Compute(flops float64) {}
+
+// Now implements rma.API.
+func (nd *Node) Now() float64 { return 0 }
+
+// Gsync implements rma.API on top of Sync.
+func (nd *Node) Gsync() {
+	if err := nd.Sync(); err != nil {
+		panic(fmt.Sprintf("fabric: gsync: %v", err))
+	}
+}
+
+// ---- Epoch ------------------------------------------------------------------
+
+// Phase implements Epoch.
+func (nd *Node) Phase() int {
+	nd.logMu.Lock()
+	defer nd.logMu.Unlock()
+	return nd.phase
+}
+
+// Sync implements Epoch: flush everything, commit the phase checkpoint
+// to the group's parity host, pass the hub-free watermark barrier, then
+// trim logs that checkpoints now cover.
+func (nd *Node) Sync() error {
+	nd.FlushAll()
+	if err := nd.failedOrClosed(); err != nil {
+		return err
+	}
+	nd.logMu.Lock()
+	p := nd.phase
+	nd.logMu.Unlock()
+	if err := nd.checkpoint(p); err != nil {
+		return err
+	}
+	nd.logMu.Lock()
+	nd.phase = p + 1
+	nd.ecAt[p+1] = append([]int(nil), nd.ec...)
+	nd.gcAt[p+1] = nd.gc
+	nd.logMu.Unlock()
+	nd.broadcastReady(p + 1)
+	if err := nd.awaitWatermarks(p + 1); err != nil {
+		return err
+	}
+	nd.trimAt(p + 1)
+	return nil
+}
+
+func (nd *Node) broadcastReady(wm int) {
+	nd.mmu.Lock()
+	if nd.members[nd.rank].Watermark < wm {
+		nd.members[nd.rank].Watermark = wm
+	}
+	peers := nd.alivePeersLocked()
+	nd.mmu.Unlock()
+	nd.mcond.Broadcast()
+	var e wire.Enc
+	e.I(nd.rank)
+	e.I(nd.inc)
+	e.I(wm)
+	payload := e.Bytes()
+	for _, p := range peers {
+		nd.bestEffortNotify(p, fGsyncReady, payload)
+	}
+}
+
+// awaitWatermarks is the barrier: every rank — dead ranks' frozen
+// entries included, so a victim blocks progress until its replacement
+// climbs past — must have committed watermark wm. Lost ready frames are
+// repaired by gossip, which carries watermarks.
+func (nd *Node) awaitWatermarks(wm int) error {
+	nd.mmu.Lock()
+	defer nd.mmu.Unlock()
+	for {
+		if err := nd.failedOrClosed(); err != nil {
+			return err
+		}
+		ok := true
+		for i := range nd.members {
+			if nd.members[i].Watermark < wm {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			return nil
+		}
+		nd.mcond.Wait()
+	}
+}
+
+// trimAt drops log records two barriers behind: after barrier b every
+// rank's checkpoint covers phase b-1, so records with GNC ≤ b-2 can
+// never be replayed again.
+func (nd *Node) trimAt(b int) {
+	if b < 2 {
+		return
+	}
+	nd.logMu.Lock()
+	defer nd.logMu.Unlock()
+	ecAt := nd.ecAt[b-1]
+	for q := 0; q < nd.n; q++ {
+		if q == nd.rank {
+			continue
+		}
+		if ecAt != nil {
+			nd.logs.TrimLP(q, ecAt[q])
+		}
+		nd.logs.TrimLG(q, b-1, 0)
+	}
+	for ph := range nd.ecAt {
+		if ph < b-1 {
+			delete(nd.ecAt, ph)
+			delete(nd.gcAt, ph)
+		}
+	}
+}
+
+// ---- Checkpoint fold --------------------------------------------------------
+
+// checkpoint commits phase p: content-diff the window against the
+// committed base, ship the (off, delta) ranges plus the counter snapshot
+// to the group's parity host in one fParityFold, then fold the delta
+// into the local base. ckptMu makes the whole exchange atomic against
+// crisis quiesce and base fetches; parity is always updated before the
+// base commit, so parity = encode(committed bases) holds whenever the
+// lock is free.
+func (nd *Node) checkpoint(p int) error {
+	g := nd.rank % nd.groups
+	memberIdx := memberIndex(nd.rank, nd.groups)
+	nd.ckptMu.Lock()
+	defer nd.ckptMu.Unlock()
+	for {
+		if err := nd.failedOrClosed(); err != nil {
+			return err
+		}
+		if nd.inCrisis {
+			nd.ckptCond.Wait()
+			continue
+		}
+		nd.mmu.Lock()
+		h := nd.hostings[g]
+		nd.mmu.Unlock()
+		if h.Host < 0 {
+			return fmt.Errorf("fabric: group %d has no electable parity host", g)
+		}
+		offs, deltas := nd.diffRanges()
+		s := nd.snapNow(p)
+		if h.Host == nd.rank {
+			if err := nd.foldLocal(g, memberIdx, p, s, offs, deltas); err != nil {
+				return err
+			}
+			nd.commitBase(offs, deltas, s)
+			return nil
+		}
+		var e wire.Enc
+		e.I(nd.rank)
+		e.I(nd.inc)
+		e.I(g)
+		e.I(memberIdx)
+		e.I(p)
+		encSnap(&e, s)
+		e.I(len(offs))
+		for i := range offs {
+			e.I(offs[i])
+			e.Words(deltas[i])
+		}
+		pc, err := nd.tryConn(h.Host)
+		if err == nil {
+			_, err = pc.c.Call(fParityFold, e.Bytes())
+			if err == nil {
+				nd.commitBase(offs, deltas, s)
+				return nil
+			}
+		}
+		var rf wire.RemoteFail
+		if errors.As(err, &rf) && !strings.Contains(rf.Msg, "not hosting") {
+			return fmt.Errorf("fabric: parity fold at rank %d: %w", h.Host, err)
+		}
+		// Host unreachable or the hosting table moved under us: park
+		// outside the lock so crisis quiesce can proceed, then retry —
+		// the host-side phase dedupe makes a replayed fold harmless.
+		nd.ckptMu.Unlock()
+		time.Sleep(nd.tun().GossipInterval)
+		nd.ckptMu.Lock()
+	}
+}
+
+// tryConn is conn() without the parked wait: checkpoint retries must not
+// block inside ckptMu.
+func (nd *Node) tryConn(target int) (*peerConn, error) {
+	nd.mmu.Lock()
+	m := nd.members[target]
+	nd.mmu.Unlock()
+	if !m.Alive || m.Addr == "" {
+		return nil, fmt.Errorf("fabric: rank %d is down", target)
+	}
+	nd.cmu.Lock()
+	pc := nd.conns[target]
+	nd.cmu.Unlock()
+	if pc != nil && pc.inc == m.Incarnation {
+		return pc, nil
+	}
+	pc, err := nd.dialPeer(m)
+	if err != nil {
+		nd.strikeDial(target, m.Incarnation, err)
+		return nil, err
+	}
+	return pc, nil
+}
+
+// diffRanges computes the changed runs of the window vs the committed
+// base as XOR deltas. Caller holds ckptMu.
+func (nd *Node) diffRanges() (offs []int, deltas [][]uint64) {
+	nd.winMu.Lock()
+	defer nd.winMu.Unlock()
+	w, b := nd.window, nd.base
+	for i := 0; i < len(w); {
+		if w[i] == b[i] {
+			i++
+			continue
+		}
+		j := i + 1
+		for j < len(w) && w[j] != b[j] {
+			j++
+		}
+		delta := make([]uint64, j-i)
+		for k := i; k < j; k++ {
+			delta[k-i] = w[k] ^ b[k]
+		}
+		offs = append(offs, i)
+		deltas = append(deltas, delta)
+		i = j
+	}
+	return offs, deltas
+}
+
+// snapNow captures the counters the committed base of phase p stands at.
+func (nd *Node) snapNow(p int) snap {
+	nd.logMu.Lock()
+	defer nd.logMu.Unlock()
+	return snap{phase: p, ec: append([]int(nil), nd.ec...), gc: nd.gc}
+}
+
+// commitBase advances the committed base by the folded deltas. Caller
+// holds ckptMu; the parity host has already acknowledged the same
+// deltas.
+func (nd *Node) commitBase(offs []int, deltas [][]uint64, s snap) {
+	for i := range offs {
+		for k, d := range deltas[i] {
+			nd.base[offs[i]+k] ^= d
+		}
+	}
+	nd.snapSelf = s
+}
+
+// foldLocal applies a fold into parity this node hosts itself.
+func (nd *Node) foldLocal(g, memberIdx, p int, s snap, offs []int, deltas [][]uint64) error {
+	nd.parMu.Lock()
+	defer nd.parMu.Unlock()
+	hg := nd.hosted[g]
+	if hg == nil {
+		return fmt.Errorf("fabric: rank %d is not hosting group %d", nd.rank, g)
+	}
+	hg.fold(memberIdx, p, s, offs, deltas)
+	return nil
+}
+
+// fold applies one member's checkpoint delta; a duplicate phase is
+// acknowledged without re-applying so fold retries stay idempotent.
+func (hg *hostedGroup) fold(memberIdx, p int, s snap, offs []int, deltas [][]uint64) {
+	if memberIdx < 0 || memberIdx >= hg.k {
+		panic(fmt.Sprintf("fabric: fold for member %d of a %d-member group", memberIdx, hg.k))
+	}
+	if hg.folded[memberIdx] == p {
+		return
+	}
+	for i := range offs {
+		ftrma.FoldDelta(hg.rs, hg.shards, memberIdx, offs[i], deltas[i])
+	}
+	hg.snaps[memberIdx] = s
+	hg.folded[memberIdx] = p
+}

@@ -16,7 +16,7 @@ import (
 // common under-budget case costs no extra residence read (over the wire
 // that read would be a round trip per logged op).
 func (p *Process) maybeDemandCheckpoint(bytesNow int) {
-	budget := p.sys.cfg.LogBudgetBytes
+	budget := p.sys.cfg.Log.BudgetBytes
 	if budget == 0 || bytesNow <= budget {
 		return
 	}
@@ -117,8 +117,8 @@ func (p *Process) planCheckpoint(dst, base []uint64, gen uint64) ckptPlan {
 // held.
 func (p *Process) commitCheckpoint(grp *chGroup, level int, base []uint64, plan ckptPlan) {
 	workers := 1
-	if p.sys.cfg.StreamingDemandCheckpoints {
-		workers = p.sys.cfg.StreamDepth
+	if p.sys.cfg.Stream.Demand {
+		workers = p.sys.cfg.Stream.Depth
 	}
 	grp.fold(level, p.Rank(), base, plan.src, plan.batches, workers)
 	for _, r := range plan.ranges {
@@ -129,10 +129,10 @@ func (p *Process) commitCheckpoint(grp *chGroup, level int, base []uint64, plan 
 // streamChunkWords returns the chunk-batch granularity in words, or zero
 // when checkpoints travel as one bulk send.
 func (p *Process) streamChunkWords() int {
-	if !p.sys.cfg.StreamingDemandCheckpoints {
+	if !p.sys.cfg.Stream.Demand {
 		return 0
 	}
-	return p.sys.cfg.StreamChunkBytes / 8
+	return p.sys.cfg.Stream.ChunkBytes / 8
 }
 
 // chunkRanges splits sorted, disjoint ranges into batches of at most
@@ -244,7 +244,7 @@ func (p *Process) takeUCCheckpoint() {
 // members, which is what makes |CH| a performance parameter.
 //
 // The streaming pipeline prices a checkpoint as transfer + parity-fold
-// time per chunk batch, overlapped up to Config.StreamDepth in-flight
+// time per chunk batch, overlapped up to Config.Stream.Depth in-flight
 // batches: while the CH folds batch k, batch k+1 is on the wire and the
 // member is copying batch k+2 out of its window. The CH owns only
 // StreamDepth chunk buffers (the variant's memory efficiency), so the
@@ -256,7 +256,7 @@ func (p *Process) takeUCCheckpoint() {
 // ack).
 func (p *Process) chargeCheckpoint(grp *chGroup, batches []rma.DirtyRange) {
 	params := p.sys.world.Params()
-	if !p.sys.cfg.StreamingDemandCheckpoints {
+	if !p.sys.cfg.Stream.Demand {
 		bytes := 8 * rangeWords(batches)
 		p.inner.AdvanceTime(params.CopyTime(bytes)) // local copy cost
 		end := p.Now()
@@ -271,7 +271,7 @@ func (p *Process) chargeCheckpoint(grp *chGroup, batches []rma.DirtyRange) {
 	if len(batches) == 0 {
 		return
 	}
-	depth := p.sys.cfg.StreamDepth
+	depth := p.sys.cfg.Stream.Depth
 	hook := p.sys.streamDelay
 	// Member-side copy pipeline: batch i can be injected once batches 0..i
 	// are copied out of the window snapshot. The per-batch AdvanceTo calls

@@ -38,7 +38,7 @@
 // # Invariants
 //
 //   - Byte accounting: LogHost.Bytes() — the value the §6.2 demand
-//     budget compares against Config.LogBudgetBytes — always equals the
+//     budget compares against Config.Log.BudgetBytes — always equals the
 //     summed footprints (64 + 8·payload words) of the live records;
 //     logs_property_test.go asserts it after every mutation.
 //   - Parity ≡ encode(current checkpoint base copies): every fold keeps
@@ -67,9 +67,65 @@ const (
 	CCLocks
 )
 
+// LogConfig groups the access-logging knobs (Config.Log): what is logged,
+// the per-process memory budget, and the slab-arena tuning.
+type LogConfig struct {
+	// Puts and Gets enable access logging (the f-puts and f-puts-gets
+	// configurations of §7.2.2).
+	Puts bool
+	Gets bool
+	// BudgetBytes bounds the per-process log memory; exceeding it
+	// triggers a demand checkpoint (§6.2). Zero means unlimited.
+	BudgetBytes int
+	// SlabWords sizes the payload slabs of the per-rank log arena in
+	// 64-bit words. Zero selects the default (4096 words = 32 KiB).
+	SlabWords int
+	// SegmentRecords is the capacity of one per-peer log ring segment
+	// in records. Zero selects the default (128).
+	SegmentRecords int
+	// CompactFraction is the live-ratio threshold below which the log
+	// arena compacts its slabs (live payload words / allocated words).
+	// Zero selects the default (0.5), negative disables compaction; must
+	// stay below 1.
+	CompactFraction float64
+}
+
+// StreamConfig groups the demand-checkpoint streaming knobs
+// (Config.Stream): §6.2's variant (1) and its pipeline shape.
+type StreamConfig struct {
+	// Demand selects variant (1) of §6.2 (stream the checkpoint piece by
+	// piece: memory-efficient, the CH only ever buffers Depth chunks)
+	// instead of variant (2) (one bulk send: the CH needs a full
+	// window-sized staging buffer and integrates the parity off the
+	// member's critical path).
+	Demand bool
+	// ChunkBytes is the chunk size for streaming demand checkpoints.
+	// Must be a positive multiple of the 8-byte word size when streaming
+	// is enabled.
+	ChunkBytes int
+	// Depth is the number of in-flight chunk batches of the streaming
+	// checkpoint pipeline: the CH holds this many chunk buffers, so the
+	// transfer of batch k+1 overlaps the erasure fold of batch k (and the
+	// member's local copy of batch k+2 overlaps both). It also sizes the
+	// worker pool that performs the real parity folds. 1 removes all
+	// transfer/fold overlap at the CH: each chunk's transfer must wait for
+	// the previous chunk's fold to free the single buffer (member-side
+	// copies always pipeline ahead — the snapshot is staged in the
+	// member's own memory). Zero selects the default (4).
+	Depth int
+}
+
 // Config tunes the protocol; the fields mirror the knobs the paper's window
-// creation accepts (§6.1: number of CHs, MTBF, t-awareness).
+// creation accepts (§6.1: number of CHs, MTBF, t-awareness). The tuning
+// surface is grouped: Log holds the access-logging knobs, Stream the
+// demand-checkpoint streaming knobs. The flat fields of the same names are
+// a one-release deprecation shim — withDefaults folds them into the groups
+// (a flat knob only takes effect where its grouped field is unset).
 type Config struct {
+	// Log groups the access-logging knobs.
+	Log LogConfig
+	// Stream groups the demand-checkpoint streaming knobs.
+	Stream StreamConfig
 	// Groups is the number of process groups; each gets one checksum
 	// process, so |CH| = Groups (m = 1). Must be in 1..N.
 	Groups int
@@ -89,32 +145,16 @@ type Config struct {
 	FixedInterval float64
 	// Scheme selects the coordinated-checkpointing scheme.
 	Scheme CCScheme
-	// LogPuts and LogGets enable access logging (the f-puts and
-	// f-puts-gets configurations of §7.2.2).
+	// LogPuts and LogGets are deprecated: set Log.Puts / Log.Gets.
 	LogPuts bool
 	LogGets bool
-	// LogBudgetBytes bounds the per-process log memory; exceeding it
-	// triggers a demand checkpoint (§6.2). Zero means unlimited.
+	// LogBudgetBytes is deprecated: set Log.BudgetBytes.
 	LogBudgetBytes int
-	// StreamingDemandCheckpoints selects variant (1) of §6.2 (stream the
-	// checkpoint piece by piece: memory-efficient, the CH only ever buffers
-	// StreamDepth chunks) instead of variant (2) (one bulk send: the CH
-	// needs a full window-sized staging buffer and integrates the parity
-	// off the member's critical path).
+	// StreamingDemandCheckpoints is deprecated: set Stream.Demand.
 	StreamingDemandCheckpoints bool
-	// StreamChunkBytes is the chunk size for streaming demand checkpoints.
-	// Must be a positive multiple of the 8-byte word size when streaming is
-	// enabled.
+	// StreamChunkBytes is deprecated: set Stream.ChunkBytes.
 	StreamChunkBytes int
-	// StreamDepth is the number of in-flight chunk batches of the streaming
-	// checkpoint pipeline: the CH holds this many chunk buffers, so the
-	// transfer of batch k+1 overlaps the erasure fold of batch k (and the
-	// member's local copy of batch k+2 overlaps both). It also sizes the
-	// worker pool that performs the real parity folds. 1 removes all
-	// transfer/fold overlap at the CH: each chunk's transfer must wait for
-	// the previous chunk's fold to free the single buffer (member-side
-	// copies always pipeline ahead — the snapshot is staged in the
-	// member's own memory). Zero selects the default (4).
+	// StreamDepth is deprecated: set Stream.Depth.
 	StreamDepth int
 	// FullCheckpoints disables the incremental dirty-region checkpoint
 	// path: every checkpoint copies the whole window and folds all of it
@@ -130,16 +170,11 @@ type Config struct {
 	// (more concurrent group losses than the parity tolerates). Zero
 	// disables the level (the paper's diskless default).
 	PFSEveryN int
-	// LogSlabWords sizes the payload slabs of the per-rank log arena in
-	// 64-bit words. Zero selects the default (4096 words = 32 KiB).
+	// LogSlabWords is deprecated: set Log.SlabWords.
 	LogSlabWords int
-	// LogSegmentRecords is the capacity of one per-peer log ring segment
-	// in records. Zero selects the default (128).
+	// LogSegmentRecords is deprecated: set Log.SegmentRecords.
 	LogSegmentRecords int
-	// LogCompactFraction is the live-ratio threshold below which the log
-	// arena compacts its slabs (live payload words / allocated words).
-	// Zero selects the default (0.5), negative disables compaction; must
-	// stay below 1.
+	// LogCompactFraction is deprecated: set Log.CompactFraction.
 	LogCompactFraction float64
 	// PeerParityHosts moves each group's parity shards from the paper's
 	// dedicated (infallible) checksum processes onto elected peer ranks:
@@ -160,23 +195,64 @@ type Config struct {
 	TAwareLevel int
 }
 
-// withDefaults returns the configuration with every zero-valued tuning knob
-// resolved to its default. NewSystem normalizes through it before
-// validating, so zero always means "default", never "nonsense"; explicit
-// out-of-range values survive normalization and are rejected by Validate.
+// withDefaults returns the configuration with the deprecated flat knobs
+// folded into the grouped ones and every zero-valued tuning knob resolved
+// to its default. NewSystem normalizes through it before validating, so
+// zero always means "default", never "nonsense"; explicit out-of-range
+// values survive normalization and are rejected by Validate.
 func (c Config) withDefaults() Config {
-	if c.StreamDepth == 0 {
-		c.StreamDepth = 4
+	// Deprecation shim (one release): a flat knob takes effect only where
+	// its grouped field is unset, so grouped settings win on conflict.
+	if !c.Log.Puts {
+		c.Log.Puts = c.LogPuts
 	}
-	if c.LogSlabWords == 0 {
-		c.LogSlabWords = 4096
+	if !c.Log.Gets {
+		c.Log.Gets = c.LogGets
 	}
-	if c.LogSegmentRecords == 0 {
-		c.LogSegmentRecords = 128
+	if c.Log.BudgetBytes == 0 {
+		c.Log.BudgetBytes = c.LogBudgetBytes
 	}
-	if c.LogCompactFraction == 0 {
-		c.LogCompactFraction = 0.5
+	if c.Log.SlabWords == 0 {
+		c.Log.SlabWords = c.LogSlabWords
 	}
+	if c.Log.SegmentRecords == 0 {
+		c.Log.SegmentRecords = c.LogSegmentRecords
+	}
+	if c.Log.CompactFraction == 0 {
+		c.Log.CompactFraction = c.LogCompactFraction
+	}
+	if !c.Stream.Demand {
+		c.Stream.Demand = c.StreamingDemandCheckpoints
+	}
+	if c.Stream.ChunkBytes == 0 {
+		c.Stream.ChunkBytes = c.StreamChunkBytes
+	}
+	if c.Stream.Depth == 0 {
+		c.Stream.Depth = c.StreamDepth
+	}
+	if c.Stream.Depth == 0 {
+		c.Stream.Depth = 4
+	}
+	if c.Log.SlabWords == 0 {
+		c.Log.SlabWords = 4096
+	}
+	if c.Log.SegmentRecords == 0 {
+		c.Log.SegmentRecords = 128
+	}
+	if c.Log.CompactFraction == 0 {
+		c.Log.CompactFraction = 0.5
+	}
+	// Mirror the resolved values back onto the deprecated flat fields so
+	// stragglers reading them through a normalized Config keep working for
+	// the shim's lifetime.
+	c.LogPuts, c.LogGets = c.Log.Puts, c.Log.Gets
+	c.LogBudgetBytes = c.Log.BudgetBytes
+	c.LogSlabWords = c.Log.SlabWords
+	c.LogSegmentRecords = c.Log.SegmentRecords
+	c.LogCompactFraction = c.Log.CompactFraction
+	c.StreamingDemandCheckpoints = c.Stream.Demand
+	c.StreamChunkBytes = c.Stream.ChunkBytes
+	c.StreamDepth = c.Stream.Depth
 	return c
 }
 
@@ -195,31 +271,31 @@ func (c Config) Validate(n int) error {
 	if c.UseDaly && c.MTBF <= 0 {
 		return errors.New("ftrma: Daly's interval needs a positive MTBF")
 	}
-	if c.LogBudgetBytes < 0 {
-		return errors.New("ftrma: negative log budget")
+	if c.Log.BudgetBytes < 0 {
+		return fmt.Errorf("ftrma: Log.BudgetBytes %d is negative (zero means unlimited)", c.Log.BudgetBytes)
 	}
-	if c.StreamingDemandCheckpoints {
-		if c.StreamChunkBytes <= 0 {
-			return errors.New("ftrma: streaming demand checkpoints need a chunk size")
+	if c.Stream.Demand {
+		if c.Stream.ChunkBytes <= 0 {
+			return errors.New("ftrma: streaming demand checkpoints need a positive Stream.ChunkBytes")
 		}
-		if c.StreamChunkBytes%8 != 0 {
-			return fmt.Errorf("ftrma: stream chunk size %d bytes is not a multiple of the 8-byte word size", c.StreamChunkBytes)
+		if c.Stream.ChunkBytes%8 != 0 {
+			return fmt.Errorf("ftrma: Stream.ChunkBytes %d is not a multiple of the 8-byte word size", c.Stream.ChunkBytes)
 		}
 	}
-	if c.StreamDepth < 1 {
-		return fmt.Errorf("ftrma: stream depth %d, need at least one in-flight chunk batch", c.StreamDepth)
+	if c.Stream.Depth < 1 {
+		return fmt.Errorf("ftrma: Stream.Depth %d, need at least one in-flight chunk batch", c.Stream.Depth)
 	}
 	if c.PFSEveryN < 0 {
 		return errors.New("ftrma: negative PFS checkpoint cadence")
 	}
-	if c.LogSlabWords <= 0 {
-		return fmt.Errorf("ftrma: log slab size %d words must be positive", c.LogSlabWords)
+	if c.Log.SlabWords <= 0 {
+		return fmt.Errorf("ftrma: Log.SlabWords %d must be positive", c.Log.SlabWords)
 	}
-	if c.LogSegmentRecords <= 0 {
-		return fmt.Errorf("ftrma: log segment capacity %d records must be positive", c.LogSegmentRecords)
+	if c.Log.SegmentRecords <= 0 {
+		return fmt.Errorf("ftrma: Log.SegmentRecords %d must be positive", c.Log.SegmentRecords)
 	}
-	if c.LogCompactFraction >= 1 {
-		return errors.New("ftrma: log compaction fraction must stay below 1 (negative disables compaction)")
+	if c.Log.CompactFraction >= 1 {
+		return errors.New("ftrma: Log.CompactFraction must stay below 1 (negative disables compaction)")
 	}
 	if c.TAware {
 		if len(c.Placement.NodeOf) < n {
@@ -246,9 +322,9 @@ func (c Config) ResolvedLogTuning() (slabWords, segmentRecords int, compactFract
 func (c Config) logTuning() logTuning {
 	c = c.withDefaults()
 	return logTuning{
-		slabWords:    c.LogSlabWords,
-		segRecords:   c.LogSegmentRecords,
-		compactRatio: c.LogCompactFraction,
+		slabWords:    c.Log.SlabWords,
+		segRecords:   c.Log.SegmentRecords,
+		compactRatio: c.Log.CompactFraction,
 	}
 }
 

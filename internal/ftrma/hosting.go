@@ -199,7 +199,7 @@ type ParityHost interface {
 	// FoldRanges integrates one member's checkpoint change — old -> new at
 	// the given word ranges — into every shard. memberIdx is the member's
 	// shard position within the group (the Reed–Solomon column); workers
-	// bounds intra-fold concurrency (Config.StreamDepth). It reports
+	// bounds intra-fold concurrency (Config.Stream.Depth). It reports
 	// whether the residence still exists: false means the hosting process
 	// died and the shards are lost — the caller marks the level invalid
 	// and relies on the rebuild path. It must NOT panic on a dead

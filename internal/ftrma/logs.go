@@ -225,8 +225,8 @@ func (c trimCond) coversSeg(seg *segment) bool {
 
 // ---- Log store --------------------------------------------------------------
 
-// logTuning sizes the arena and ring segments; see Config.LogSlabWords,
-// Config.LogSegmentRecords, and Config.LogCompactFraction.
+// logTuning sizes the arena and ring segments; see Config.Log.SlabWords,
+// Config.Log.SegmentRecords, and Config.Log.CompactFraction.
 type logTuning struct {
 	slabWords    int
 	segRecords   int

@@ -89,7 +89,9 @@ func newProcess(s *System, inner *rma.Proc) *Process {
 	return p
 }
 
-// Rank, N, Local, Now, Compute, Barrier pass straight through.
+// Rank, N, Now, Compute, Barrier pass straight through. Local is the
+// concrete-type test hook (see rma.Proc.Local), deliberately off the
+// API interface.
 
 func (p *Process) Rank() int             { return p.inner.Rank() }
 func (p *Process) N() int                { return p.inner.N() }
@@ -168,7 +170,7 @@ func (p *Process) counters(target int) (ec, gc, sc, gnc int) {
 
 // Put intercepts a replacing put: log at the source (§3.2.3), then issue.
 func (p *Process) Put(target, off int, data []uint64) {
-	if p.sys.cfg.LogPuts {
+	if p.sys.cfg.Log.Puts {
 		p.logPut(target, off, data, rma.OpReplace)
 	}
 	p.inner.Put(target, off, data)
@@ -182,7 +184,7 @@ func (p *Process) PutValue(target, off int, v uint64) {
 // Accumulate intercepts a combining put; logging one sets M_p[target]
 // (§4.2).
 func (p *Process) Accumulate(target, off int, data []uint64, op rma.ReduceOp) {
-	if p.sys.cfg.LogPuts {
+	if p.sys.cfg.Log.Puts {
 		p.logPut(target, off, data, op)
 	}
 	p.inner.Accumulate(target, off, data, op)
@@ -239,7 +241,7 @@ func (p *Process) GetCopy(target, off, n, localOff int) []uint64 {
 // copy; either way the determinant's dest slice is filled at epoch close,
 // before appendLG reads it.
 func (p *Process) getCommon(target, off, n, localOff int, aliasRet bool) []uint64 {
-	if !p.sys.cfg.LogGets {
+	if !p.sys.cfg.Log.Gets {
 		switch {
 		case localOff >= 0 && aliasRet:
 			return p.inner.GetInto(target, off, n, localOff)
@@ -290,11 +292,11 @@ func (p *Process) setRemoteN(target int, v bool) {
 // combining accesses the M flag is raised, steering recovery to the
 // coordinated fallback (§4.2).
 func (p *Process) CompareAndSwap(target, off int, old, new uint64) uint64 {
-	if p.sys.cfg.LogPuts {
+	if p.sys.cfg.Log.Puts {
 		p.logAtomicPut(target, off, new)
 	}
 	prev := p.inner.CompareAndSwap(target, off, old, new)
-	if p.sys.cfg.LogGets {
+	if p.sys.cfg.Log.Gets {
 		p.logAtomicGet(target, off, prev)
 	}
 	return prev
@@ -305,7 +307,7 @@ func (p *Process) CompareAndSwap(target, off int, old, new uint64) uint64 {
 // the target; both are combining, so the M flag steers recovery to the
 // coordinated fallback (§4.2).
 func (p *Process) GetAccumulate(target, off int, data []uint64, op rma.ReduceOp) []uint64 {
-	if p.sys.cfg.LogPuts {
+	if p.sys.cfg.Log.Puts {
 		self := p.Rank()
 		p.inner.Lock(self, rma.StrLP)
 		ec, gc, sc, gnc := p.counters(target)
@@ -319,7 +321,7 @@ func (p *Process) GetAccumulate(target, off int, data []uint64, op rma.ReduceOp)
 		p.maybeDemandCheckpoint(after)
 	}
 	prev := p.inner.GetAccumulate(target, off, data, op)
-	if p.sys.cfg.LogGets {
+	if p.sys.cfg.Log.Gets {
 		ec, gc, sc, gnc := p.counters(target)
 		p.sys.procs[target].logs.AppendLG(p.Rank(), LogRecord{
 			Kind: LogAtomic, Src: p.Rank(), Trg: target, Off: off,
@@ -335,11 +337,11 @@ func (p *Process) GetAccumulate(target, off int, data []uint64, op rma.ReduceOp)
 
 // FetchAndOp intercepts the other atomic the same way.
 func (p *Process) FetchAndOp(target, off int, operand uint64, op rma.ReduceOp) uint64 {
-	if p.sys.cfg.LogPuts {
+	if p.sys.cfg.Log.Puts {
 		p.logAtomicPut(target, off, operand)
 	}
 	prev := p.inner.FetchAndOp(target, off, operand, op)
-	if p.sys.cfg.LogGets {
+	if p.sys.cfg.Log.Gets {
 		p.logAtomicGet(target, off, prev)
 	}
 	return prev

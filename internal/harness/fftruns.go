@@ -186,7 +186,7 @@ func Fig11a(sc Scale) Result {
 		w := rma.NewWorld(rma.Config{N: p, WindowWords: cfg.WindowWords()})
 		sys, err := ftrma.NewSystem(w, ftrma.Config{
 			Groups: chGroups(p, 12.5), ChecksumsPerGroup: 1,
-			LogPuts: true, LogBudgetBytes: budget,
+			Log: ftrma.LogConfig{Puts: true, BudgetBytes: budget},
 		})
 		if err != nil {
 			panic(err)
@@ -230,7 +230,8 @@ func Fig11b(sc Scale) Result {
 		}},
 		{name: "ftRMA", build: func(w *rma.World, cal fftCalibration) (func(int) rma.API, func() string) {
 			sys, err := ftrma.NewSystem(w, ftrma.Config{
-				Groups: cal.groups, ChecksumsPerGroup: 1, LogPuts: true,
+				Groups: cal.groups, ChecksumsPerGroup: 1,
+				Log: ftrma.LogConfig{Puts: true},
 			})
 			if err != nil {
 				panic(err)

@@ -138,7 +138,7 @@ func runKV(kind string, p int, sc Scale) float64 {
 	case "f-puts", "f-puts-gets":
 		sys, err := ftrma.NewSystem(w, ftrma.Config{
 			Groups: chGroups(p, 12.5), ChecksumsPerGroup: 1,
-			LogPuts: true, LogGets: kind == "f-puts-gets",
+			Log: ftrma.LogConfig{Puts: true, Gets: kind == "f-puts-gets"},
 		})
 		if err != nil {
 			panic(err)

@@ -26,7 +26,7 @@ func ResilienceCurve() Result {
 	for _, mtbf := range mtbfs {
 		rep, err := resilience.Simulate(resilience.Config{
 			Ranks: ranks, Iters: iters, MTBF: mtbf, Seed: 42,
-			FT: ftrma.Config{Groups: 2, ChecksumsPerGroup: 1, LogPuts: true},
+			FT: ftrma.Config{Groups: 2, ChecksumsPerGroup: 1, Log: ftrma.LogConfig{Puts: true}},
 		})
 		if err != nil {
 			res.Notes = append(res.Notes, fmt.Sprintf("mtbf %g: %v", mtbf, err))

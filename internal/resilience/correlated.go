@@ -101,7 +101,7 @@ func SimulateCorrelated(cfg CorrelatedConfig) (CorrelatedReport, error) {
 	ideal := ref.MaxTime()
 
 	w := rma.NewWorld(rma.Config{N: n, WindowWords: windowWords(n)})
-	ftCfg := ftrma.Config{Groups: cfg.Groups, ChecksumsPerGroup: 1, LogPuts: true}
+	ftCfg := ftrma.Config{Groups: cfg.Groups, ChecksumsPerGroup: 1, Log: ftrma.LogConfig{Puts: true}}
 	if cfg.CheckpointEveryIters > 0 {
 		// Calibrate the fixed interval from the fault-free iteration time.
 		ftCfg.FixedInterval = ideal / float64(cfg.Iters) * float64(cfg.CheckpointEveryIters) * 0.99
@@ -157,8 +157,8 @@ func SimulateCorrelated(cfg CorrelatedConfig) (CorrelatedReport, error) {
 	}
 	rep.Verified = true
 	for r := 0; r < n; r++ {
-		a := ref.Proc(r).Local()
-		b := w.Proc(r).Local()
+		a := ref.Proc(r).ReadAt(0, windowWords(n))
+		b := w.Proc(r).ReadAt(0, windowWords(n))
 		for i := range a {
 			if a[i] != b[i] {
 				rep.Verified = false

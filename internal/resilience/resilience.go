@@ -139,8 +139,8 @@ func Simulate(cfg Config) (Report, error) {
 	// Verify the final state against the fault-free reference.
 	rep.Verified = true
 	for r := 0; r < cfg.Ranks; r++ {
-		a := ref.Proc(r).Local()
-		b := w.Proc(r).Local()
+		a := ref.Proc(r).ReadAt(0, windowWords(cfg.Ranks))
+		b := w.Proc(r).ReadAt(0, windowWords(cfg.Ranks))
 		for i := range a {
 			if a[i] != b[i] {
 				rep.Verified = false

@@ -105,30 +105,35 @@ func (op ReduceOp) apply(old, operand uint64) uint64 {
 }
 
 // API is the programming interface applications are written against. It is
-// implemented by *Proc (the raw runtime, "no-FT") and by the fault-tolerance
-// layers (ftrma, scr, mlog), which intercept the calls exactly like a PMPI
-// shim intercepts MPI calls (§6.1).
+// implemented by *Proc (the raw runtime, "no-FT"), by the fault-tolerance
+// layers (ftrma, scr, mlog) — which intercept the calls exactly like a PMPI
+// shim intercepts MPI calls (§6.1) — and by the fabric's symmetric Node.
+//
+// The local-memory surface is deliberately orthogonal: every interface
+// path in and out of the local window (ReadAt, WriteAt, GetCopy's
+// landing) is non-aliasing, so an implementation's dirty tracking stays
+// exact and a distributed implementation never has to pin window memory
+// in the caller's address space. The aliasing escape hatches — Local()
+// (the raw window slice) and GetInto (a get landing that aliases the
+// window) — are not part of the interface: Local survives only as a
+// concrete-type test hook on the in-process implementations, and GetInto
+// is interface-level but documented as unsupported by implementations
+// that cannot alias (the fabric rejects it; use GetCopy).
 type API interface {
 	// Rank returns this process's rank.
 	Rank() int
 	// N returns the number of application-visible ranks.
 	N() int
-	// Local returns the local window. Direct reads/writes model the
-	// paper's internal read/write actions. Handing out the raw slice lets
-	// writes bypass the runtime, so it permanently downgrades dirty
-	// tracking to content diffing; read-only consumers should use ReadAt.
-	Local() []uint64
 	// ReadAt returns a copy of n words of the local window starting at
 	// off, read atomically with respect to concurrent remote accesses.
-	// Unlike Local, the returned slice does not alias the window, so
-	// generation-stamp dirty tracking is preserved.
+	// The returned slice does not alias the window, so generation-stamp
+	// dirty tracking is preserved.
 	ReadAt(off, n int) []uint64
 	// WriteAt stores data at off in the local window through the runtime,
 	// atomically with respect to concurrent remote accesses. It is the
-	// write-path counterpart of ReadAt: because the write goes through the
-	// runtime, the window's generation-stamp dirty tracking stays exact —
-	// writer applications should prefer ReadAt/WriteAt over mutating
-	// Local()'s alias.
+	// write-path counterpart of ReadAt: because the write goes through
+	// the runtime, the window's generation-stamp dirty tracking stays
+	// exact.
 	WriteAt(off int, data []uint64)
 
 	// Put transfers data into target's window at word offset off
@@ -147,7 +152,9 @@ type API interface {
 	// when the epoch closes. The returned slice aliases the local window,
 	// which permanently downgrades the window's dirty tracking from
 	// generation stamps to content diffing; get-heavy applications that
-	// do not need the alias should use GetCopy instead.
+	// do not need the alias should use GetCopy instead. Implementations
+	// whose window cannot be aliased (the fabric runtime) panic here —
+	// GetCopy is the portable spelling.
 	GetInto(target, off, n, localOff int) []uint64
 	// GetCopy is the non-aliasing variant of GetInto: the data still lands
 	// in the local window at localOff (recoverable memory), but the

@@ -138,11 +138,12 @@ func (p *Proc) AdvanceTo(t float64) {
 	p.clock.AdvanceTo(t)
 }
 
-// Local returns the rank's own window. See LocalRead/LocalWrite for
-// accesses that must be atomic with respect to concurrent remote accesses.
-// Handing out the raw slice lets writes bypass the runtime, so it also
-// downgrades the window's dirty tracking from write stamps to exact content
-// comparison (see LocalReadDirty).
+// Local returns the rank's own window. It is a concrete-type test hook,
+// deliberately absent from the API interface: handing out the raw slice
+// lets writes bypass the runtime, which downgrades the window's dirty
+// tracking from write stamps to exact content comparison (see
+// LocalReadDirty). Applications use ReadAt/WriteAt (non-aliasing,
+// tracking-exact); tests poking window internals use Local.
 func (p *Proc) Local() []uint64 {
 	p.checkAlive()
 	return p.world.windows[p.rank].alias()

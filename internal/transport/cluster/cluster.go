@@ -91,6 +91,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/fabric"
 	"repro/internal/ftrma"
 	"repro/internal/rma"
 	"repro/internal/transport/wire"
@@ -109,6 +110,17 @@ const (
 	rankFinished                    // all phases completed
 )
 
+// TransportConfig groups the wire-level liveness knobs (Config.Transport):
+// the heartbeat beacon and the failure detector's patience.
+type TransportConfig struct {
+	// HeartbeatInterval is the liveness beacon period on worker
+	// connections; with HeartbeatMiss it sets the failure detector's
+	// patience. Defaults: 50ms and 10 (500ms of silence condemns a rank;
+	// a kill -9's connection reset is usually caught instantly).
+	HeartbeatInterval time.Duration
+	HeartbeatMiss     int
+}
+
 // Config describes a Coordinator.
 type Config struct {
 	// Listen is the address workers dial ("127.0.0.1:0" for tests).
@@ -121,12 +133,16 @@ type Config struct {
 	// cluster default (logging on, streaming demand checkpoints, a
 	// coordinated checkpoint at every phase gsync).
 	FT *ftrma.Config
-	// HeartbeatInterval is the liveness beacon period on worker
-	// connections; with HeartbeatMiss it sets the failure detector's
-	// patience. Defaults: 50ms and 10 (500ms of silence condemns a rank;
-	// a kill -9's connection reset is usually caught instantly).
+	// Transport groups the wire-level liveness knobs.
+	Transport TransportConfig
+	// Fabric groups the symmetric (coordinatorless) runtime's membership
+	// knobs; only the fabric path (NewFabricSeed / RunFabricWorker) reads
+	// them.
+	Fabric fabric.Tuning
+	// HeartbeatInterval is deprecated: set Transport.HeartbeatInterval.
 	HeartbeatInterval time.Duration
-	HeartbeatMiss     int
+	// HeartbeatMiss is deprecated: set Transport.HeartbeatMiss.
+	HeartbeatMiss int
 	// Timeout aborts the whole run if it has not completed in time (a
 	// missing replacement worker parks the cluster forever otherwise).
 	// Zero means no limit.
@@ -134,12 +150,23 @@ type Config struct {
 }
 
 func (c Config) withDefaults() Config {
-	if c.HeartbeatInterval == 0 {
-		c.HeartbeatInterval = 50 * time.Millisecond
+	// One-release deprecation shim: flat heartbeat knobs fold into the
+	// Transport group where the group is unset.
+	if c.Transport.HeartbeatInterval == 0 {
+		c.Transport.HeartbeatInterval = c.HeartbeatInterval
 	}
-	if c.HeartbeatMiss == 0 {
-		c.HeartbeatMiss = 10
+	if c.Transport.HeartbeatMiss == 0 {
+		c.Transport.HeartbeatMiss = c.HeartbeatMiss
 	}
+	if c.Transport.HeartbeatInterval == 0 {
+		c.Transport.HeartbeatInterval = 50 * time.Millisecond
+	}
+	if c.Transport.HeartbeatMiss == 0 {
+		c.Transport.HeartbeatMiss = 10
+	}
+	c.HeartbeatInterval = c.Transport.HeartbeatInterval
+	c.HeartbeatMiss = c.Transport.HeartbeatMiss
+	c.Fabric = c.Fabric.WithDefaults()
 	return c
 }
 
@@ -157,14 +184,17 @@ func (c Config) Validate() error {
 	if err := c.Workload.Validate(); err != nil {
 		return err
 	}
-	if c.HeartbeatInterval < 0 {
-		return fmt.Errorf("cluster: negative heartbeat interval %v", c.HeartbeatInterval)
+	if c.Transport.HeartbeatInterval < 0 {
+		return fmt.Errorf("cluster: negative heartbeat interval (Transport.HeartbeatInterval) %v", c.Transport.HeartbeatInterval)
 	}
-	if c.HeartbeatMiss < 1 {
-		return fmt.Errorf("cluster: heartbeat miss count %d, need at least 1 interval of patience", c.HeartbeatMiss)
+	if c.Transport.HeartbeatMiss < 1 {
+		return fmt.Errorf("cluster: Transport.HeartbeatMiss %d, need at least 1 interval of patience", c.Transport.HeartbeatMiss)
 	}
 	if c.Timeout < 0 {
 		return fmt.Errorf("cluster: negative timeout %v", c.Timeout)
+	}
+	if err := c.Fabric.Validate(); err != nil {
+		return err
 	}
 	if c.FT != nil {
 		if err := c.FT.Validate(c.Workload.Ranks); err != nil {
@@ -184,15 +214,12 @@ func defaultFT(n int) ftrma.Config {
 		groups = 1
 	}
 	return ftrma.Config{
-		Groups:                     groups,
-		ChecksumsPerGroup:          1,
-		LogPuts:                    true,
-		LogGets:                    true,
-		Scheme:                     ftrma.CCGsync,
-		FixedInterval:              1e-12,
-		LogBudgetBytes:             2 << 10,
-		StreamingDemandCheckpoints: true,
-		StreamChunkBytes:           512,
+		Groups:            groups,
+		ChecksumsPerGroup: 1,
+		Log:               ftrma.LogConfig{Puts: true, Gets: true, BudgetBytes: 2 << 10},
+		Stream:            ftrma.StreamConfig{Demand: true, ChunkBytes: 512},
+		Scheme:            ftrma.CCGsync,
+		FixedInterval:     1e-12,
 	}
 }
 
@@ -430,8 +457,8 @@ func (c *Coordinator) acceptLoop() {
 				<-ready
 				return sess.handle(t, payload)
 			},
-			Heartbeat:   c.cfg.HeartbeatInterval,
-			ReadTimeout: time.Duration(c.cfg.HeartbeatMiss) * c.cfg.HeartbeatInterval,
+			Heartbeat:   c.cfg.Transport.HeartbeatInterval,
+			ReadTimeout: time.Duration(c.cfg.Transport.HeartbeatMiss) * c.cfg.Transport.HeartbeatInterval,
 			OnDown: func(error) {
 				c.mu.Lock()
 				r := sess.rank

@@ -1,0 +1,226 @@
+package cluster
+
+// Coordinatorless kill -9 smoke: N worker processes bootstrap through a
+// seed, then run the causal workload entirely peer-to-peer. The test
+// SIGKILLs a live rank mid-run — including rank 0, the bootstrap seed's
+// first-assigned rank and the fabric's default crisis arbiter — starts a
+// replacement that joins through a surviving member, and demands the
+// final windows match the failure-free oracle bit for bit with the seed
+// serving zero frames after bootstrap (for the rank-0 case the seed is
+// closed outright before the kill, so no coordinator is even alive).
+
+import (
+	"os"
+	"os/exec"
+	"testing"
+	"time"
+
+	"repro/internal/fabric"
+	"repro/internal/transport"
+)
+
+// spawnFabricWorker launches one symmetric worker joining through addr.
+func spawnFabricWorker(t *testing.T, addr string) *exec.Cmd {
+	t.Helper()
+	cmd := exec.Command(os.Args[0], "-test.run=TestMain")
+	cmd.Env = append(os.Environ(), fabricWorkerEnv+"="+addr)
+	cmd.Stdout = os.Stderr
+	cmd.Stderr = os.Stderr
+	if err := cmd.Start(); err != nil {
+		t.Fatalf("spawn fabric worker: %v", err)
+	}
+	return cmd
+}
+
+// awaitFabricBootstrap spawns the workers one at a time (so OS process i
+// holds rank i) and returns the bootstrapped membership.
+func awaitFabricBootstrap(t *testing.T, seed *fabric.Seed, ranks int) ([]*exec.Cmd, []fabric.Member) {
+	t.Helper()
+	procs := make([]*exec.Cmd, ranks)
+	for i := range procs {
+		procs[i] = spawnFabricWorker(t, seed.Addr())
+		deadline := time.Now().Add(30 * time.Second)
+		for seed.Joined() < i+1 {
+			if time.Now().After(deadline) {
+				t.Fatalf("worker %d did not join within 30s", i)
+			}
+			time.Sleep(10 * time.Millisecond)
+		}
+	}
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		if ms := seed.Members(); len(ms) == ranks {
+			return procs, ms
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("bootstrap rendezvous did not complete within 30s")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// awaitWatermark polls the member at addr until every live rank's
+// watermark (completed epochs) reaches wm — "the run is mid-flight".
+func awaitWatermark(t *testing.T, addr string, wm int) {
+	t.Helper()
+	d := transport.NetDialer{}
+	deadline := time.Now().Add(60 * time.Second)
+	for {
+		ms, _, err := fabric.FetchMembers(d, addr)
+		if err == nil && len(ms) > 0 {
+			min := int(^uint(0) >> 1)
+			for _, m := range ms {
+				if m.Alive && m.Watermark < min {
+					min = m.Watermark
+				}
+			}
+			if min >= wm {
+				return
+			}
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("fabric never reached watermark %d (last err %v)", wm, err)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}
+
+// smokeTuning is the fabric timing for the multi-process smokes: a
+// kill -9 is detected instantly through the TCP reset, so the lease is
+// pure backstop and can be generous — the full test suite runs many
+// packages in parallel and a starved worker process must not read as a
+// death.
+var smokeTuning = fabric.Tuning{
+	LeaseInterval:  250 * time.Millisecond,
+	LeaseMiss:      40, // 10s of patience before a silent peer is condemned
+	GossipInterval: 25 * time.Millisecond,
+}
+
+// TestClusterCoordinatorlessKill9 is the symmetric fabric's acceptance
+// test: a multi-rank tcp run survives kill -9 of any single rank via
+// peer-to-peer causal replay, with the seed's frame counter frozen after
+// bootstrap (steady state makes zero coordinator round trips).
+func TestClusterCoordinatorlessKill9(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-process fabric smoke skipped in -short")
+	}
+	wl := Workload{Ranks: 4, Phases: 10, InsertsPerPhase: 4, PhaseDelay: 100 * time.Millisecond, Mode: ModeCausal}
+	for _, tc := range []struct {
+		name      string
+		victim    int
+		closeSeed bool // close the seed before the kill: no coordinator alive at all
+	}{
+		{"victim-rank0-seed-closed", 0, true},
+		{"victim-last-seed-idle", wl.Ranks - 1, false},
+	} {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			seed, err := NewFabricSeed(Config{Listen: "127.0.0.1:0", Workload: wl, Fabric: smokeTuning})
+			if err != nil {
+				t.Fatalf("fabric seed: %v", err)
+			}
+			defer seed.Close()
+			procs, members := awaitFabricBootstrap(t, seed, wl.Ranks)
+			for _, p := range procs {
+				defer p.Process.Kill()
+			}
+			frames := seed.FramesServed()
+			if frames != uint64(wl.Ranks) {
+				t.Fatalf("bootstrap served %d frames, want exactly %d (one per join)", frames, wl.Ranks)
+			}
+			if tc.closeSeed {
+				seed.Close()
+			}
+			survivor := members[(tc.victim+1)%wl.Ranks].Addr
+
+			awaitWatermark(t, survivor, 2)
+			if err := procs[tc.victim].Process.Kill(); err != nil { // SIGKILL
+				t.Fatalf("kill rank %d: %v", tc.victim, err)
+			}
+			procs[tc.victim].Wait()
+			t.Logf("killed rank %d, spawning replacement via %s", tc.victim, survivor)
+			repl := spawnFabricWorker(t, survivor)
+			defer repl.Process.Kill()
+
+			got, err := CollectFabric(survivor, wl, 90*time.Second)
+			if err != nil {
+				t.Fatalf("collect: %v", err)
+			}
+			compareToOracle(t, wl, got)
+
+			// The recovery really was a fabric crisis: the victim's rank
+			// must be back under a bumped incarnation.
+			ms, _, err := fabric.FetchMembers(transport.NetDialer{}, survivor)
+			if err != nil {
+				t.Fatalf("members after recovery: %v", err)
+			}
+			for _, m := range ms {
+				if m.Rank == tc.victim {
+					if !m.Alive || m.Incarnation < 1 {
+						t.Fatalf("victim rank %d after recovery: %+v", tc.victim, m)
+					}
+				}
+			}
+			if !tc.closeSeed {
+				if after := seed.FramesServed(); after != frames {
+					t.Fatalf("seed served %d frames after bootstrap — steady state is not coordinatorless", after-frames)
+				}
+			}
+
+			ShutdownFabric(survivor)
+			for i, p := range procs {
+				if i == tc.victim {
+					continue
+				}
+				if err := p.Wait(); err != nil {
+					t.Fatalf("survivor rank %d exited: %v", i, err)
+				}
+			}
+			if err := repl.Wait(); err != nil {
+				t.Fatalf("replacement exited: %v", err)
+			}
+		})
+	}
+}
+
+// TestClusterFabricFaultFree runs the symmetric fabric to completion
+// with no faults: bit-identical windows, zero recoveries, frozen seed.
+func TestClusterFabricFaultFree(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-process fabric smoke skipped in -short")
+	}
+	wl := Workload{Ranks: 4, Phases: 6, InsertsPerPhase: 5, Mode: ModeCausal}
+	seed, err := NewFabricSeed(Config{Listen: "127.0.0.1:0", Workload: wl, Fabric: smokeTuning})
+	if err != nil {
+		t.Fatalf("fabric seed: %v", err)
+	}
+	defer seed.Close()
+	procs, members := awaitFabricBootstrap(t, seed, wl.Ranks)
+	for _, p := range procs {
+		defer p.Process.Kill()
+	}
+	frames := seed.FramesServed()
+	got, err := CollectFabric(members[0].Addr, wl, 60*time.Second)
+	if err != nil {
+		t.Fatalf("collect: %v", err)
+	}
+	compareToOracle(t, wl, got)
+	if after := seed.FramesServed(); after != frames {
+		t.Fatalf("seed served %d frames after bootstrap", after-frames)
+	}
+	ms, _, err := fabric.FetchMembers(transport.NetDialer{}, members[0].Addr)
+	if err != nil {
+		t.Fatalf("members: %v", err)
+	}
+	for _, m := range ms {
+		if !m.Alive || m.Incarnation != 0 {
+			t.Fatalf("fault-free run perturbed membership: %+v", m)
+		}
+	}
+	ShutdownFabric(members[0].Addr)
+	for i, p := range procs {
+		if err := p.Wait(); err != nil {
+			t.Fatalf("rank %d exited: %v", i, err)
+		}
+	}
+}

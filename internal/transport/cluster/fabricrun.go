@@ -1,0 +1,181 @@
+package cluster
+
+// Coordinatorless execution: the same causal Workload, run on the
+// symmetric fabric instead of the hub-and-spoke coordinator. The seed
+// only performs the bootstrap rendezvous (NewFabricSeed); every phase,
+// checkpoint, failure detection, and recovery afterwards is peer-to-peer
+// among the RunFabricWorker processes. The collection path is symmetric
+// too: each rank is the sole authority for its own window, so final
+// state is gathered with one fabric.FetchWindow per member.
+
+import (
+	"fmt"
+	"net"
+	"time"
+
+	"repro/internal/fabric"
+	"repro/internal/transport"
+	"repro/internal/transport/wire"
+)
+
+// encodeWorkloadMeta packs the Workload into the opaque seed Meta blob
+// every joining rank receives, so workers need no side channel to learn
+// what to run.
+func encodeWorkloadMeta(wl Workload) []byte {
+	var e wire.Enc
+	e.B(byte(wl.Mode))
+	e.I(wl.Ranks)
+	e.I(wl.Phases)
+	e.I(wl.InsertsPerPhase)
+	e.I(wl.TableSlots)
+	e.I(int(wl.PhaseDelay))
+	return e.Bytes()
+}
+
+// decodeWorkloadMeta is the worker-side inverse.
+func decodeWorkloadMeta(meta []byte) (Workload, error) {
+	d := wire.NewDec(meta)
+	wl := Workload{
+		Mode:            WorkloadMode(d.B()),
+		Ranks:           d.I(),
+		Phases:          d.I(),
+		InsertsPerPhase: d.I(),
+		TableSlots:      d.I(),
+		PhaseDelay:      time.Duration(d.I()),
+	}
+	if d.Failed() {
+		return Workload{}, fmt.Errorf("cluster: undecodable fabric workload meta")
+	}
+	return wl, wl.Validate()
+}
+
+// fabricGroups mirrors the coordinator's default parity grouping so the
+// two runtimes protect the same workload with the same redundancy.
+func fabricGroups(n int) int { return defaultFT(n).Groups }
+
+// NewFabricSeed starts the bootstrap rendezvous for a coordinatorless
+// run of cfg.Workload. Only ModeCausal is supported: the symmetric
+// fabric deliberately carries no lock manager or combining pipeline (the
+// coordinator runtime remains the reference for those), and the causal
+// mode is the one whose recovery is pure peer-to-peer replay.
+func NewFabricSeed(cfg Config) (*fabric.Seed, error) {
+	cfg = cfg.withDefaults()
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.Workload.Mode != ModeCausal {
+		return nil, fmt.Errorf("cluster: the fabric runtime supports only the causal workload mode, got mode %d", cfg.Workload.Mode)
+	}
+	ln := cfg.Listener
+	if ln == nil {
+		var err error
+		if ln, err = net.Listen("tcp", cfg.Listen); err != nil {
+			return nil, err
+		}
+	}
+	return fabric.NewSeed(fabric.SeedConfig{
+		N:           cfg.Workload.Ranks,
+		WindowWords: cfg.Workload.WindowWords(),
+		Groups:      fabricGroups(cfg.Workload.Ranks),
+		Tuning:      cfg.Fabric,
+		Meta:        encodeWorkloadMeta(cfg.Workload),
+		Listener:    ln,
+	})
+}
+
+// RunFabricWorker joins the fabric through joinAddr (the seed during
+// bootstrap, any surviving member when rejoining as a replacement), runs
+// the causal workload from its resume phase — phase 0 for a fresh rank,
+// the first un-checkpointed phase for a replacement installed by the
+// crisis arbiter — and parks until the run-over notify. logf may be nil.
+func RunFabricWorker(joinAddr string, logf func(format string, args ...any)) error {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+	nd, err := fabric.Join(fabric.JoinConfig{
+		Join:     joinAddr,
+		Addr:     ln.Addr().String(),
+		Listener: ln,
+		Dialer:   transport.NetDialer{},
+		Logf:     logf,
+	})
+	if err != nil {
+		return err
+	}
+	defer nd.Close()
+	wl, err := decodeWorkloadMeta(nd.Meta())
+	if err != nil {
+		return err
+	}
+	if wl.Mode != ModeCausal {
+		return fmt.Errorf("cluster: fabric worker got workload mode %d, supports only causal", wl.Mode)
+	}
+	for p := nd.Phase(); p < wl.Phases; p++ {
+		if err := wl.RunPhase(nd, nil, nd.Rank(), p); err != nil {
+			return err
+		}
+		if err := nd.Sync(); err != nil {
+			return err
+		}
+	}
+	nd.AwaitShutdown()
+	return nil
+}
+
+// CollectFabric gathers the final windows of a finished coordinatorless
+// run: it polls any member for the membership table until every rank's
+// watermark reaches phases (each completed epoch bumps it by one), then
+// fetches every member's self-hosted window. Returns the windows in rank
+// order.
+func CollectFabric(anyAddr string, wl Workload, timeout time.Duration) ([][]uint64, error) {
+	d := transport.NetDialer{}
+	deadline := time.Now().Add(timeout)
+	var members []fabric.Member
+	for {
+		ms, _, err := fabric.FetchMembers(d, anyAddr)
+		if err == nil && len(ms) == wl.Ranks {
+			done := true
+			for _, m := range ms {
+				if !m.Alive || m.Watermark < wl.Phases {
+					done = false
+					break
+				}
+			}
+			if done {
+				members = ms
+				break
+			}
+		}
+		if time.Now().After(deadline) {
+			return nil, fmt.Errorf("cluster: fabric run did not finish within %v (members %+v, err %v)", timeout, members, err)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	out := make([][]uint64, wl.Ranks)
+	for _, m := range members {
+		w, err := fabric.FetchWindow(d, m.Addr)
+		if err != nil {
+			return nil, fmt.Errorf("cluster: fetch rank %d window: %v", m.Rank, err)
+		}
+		if len(w) != wl.WindowWords() {
+			return nil, fmt.Errorf("cluster: rank %d window has %d words, want %d", m.Rank, len(w), wl.WindowWords())
+		}
+		out[m.Rank] = w
+	}
+	return out, nil
+}
+
+// ShutdownFabric tells every member the run is over (best effort).
+func ShutdownFabric(anyAddr string) {
+	d := transport.NetDialer{}
+	ms, _, err := fabric.FetchMembers(d, anyAddr)
+	if err != nil {
+		return
+	}
+	for _, m := range ms {
+		if m.Alive {
+			fabric.NotifyShutdown(d, m.Addr)
+		}
+	}
+}

@@ -17,14 +17,28 @@ import (
 	"time"
 )
 
-const workerEnv = "REPRO_CLUSTER_WORKER"
+const (
+	workerEnv       = "REPRO_CLUSTER_WORKER"
+	fabricWorkerEnv = "REPRO_FABRIC_WORKER"
+)
 
 // TestMain turns the test binary into a rankd worker when re-executed
-// with the address environment variable set.
+// with an address environment variable set: a coordinator-attached
+// worker under workerEnv, a symmetric fabric worker under
+// fabricWorkerEnv (whose value is the seed — or, for a replacement, any
+// surviving member — to join through).
 func TestMain(m *testing.M) {
 	if addr := os.Getenv(workerEnv); addr != "" {
 		if err := RunWorker(DialConfig{Addr: addr}); err != nil {
 			fmt.Fprintf(os.Stderr, "cluster worker: %v\n", err)
+			os.Exit(1)
+		}
+		os.Exit(0)
+	}
+	if addr := os.Getenv(fabricWorkerEnv); addr != "" {
+		logf := func(format string, args ...any) { fmt.Fprintf(os.Stderr, "fabric worker: "+format+"\n", args...) }
+		if err := RunFabricWorker(addr, logf); err != nil {
+			fmt.Fprintf(os.Stderr, "fabric worker: %v\n", err)
 			os.Exit(1)
 		}
 		os.Exit(0)

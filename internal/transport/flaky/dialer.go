@@ -1,0 +1,110 @@
+package flaky
+
+import (
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/transport"
+)
+
+// Dialer wraps a transport.Dialer with per-address fault injection, for
+// driving the wire layer's lease/heartbeat failure detector in tests
+// without killing a process. Two faults are supported:
+//
+//   - Refuse: dials towards the address fail immediately, as if the
+//     listener were gone.
+//   - Mute: the address is blackholed — connections towards it (already
+//     open ones included) silently discard every write and deliver no
+//     reads. The conn stays "up" at the socket level, so the only way the
+//     user of the conn notices is its own read deadline expiring: exactly
+//     the silent-peer scenario the heartbeat + lease detector exists for.
+//
+// Both faults are keyed by dial address (the same dialer-specific syntax
+// the wrapped Dialer speaks) and can be set and cleared at runtime.
+type Dialer struct {
+	inner transport.Dialer
+
+	mu     sync.Mutex
+	faults map[string]*addrFault
+}
+
+type addrFault struct {
+	muted  atomic.Bool
+	refuse atomic.Bool
+}
+
+var _ transport.Dialer = (*Dialer)(nil)
+
+// WrapDialer wraps inner; with no faults set it is transparent.
+func WrapDialer(inner transport.Dialer) *Dialer {
+	return &Dialer{inner: inner, faults: make(map[string]*addrFault)}
+}
+
+func (d *Dialer) fault(addr string) *addrFault {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	f := d.faults[addr]
+	if f == nil {
+		f = &addrFault{}
+		d.faults[addr] = f
+	}
+	return f
+}
+
+// Mute blackholes addr: every current and future conn dialed to it
+// discards writes and starves reads until Unmute.
+func (d *Dialer) Mute(addr string) { d.fault(addr).muted.Store(true) }
+
+// Unmute lifts a Mute. Frames sent while muted are gone, not delayed.
+func (d *Dialer) Unmute(addr string) { d.fault(addr).muted.Store(false) }
+
+// Refuse makes future dials towards addr fail immediately.
+func (d *Dialer) Refuse(addr string) { d.fault(addr).refuse.Store(true) }
+
+// Unrefuse lifts a Refuse.
+func (d *Dialer) Unrefuse(addr string) { d.fault(addr).refuse.Store(false) }
+
+// Dial implements transport.Dialer.
+func (d *Dialer) Dial(addr string) (net.Conn, error) {
+	f := d.fault(addr)
+	if f.refuse.Load() {
+		return nil, fmt.Errorf("flaky: dial %s refused by fault injection", addr)
+	}
+	nc, err := d.inner.Dial(addr)
+	if err != nil {
+		return nil, err
+	}
+	return &muteConn{Conn: nc, fault: f}, nil
+}
+
+// muteConn starves its user while the address is muted: writes report
+// success without transmitting, reads discard whatever arrives and keep
+// waiting, so the caller's read deadline — not an error — is what fires.
+type muteConn struct {
+	net.Conn
+	fault *addrFault
+}
+
+func (c *muteConn) Read(b []byte) (int, error) {
+	for {
+		n, err := c.Conn.Read(b)
+		if !c.fault.muted.Load() {
+			return n, err
+		}
+		if err != nil {
+			// Deadline expiries and closes surface even while muted — the
+			// fault models a silent peer, not a hung kernel.
+			return 0, err
+		}
+		// Data arrived while muted: drop it and keep starving the caller.
+	}
+}
+
+func (c *muteConn) Write(b []byte) (int, error) {
+	if c.fault.muted.Load() {
+		return len(b), nil
+	}
+	return c.Conn.Write(b)
+}

@@ -5,8 +5,11 @@ import (
 	"net"
 	"os"
 	"path/filepath"
+	"strconv"
 	"sync"
 	"time"
+
+	"repro/internal/transport"
 )
 
 // FabricConfig tunes a Fabric. The zero value is usable.
@@ -118,6 +121,27 @@ func (f *Fabric) Close() error {
 
 // listener returns rank's accept side.
 func (f *Fabric) listener(rank int) net.Listener { return f.listeners[rank] }
+
+// Listener exposes rank's accept side for runtimes that drive the wire
+// protocol directly over the fabric (the symmetric fabric's in-process
+// conformance scenarios).
+func (f *Fabric) Listener(rank int) net.Listener { return f.listener(rank) }
+
+// Dialer returns the transport.Dialer of one endpoint id: addresses are
+// decimal endpoint ids ("0", "1", ...), each dial opening a fresh
+// two-ring region towards that endpoint's listener. It is the ring-pair
+// counterpart of transport.NetDialer — the shm transport plugs it into
+// the tcp protocol engine, and the symmetric fabric can dial its peers
+// through it unchanged.
+func (f *Fabric) Dialer(self int) transport.Dialer {
+	return transport.DialerFunc(func(addr string) (net.Conn, error) {
+		dst, err := strconv.Atoi(addr)
+		if err != nil {
+			return nil, fmt.Errorf("shm: dial address %q: want a decimal endpoint id", addr)
+		}
+		return f.dial(self, dst)
+	})
+}
 
 // dial creates one duplex connection src->dst: a fresh two-ring region,
 // the dialer's endpoint returned, the acceptor's endpoint queued on dst's

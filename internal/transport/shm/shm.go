@@ -7,8 +7,8 @@
 // dialed connection, each holding two single-producer single-consumer
 // byte rings (one per direction) with atomic head/tail cursors on
 // separate cache lines. A connection is a net.Conn over a ring pair, and
-// the tcp transport's Dial seam plugs it in — shm.Peer IS a tcp.Peer
-// whose bytes travel through memory. Everything above the conn (framing,
+// the transport.Dialer seam plugs it in — shm.Peer IS a tcp.Peer whose
+// bytes travel through memory. Everything above the conn (framing,
 // call matching, scatter/gather, heartbeats, peer-death bookkeeping) is
 // shared code, which is what keeps the three transports bit-identical
 // under the conformance suite.
@@ -26,7 +26,7 @@ package shm
 
 import (
 	"fmt"
-	"net"
+	"strconv"
 	"time"
 
 	"repro/internal/transport"
@@ -86,12 +86,20 @@ func New(cfg Config) (*Peer, error) {
 		return nil, err
 	}
 	f := cfg.Fabric
-	self := cfg.Self
+	// Peer addresses on the shm fabric are endpoint ids; the fabric's
+	// Dialer turns them back into ring pairs.
+	peers := make(map[int]string, cfg.N)
+	for r := 0; r < cfg.N; r++ {
+		if r != cfg.Self {
+			peers[r] = strconv.Itoa(r)
+		}
+	}
 	p, err := tcp.New(tcp.Config{
 		Self:              cfg.Self,
 		N:                 cfg.N,
 		Listener:          f.listener(cfg.Self),
-		Dial:              func(target int) (net.Conn, error) { return f.dial(self, target) },
+		Peers:             peers,
+		Dialer:            f.Dialer(cfg.Self),
 		Local:             cfg.Local,
 		HeartbeatInterval: cfg.HeartbeatInterval,
 		HeartbeatMiss:     cfg.HeartbeatMiss,

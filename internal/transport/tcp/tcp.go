@@ -24,9 +24,10 @@
 // it fails with transport.PeerDeadError, which the rma runtime maps onto
 // its fail-stop TargetFailedError.
 //
-// The dialing side is a seam: Config.Dial substitutes any net.Conn
-// factory for the TCP socket, which is how the shm transport speaks this
-// exact protocol over shared-memory rings.
+// The dialing side is a seam: Config.Dialer (a transport.Dialer)
+// substitutes any net.Conn factory for the TCP socket, which is how the
+// shm transport speaks this exact protocol over shared-memory rings and
+// how the flaky package injects connection-level faults.
 package tcp
 
 import (
@@ -62,12 +63,21 @@ type Config struct {
 	// to an address ("127.0.0.1:0") and New binds it.
 	Listener net.Listener
 	Listen   string
-	// Peers maps rank -> dial address for every other rank.
+	// Peers maps rank -> dial address for every other rank. The address
+	// syntax belongs to the Dialer (host:port for the default TCP dialer).
 	Peers map[int]string
-	// Dial, when set, replaces socket dialing: the transport calls it to
-	// reach target and speaks the same framed protocol over the returned
-	// conn. The shm transport plugs its ring pairs in here; Peers is then
-	// not consulted.
+	// Dialer establishes peer connections from the Peers addresses; nil
+	// means transport.NetDialer (a TCP socket per peer, DialTimeout
+	// bounded). The shm transport plugs its ring-pair dialer in here, and
+	// the flaky package wraps any Dialer with fault injection — one
+	// constructor, three media.
+	Dialer transport.Dialer
+	// Dial, when set, replaces socket dialing by target rank; Peers is
+	// then not consulted.
+	//
+	// Deprecated: implement transport.Dialer and set Dialer (with Peers
+	// carrying the dialer's addresses) instead. This shim is removed next
+	// release.
 	Dial func(target int) (net.Conn, error)
 	// Local handles operations that target Self (and is served to remote
 	// peers). Typically the world's loopback over its window endpoints.
@@ -130,7 +140,7 @@ func (c Config) Validate() error {
 		if r < 0 || r >= c.N {
 			return fmt.Errorf("tcp: peer rank %d outside world of %d ranks", r, c.N)
 		}
-		if c.Dial == nil {
+		if c.Dial == nil && c.Dialer == nil {
 			if _, _, err := net.SplitHostPort(addr); err != nil {
 				return fmt.Errorf("tcp: peer %d address %q: %v", r, addr, err)
 			}
@@ -314,13 +324,18 @@ func (p *Peer) conn(target int) (*wire.Conn, error) {
 	var nc net.Conn
 	var err error
 	if p.cfg.Dial != nil {
+		// Deprecated rank-keyed seam; Dialer is the supported one.
 		nc, err = p.cfg.Dial(target)
 	} else {
 		addr, ok := p.cfg.Peers[target]
 		if !ok {
 			return nil, fmt.Errorf("tcp: no address for peer rank %d", target)
 		}
-		nc, err = net.DialTimeout("tcp", addr, p.cfg.DialTimeout)
+		dialer := p.cfg.Dialer
+		if dialer == nil {
+			dialer = transport.NetDialer{Timeout: p.cfg.DialTimeout}
+		}
+		nc, err = dialer.Dial(addr)
 	}
 	if err != nil {
 		p.declareDead(target)

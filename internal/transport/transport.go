@@ -42,7 +42,11 @@
 //     based (see the wire subpackage's rules, normative in docs/WIRE.md).
 package transport
 
-import "fmt"
+import (
+	"fmt"
+	"net"
+	"time"
+)
 
 // Reduce-op codes carried on the wire. They mirror rma.ReduceOp value for
 // value (package rma compile-checks the correspondence); transport cannot
@@ -147,4 +151,41 @@ type Handler interface {
 type Transport interface {
 	Handler
 	Close() error
+}
+
+// Dialer abstracts connection establishment between nodes: given an
+// address, it opens a byte stream that the framed wire protocol is spoken
+// over. The address syntax is dialer-specific — "host:port" for the TCP
+// dialer, a ring id for the shared-memory fabric's dialer — which is what
+// lets one constructor serve every medium: the tcp transport dials its
+// peers through a Dialer, the shm transport plugs in a ring-pair Dialer,
+// the flaky package wraps any Dialer with fault injection, and the
+// symmetric fabric runtime dials the addresses its membership table
+// gossips, never caring which medium carries the frames.
+//
+// Implementations must be safe for concurrent use.
+type Dialer interface {
+	Dial(addr string) (net.Conn, error)
+}
+
+// DialerFunc adapts a function to the Dialer interface.
+type DialerFunc func(addr string) (net.Conn, error)
+
+// Dial implements Dialer.
+func (f DialerFunc) Dial(addr string) (net.Conn, error) { return f(addr) }
+
+// NetDialer is the production Dialer: a TCP socket per address, with a
+// bounded connect. The zero value uses a 5s timeout.
+type NetDialer struct {
+	// Timeout bounds connection establishment; 0 means 5s.
+	Timeout time.Duration
+}
+
+// Dial implements Dialer over net.DialTimeout.
+func (d NetDialer) Dial(addr string) (net.Conn, error) {
+	to := d.Timeout
+	if to == 0 {
+		to = 5 * time.Second
+	}
+	return net.DialTimeout("tcp", addr, to)
 }

@@ -1,0 +1,33 @@
+#!/usr/bin/env bash
+# apidiff.sh — the exported-API gate (CI's `api` job, `make api-check`).
+#
+# Regenerates the module's exported API surface (cmd/apisurf: every
+# exported const/var/func/type/field/method of every non-main package,
+# normalized and sorted) and diffs it against the committed baseline
+# API.txt. An intentional API change — a redesign, a deprecation, a new
+# surface — ships with a regenerated baseline in the same commit:
+#
+#     ./scripts/apidiff.sh -update
+#
+# so exported-API drift is always a reviewed diff, never an accident.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+tmp="$(mktemp)"
+trap 'rm -f "$tmp"' EXIT
+go run ./cmd/apisurf >"$tmp"
+
+if [ "${1:-}" = "-update" ]; then
+  mv "$tmp" API.txt
+  trap - EXIT
+  echo "API.txt regenerated"
+  exit 0
+fi
+
+if ! diff -u API.txt "$tmp"; then
+  echo
+  echo "exported API surface changed: review the diff above and commit a"
+  echo "regenerated baseline with ./scripts/apidiff.sh -update"
+  exit 1
+fi
+echo "API surface matches the committed baseline"

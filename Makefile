@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet staticcheck test test-noasm bench-short bench bench-gate race tier1 ci docs-check api-check smoke-rankd chaos-smoke
+.PHONY: all build vet staticcheck test test-noasm bench-short bench bench-gate race tier1 ci docs-check api-check smoke-rankd chaos-smoke metrics-check flightrec-demo
 
 all: build vet test
 
@@ -65,6 +65,18 @@ smoke-rankd:
 chaos-smoke:
 	$(GO) test -race -count=1 -v -run 'TestClusterCausalReplayKill9|TestClusterCorrelated|TestClusterKillReplacementMidReplay|TestClusterLockHolderKill9|TestClusterHostFrameFaults|TestClusterTimeoutAbortsWedgedRun|TestClusterCoordinatorlessKill9|TestClusterFabricFaultFree' ./internal/transport/cluster
 
+# Metric-catalog drift gate: scrape a live 2-rank fabric smoke's debug
+# endpoints and diff the Prometheus name set against the catalog in
+# docs/OBSERVABILITY.md (drift in either direction fails).
+metrics-check:
+	./scripts/check_metrics.sh
+
+# Flight-recorder demo: the coordinatorless kill -9 smoke with
+# REPRO_FLIGHTREC_DIR on, finishing with the merged per-rank crisis
+# timeline pretty-printed by cmd/flightcat.
+flightrec-demo:
+	./scripts/flightrec_demo.sh
+
 # The tier-1 gate the roadmap pins.
 tier1: build test
 
@@ -79,5 +91,5 @@ api-check:
 
 # Mirrors the full CI workflow locally: build, vet, staticcheck, tests on
 # both kernel paths, the race detector, the bench-regression gate, the
-# docs gate, and the exported-API gate.
-ci: build vet staticcheck test test-noasm race bench-gate docs-check api-check
+# docs gate, the exported-API gate, and the metric-catalog drift gate.
+ci: build vet staticcheck test test-noasm race bench-gate docs-check api-check metrics-check

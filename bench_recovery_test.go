@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"repro/internal/ftrma"
+	"repro/internal/obs"
 	"repro/internal/rma"
 )
 
@@ -48,9 +49,16 @@ func BenchmarkRecoveryPaths(b *testing.B) {
 	b.Run("causal", func(b *testing.B) {
 		var wall time.Duration
 		var replayed float64
+		// One registry across iterations: the ftrma.recover.* span
+		// histograms accumulate every Recover, so sum/count is the
+		// per-recovery stage cost — the per-stage rows of
+		// BENCH_recovery.json (ungated wall-clock observations).
+		reg := obs.New(-1)
+		cfg := ftCfg
+		cfg.Metrics = reg
 		for i := 0; i < b.N; i++ {
 			w := rma.NewWorld(rma.Config{N: n, WindowWords: words})
-			sys, err := ftrma.NewSystem(w, ftCfg)
+			sys, err := ftrma.NewSystem(w, cfg)
 			if err != nil {
 				b.Fatal(err)
 			}
@@ -73,6 +81,15 @@ func BenchmarkRecoveryPaths(b *testing.B) {
 		}
 		b.ReportMetric(replayed, "actions_replayed")
 		b.ReportMetric(wall.Seconds()*1e6/float64(b.N), "recovery_us")
+		for _, stage := range []struct{ hist, metric string }{
+			{"ftrma.recover.gather.us", "gather_us"},
+			{"ftrma.recover.restore.us", "restore_us"},
+			{"ftrma.recover.us", "recover_total_us"},
+		} {
+			if h := reg.Histogram(stage.hist); h.Count() > 0 {
+				b.ReportMetric(float64(h.Sum())/float64(h.Count()), stage.metric)
+			}
+		}
 	})
 
 	b.Run("fallback", func(b *testing.B) {

@@ -15,12 +15,22 @@ import (
 	"runtime"
 	"testing"
 
+	"repro/internal/obs"
 	"repro/internal/rma"
 	"repro/internal/transport"
 	"repro/internal/transport/loopback"
 	"repro/internal/transport/shm"
 	"repro/internal/transport/tcp"
 )
+
+// benchObs is the instrumentation the wired benches run under: a live
+// metrics registry and an allocated-but-disabled flight recorder per rank,
+// exactly the steady-state configuration of a production worker. The
+// allocs_per_flush gate therefore prices the instrumented hot path — the
+// observability layer must not move the number.
+func benchObs(rank int) (*obs.Registry, *obs.Recorder) {
+	return obs.New(rank), obs.NewRecorder(rank, 256)
+}
 
 // benchTCPWorld builds an n-rank world whose ranks talk over real
 // localhost sockets, returning the per-rank peers for frame counting.
@@ -38,10 +48,13 @@ func benchTCPWorld(b *testing.B, n, words int) (*rma.World, []*tcp.Peer) {
 	}
 	peers := make([]*tcp.Peer, n)
 	w := rma.NewWorld(rma.Config{N: n, WindowWords: words, Transport: func(rank, worldN int, ep func(int) transport.Endpoint) (transport.Transport, error) {
+		reg, fr := benchObs(rank)
 		p, err := tcp.New(tcp.Config{
 			Self: rank, N: worldN, Listener: lns[rank], Peers: addrs,
 			Local:             loopback.New(ep),
 			HeartbeatInterval: -1,
+			Metrics:           reg,
+			Flight:            fr,
 		})
 		if err != nil {
 			return nil, err
@@ -63,10 +76,13 @@ func benchShmWorld(b *testing.B, n, words int) (*rma.World, []*tcp.Peer) {
 	b.Cleanup(func() { fab.Close() })
 	peers := make([]*tcp.Peer, n)
 	w := rma.NewWorld(rma.Config{N: n, WindowWords: words, Transport: func(rank, worldN int, ep func(int) transport.Endpoint) (transport.Transport, error) {
+		reg, fr := benchObs(rank)
 		p, err := shm.New(shm.Config{
 			Self: rank, N: worldN, Fabric: fab,
 			Local:             loopback.New(ep),
 			HeartbeatInterval: -1,
+			Metrics:           reg,
+			Flight:            fr,
 		})
 		if err != nil {
 			return nil, err

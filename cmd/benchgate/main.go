@@ -34,6 +34,7 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"regexp"
 	"strconv"
@@ -176,6 +177,81 @@ func loadBaseline(path string) (*gateSpec, map[string]map[string]float64, error)
 	return &gate, entries, nil
 }
 
+// evalGate compares one gated baseline against the run's results, printing
+// one line per check to w. It returns (failures, checks). A gated metric
+// that a matched benchmark's run output lacks is a failure, and so is a
+// gate metric that matched no baseline entry at all — a gate that performs
+// zero checks for a listed metric must scream, not pass: a renamed
+// ReportMetric unit or a mistyped gate list would otherwise disable the
+// gate silently.
+func evalGate(w io.Writer, path string, gate *gateSpec, entries, results map[string]map[string]float64) (failures, checks int) {
+	gated := map[string]bool{}
+	for _, m := range gate.Metrics {
+		gated[m] = true
+	}
+	// checked counts, per gate metric, how many baseline entries carried it.
+	checked := map[string]int{}
+	for name, want := range entries {
+		got, ok := results[name]
+		if !ok {
+			fmt.Fprintf(w, "FAIL %s: benchmark %s missing from this run\n", path, name)
+			failures++
+			continue
+		}
+		for key, base := range want {
+			if !gated[key] {
+				continue
+			}
+			checked[key]++
+			cur, ok := got[key]
+			if !ok {
+				fmt.Fprintf(w, "FAIL %s: %s lacks gated metric %s in this run's output (baseline expects %.4g)\n", path, name, key, base)
+				failures++
+				continue
+			}
+			checks++
+			tol := gate.toleranceFor(key)
+			bad := false
+			if higherIsBetter(key) {
+				bad = cur < base*(1-tol)
+			} else {
+				bad = cur > base*(1+tol)
+			}
+			status := "ok  "
+			if bad {
+				status = "FAIL"
+				failures++
+			}
+			fmt.Fprintf(w, "%s %s %s: %s = %.4g (baseline %.4g, tolerance %.0f%%)\n",
+				status, path, name, key, cur, base, tol*100)
+		}
+	}
+	for _, m := range gate.Metrics {
+		if checked[m] == 0 {
+			fmt.Fprintf(w, "FAIL %s: gate metric %s matched no baseline entry — the gate checked nothing for it (stale gate list or renamed metric?)\n", path, m)
+			failures++
+		}
+	}
+	for _, r := range gate.Ratios {
+		base, okB := results[r.Base][r.Metric]
+		test, okT := results[r.Test][r.Metric]
+		if !okB || !okT || test == 0 {
+			fmt.Fprintf(w, "FAIL %s ratio %s: missing %s for %s or %s\n", path, r.Name, r.Metric, r.Base, r.Test)
+			failures++
+			continue
+		}
+		checks++
+		ratio := base / test
+		status := "ok  "
+		if ratio < r.Min {
+			status = "FAIL"
+			failures++
+		}
+		fmt.Fprintf(w, "%s %s ratio %s: %.3gx (min %.3gx)\n", status, path, r.Name, ratio, r.Min)
+	}
+	return failures, checks
+}
+
 func main() {
 	var baselines multiFlag
 	benchPath := flag.String("bench", "-", "go test -bench output file (- for stdin)")
@@ -207,61 +283,9 @@ func main() {
 			fmt.Printf("%-60s documentation-only (no gate), skipped\n", path)
 			continue
 		}
-		gated := map[string]bool{}
-		for _, m := range gate.Metrics {
-			gated[m] = true
-		}
-		for name, want := range entries {
-			got, ok := results[name]
-			if !ok {
-				fmt.Printf("FAIL %s: benchmark %s missing from this run\n", path, name)
-				failures++
-				continue
-			}
-			for key, base := range want {
-				if !gated[key] {
-					continue
-				}
-				cur, ok := got[key]
-				if !ok {
-					fmt.Printf("FAIL %s: %s lacks metric %s\n", path, name, key)
-					failures++
-					continue
-				}
-				checks++
-				tol := gate.toleranceFor(key)
-				bad := false
-				if higherIsBetter(key) {
-					bad = cur < base*(1-tol)
-				} else {
-					bad = cur > base*(1+tol)
-				}
-				status := "ok  "
-				if bad {
-					status = "FAIL"
-					failures++
-				}
-				fmt.Printf("%s %s %s: %s = %.4g (baseline %.4g, tolerance %.0f%%)\n",
-					status, path, name, key, cur, base, tol*100)
-			}
-		}
-		for _, r := range gate.Ratios {
-			base, okB := results[r.Base][r.Metric]
-			test, okT := results[r.Test][r.Metric]
-			if !okB || !okT || test == 0 {
-				fmt.Printf("FAIL %s ratio %s: missing %s for %s or %s\n", path, r.Name, r.Metric, r.Base, r.Test)
-				failures++
-				continue
-			}
-			checks++
-			ratio := base / test
-			status := "ok  "
-			if ratio < r.Min {
-				status = "FAIL"
-				failures++
-			}
-			fmt.Printf("%s %s ratio %s: %.3gx (min %.3gx)\n", status, path, r.Name, ratio, r.Min)
-		}
+		f, c := evalGate(os.Stdout, path, gate, entries, results)
+		failures += f
+		checks += c
 	}
 	if failures > 0 {
 		fmt.Printf("benchgate: %d of %d checks failed\n", failures, checks)

@@ -1,0 +1,106 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+// gate over one metric, one baseline entry, default tolerance.
+func testGate(metrics ...string) *gateSpec {
+	return &gateSpec{Section: "after", Metrics: metrics, Tolerance: 0.25}
+}
+
+func TestEvalGatePasses(t *testing.T) {
+	entries := map[string]map[string]float64{
+		"BenchmarkFlush": {"allocs_per_flush": 10, "ns_per_op": 1234},
+	}
+	results := map[string]map[string]float64{
+		"BenchmarkFlush": {"allocs_per_flush": 10, "ns_per_op": 999},
+	}
+	var out strings.Builder
+	failures, checks := evalGate(&out, "BENCH_x.json", testGate("allocs_per_flush"), entries, results)
+	if failures != 0 || checks != 1 {
+		t.Fatalf("failures=%d checks=%d, want 0/1\n%s", failures, checks, out.String())
+	}
+}
+
+func TestEvalGateRegressionFails(t *testing.T) {
+	entries := map[string]map[string]float64{
+		"BenchmarkFlush": {"allocs_per_flush": 10},
+	}
+	results := map[string]map[string]float64{
+		"BenchmarkFlush": {"allocs_per_flush": 20}, // 2x the baseline, way past 25%
+	}
+	var out strings.Builder
+	failures, _ := evalGate(&out, "BENCH_x.json", testGate("allocs_per_flush"), entries, results)
+	if failures != 1 {
+		t.Fatalf("failures=%d, want 1\n%s", failures, out.String())
+	}
+}
+
+// A gated metric the baseline expects but the run's output lacks must be a
+// failure with a message naming the metric — not a silent skip.
+func TestEvalGateMissingMetricFails(t *testing.T) {
+	entries := map[string]map[string]float64{
+		"BenchmarkFlush": {"allocs_per_flush": 10},
+	}
+	results := map[string]map[string]float64{
+		"BenchmarkFlush": {"ns_per_op": 999}, // ran, but never reported allocs_per_flush
+	}
+	var out strings.Builder
+	failures, checks := evalGate(&out, "BENCH_x.json", testGate("allocs_per_flush"), entries, results)
+	if failures != 1 || checks != 0 {
+		t.Fatalf("failures=%d checks=%d, want 1/0\n%s", failures, checks, out.String())
+	}
+	if !strings.Contains(out.String(), "lacks gated metric allocs_per_flush") {
+		t.Fatalf("failure message does not name the missing metric:\n%s", out.String())
+	}
+}
+
+// A gate metric that matches no baseline entry means the gate performs zero
+// checks for it; that must fail rather than silently pass.
+func TestEvalGateUncheckedMetricFails(t *testing.T) {
+	entries := map[string]map[string]float64{
+		"BenchmarkFlush": {"ns_per_op": 1234}, // no entry carries the gated key
+	}
+	results := map[string]map[string]float64{
+		"BenchmarkFlush": {"ns_per_op": 1234},
+	}
+	var out strings.Builder
+	failures, checks := evalGate(&out, "BENCH_x.json", testGate("allocs_per_flush"), entries, results)
+	if failures != 1 || checks != 0 {
+		t.Fatalf("failures=%d checks=%d, want 1/0\n%s", failures, checks, out.String())
+	}
+	if !strings.Contains(out.String(), "matched no baseline entry") {
+		t.Fatalf("failure message does not explain the unchecked gate metric:\n%s", out.String())
+	}
+}
+
+func TestEvalGateMissingBenchmarkFails(t *testing.T) {
+	entries := map[string]map[string]float64{
+		"BenchmarkFlush": {"allocs_per_flush": 10},
+	}
+	var out strings.Builder
+	failures, _ := evalGate(&out, "BENCH_x.json", testGate("allocs_per_flush"), entries, map[string]map[string]float64{})
+	// Both the absent benchmark and the consequently unchecked gate metric fail.
+	if failures != 2 {
+		t.Fatalf("failures=%d, want 2\n%s", failures, out.String())
+	}
+}
+
+func TestEvalGateRatio(t *testing.T) {
+	gate := testGate("ckpt_us_virtual")
+	gate.Ratios = []ratioSpec{{Name: "pipelined-vs-serial", Metric: "ckpt_us_virtual", Base: "BenchmarkSerial", Test: "BenchmarkPipelined", Min: 1.5}}
+	entries := map[string]map[string]float64{
+		"BenchmarkSerial": {"ckpt_us_virtual": 100},
+	}
+	results := map[string]map[string]float64{
+		"BenchmarkSerial":    {"ckpt_us_virtual": 100},
+		"BenchmarkPipelined": {"ckpt_us_virtual": 90}, // only 1.11x faster, min is 1.5x
+	}
+	var out strings.Builder
+	failures, checks := evalGate(&out, "BENCH_x.json", gate, entries, results)
+	if failures != 1 || checks != 2 {
+		t.Fatalf("failures=%d checks=%d, want 1/2\n%s", failures, checks, out.String())
+	}
+}

@@ -32,6 +32,7 @@ import (
 	"os"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/transport/cluster"
 )
 
@@ -49,6 +50,7 @@ func main() {
 		mode        = flag.String("mode", "combining", "workload mode: combining (forces coordinated fallback), causal (conflict-free, recovers by wire replay), locked (causal + a user-locked critical section)")
 		fabricSeed  = flag.Bool("fabric-seed", false, "run the coordinatorless bootstrap seed (causal mode only)")
 		fabricJoin  = flag.String("fabric-join", "", "symmetric worker mode: seed (or surviving member) address to join")
+		debugAddr   = flag.String("debug-addr", "", "serve the debug endpoint (Prometheus /metrics, /flightrec, expvar, pprof) on this address; empty disables (fabric workers also honor REPRO_DEBUG_DIR)")
 	)
 	flag.Parse()
 
@@ -59,6 +61,7 @@ func main() {
 			fmt.Fprintln(os.Stderr, "rankd:", err)
 			os.Exit(2)
 		}
+		serveDebug(*debugAddr, nil, nil) // seed: pprof/expvar only; workers carry the metrics
 		os.Exit(runFabricSeed(*listen, cluster.Workload{
 			Ranks:           *n,
 			Phases:          *phases,
@@ -69,7 +72,7 @@ func main() {
 		}, *timeout))
 	case *fabricJoin != "":
 		logf := func(format string, args ...any) { fmt.Fprintf(os.Stderr, "rankd fabric: "+format+"\n", args...) }
-		if err := cluster.RunFabricWorker(*fabricJoin, logf); err != nil {
+		if err := cluster.RunFabricWorkerDebugAddr(*fabricJoin, *debugAddr, logf); err != nil {
 			fmt.Fprintf(os.Stderr, "rankd fabric worker: %v\n", err)
 			os.Exit(1)
 		}
@@ -86,8 +89,12 @@ func main() {
 			TableSlots:      *slots,
 			PhaseDelay:      *phaseDelay,
 			Mode:            wm,
-		}, *timeout))
+		}, *timeout, *debugAddr))
 	case *join != "":
+		// A plain worker has no registry of its own (its rank's state is
+		// hosted at the coordinator), but pprof and expvar are still worth
+		// a listener when asked for.
+		serveDebug(*debugAddr, nil, nil)
 		if err := cluster.RunWorker(cluster.DialConfig{Addr: *join}); err != nil {
 			fmt.Fprintf(os.Stderr, "rankd worker: %v\n", err)
 			os.Exit(1)
@@ -112,6 +119,12 @@ func runFabricSeed(listen string, wl cluster.Workload, timeout time.Duration) in
 	members := s.Members()
 	frames := s.FramesServed()
 	fmt.Printf("rankd fabric seed: bootstrap complete (%d frames served); the run is now coordinatorless\n", frames)
+	for _, m := range members {
+		// One line per member so harness scripts (scripts/flightrec_demo.sh)
+		// can point a replacement at a *survivor* — rejoining through the
+		// seed would put post-bootstrap frames on its counter.
+		fmt.Printf("member rank %d at %s\n", m.Rank, m.Addr)
+	}
 
 	got, err := cluster.CollectFabric(members[0].Addr, wl, timeout)
 	if err != nil {
@@ -152,13 +165,29 @@ func parseMode(s string) (cluster.WorkloadMode, error) {
 	return 0, fmt.Errorf("unknown -mode %q (want combining, causal, or locked)", s)
 }
 
-func runCoordinator(listen string, wl cluster.Workload, timeout time.Duration) int {
+// serveDebug binds the debug endpoint when addr is non-empty; exits the
+// process on a bind failure (an explicitly requested endpoint that
+// silently is not there is worse than no endpoint).
+func serveDebug(addr string, reg *obs.Registry, fr *obs.Recorder) {
+	if addr == "" {
+		return
+	}
+	srv, err := obs.Serve(addr, reg, fr)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "rankd: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "rankd: debug endpoint at http://%s/metrics\n", srv.Addr)
+}
+
+func runCoordinator(listen string, wl cluster.Workload, timeout time.Duration, debugAddr string) int {
 	c, err := cluster.NewCoordinator(cluster.Config{Listen: listen, Workload: wl, Timeout: timeout})
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "rankd coordinator: %v\n", err)
 		return 1
 	}
 	defer c.Close()
+	serveDebug(debugAddr, c.Obs(), obs.RecorderFromEnv(-1))
 	fmt.Printf("rankd coordinator: listening on %s, %d ranks x %d phases\n", c.Addr(), wl.Ranks, wl.Phases)
 
 	go func() {

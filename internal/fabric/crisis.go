@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/erasure"
 	"repro/internal/ftrma"
+	"repro/internal/obs"
 	"repro/internal/transport/wire"
 )
 
@@ -66,10 +67,14 @@ func (nd *Node) runCrisis(victim, vinc, victims int) error {
 		return fmt.Errorf("fabric: %d ranks dead at once; the fabric recovers single failures", victims)
 	}
 	nd.logf("fabric: rank %d arbitrates crisis for rank %d (inc %d)", nd.rank, victim, vinc)
+	nd.om.crises.Inc()
+	nd.fr.Record(obs.EvCrisis, int64(obs.CrisisTotal), int64(victim), 0) // begin marker
+	total := obs.StartSpan(nd.om.crisis[obs.CrisisTotal], nd.fr, obs.EvCrisis, int64(obs.CrisisTotal), int64(victim))
 
 	// 1. Quiesce: own checkpoints first (taking ckptMu waits out our own
 	// in-flight fold), then every survivor. An ack certifies the
 	// survivor's parity/base exchange is at rest until fCrisisEnd.
+	quiesce := obs.StartSpan(nd.om.crisis[obs.CrisisQuiesce], nd.fr, obs.EvCrisis, int64(obs.CrisisQuiesce), int64(victim))
 	nd.ckptMu.Lock()
 	nd.inCrisis = true
 	nd.ckptMu.Unlock()
@@ -83,8 +88,10 @@ func (nd *Node) runCrisis(victim, vinc, victims int) error {
 			return fmt.Errorf("fabric: crisis quiesce of rank %d failed (double failure?): %w", s.Rank, err)
 		}
 	}
+	quiesce.End()
 
 	// 2. Gather the victim's logs from every survivor and from ourselves.
+	gather := obs.StartSpan(nd.om.crisis[obs.CrisisGather], nd.fr, obs.EvCrisis, int64(obs.CrisisGather), int64(victim))
 	nd.logMu.Lock()
 	puts := nd.logs.CopyLP(victim)
 	gets := nd.logs.CopyLG(victim)
@@ -112,10 +119,12 @@ func (nd *Node) runCrisis(victim, vinc, victims int) error {
 		puts = append(puts, lp...)
 		gets = append(gets, lg...)
 	}
+	gather.End()
 	if flagged {
 		return errors.New("fabric: victim has N/M-flagged epochs; non-causal replay needs the coordinator runtime")
 	}
 
+	rebuild := obs.StartSpan(nd.om.crisis[obs.CrisisRebuild], nd.fr, obs.EvCrisis, int64(obs.CrisisRebuild), int64(victim))
 	// 3. Re-home every parity group the victim hosted: rebuild the
 	// shards from the members' committed bases and install them at a
 	// freshly elected host. (Quiesce guarantees base/parity agreement.)
@@ -173,6 +182,8 @@ func (nd *Node) runCrisis(victim, vinc, victims int) error {
 		nd.mmu.Lock()
 		nd.hostings[h.Group] = Hosting{Group: h.Group, Host: newHost, Version: h.Version + 1}
 		nd.mmu.Unlock()
+		nd.om.parityHandoffs.Inc()
+		nd.fr.Record(obs.EvParityHandoff, int64(h.Group), int64(newHost), int64(h.Version+1))
 		nd.logf("fabric: group %d parity re-homed from rank %d to rank %d", h.Group, victim, newHost)
 	}
 
@@ -211,6 +222,8 @@ func (nd *Node) runCrisis(victim, vinc, victims int) error {
 	}
 	vSnap := hg.snaps[vIdx]
 	vBase := shards[vIdx]
+	nd.om.parityRebuilds.Inc()
+	rebuild.End()
 
 	// 5. Select the replay: records with GNC ≥ the victim's committed
 	// phase survive trimming and cover both lost phases and straggler
@@ -231,6 +244,7 @@ func (nd *Node) runCrisis(victim, vinc, victims int) error {
 
 	// 6. Park the install for the replacement's fJoin and wait for the
 	// handoff; then publish the post-crisis world and resume.
+	installSpan := obs.StartSpan(nd.om.crisis[obs.CrisisInstall], nd.fr, obs.EvCrisis, int64(obs.CrisisInstall), int64(victim))
 	pi := &pendingInstall{rank: victim, inc: vinc + 1, in: in, handed: make(chan struct{})}
 	nd.mmu.Lock()
 	nd.pending = pi
@@ -242,6 +256,7 @@ func (nd *Node) runCrisis(victim, vinc, victims int) error {
 	case <-nd.stop:
 		return ErrClosed
 	}
+	installSpan.End()
 
 	var end wire.Enc
 	nd.mmu.Lock()
@@ -249,6 +264,7 @@ func (nd *Node) runCrisis(victim, vinc, victims int) error {
 	encHostings(&end, nd.hostings)
 	peers := nd.alivePeersLocked()
 	nd.recoveries++
+	rec := nd.recoveries
 	nd.mmu.Unlock()
 	endPayload := end.Bytes()
 	for _, p := range peers {
@@ -259,6 +275,8 @@ func (nd *Node) runCrisis(victim, vinc, victims int) error {
 	nd.ckptMu.Unlock()
 	nd.ckptCond.Broadcast()
 	nd.mcond.Broadcast()
+	total.End()
+	nd.dumpFlight(fmt.Sprintf("crisis%d", rec))
 	nd.logf("fabric: crisis for rank %d resolved (inc %d)", victim, vinc+1)
 	return nil
 }

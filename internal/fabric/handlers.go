@@ -7,6 +7,7 @@ import (
 
 	"repro/internal/erasure"
 	"repro/internal/ftrma"
+	"repro/internal/obs"
 	"repro/internal/transport/wire"
 )
 
@@ -184,6 +185,8 @@ func (nd *Node) handleBatch(d *wire.Dec) (byte, []byte, error) {
 		}
 		nd.logMu.Unlock()
 	}
+	nd.om.batchRecv.Inc()
+	nd.fr.Record(obs.EvFrameRecv, int64(fBatch), int64(src), int64(nputs+ngets))
 	var e wire.Enc
 	e.I(ngets)
 	for i := range got {
@@ -228,6 +231,7 @@ func (nd *Node) handleParityFold(d *wire.Dec) (byte, []byte, error) {
 		}
 	}
 	hg.fold(memberIdx, phase, s, offs, deltas)
+	nd.om.foldsHosted.Inc()
 	return fParityFold, nil, nil
 }
 
@@ -387,7 +391,11 @@ func (nd *Node) handleCrisisEnd(d *wire.Dec) {
 	if was {
 		nd.mmu.Lock()
 		nd.recoveries++
+		rec := nd.recoveries
 		nd.mmu.Unlock()
+		// Survivor-side crisis close: dump the flight ring so every rank's
+		// timeline of the recovery lands on disk, not just the arbiter's.
+		nd.dumpFlight(fmt.Sprintf("crisis%d", rec))
 	}
 	nd.mcond.Broadcast()
 }

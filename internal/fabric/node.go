@@ -12,6 +12,7 @@ import (
 
 	"repro/internal/erasure"
 	"repro/internal/ftrma"
+	"repro/internal/obs"
 	"repro/internal/rma"
 	"repro/internal/transport"
 	"repro/internal/transport/wire"
@@ -34,6 +35,16 @@ type JoinConfig struct {
 	Dialer transport.Dialer
 	// Logf, when set, receives progress lines (testing.T.Logf shape).
 	Logf func(format string, args ...any)
+	// Obs, when set, receives the node's metrics (fabric.* counters and
+	// histograms, crisis.* spans). Nil builds a private unlabeled
+	// registry so instrumentation never needs nil checks.
+	Obs *obs.Registry
+	// Flight, when set, is the node's flight recorder. Nil builds one
+	// from the environment (obs.RecorderFromEnv).
+	Flight *obs.Recorder
+	// FlightDir, when set, receives a JSONL flight-ring dump on every
+	// crisis close; empty falls back to REPRO_FLIGHTREC_DIR.
+	FlightDir string
 }
 
 // pendOp is one buffered access of the open epoch towards a target.
@@ -102,6 +113,14 @@ type Node struct {
 	dialer transport.Dialer
 	ln          net.Listener
 	logf        func(string, ...any)
+
+	// obs/om/fr are set once in Join before any loop starts and are
+	// immutable after: hot paths use them without nil checks (om) or
+	// with the recorder's own nil/disabled fast path (fr).
+	obs       *obs.Registry
+	om        *nodeMetrics
+	fr        *obs.Recorder
+	flightDir string
 
 	// window is the rank's exposed memory; winMu keeps remote batches,
 	// local reads/writes, and checkpoint diffs atomic to each other.
@@ -192,6 +211,7 @@ func Join(cfg JoinConfig) (*Node, error) {
 	}
 	tun := Tuning{}.WithDefaults()
 	nd.tuning.Store(&tun)
+	nd.initObs(cfg.Obs, cfg.Flight, cfg.FlightDir)
 	nd.ckptCond = sync.NewCond(&nd.ckptMu)
 	nd.mcond = sync.NewCond(&nd.mmu)
 	go nd.acceptLoop()
@@ -300,6 +320,12 @@ func (nd *Node) applyWorld(w world, in *install) error {
 			w.rank, w.n, w.windowWords, w.groups, len(w.members))
 	}
 	nd.rank, nd.n, nd.windowWords, nd.groups = w.rank, w.n, w.windowWords, w.groups
+	if nd.obs.Rank() < 0 {
+		nd.obs.SetRank(nd.rank)
+	}
+	if nd.fr.Rank() < 0 {
+		nd.fr.SetRank(nd.rank)
+	}
 	tw := w.tuning.WithDefaults()
 	nd.tuning.Store(&tw)
 	nd.meta = w.meta
@@ -337,6 +363,7 @@ func (nd *Node) applyWorld(w world, in *install) error {
 // base, counters, then the causally sorted put redeliveries and get
 // re-deposits with GNC ≥ the committed phase.
 func (nd *Node) applyInstall(in *install) error {
+	t0 := time.Now()
 	if len(in.base) != nd.windowWords {
 		return fmt.Errorf("fabric: install base has %d words, window is %d", len(in.base), nd.windowWords)
 	}
@@ -369,6 +396,15 @@ func (nd *Node) applyInstall(in *install) error {
 		}
 		copy(nd.window[r.LocalOff:], r.Data)
 	}
+	nd.om.replayChunks.Inc()
+	nd.om.replayPuts.Add(uint64(len(in.puts)))
+	nd.om.replayGets.Add(uint64(len(in.gets)))
+	us := time.Since(t0).Microseconds()
+	if us < 1 {
+		us = 1
+	}
+	nd.om.replayUs.Observe(uint64(us))
+	nd.fr.Record(obs.EvReplayChunk, int64(len(in.puts)), int64(len(in.gets)), us)
 	return nil
 }
 
@@ -526,6 +562,8 @@ func (nd *Node) condemn(rank, inc int, cause error) {
 	}
 	m.Alive = false
 	nd.mmu.Unlock()
+	nd.om.condemned.Inc()
+	nd.fr.Record(obs.EvCondemn, int64(rank), int64(inc), 0)
 	nd.logf("fabric: rank %d condemns rank %d (inc %d): %v", nd.rank, rank, inc, cause)
 	nd.dropConn(rank)
 	nd.mcond.Broadcast()
@@ -675,15 +713,23 @@ func (nd *Node) dialPeer(m Member) (*peerConn, error) {
 	}
 	st := &connState{rank: m.Rank, inc: m.Incarnation, helloed: true}
 	pc := &peerConn{rank: m.Rank, inc: m.Incarnation}
+	lease := nd.tun().LeaseInterval * time.Duration(nd.tun().LeaseMiss)
 	pc.c = wire.New(nc, wire.Config{
 		Handler:     func(t byte, p []byte) (byte, []byte, error) { return nd.handle(st, t, p) },
 		Heartbeat:   nd.tun().LeaseInterval,
-		ReadTimeout: nd.tun().LeaseInterval * time.Duration(nd.tun().LeaseMiss),
+		ReadTimeout: lease,
 		OnDown: func(err error) {
 			if pc.quiet.Load() {
 				return
 			}
 			nd.condemn(m.Rank, m.Incarnation, fmt.Errorf("connection down: %w", err))
+		},
+		// A frame landing inside the last LeaseMiss window slice was one
+		// heartbeat from condemning a live peer: count it so operators see
+		// lease pressure long before the first false positive.
+		OnNearMiss: func(gap time.Duration) {
+			nd.om.nearMiss.Inc()
+			nd.fr.Record(obs.EvLeaseNearMiss, int64(m.Rank), gap.Microseconds(), lease.Microseconds())
 		},
 	})
 	var e wire.Enc
@@ -864,6 +910,7 @@ func (nd *Node) FlushAll() {
 }
 
 func (nd *Node) deliver(target int, ops []pendOp) {
+	t0 := time.Now()
 	nd.logMu.Lock()
 	phase := nd.phase
 	nd.logMu.Unlock()
@@ -906,6 +953,9 @@ func (nd *Node) deliver(target int, ops []pendOp) {
 		}
 		reply, err := pc.c.Call(fBatch, payload)
 		if err == nil {
+			nd.om.batchSent.Inc()
+			nd.om.flushUs.ObserveSince(t0)
+			nd.fr.Record(obs.EvFrameSend, int64(fBatch), int64(target), int64(len(payload)))
 			nd.ackBatch(target, phase, ops, reply)
 			return
 		}
@@ -1047,10 +1097,19 @@ func (nd *Node) Sync() error {
 	nd.ecAt[p+1] = append([]int(nil), nd.ec...)
 	nd.gcAt[p+1] = nd.gc
 	nd.logMu.Unlock()
+	nd.fr.Record(obs.EvEpochClose, int64(p), int64(nd.n-1), 0)
 	nd.broadcastReady(p + 1)
+	wait := time.Now()
 	if err := nd.awaitWatermarks(p + 1); err != nil {
 		return err
 	}
+	us := time.Since(wait).Microseconds()
+	if us < 1 {
+		us = 1
+	}
+	nd.om.gsyncUs.Observe(uint64(us))
+	nd.fr.Record(obs.EvGsync, int64(p+1), 0, us)
+	nd.fr.Record(obs.EvEpochOpen, int64(p+1), 0, 0)
 	nd.trimAt(p + 1)
 	return nil
 }
@@ -1135,6 +1194,7 @@ func (nd *Node) trimAt(b int) {
 // base commit, so parity = encode(committed bases) holds whenever the
 // lock is free.
 func (nd *Node) checkpoint(p int) error {
+	t0 := time.Now()
 	g := nd.rank % nd.groups
 	memberIdx := memberIndex(nd.rank, nd.groups)
 	nd.ckptMu.Lock()
@@ -1160,6 +1220,7 @@ func (nd *Node) checkpoint(p int) error {
 				return err
 			}
 			nd.commitBase(offs, deltas, s)
+			nd.noteFold(g, p, len(offs), t0)
 			return nil
 		}
 		var e wire.Enc
@@ -1179,6 +1240,7 @@ func (nd *Node) checkpoint(p int) error {
 			_, err = pc.c.Call(fParityFold, e.Bytes())
 			if err == nil {
 				nd.commitBase(offs, deltas, s)
+				nd.noteFold(g, p, len(offs), t0)
 				return nil
 			}
 		}
@@ -1263,6 +1325,13 @@ func (nd *Node) commitBase(offs []int, deltas [][]uint64, s snap) {
 	nd.snapSelf = s
 }
 
+// noteFold records one committed checkpoint fold.
+func (nd *Node) noteFold(g, p, nRanges int, t0 time.Time) {
+	nd.om.foldsSent.Inc()
+	nd.om.foldUs.ObserveSince(t0)
+	nd.fr.Record(obs.EvParityFold, int64(g), int64(p), int64(nRanges))
+}
+
 // foldLocal applies a fold into parity this node hosts itself.
 func (nd *Node) foldLocal(g, memberIdx, p int, s snap, offs []int, deltas [][]uint64) error {
 	nd.parMu.Lock()
@@ -1272,6 +1341,7 @@ func (nd *Node) foldLocal(g, memberIdx, p int, s snap, offs []int, deltas [][]ui
 		return fmt.Errorf("fabric: rank %d is not hosting group %d", nd.rank, g)
 	}
 	hg.fold(memberIdx, p, s, offs, deltas)
+	nd.om.foldsHosted.Inc()
 	return nil
 }
 

@@ -54,6 +54,7 @@ import (
 	"fmt"
 
 	"repro/internal/machine"
+	"repro/internal/obs"
 )
 
 // CCScheme selects the coordinated-checkpointing scheme of §3.1.2.
@@ -193,6 +194,12 @@ type Config struct {
 	// TAwareLevel is the FDH level for t-awareness (1 = nodes), used when
 	// TAware is set.
 	TAwareLevel int
+	// Metrics optionally mirrors the protocol's activity into a metrics
+	// registry: live ftrma.recover.* counters and latency histograms, plus
+	// the cumulative Stats block as ftrma.stats.* gauges refreshed on each
+	// Stats() read. nil keeps a private registry, so instrumented code
+	// never branches on its presence.
+	Metrics *obs.Registry
 }
 
 // withDefaults returns the configuration with the deprecated flat knobs

@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 
+	"repro/internal/obs"
 	"repro/internal/rma"
 )
 
@@ -39,6 +40,8 @@ func (s *System) Recover(f int) (*RecoverResult, error) {
 		return nil, fmt.Errorf("ftrma: rank %d has not failed", f)
 	}
 	s.bumpStats(func(st *Stats) { st.Recoveries++ })
+	s.om.recoveries.Inc()
+	total := obs.StartSpan(s.om.recoverUs, nil, 0, 0, 0)
 	// Parity that resided at a now-dead rank is gone: rebuild what the
 	// surviving member copies allow and re-elect hosts, before anything
 	// below consults a shard.
@@ -62,6 +65,7 @@ func (s *System) Recover(f int) (*RecoverResult, error) {
 	// be rebuilt because a member copy is missing too — necessarily f's
 	// own) cannot reconstruct f causally: fall back directly.
 	fallback := concurrent || !s.groupOf(f).parityValid(LevelUC)
+	gather := obs.StartSpan(s.om.gatherUs, nil, 0, 0, 0)
 	s.world.RunRank(f, func() {
 		if fallback {
 			return
@@ -103,20 +107,25 @@ func (s *System) Recover(f int) (*RecoverResult, error) {
 			gets = append(gets, lg...)
 		}
 	})
+	gather.End()
 	if fallback {
+		s.om.fallbacks.Inc()
 		if err := s.FallbackToCC(f); err != nil {
 			return nil, err
 		}
+		total.End()
 		return &RecoverResult{Proc: s.procs[f], FellBack: true}, ErrFallback
 	}
 
 	// fetch_checkpoint_data: reconstruct f's last UC checkpoint from the
 	// parity and the survivors' local copies, then load it.
+	restore := obs.StartSpan(s.om.restoreUs, nil, 0, 0, 0)
 	data, snap, err := s.reconstructUC(f)
 	if err != nil {
 		return nil, err
 	}
 	s.restoreRank(pnew, data, snap)
+	restore.End()
 	// p_new must agree with the survivors on the coordinated-checkpoint
 	// schedule, or the next gsync's collective decision diverges and the
 	// checkpoint barrier deadlocks.
@@ -127,6 +136,8 @@ func (s *System) Recover(f int) (*RecoverResult, error) {
 			break
 		}
 	}
+	s.om.causal.Inc()
+	total.End()
 	return &RecoverResult{Proc: pnew, Logs: sortReplay(puts, gets)}, nil
 }
 

@@ -257,6 +257,9 @@ type System struct {
 
 	statsMu sync.Mutex
 	stats   Stats
+
+	// om is the pre-resolved metrics instrument set (never nil).
+	om *sysMetrics
 }
 
 // NewSystem attaches the protocol to a world. The world's ranks are the
@@ -281,6 +284,7 @@ func NewSystem(w *rma.World, cfg Config) (*System, error) {
 		}
 	}
 	s := &System{world: w, cfg: cfg, grouping: grouping,
+		om:  newSysMetrics(cfg.Metrics),
 		pfs: &pfsStore{data: make(map[int][]uint64), snaps: make(map[int]memberSnap)}}
 	words := w.Proc(0).WindowWords()
 	s.groups = make([]*chGroup, cfg.Groups)
@@ -536,11 +540,14 @@ func (s *System) groupOf(r int) *chGroup { return s.groups[s.grouping.GroupOf(r)
 // intended caller, around a pending recovery.
 func (s *System) SetCCSuspended(v bool) { s.ccSuspended.Store(v) }
 
-// Stats returns a snapshot of the protocol counters.
+// Stats returns a snapshot of the protocol counters, mirroring the block
+// into the ftrma.stats.* gauges of the metrics registry as it goes.
 func (s *System) Stats() Stats {
 	s.statsMu.Lock()
-	defer s.statsMu.Unlock()
-	return s.stats
+	st := s.stats
+	s.statsMu.Unlock()
+	s.om.publish(&st)
+	return st
 }
 
 func (s *System) bumpStats(f func(*Stats)) {

@@ -1,0 +1,105 @@
+package obs
+
+import (
+	"expvar"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"os"
+	"path/filepath"
+	"sync"
+)
+
+// NewMux builds the debug endpoint for one rank:
+//
+//	/metrics     Prometheus text exposition of the registry
+//	/flightrec   flight-recorder ring as JSONL
+//	/debug/vars  expvar (process-wide vars + the registry snapshot)
+//	/debug/pprof net/http/pprof
+//
+// reg and rec may be nil; the corresponding handlers then serve empty
+// bodies.
+func NewMux(reg *Registry, rec *Recorder) *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+		if reg != nil {
+			_ = reg.WritePrometheus(w)
+		}
+	})
+	mux.HandleFunc("/flightrec", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/jsonl")
+		if rec != nil {
+			_ = rec.WriteJSONL(w)
+		}
+	})
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+// Server is a running debug endpoint.
+type Server struct {
+	Addr string // actual listen address (useful with ":0")
+	srv  *http.Server
+	ln   net.Listener
+}
+
+// Close shuts the listener down.
+func (s *Server) Close() error {
+	if s == nil {
+		return nil
+	}
+	return s.srv.Close()
+}
+
+var expvarMu sync.Mutex
+
+// publishExpvar exposes the registry snapshot under /debug/vars as
+// "obs" (or "obs_rank<R>"). expvar names are process-global and cannot
+// be unpublished; the first registry to claim a name keeps it, which is
+// the right call for the long-lived worker processes this serves.
+func publishExpvar(reg *Registry) {
+	if reg == nil {
+		return
+	}
+	name := "obs"
+	if reg.Rank() >= 0 {
+		name = fmt.Sprintf("obs_rank%d", reg.Rank())
+	}
+	expvarMu.Lock()
+	defer expvarMu.Unlock()
+	if expvar.Get(name) == nil {
+		expvar.Publish(name, expvar.Func(func() any { return reg.Snapshot() }))
+	}
+}
+
+// Serve starts the debug endpoint on addr (for example "127.0.0.1:0")
+// and returns once the listener is bound; requests are served on a
+// background goroutine.
+func Serve(addr string, reg *Registry, rec *Recorder) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("obs: debug listen %s: %w", addr, err)
+	}
+	publishExpvar(reg)
+	srv := &http.Server{Handler: NewMux(reg, rec)}
+	go func() { _ = srv.Serve(ln) }()
+	return &Server{Addr: ln.Addr().String(), srv: srv, ln: ln}, nil
+}
+
+// WriteAddrFile records a rank's debug address as <dir>/rank<R>.addr so
+// a harness (or scripts/check_metrics.sh) can find every endpoint of a
+// multi-process run. A replacement taking over the rank overwrites the
+// victim's file.
+func WriteAddrFile(dir string, rank int, addr string) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	return os.WriteFile(filepath.Join(dir, fmt.Sprintf("rank%d.addr", rank)), []byte(addr+"\n"), 0o644)
+}

@@ -1,0 +1,347 @@
+// Package obs is the runtime's observability layer: a per-rank metrics
+// registry of lock-free counters, gauges, and power-of-two-bucket latency
+// histograms; a fixed-size flight recorder of binary events; and
+// recovery-timeline spans that decompose a crisis into per-stage
+// durations. The design constraint throughout is zero steady-state
+// allocation: hot paths pre-resolve their instruments once (a map lookup
+// at construction, a plain atomic add afterwards), the flight recorder's
+// disabled fast path is a single atomic load, and recording an event
+// writes into a preallocated ring. docs/OBSERVABILITY.md is the catalog
+// of metric names, the event schema, and the span model; the debug HTTP
+// endpoint in this package serves all of it live.
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math/bits"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Counter is a monotonically increasing lock-free counter.
+type Counter struct{ v atomic.Uint64 }
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n.
+func (c *Counter) Add(n uint64) { c.v.Add(n) }
+
+// Load returns the current value.
+func (c *Counter) Load() uint64 { return c.v.Load() }
+
+// Gauge is a lock-free instantaneous value.
+type Gauge struct{ v atomic.Int64 }
+
+// Set stores v.
+func (g *Gauge) Set(v int64) { g.v.Store(v) }
+
+// Add adds d (may be negative).
+func (g *Gauge) Add(d int64) { g.v.Add(d) }
+
+// Load returns the current value.
+func (g *Gauge) Load() int64 { return g.v.Load() }
+
+// HistBuckets is the number of histogram buckets: bucket k counts the
+// observations v with bits.Len64(v) == k, i.e. v in [2^(k-1), 2^k);
+// bucket 0 counts exact zeros. Power-of-two bucketing costs one BSR per
+// observation and spans the full uint64 range, which is all a latency
+// tail needs.
+const HistBuckets = 65
+
+// Histogram is a lock-free power-of-two-bucket histogram. Observations
+// are dimensionless uint64s; by convention the fabric feeds microseconds
+// (the ".us" name suffix in the catalog).
+type Histogram struct {
+	count   atomic.Uint64
+	sum     atomic.Uint64
+	buckets [HistBuckets]atomic.Uint64
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v uint64) {
+	h.buckets[bits.Len64(v)].Add(1)
+	h.sum.Add(v)
+	h.count.Add(1)
+}
+
+// ObserveSince records the microseconds elapsed since t0 and returns the
+// elapsed duration.
+func (h *Histogram) ObserveSince(t0 time.Time) time.Duration {
+	d := time.Since(t0)
+	h.Observe(uint64(d / time.Microsecond))
+	return d
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() uint64 { return h.count.Load() }
+
+// Sum returns the sum of all observed values.
+func (h *Histogram) Sum() uint64 { return h.sum.Load() }
+
+// Bucket returns the count in bucket k.
+func (h *Histogram) Bucket(k int) uint64 { return h.buckets[k].Load() }
+
+// Registry is one rank's metric namespace: dotted stable names (for
+// example "fabric.flush.us") resolved once to their instrument. Lookup
+// takes a mutex and is meant for construction and collection; hot paths
+// hold the returned pointer.
+type Registry struct {
+	rank int
+
+	mu       sync.Mutex
+	counters map[string]*Counter
+	gauges   map[string]*Gauge
+	hists    map[string]*Histogram
+	order    []string // registration order, for deterministic export
+	kinds    map[string]byte
+}
+
+// New returns an empty registry labeled with rank (use -1 for a
+// process-wide registry with no rank label).
+func New(rank int) *Registry {
+	return &Registry{
+		rank:     rank,
+		counters: make(map[string]*Counter),
+		gauges:   make(map[string]*Gauge),
+		hists:    make(map[string]*Histogram),
+		kinds:    make(map[string]byte),
+	}
+}
+
+// Rank returns the rank label (-1 if unlabeled).
+func (r *Registry) Rank() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.rank
+}
+
+// SetRank relabels the registry. A fabric worker's rank is assigned by
+// the join handshake, after the registry already exists; the fabric
+// relabels an unlabeled registry the moment the rank is known.
+func (r *Registry) SetRank(rank int) {
+	r.mu.Lock()
+	r.rank = rank
+	r.mu.Unlock()
+}
+
+func validName(name string) bool {
+	if name == "" {
+		return false
+	}
+	for i := 0; i < len(name); i++ {
+		c := name[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= '0' && c <= '9', c == '.', c == '_':
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+func (r *Registry) register(name string, kind byte) {
+	if !validName(name) {
+		panic("obs: invalid metric name " + name)
+	}
+	if k, dup := r.kinds[name]; dup {
+		if k != kind {
+			panic("obs: metric " + name + " registered with two kinds")
+		}
+		return
+	}
+	r.kinds[name] = kind
+	r.order = append(r.order, name)
+}
+
+// Counter returns the counter registered under name, creating it on
+// first use. Idempotent; panics if name is already a gauge or histogram.
+func (r *Registry) Counter(name string) *Counter {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if c, ok := r.counters[name]; ok {
+		return c
+	}
+	r.register(name, 'c')
+	c := &Counter{}
+	r.counters[name] = c
+	return c
+}
+
+// Gauge returns the gauge registered under name, creating it on first
+// use.
+func (r *Registry) Gauge(name string) *Gauge {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if g, ok := r.gauges[name]; ok {
+		return g
+	}
+	r.register(name, 'g')
+	g := &Gauge{}
+	r.gauges[name] = g
+	return g
+}
+
+// Histogram returns the histogram registered under name, creating it on
+// first use.
+func (r *Registry) Histogram(name string) *Histogram {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if h, ok := r.hists[name]; ok {
+		return h
+	}
+	r.register(name, 'h')
+	h := &Histogram{}
+	r.hists[name] = h
+	return h
+}
+
+// Names returns every registered dotted name, sorted. The drift gate
+// (scripts/check_metrics.sh) compares this set — rendered through the
+// Prometheus endpoint — against the catalog in docs/OBSERVABILITY.md.
+func (r *Registry) Names() []string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := append([]string(nil), r.order...)
+	sort.Strings(out)
+	return out
+}
+
+// HistogramSnapshot is one histogram's state at snapshot time.
+type HistogramSnapshot struct {
+	Count, Sum uint64
+	// Buckets maps bucket index (bits.Len64 of the value) to count;
+	// empty buckets are omitted.
+	Buckets map[int]uint64
+}
+
+// Mean returns Sum/Count, or 0 with no observations.
+func (hs HistogramSnapshot) Mean() float64 {
+	if hs.Count == 0 {
+		return 0
+	}
+	return float64(hs.Sum) / float64(hs.Count)
+}
+
+// Snapshot is a point-in-time copy of a registry, safe to read while the
+// instruments keep moving.
+type Snapshot struct {
+	Rank       int
+	Counters   map[string]uint64
+	Gauges     map[string]int64
+	Histograms map[string]HistogramSnapshot
+}
+
+// Snapshot copies every instrument's current value.
+func (r *Registry) Snapshot() Snapshot {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	s := Snapshot{
+		Rank:       r.rank,
+		Counters:   make(map[string]uint64, len(r.counters)),
+		Gauges:     make(map[string]int64, len(r.gauges)),
+		Histograms: make(map[string]HistogramSnapshot, len(r.hists)),
+	}
+	for n, c := range r.counters {
+		s.Counters[n] = c.Load()
+	}
+	for n, g := range r.gauges {
+		s.Gauges[n] = g.Load()
+	}
+	for n, h := range r.hists {
+		hs := HistogramSnapshot{Count: h.Count(), Sum: h.Sum(), Buckets: map[int]uint64{}}
+		for k := 0; k < HistBuckets; k++ {
+			if v := h.Bucket(k); v != 0 {
+				hs.Buckets[k] = v
+			}
+		}
+		s.Histograms[n] = hs
+	}
+	return s
+}
+
+// PromName converts a dotted metric name to its Prometheus rendering
+// (dots become underscores).
+func PromName(name string) string {
+	b := []byte(name)
+	for i, c := range b {
+		if c == '.' {
+			b[i] = '_'
+		}
+	}
+	return string(b)
+}
+
+// WritePrometheus renders the registry in the Prometheus text exposition
+// format. Histograms are cumulative with le bounds at 2^k-1 (only
+// occupied buckets are emitted; the +Inf bucket always is). A rank >= 0
+// becomes a {rank="r"} label on every sample.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	snap := r.Snapshot()
+	r.mu.Lock()
+	order := append([]string(nil), r.order...)
+	kinds := make(map[string]byte, len(r.kinds))
+	for k, v := range r.kinds {
+		kinds[k] = v
+	}
+	r.mu.Unlock()
+
+	label := ""
+	if snap.Rank >= 0 {
+		label = fmt.Sprintf("{rank=%q}", fmt.Sprint(snap.Rank))
+	}
+	lbl := func(extra string) string {
+		if extra == "" {
+			return label
+		}
+		if snap.Rank >= 0 {
+			return fmt.Sprintf("{rank=%q,%s}", fmt.Sprint(snap.Rank), extra)
+		}
+		return "{" + extra + "}"
+	}
+	for _, name := range order {
+		pn := PromName(name)
+		switch kinds[name] {
+		case 'c':
+			if _, err := fmt.Fprintf(w, "# TYPE %s counter\n%s%s %d\n", pn, pn, label, snap.Counters[name]); err != nil {
+				return err
+			}
+		case 'g':
+			if _, err := fmt.Fprintf(w, "# TYPE %s gauge\n%s%s %d\n", pn, pn, label, snap.Gauges[name]); err != nil {
+				return err
+			}
+		case 'h':
+			hs := snap.Histograms[name]
+			if _, err := fmt.Fprintf(w, "# TYPE %s histogram\n", pn); err != nil {
+				return err
+			}
+			idx := make([]int, 0, len(hs.Buckets))
+			for k := range hs.Buckets {
+				idx = append(idx, k)
+			}
+			sort.Ints(idx)
+			cum := uint64(0)
+			for _, k := range idx {
+				cum += hs.Buckets[k]
+				// Bucket k holds v with bits.Len64(v)==k: v <= 2^k - 1.
+				var le uint64
+				if k > 0 {
+					le = 1<<uint(k) - 1
+				}
+				if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n", pn, lbl(fmt.Sprintf("le=%q", fmt.Sprint(le))), cum); err != nil {
+					return err
+				}
+			}
+			if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n", pn, lbl(`le="+Inf"`), hs.Count); err != nil {
+				return err
+			}
+			if _, err := fmt.Fprintf(w, "%s_sum%s %d\n%s_count%s %d\n", pn, label, hs.Sum, pn, label, hs.Count); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,281 @@
+package obs
+
+import (
+	"net/http"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestCounterGaugeBasics(t *testing.T) {
+	r := New(3)
+	c := r.Counter("fabric.batch.sent")
+	c.Inc()
+	c.Add(4)
+	if got := c.Load(); got != 5 {
+		t.Fatalf("counter = %d, want 5", got)
+	}
+	if r.Counter("fabric.batch.sent") != c {
+		t.Fatal("Counter not idempotent")
+	}
+	g := r.Gauge("fabric.members.alive")
+	g.Set(4)
+	g.Add(-1)
+	if got := g.Load(); got != 3 {
+		t.Fatalf("gauge = %d, want 3", got)
+	}
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	r := New(-1)
+	h := r.Histogram("x.us")
+	for _, v := range []uint64{0, 1, 2, 3, 4, 1023, 1024} {
+		h.Observe(v)
+	}
+	if h.Count() != 7 {
+		t.Fatalf("count = %d, want 7", h.Count())
+	}
+	if h.Sum() != 0+1+2+3+4+1023+1024 {
+		t.Fatalf("sum = %d", h.Sum())
+	}
+	// bits.Len64: 0→b0, 1→b1, 2,3→b2, 4→b3, 1023→b10, 1024→b11.
+	want := map[int]uint64{0: 1, 1: 1, 2: 2, 3: 1, 10: 1, 11: 1}
+	for k, n := range want {
+		if got := h.Bucket(k); got != n {
+			t.Fatalf("bucket[%d] = %d, want %d", k, got, n)
+		}
+	}
+}
+
+func TestRegistryKindConflictPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic on kind conflict")
+		}
+	}()
+	r := New(0)
+	r.Counter("a.b")
+	r.Gauge("a.b")
+}
+
+func TestPrometheusRoundTrip(t *testing.T) {
+	r := New(2)
+	r.Counter("fabric.batch.sent").Add(7)
+	r.Gauge("fabric.phase").Set(5)
+	h := r.Histogram("fabric.flush.us")
+	h.Observe(3)
+	h.Observe(900)
+
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	text := b.String()
+	for _, want := range []string{
+		`fabric_batch_sent{rank="2"} 7`,
+		`fabric_phase{rank="2"} 5`,
+		`fabric_flush_us_sum{rank="2"} 903`,
+		`fabric_flush_us_count{rank="2"} 2`,
+		`fabric_flush_us_bucket{rank="2",le="+Inf"} 2`,
+	} {
+		if !strings.Contains(text, want) {
+			t.Fatalf("prometheus output missing %q:\n%s", want, text)
+		}
+	}
+
+	parsed, err := ParseProm(strings.NewReader(text))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if parsed["fabric_batch_sent"] != 7 {
+		t.Fatalf("parsed counter = %v", parsed["fabric_batch_sent"])
+	}
+	if parsed["fabric_flush_us_sum"] != 903 {
+		t.Fatalf("parsed sum = %v", parsed["fabric_flush_us_sum"])
+	}
+	base := BaseNames(parsed)
+	want := []string{"fabric_batch_sent", "fabric_flush_us", "fabric_phase"}
+	if len(base) != len(want) {
+		t.Fatalf("base names = %v, want %v", base, want)
+	}
+	for i := range want {
+		if base[i] != want[i] {
+			t.Fatalf("base names = %v, want %v", base, want)
+		}
+	}
+}
+
+func TestFlightRecorder(t *testing.T) {
+	fr := NewRecorder(1, 4)
+	fr.Record(EvCondemn, 9, 9, 9) // disabled: dropped
+	fr.SetEnabled(true)
+	for i := int64(0); i < 6; i++ {
+		fr.Record(EvFrameSend, i, 0, 0)
+	}
+	evs := fr.Events()
+	if len(evs) != 4 {
+		t.Fatalf("ring kept %d events, want 4", len(evs))
+	}
+	if evs[0].A != 2 || evs[3].A != 5 {
+		t.Fatalf("ring order wrong: %+v", evs)
+	}
+	if fr.Total() != 6 {
+		t.Fatalf("total = %d, want 6", fr.Total())
+	}
+	var b strings.Builder
+	if err := fr.WriteJSONL(&b); err != nil {
+		t.Fatal(err)
+	}
+	if n := strings.Count(b.String(), "\n"); n != 4 {
+		t.Fatalf("jsonl lines = %d, want 4", n)
+	}
+	if !strings.Contains(b.String(), `"ev":"frame.send"`) {
+		t.Fatalf("jsonl missing event name: %s", b.String())
+	}
+
+	// A nil recorder is valid and inert everywhere.
+	var nilrec *Recorder
+	nilrec.Record(EvCondemn, 0, 0, 0)
+	if nilrec.Enabled() || nilrec.Events() != nil {
+		t.Fatal("nil recorder not inert")
+	}
+}
+
+func TestSpanFloorsAtOneMicrosecond(t *testing.T) {
+	r := New(0)
+	fr := NewRecorder(0, 8)
+	fr.SetEnabled(true)
+	h := r.Histogram(CrisisQuiesce.HistName())
+	sp := StartSpan(h, fr, EvCrisis, int64(CrisisQuiesce), 3)
+	sp.End()
+	if h.Count() != 1 || h.Sum() == 0 {
+		t.Fatalf("span histogram count=%d sum=%d, want nonzero sum", h.Count(), h.Sum())
+	}
+	evs := fr.Events()
+	if len(evs) != 1 || evs[0].Code != EvCrisis || evs[0].A != int64(CrisisQuiesce) || evs[0].C < 1 {
+		t.Fatalf("span event = %+v", evs)
+	}
+}
+
+// The satellite alloc pins: counter increment, histogram observe, and a
+// disabled flight-recorder event must cost zero allocations — these are
+// the exact operations the tcp flush and fabric fBatch hot paths run.
+func TestZeroAllocInstruments(t *testing.T) {
+	r := New(0)
+	c := r.Counter("hot.counter")
+	h := r.Histogram("hot.us")
+	off := NewRecorder(0, 16)
+	on := NewRecorder(0, 16)
+	on.SetEnabled(true)
+
+	cases := []struct {
+		name string
+		f    func()
+	}{
+		{"counter-inc", func() { c.Inc() }},
+		{"histogram-observe", func() { h.Observe(17) }},
+		{"flight-disabled", func() { off.Record(EvFrameSend, 1, 2, 3) }},
+		{"flight-enabled", func() { on.Record(EvFrameSend, 1, 2, 3) }},
+		{"span", func() { StartSpan(h, off, EvCrisis, 0, 0).End() }},
+	}
+	for _, tc := range cases {
+		if n := testing.AllocsPerRun(200, tc.f); n != 0 {
+			t.Errorf("%s: %v allocs/op, want 0", tc.name, n)
+		}
+	}
+}
+
+// Snapshot/WritePrometheus race against concurrent increments; the race
+// job runs this under -race.
+func TestConcurrentSnapshotWhileIncrement(t *testing.T) {
+	r := New(0)
+	c := r.Counter("race.counter")
+	h := r.Histogram("race.us")
+	fr := NewRecorder(0, 64)
+	fr.SetEnabled(true)
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+					c.Inc()
+					h.Observe(42)
+					fr.Record(EvGsync, 1, 0, 0)
+				}
+			}
+		}()
+	}
+	deadline := time.Now().Add(50 * time.Millisecond)
+	for time.Now().Before(deadline) {
+		_ = r.Snapshot()
+		_ = r.WritePrometheus(&strings.Builder{})
+		_ = fr.Events()
+		r.Counter("race.late") // registration racing reads
+	}
+	close(stop)
+	wg.Wait()
+	if c.Load() == 0 || h.Count() == 0 {
+		t.Fatal("no concurrent increments observed")
+	}
+}
+
+func TestServeEndpoints(t *testing.T) {
+	r := New(4)
+	r.Counter("fabric.batch.sent").Add(11)
+	fr := NewRecorder(4, 16)
+	fr.SetEnabled(true)
+	fr.Record(EvCondemn, 2, 1, 0)
+
+	srv, err := Serve("127.0.0.1:0", r, fr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	samples, err := Scrape(srv.Addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if samples["fabric_batch_sent"] != 11 {
+		t.Fatalf("scraped %v", samples)
+	}
+
+	for path, want := range map[string]string{
+		"/flightrec":  `"ev":"condemn"`,
+		"/debug/vars": "cmdline",
+	} {
+		resp, err := http.Get("http://" + srv.Addr + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		buf := make([]byte, 1<<16)
+		n, _ := resp.Body.Read(buf)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("%s: status %d", path, resp.StatusCode)
+		}
+		if !strings.Contains(string(buf[:n]), want) {
+			t.Fatalf("%s missing %q: %s", path, want, buf[:n])
+		}
+	}
+}
+
+func TestFormatReport(t *testing.T) {
+	rep := FormatReport(map[int]map[string]float64{
+		0: {"fabric_batch_sent": 3, "crisis_total_us_sum": 120},
+		1: {"fabric_batch_sent": 5},
+	})
+	for _, want := range []string{"-- fabric --", "-- crisis --", "fabric_batch_sent", "rank0", "rank1"} {
+		if !strings.Contains(rep, want) {
+			t.Fatalf("report missing %q:\n%s", want, rep)
+		}
+	}
+}

@@ -1,0 +1,40 @@
+package obs
+
+import "time"
+
+func nowUnixNano() int64 { return time.Now().UnixNano() }
+
+// Span times one stage of a larger operation: End observes the elapsed
+// microseconds into a histogram and records a flight event carrying the
+// duration in C. Spans are plain values (no allocation); nil histogram
+// and nil recorder are both fine, so an uninstrumented caller pays
+// nothing.
+type Span struct {
+	h    *Histogram
+	rec  *Recorder
+	code EventCode
+	a, b int64
+	t0   time.Time
+}
+
+// StartSpan opens a span that will record (code, a, b, elapsed-us).
+func StartSpan(h *Histogram, rec *Recorder, code EventCode, a, b int64) Span {
+	return Span{h: h, rec: rec, code: code, a: a, b: b, t0: time.Now()}
+}
+
+// End closes the span and returns the elapsed duration. Durations are
+// floored at 1us so a completed stage is always distinguishable from one
+// that never ran (a sub-microsecond stage would otherwise observe 0 and
+// leave the histogram sum empty).
+func (s Span) End() time.Duration {
+	d := time.Since(s.t0)
+	us := int64(d / time.Microsecond)
+	if us < 1 {
+		us = 1
+	}
+	if s.h != nil {
+		s.h.Observe(uint64(us))
+	}
+	s.rec.Record(s.code, s.a, s.b, us)
+	return d
+}

@@ -5,6 +5,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"repro/internal/obs"
 	"repro/internal/sim"
 	"repro/internal/transport"
 	"repro/internal/transport/loopback"
@@ -32,6 +33,10 @@ type Config struct {
 	// semantics this World always had). The conformance suite swaps in the
 	// tcp transport here to run the same worlds over real sockets.
 	Transport TransportFactory
+	// Metrics optionally mirrors the world's fault events into a metrics
+	// registry (rma.ranks gauge, rma.kills / rma.respawns counters). nil
+	// keeps a private registry.
+	Metrics *obs.Registry
 }
 
 // World is a set of ranks plus the simulated machine they run on.
@@ -44,6 +49,11 @@ type World struct {
 	barrier    *sim.Barrier
 	pfs        *sim.SharedResource
 	transports []transport.Transport
+
+	// kills and respawns count fault events into the Config.Metrics
+	// registry (a private one when unset — pointers are always valid).
+	kills    *obs.Counter
+	respawns *obs.Counter
 
 	tracer atomic.Pointer[tracerBox]
 }
@@ -82,13 +92,20 @@ func NewWorld(cfg Config) *World {
 	if cfg.Params == (sim.Params{}) {
 		cfg.Params = sim.DefaultParams()
 	}
-	w := &World{
-		cfg:     cfg,
-		params:  cfg.Params,
-		barrier: sim.NewBarrier(cfg.N),
-		pfs:     sim.NewSharedResource(cfg.Params.PFSBW, cfg.Params.PFSLatency),
-		failed:  make([]atomic.Bool, cfg.N),
+	reg := cfg.Metrics
+	if reg == nil {
+		reg = obs.New(-1)
 	}
+	w := &World{
+		cfg:      cfg,
+		params:   cfg.Params,
+		barrier:  sim.NewBarrier(cfg.N),
+		pfs:      sim.NewSharedResource(cfg.Params.PFSBW, cfg.Params.PFSLatency),
+		failed:   make([]atomic.Bool, cfg.N),
+		kills:    reg.Counter("rma.kills"),
+		respawns: reg.Counter("rma.respawns"),
+	}
+	reg.Gauge("rma.ranks").Set(int64(cfg.N))
 	w.windows = make([]*window, cfg.N)
 	w.procs = make([]*Proc, cfg.N)
 	for r := 0; r < cfg.N; r++ {
@@ -166,6 +183,7 @@ func (w *World) Kill(r int) {
 	if w.failed[r].Swap(true) {
 		return
 	}
+	w.kills.Inc()
 	w.windows[r].clear()
 	for _, win := range w.windows {
 		win.releaseIfHeldBy(r)
@@ -205,6 +223,7 @@ func (w *World) Respawn(r int) *Proc {
 	if !w.failed[r].Load() {
 		panic(fmt.Sprintf("rma: respawn of live rank %d", r))
 	}
+	w.respawns.Inc()
 	w.windows[r] = newWindow(w.cfg.WindowWords, NumStructures+w.cfg.ExtraLocks)
 	p := newProc(w, r)
 	start := 0.0

@@ -93,6 +93,7 @@ import (
 
 	"repro/internal/fabric"
 	"repro/internal/ftrma"
+	"repro/internal/obs"
 	"repro/internal/rma"
 	"repro/internal/transport/wire"
 )
@@ -244,6 +245,7 @@ type Coordinator struct {
 	wl    Workload
 	w     *rma.World
 	sys   *ftrma.System
+	obs   *obs.Registry
 	ln    net.Listener
 	ftCfg ftrma.Config
 
@@ -313,7 +315,15 @@ func NewCoordinator(cfg Config) (*Coordinator, error) {
 	// One user lock beyond the standard structures: the ModeLocked
 	// workload's critical sections (and the lock-aware crisis tests) use
 	// it; it costs nothing when unused.
-	w := rma.NewWorld(rma.Config{N: wl.Ranks, WindowWords: wl.WindowWords(), ExtraLocks: 1})
+	// One registry for the whole coordinator process: the hosted world's
+	// fault events, the ftRMA protocol counters, and the recovery spans
+	// all land in it, and rankd's -debug-addr endpoint serves it.
+	reg := ftCfg.Metrics
+	if reg == nil {
+		reg = obs.New(-1)
+		ftCfg.Metrics = reg
+	}
+	w := rma.NewWorld(rma.Config{N: wl.Ranks, WindowWords: wl.WindowWords(), ExtraLocks: 1, Metrics: reg})
 	sys, err := ftrma.NewSystem(w, ftCfg)
 	if err != nil {
 		return nil, err
@@ -323,6 +333,7 @@ func NewCoordinator(cfg Config) (*Coordinator, error) {
 		wl:        wl,
 		w:         w,
 		sys:       sys,
+		obs:       reg,
 		ftCfg:     ftCfg,
 		sessions:  make([]*session, wl.Ranks),
 		status:    make([]rankStatus, wl.Ranks),
@@ -377,6 +388,14 @@ func (c *Coordinator) Addr() string { return c.ln.Addr().String() }
 // Stats returns the hosted protocol's counters (the smoke test asserts a
 // genuine recovery happened).
 func (c *Coordinator) Stats() ftrma.Stats { return c.sys.Stats() }
+
+// Obs returns the coordinator's metrics registry — the world's fault
+// events, the ftRMA protocol instruments, and (after a Stats read) the
+// ftrma.stats.* gauges. rankd serves it on -debug-addr.
+func (c *Coordinator) Obs() *obs.Registry {
+	c.sys.Stats() // refresh the stats gauges before a scrape
+	return c.obs
+}
 
 // PhasesDone returns how many phase gsyncs rank r has completed — the
 // kill scheduler of the smoke test watches it.

@@ -10,20 +10,27 @@ package cluster
 // closed outright before the kill, so no coordinator is even alive).
 
 import (
+	"fmt"
 	"os"
 	"os/exec"
+	"path/filepath"
+	"strings"
 	"testing"
 	"time"
 
 	"repro/internal/fabric"
+	"repro/internal/obs"
 	"repro/internal/transport"
 )
 
-// spawnFabricWorker launches one symmetric worker joining through addr.
-func spawnFabricWorker(t *testing.T, addr string) *exec.Cmd {
+// spawnFabricWorker launches one symmetric worker joining through addr;
+// extraEnv entries ("KEY=value") arm worker-side knobs such as the debug
+// endpoint directory.
+func spawnFabricWorker(t *testing.T, addr string, extraEnv ...string) *exec.Cmd {
 	t.Helper()
 	cmd := exec.Command(os.Args[0], "-test.run=TestMain")
 	cmd.Env = append(os.Environ(), fabricWorkerEnv+"="+addr)
+	cmd.Env = append(cmd.Env, extraEnv...)
 	cmd.Stdout = os.Stderr
 	cmd.Stderr = os.Stderr
 	if err := cmd.Start(); err != nil {
@@ -34,11 +41,11 @@ func spawnFabricWorker(t *testing.T, addr string) *exec.Cmd {
 
 // awaitFabricBootstrap spawns the workers one at a time (so OS process i
 // holds rank i) and returns the bootstrapped membership.
-func awaitFabricBootstrap(t *testing.T, seed *fabric.Seed, ranks int) ([]*exec.Cmd, []fabric.Member) {
+func awaitFabricBootstrap(t *testing.T, seed *fabric.Seed, ranks int, extraEnv ...string) ([]*exec.Cmd, []fabric.Member) {
 	t.Helper()
 	procs := make([]*exec.Cmd, ranks)
 	for i := range procs {
-		procs[i] = spawnFabricWorker(t, seed.Addr())
+		procs[i] = spawnFabricWorker(t, seed.Addr(), extraEnv...)
 		deadline := time.Now().Add(30 * time.Second)
 		for seed.Joined() < i+1 {
 			if time.Now().After(deadline) {
@@ -85,6 +92,27 @@ func awaitWatermark(t *testing.T, addr string, wm int) {
 	}
 }
 
+// scrapeFabricDebug reads every rank's advertised debug address from
+// dir and scrapes its Prometheus endpoint, the same way the chaos
+// harness scrape (scripts/check_metrics.sh) does.
+func scrapeFabricDebug(t *testing.T, dir string, ranks int) map[int]map[string]float64 {
+	t.Helper()
+	byRank := make(map[int]map[string]float64, ranks)
+	for r := 0; r < ranks; r++ {
+		data, err := os.ReadFile(filepath.Join(dir, fmt.Sprintf("rank%d.addr", r)))
+		if err != nil {
+			t.Fatalf("rank %d advertised no debug address: %v", r, err)
+		}
+		addr := strings.TrimSpace(string(data))
+		samples, err := obs.Scrape(addr)
+		if err != nil {
+			t.Fatalf("scrape rank %d at %s: %v", r, addr, err)
+		}
+		byRank[r] = samples
+	}
+	return byRank
+}
+
 // smokeTuning is the fabric timing for the multi-process smokes: a
 // kill -9 is detected instantly through the TCP reset, so the lease is
 // pure backstop and can be generous — the full test suite runs many
@@ -120,7 +148,11 @@ func TestClusterCoordinatorlessKill9(t *testing.T) {
 				t.Fatalf("fabric seed: %v", err)
 			}
 			defer seed.Close()
-			procs, members := awaitFabricBootstrap(t, seed, wl.Ranks)
+			// Every worker binds a debug endpoint and dumps its flight ring
+			// on crisis close; the test scrapes all of it post-run.
+			debugDir := t.TempDir()
+			procs, members := awaitFabricBootstrap(t, seed, wl.Ranks,
+				obs.EnvDebugDir+"="+debugDir, obs.EnvFlightDir+"="+debugDir)
 			for _, p := range procs {
 				defer p.Process.Kill()
 			}
@@ -139,7 +171,8 @@ func TestClusterCoordinatorlessKill9(t *testing.T) {
 			}
 			procs[tc.victim].Wait()
 			t.Logf("killed rank %d, spawning replacement via %s", tc.victim, survivor)
-			repl := spawnFabricWorker(t, survivor)
+			repl := spawnFabricWorker(t, survivor,
+				obs.EnvDebugDir+"="+debugDir, obs.EnvFlightDir+"="+debugDir)
 			defer repl.Process.Kill()
 
 			got, err := CollectFabric(survivor, wl, 90*time.Second)
@@ -165,6 +198,54 @@ func TestClusterCoordinatorlessKill9(t *testing.T) {
 				if after := seed.FramesServed(); after != frames {
 					t.Fatalf("seed served %d frames after bootstrap — steady state is not coordinatorless", after-frames)
 				}
+			}
+
+			// Scrape every rank's live debug endpoint (the workers still
+			// serve until the shutdown notify) and demand the recovery left
+			// a full crisis timeline: nonzero span durations for every
+			// stage on at least one rank (the crisis arbiter).
+			byRank := scrapeFabricDebug(t, debugDir, wl.Ranks)
+			t.Logf("per-rank metrics report:\n%s", obs.FormatReport(byRank))
+			arbiter := -1
+			for r, samples := range byRank {
+				ok := true
+				for _, st := range obs.CrisisStages {
+					if samples[obs.PromName(st.HistName())+"_sum"] <= 0 {
+						ok = false
+						break
+					}
+				}
+				if ok {
+					arbiter = r
+				}
+			}
+			if arbiter < 0 {
+				t.Fatalf("no rank exposes nonzero crisis span durations for every stage:\n%s", obs.FormatReport(byRank))
+			}
+			if byRank[arbiter]["fabric_crises"] < 1 {
+				t.Fatalf("arbiter rank %d counted no crisis", arbiter)
+			}
+			t.Logf("crisis timeline on arbiter rank %d: quiesce=%.0fus gather=%.0fus rebuild=%.0fus install=%.0fus total=%.0fus",
+				arbiter,
+				byRank[arbiter]["crisis_quiesce_us_sum"], byRank[arbiter]["crisis_gather_us_sum"],
+				byRank[arbiter]["crisis_rebuild_us_sum"], byRank[arbiter]["crisis_install_us_sum"],
+				byRank[arbiter]["crisis_total_us_sum"])
+			// The crisis close dumped flight rings to disk; the arbiter's
+			// ring carries the staged crisis events.
+			dumps, err := filepath.Glob(filepath.Join(debugDir, "flightrec-rank*-crisis*.jsonl"))
+			if err != nil || len(dumps) == 0 {
+				t.Fatalf("no flight-recorder dumps in %s (err %v)", debugDir, err)
+			}
+			sawCrisis := false
+			for _, path := range dumps {
+				data, err := os.ReadFile(path)
+				if err != nil || len(data) == 0 {
+					t.Fatalf("flight dump %s unreadable or empty (err %v)", path, err)
+				}
+				sawCrisis = sawCrisis || strings.Contains(string(data), `"ev":"crisis"`)
+			}
+			if !sawCrisis {
+				t.Fatalf("no flight dump in %s carries crisis events: %v", debugDir, dumps)
 			}
 
 			ShutdownFabric(survivor)

@@ -11,9 +11,11 @@ package cluster
 import (
 	"fmt"
 	"net"
+	"os"
 	"time"
 
 	"repro/internal/fabric"
+	"repro/internal/obs"
 	"repro/internal/transport"
 	"repro/internal/transport/wire"
 )
@@ -88,22 +90,59 @@ func NewFabricSeed(cfg Config) (*fabric.Seed, error) {
 // the causal workload from its resume phase — phase 0 for a fresh rank,
 // the first un-checkpointed phase for a replacement installed by the
 // crisis arbiter — and parks until the run-over notify. logf may be nil.
+//
+// Observability: the worker always carries a metrics registry and a
+// flight recorder (configured from the REPRO_FLIGHTREC* environment);
+// when RunFabricWorkerDebugAddr or REPRO_DEBUG_DIR asks for it, the
+// debug HTTP endpoint (Prometheus metrics, flight-ring JSONL, expvar,
+// pprof) is served for the worker's lifetime and its bound address is
+// advertised in "<dir>/rank<R>.addr" for post-run scraping.
 func RunFabricWorker(joinAddr string, logf func(format string, args ...any)) error {
+	return RunFabricWorkerDebugAddr(joinAddr, "", logf)
+}
+
+// RunFabricWorkerDebugAddr is RunFabricWorker with an explicit debug
+// endpoint listen address ("" defers to REPRO_DEBUG_DIR, which binds an
+// ephemeral localhost port and drops a rank addr file).
+func RunFabricWorkerDebugAddr(joinAddr, debugAddr string, logf func(format string, args ...any)) error {
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
 		return err
 	}
+	reg := obs.New(-1)
+	fr := obs.RecorderFromEnv(-1)
 	nd, err := fabric.Join(fabric.JoinConfig{
 		Join:     joinAddr,
 		Addr:     ln.Addr().String(),
 		Listener: ln,
 		Dialer:   transport.NetDialer{},
 		Logf:     logf,
+		Obs:      reg,
+		Flight:   fr,
 	})
 	if err != nil {
 		return err
 	}
 	defer nd.Close()
+	debugDir := os.Getenv(obs.EnvDebugDir)
+	if debugAddr == "" && debugDir != "" {
+		debugAddr = "127.0.0.1:0"
+	}
+	if debugAddr != "" {
+		srv, err := obs.Serve(debugAddr, reg, fr)
+		if err != nil {
+			return fmt.Errorf("cluster: debug endpoint: %w", err)
+		}
+		defer srv.Close()
+		if logf != nil {
+			logf("rank %d debug endpoint at %s", nd.Rank(), srv.Addr)
+		}
+		if debugDir != "" {
+			if err := obs.WriteAddrFile(debugDir, nd.Rank(), srv.Addr); err != nil {
+				return fmt.Errorf("cluster: debug addr file: %w", err)
+			}
+		}
+	}
 	wl, err := decodeWorkloadMeta(nd.Meta())
 	if err != nil {
 		return err

@@ -11,6 +11,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/transport"
 )
 
@@ -33,12 +34,21 @@ type Config struct {
 	// operations towards it (per target): subsequent operations fail with
 	// transport.PeerDeadError, like a mid-epoch crash of the target.
 	DropAfter map[int]int
+	// Metrics optionally counts the injected faults (flaky.delays,
+	// flaky.reorders, flaky.drops) so a chaos run's scrape shows what the
+	// adversary actually did. nil keeps a private registry.
+	Metrics *obs.Registry
 }
 
 // Transport is the fault-injecting wrapper.
 type Transport struct {
 	inner transport.Transport
 	cfg   Config
+
+	// Injected-fault counters (pre-resolved from Config.Metrics).
+	delays   *obs.Counter
+	reorders *obs.Counter
+	drops    *obs.Counter
 
 	mu   sync.Mutex
 	rng  *rand.Rand
@@ -49,11 +59,18 @@ var _ transport.Transport = (*Transport)(nil)
 
 // New wraps inner with the configured faults.
 func New(inner transport.Transport, cfg Config) *Transport {
+	reg := cfg.Metrics
+	if reg == nil {
+		reg = obs.New(-1)
+	}
 	return &Transport{
-		inner: inner,
-		cfg:   cfg,
-		rng:   rand.New(rand.NewSource(cfg.Seed)),
-		sent:  make(map[int]int),
+		inner:    inner,
+		cfg:      cfg,
+		delays:   reg.Counter("flaky.delays"),
+		reorders: reg.Counter("flaky.reorders"),
+		drops:    reg.Counter("flaky.drops"),
+		rng:      rand.New(rand.NewSource(cfg.Seed)),
+		sent:     make(map[int]int),
 	}
 }
 
@@ -72,9 +89,11 @@ func (t *Transport) perturb(target int) error {
 	}
 	t.mu.Unlock()
 	if dead {
+		t.drops.Inc()
 		return transport.PeerDeadError{Rank: target}
 	}
 	if delay > 0 {
+		t.delays.Inc()
 		time.Sleep(delay)
 	}
 	return nil
@@ -107,6 +126,7 @@ func (t *Transport) shuffleIndependent(ops []transport.Op) []transport.Op {
 	if len(free) < 2 {
 		return ops
 	}
+	t.reorders.Inc()
 	out := make([]transport.Op, len(ops))
 	copy(out, ops)
 	t.mu.Lock()

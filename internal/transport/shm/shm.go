@@ -29,6 +29,7 @@ import (
 	"strconv"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/transport"
 	"repro/internal/transport/tcp"
 )
@@ -54,6 +55,12 @@ type Config struct {
 	// OnPeerDown is called (once per rank, from a connection goroutine)
 	// when a peer is declared dead.
 	OnPeerDown func(rank int)
+	// Metrics and Flight are passed through to the embedded tcp protocol
+	// peer: the shm transport's flushes and atomics count into the same
+	// tcp.* instrument names (the catalog is per-protocol, not per-medium).
+	// Both may be nil.
+	Metrics *obs.Registry
+	Flight  *obs.Recorder
 }
 
 // Validate rejects nonsensical configurations with descriptive errors.
@@ -104,6 +111,8 @@ func New(cfg Config) (*Peer, error) {
 		HeartbeatInterval: cfg.HeartbeatInterval,
 		HeartbeatMiss:     cfg.HeartbeatMiss,
 		OnPeerDown:        cfg.OnPeerDown,
+		Metrics:           cfg.Metrics,
+		Flight:            cfg.Flight,
 	})
 	if err != nil {
 		return nil, err

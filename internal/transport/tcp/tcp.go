@@ -38,6 +38,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/transport"
 	"repro/internal/transport/wire"
 )
@@ -93,6 +94,14 @@ type Config struct {
 	// OnPeerDown is called (once per rank, from a connection goroutine)
 	// when a peer is declared dead.
 	OnPeerDown func(rank int)
+	// Metrics optionally mirrors the transport's activity into a per-rank
+	// registry under tcp.* names (docs/OBSERVABILITY.md): flush latency,
+	// atomic round trips, lease near misses. nil disables; the
+	// instrumentation itself is alloc-free either way.
+	Metrics *obs.Registry
+	// Flight optionally records frame-level flight events. nil (or a
+	// disabled recorder) costs one pointer check per flush.
+	Flight *obs.Recorder
 }
 
 // withDefaults resolves zero values.
@@ -154,12 +163,39 @@ func (c Config) Validate() error {
 type Peer struct {
 	cfg Config
 	ln  net.Listener
+	m   *peerMetrics
+	fr  *obs.Recorder
 
 	mu      sync.Mutex
 	conns   map[int]*wire.Conn // outbound, by target rank
 	inbound map[*wire.Conn]struct{}
 	dead    map[int]bool
 	closed  bool
+}
+
+// peerMetrics holds the transport's pre-resolved instruments so the hot
+// paths pay a plain atomic add, never a name lookup.
+type peerMetrics struct {
+	flushes   *obs.Counter   // tcp.flush.calls
+	flushOps  *obs.Counter   // tcp.flush.ops
+	flushUs   *obs.Histogram // tcp.flush.us
+	served    *obs.Counter   // tcp.flush.served
+	atomicRtt *obs.Histogram // tcp.atomic.rtt.us
+	nearMiss  *obs.Counter   // tcp.lease.close_calls
+}
+
+func newPeerMetrics(r *obs.Registry) *peerMetrics {
+	if r == nil {
+		return nil
+	}
+	return &peerMetrics{
+		flushes:   r.Counter("tcp.flush.calls"),
+		flushOps:  r.Counter("tcp.flush.ops"),
+		flushUs:   r.Histogram("tcp.flush.us"),
+		served:    r.Counter("tcp.flush.served"),
+		atomicRtt: r.Histogram("tcp.atomic.rtt.us"),
+		nearMiss:  r.Counter("tcp.lease.close_calls"),
+	}
 }
 
 var _ transport.Transport = (*Peer)(nil)
@@ -170,7 +206,7 @@ func New(cfg Config) (*Peer, error) {
 		return nil, err
 	}
 	cfg = cfg.withDefaults()
-	p := &Peer{cfg: cfg, ln: cfg.Listener, conns: make(map[int]*wire.Conn), inbound: make(map[*wire.Conn]struct{}), dead: make(map[int]bool)}
+	p := &Peer{cfg: cfg, ln: cfg.Listener, m: newPeerMetrics(cfg.Metrics), fr: cfg.Flight, conns: make(map[int]*wire.Conn), inbound: make(map[*wire.Conn]struct{}), dead: make(map[int]bool)}
 	if p.ln == nil {
 		ln, err := net.Listen("tcp", cfg.Listen)
 		if err != nil {
@@ -223,6 +259,14 @@ func (p *Peer) wireConfig(onDown func(error)) wire.Config {
 	if p.cfg.HeartbeatInterval > 0 {
 		cfg.Heartbeat = p.cfg.HeartbeatInterval
 		cfg.ReadTimeout = time.Duration(p.cfg.HeartbeatMiss) * p.cfg.HeartbeatInterval
+	}
+	if p.m != nil {
+		nm := p.m.nearMiss
+		fr := p.fr
+		cfg.OnNearMiss = func(gap time.Duration) {
+			nm.Inc()
+			fr.Record(obs.EvLeaseNearMiss, -1, int64(gap/time.Microsecond), int64(cfg.ReadTimeout/time.Microsecond))
+		}
 	}
 	return cfg
 }
@@ -411,6 +455,11 @@ func (p *Peer) Flush(src, target int, ops []transport.Op) error {
 	if target == p.cfg.Self {
 		return p.cfg.Local.Flush(src, target, ops)
 	}
+	var t0 time.Time
+	if p.m != nil {
+		t0 = time.Now()
+	}
+	p.fr.Record(obs.EvFrameSend, int64(tFlush), int64(target), int64(len(ops)))
 	v := wire.NewVec()
 	v.I(src)
 	v.I(target)
@@ -418,6 +467,11 @@ func (p *Peer) Flush(src, target int, ops []transport.Op) error {
 	reply, err := p.callVec(target, tFlush, v)
 	if err != nil {
 		return err
+	}
+	if p.m != nil {
+		p.m.flushes.Inc()
+		p.m.flushOps.Add(uint64(len(ops)))
+		p.m.flushUs.ObserveSince(t0)
 	}
 	d := wire.NewDec(reply)
 	for i := range ops {
@@ -436,6 +490,10 @@ func (p *Peer) CompareAndSwap(src, target, off int, old, new uint64) (uint64, er
 	if target == p.cfg.Self {
 		return p.cfg.Local.CompareAndSwap(src, target, off, old, new)
 	}
+	var t0 time.Time
+	if p.m != nil {
+		t0 = time.Now()
+	}
 	v := wire.NewVec()
 	v.I(src)
 	v.I(target)
@@ -446,6 +504,9 @@ func (p *Peer) CompareAndSwap(src, target, off int, old, new uint64) (uint64, er
 	if err != nil {
 		return 0, err
 	}
+	if p.m != nil {
+		p.m.atomicRtt.ObserveSince(t0)
+	}
 	prev := wire.NewDec(reply).W64()
 	wire.Recycle(reply)
 	return prev, nil
@@ -454,6 +515,10 @@ func (p *Peer) CompareAndSwap(src, target, off int, old, new uint64) (uint64, er
 func (p *Peer) FetchAndOp(src, target, off int, operand uint64, red uint8) (uint64, error) {
 	if target == p.cfg.Self {
 		return p.cfg.Local.FetchAndOp(src, target, off, operand, red)
+	}
+	var t0 time.Time
+	if p.m != nil {
+		t0 = time.Now()
 	}
 	v := wire.NewVec()
 	v.I(src)
@@ -464,6 +529,9 @@ func (p *Peer) FetchAndOp(src, target, off int, operand uint64, red uint8) (uint
 	reply, err := p.callVec(target, tFAO, v)
 	if err != nil {
 		return 0, err
+	}
+	if p.m != nil {
+		p.m.atomicRtt.ObserveSince(t0)
 	}
 	prev := wire.NewDec(reply).W64()
 	wire.Recycle(reply)
@@ -558,6 +626,10 @@ func (p *Peer) serve(t byte, payload []byte) (byte, *wire.Vec, error) {
 			putScratch(s)
 			return 0, nil, err
 		}
+		if p.m != nil {
+			p.m.served.Inc()
+		}
+		p.fr.Record(obs.EvFrameRecv, int64(tFlush), int64(src), int64(len(ops)))
 		if err := p.cfg.Local.Flush(src, target, ops); err != nil {
 			putScratch(s)
 			return 0, nil, failOf(err)

@@ -1,0 +1,113 @@
+package tcp
+
+import (
+	"net"
+	"testing"
+
+	"repro/internal/obs"
+)
+
+func newObsPeer(t testing.TB, self, n int, addrs map[int]string, lns map[int]net.Listener, reg *obs.Registry, fr *obs.Recorder) *Peer {
+	t.Helper()
+	p, err := New(Config{
+		Self: self, N: n, Listener: lns[self], Peers: addrs,
+		Local:             newStub(4096),
+		HeartbeatInterval: -1,
+		Metrics:           reg,
+		Flight:            fr,
+	})
+	if err != nil {
+		t.Fatalf("tcp.New: %v", err)
+	}
+	t.Cleanup(func() { p.Close() })
+	return p
+}
+
+// TestFlushAllocsInstrumented re-runs the steady-state allocation pin of
+// TestFlushAllocsSteadyState with the obs instrumentation wired in —
+// metrics registry attached, flight recorder present but disabled (the
+// production default). The budget is identical: observability must be
+// free on the flush hot path.
+func TestFlushAllocsInstrumented(t *testing.T) {
+	addrs, lns := bindWorld(t, 2)
+	reg0, reg1 := obs.New(0), obs.New(1)
+	fr0, fr1 := obs.NewRecorder(0, 1024), obs.NewRecorder(1, 1024)
+	p0 := newObsPeer(t, 0, 2, addrs, lns, reg0, fr0)
+	newObsPeer(t, 1, 2, addrs, lns, reg1, fr1)
+
+	ops := benchOps(16, 4, 64)
+	flush := func() {
+		if err := p0.Flush(0, 1, ops); err != nil {
+			t.Fatalf("flush: %v", err)
+		}
+	}
+	for i := 0; i < 100; i++ {
+		flush()
+	}
+	avg := testing.AllocsPerRun(200, flush)
+	if avg > 20 {
+		t.Fatalf("instrumented flush allocates %.1f/op steady state, want <= 20 (same budget as uninstrumented)", avg)
+	}
+	t.Logf("instrumented flush steady state: %.1f allocs/op", avg)
+
+	s := reg0.Snapshot()
+	if s.Counters["tcp.flush.calls"] < 300 {
+		t.Fatalf("tcp.flush.calls = %d, want >= 300", s.Counters["tcp.flush.calls"])
+	}
+	if got, want := s.Counters["tcp.flush.ops"], s.Counters["tcp.flush.calls"]*20; got != want {
+		t.Fatalf("tcp.flush.ops = %d, want %d (20 ops per flush)", got, want)
+	}
+	h := s.Histograms["tcp.flush.us"]
+	if h.Count != s.Counters["tcp.flush.calls"] || h.Sum == 0 {
+		t.Fatalf("tcp.flush.us count=%d sum=%d, want count=calls and nonzero sum", h.Count, h.Sum)
+	}
+	if served := reg1.Snapshot().Counters["tcp.flush.served"]; served != s.Counters["tcp.flush.calls"] {
+		t.Fatalf("server tcp.flush.served = %d, want %d", served, s.Counters["tcp.flush.calls"])
+	}
+	// Disabled recorder: the hot path must not have stored anything.
+	if fr0.Total() != 0 || fr1.Total() != 0 {
+		t.Fatalf("disabled flight recorders stored events: %d/%d", fr0.Total(), fr1.Total())
+	}
+}
+
+// TestFlushFlightEvents turns the recorder on and checks the frame
+// send/recv events of a flush land on both ends.
+func TestFlushFlightEvents(t *testing.T) {
+	addrs, lns := bindWorld(t, 2)
+	fr0, fr1 := obs.NewRecorder(0, 64), obs.NewRecorder(1, 64)
+	fr0.SetEnabled(true)
+	fr1.SetEnabled(true)
+	p0 := newObsPeer(t, 0, 2, addrs, lns, obs.New(0), fr0)
+	newObsPeer(t, 1, 2, addrs, lns, obs.New(1), fr1)
+
+	if err := p0.Flush(0, 1, benchOps(2, 1, 8)); err != nil {
+		t.Fatalf("flush: %v", err)
+	}
+	send := fr0.Events()
+	if len(send) != 1 || send[0].Code != obs.EvFrameSend || send[0].A != int64(tFlush) || send[0].B != 1 || send[0].C != 3 {
+		t.Fatalf("sender events = %+v", send)
+	}
+	recv := fr1.Events()
+	if len(recv) != 1 || recv[0].Code != obs.EvFrameRecv || recv[0].A != int64(tFlush) || recv[0].B != 0 || recv[0].C != 3 {
+		t.Fatalf("receiver events = %+v", recv)
+	}
+}
+
+// TestAtomicRTTHistogram pins the CAS/FAO round-trip latency samples.
+func TestAtomicRTTHistogram(t *testing.T) {
+	addrs, lns := bindWorld(t, 2)
+	reg := obs.New(0)
+	p0 := newObsPeer(t, 0, 2, addrs, lns, reg, nil)
+	newObsPeer(t, 1, 2, addrs, lns, nil, nil)
+
+	if _, err := p0.CompareAndSwap(0, 1, 0, 0, 7); err != nil {
+		t.Fatalf("cas: %v", err)
+	}
+	if _, err := p0.FetchAndOp(0, 1, 0, 1, 0); err != nil {
+		t.Fatalf("fao: %v", err)
+	}
+	h := reg.Snapshot().Histograms["tcp.atomic.rtt.us"]
+	if h.Count != 2 {
+		t.Fatalf("tcp.atomic.rtt.us count = %d, want 2", h.Count)
+	}
+}

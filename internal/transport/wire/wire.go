@@ -139,6 +139,26 @@ type Config struct {
 	// OnDown is called exactly once when the connection dies, with the
 	// cause. It runs on the reader goroutine; it must not block.
 	OnDown func(error)
+	// OnNearMiss is called when a frame arrives inside the last slice of
+	// the lease window — after ReadTimeout-Heartbeat of silence (the last
+	// quarter of ReadTimeout when Heartbeat is unset or no smaller than
+	// ReadTimeout). The connection survived, but only just: a scheduler
+	// hiccup would have condemned the peer, so chaos runs count these to
+	// catch lease tunings that pass by luck. Runs on the reader
+	// goroutine; it must not block. NearMisses counts regardless.
+	OnNearMiss func(gap time.Duration)
+}
+
+// nearMissThreshold resolves the silence gap beyond which a surviving
+// frame counts as a lease near miss.
+func nearMissThreshold(cfg Config) time.Duration {
+	if cfg.ReadTimeout <= 0 {
+		return 0
+	}
+	if cfg.Heartbeat > 0 && cfg.Heartbeat < cfg.ReadTimeout {
+		return cfg.ReadTimeout - cfg.Heartbeat
+	}
+	return cfg.ReadTimeout * 3 / 4
 }
 
 // Conn is a framed, multiplexed connection.
@@ -157,6 +177,7 @@ type Conn struct {
 	downOnce sync.Once
 	sent     atomic.Uint64
 	received atomic.Uint64
+	nearMiss atomic.Uint64
 }
 
 type frame struct {
@@ -182,6 +203,10 @@ func (c *Conn) Sent() uint64 { return c.sent.Load() }
 
 // Received returns the number of frames read.
 func (c *Conn) Received() uint64 { return c.received.Load() }
+
+// NearMisses returns how many frames arrived in the last slice of the
+// lease window (see Config.OnNearMiss).
+func (c *Conn) NearMisses() uint64 { return c.nearMiss.Load() }
 
 // Close tears the connection down.
 func (c *Conn) Close() error {
@@ -400,13 +425,24 @@ func (c *Conn) heartbeatLoop() {
 
 func (c *Conn) readLoop() {
 	hdr := make([]byte, 9)
+	nearThresh := nearMissThreshold(c.cfg)
 	for {
+		var waitStart time.Time
 		if c.cfg.ReadTimeout > 0 {
-			c.nc.SetReadDeadline(time.Now().Add(c.cfg.ReadTimeout))
+			waitStart = time.Now()
+			c.nc.SetReadDeadline(waitStart.Add(c.cfg.ReadTimeout))
 		}
 		if err := readFull(c.nc, hdr); err != nil {
 			c.markDown(fmt.Errorf("%w: read: %v", ErrDown, err))
 			return
+		}
+		if nearThresh > 0 {
+			if gap := time.Since(waitStart); gap >= nearThresh {
+				c.nearMiss.Add(1)
+				if c.cfg.OnNearMiss != nil {
+					c.cfg.OnNearMiss(gap)
+				}
+			}
 		}
 		n := binary.BigEndian.Uint32(hdr)
 		if n < 5 || n > MaxFrame {

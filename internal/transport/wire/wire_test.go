@@ -341,3 +341,62 @@ func TestConnDownFreesVec(t *testing.T) {
 		t.Fatal("Vec not released after failed CallVec")
 	}
 }
+
+// TestNearMissDetection pins the lease near-miss accounting: frames that
+// arrive after ReadTimeout-Heartbeat of silence count as near misses
+// (without taking the connection down), punctual frames do not.
+func TestNearMissDetection(t *testing.T) {
+	cn, sn := net.Pipe()
+	var gaps []time.Duration
+	gapc := make(chan time.Duration, 16)
+	receiver := New(sn, Config{
+		Heartbeat:   150 * time.Millisecond,
+		ReadTimeout: 600 * time.Millisecond, // near-miss threshold: 450ms
+		OnDown:      func(err error) { t.Logf("receiver down: %v", err) },
+		OnNearMiss:  func(gap time.Duration) { gapc <- gap },
+	})
+	defer receiver.Close()
+	sender := New(cn, Config{}) // no auto-heartbeat: the test times every frame
+	defer sender.Close()
+
+	// Punctual traffic: well inside the window, no near misses.
+	for i := 0; i < 3; i++ {
+		time.Sleep(50 * time.Millisecond)
+		if err := sender.Notify(TypeHeartbeat, nil); err != nil {
+			t.Fatalf("punctual notify %d: %v", i, err)
+		}
+	}
+	if n := receiver.NearMisses(); n != 0 {
+		t.Fatalf("punctual frames produced %d near misses", n)
+	}
+
+	// Tardy traffic: inside the last slice of the window, but inside it —
+	// the connection must survive with the near misses counted.
+	for i := 0; i < 2; i++ {
+		time.Sleep(500 * time.Millisecond)
+		if err := sender.Notify(TypeHeartbeat, nil); err != nil {
+			t.Fatalf("tardy notify %d: %v (lease expired?)", i, err)
+		}
+	}
+	deadline := time.After(2 * time.Second)
+	for len(gaps) < 2 {
+		select {
+		case g := <-gapc:
+			gaps = append(gaps, g)
+		case <-deadline:
+			t.Fatalf("saw %d near misses, want 2 (counter=%d)", len(gaps), receiver.NearMisses())
+		}
+	}
+	for _, g := range gaps {
+		if g < 450*time.Millisecond {
+			t.Fatalf("near-miss gap %v below threshold", g)
+		}
+	}
+	if n := receiver.NearMisses(); n < 2 {
+		t.Fatalf("NearMisses = %d, want >= 2", n)
+	}
+	// The tardy frames arrived before lease expiry: still up.
+	if err := sender.Notify(TypeHeartbeat, nil); err != nil {
+		t.Fatalf("connection died despite frames inside the lease: %v", err)
+	}
+}

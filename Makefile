@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet staticcheck test test-noasm bench-short bench bench-gate race tier1 ci docs-check api-check smoke-rankd chaos-smoke metrics-check flightrec-demo
+.PHONY: all build vet staticcheck test test-short test-noasm bench-short bench bench-gate race tier1 ci docs-check api-check smoke-rankd chaos-smoke metrics-check flightrec-demo soak soak-short coverage-check
 
 all: build vet test
 
@@ -21,6 +21,12 @@ staticcheck:
 
 test:
 	$(GO) test ./...
+
+# The inner-loop tier: every multi-second test carries a testing.Short()
+# gate, so this stays a seconds-not-minutes run (CI enforces a wall
+# budget on it).
+test-short:
+	$(GO) test -short ./...
 
 # The SWAR fallback leg of the kernel matrix: full suite with the AVX2 asm
 # path compiled out, plus the runtime env-knob cross-check.
@@ -45,8 +51,8 @@ bench:
 # metrics — virtual time, frames and allocs per flush — gate tightly;
 # wall-clock MB/s is a coarse tripwire).
 bench-gate:
-	$(GO) test -run xxx -bench 'BenchmarkDemandCheckpointStreamPipeline|BenchmarkErasureThroughput|BenchmarkCheckpointRound|BenchmarkTransportFlush|BenchmarkTransportAtomic|BenchmarkRecoveryPaths' -benchtime=100ms -count=1 . | tee bench.out
-	$(GO) run ./cmd/benchgate -bench bench.out -baseline BENCH_stream.json -baseline BENCH_baseline.json -baseline BENCH_logs.json -baseline BENCH_transport.json -baseline BENCH_recovery.json -out bench-results.json
+	$(GO) test -run xxx -bench 'BenchmarkDemandCheckpointStreamPipeline|BenchmarkErasureThroughput|BenchmarkCheckpointRound|BenchmarkTransportFlush|BenchmarkTransportAtomic|BenchmarkRecoveryPaths|BenchmarkClusterSoak' -benchtime=100ms -count=1 . | tee bench.out
+	$(GO) run ./cmd/benchgate -bench bench.out -baseline BENCH_stream.json -baseline BENCH_baseline.json -baseline BENCH_logs.json -baseline BENCH_transport.json -baseline BENCH_recovery.json -baseline BENCH_cluster.json -out bench-results.json
 
 # Multi-process smoke: 4 rankd worker processes against a live
 # coordinator, kill -9 of one mid-run, replacement rejoin, bit-identical
@@ -77,6 +83,25 @@ metrics-check:
 flightrec-demo:
 	./scripts/flightrec_demo.sh
 
+# Scale-out soak + chaos matrix (docs/SOAK.md): 64–256 in-process
+# fabric ranks over tcp/shm/mixed transports under seeded kill, mute,
+# and correlated node-kill schedules, gated on bit-identical final
+# state vs the in-process oracle, zero causal-path fallbacks, and clean
+# catastrophic errors. soak-short is the 64-rank leg `go test ./...`
+# already runs; soak is the full matrix (64–128 ranks, ~1 min); the
+# 256-rank XL leg additionally needs REPRO_SOAK_XL=1 and the sysctl
+# headroom documented in docs/SOAK.md.
+soak-short:
+	$(GO) test -count=1 -run 'TestSoak$$' ./internal/soak
+
+soak:
+	REPRO_SOAK=1 $(GO) test -count=1 -timeout 900s -run 'TestSoak|TestMembershipConvergence' ./internal/soak
+
+# Coverage gate: per-package statement floors on the recovery-critical
+# packages (internal/fabric is covered cross-package; see the script).
+coverage-check:
+	./scripts/check_coverage.sh
+
 # The tier-1 gate the roadmap pins.
 tier1: build test
 
@@ -90,6 +115,7 @@ api-check:
 	./scripts/apidiff.sh
 
 # Mirrors the full CI workflow locally: build, vet, staticcheck, tests on
-# both kernel paths, the race detector, the bench-regression gate, the
-# docs gate, the exported-API gate, and the metric-catalog drift gate.
-ci: build vet staticcheck test test-noasm race bench-gate docs-check api-check metrics-check
+# both kernel paths, the race detector, the soak matrix, the coverage
+# floors, the bench-regression gate, the docs gate, the exported-API
+# gate, and the metric-catalog drift gate.
+ci: build vet staticcheck test test-noasm race soak coverage-check bench-gate docs-check api-check metrics-check

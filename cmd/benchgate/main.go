@@ -22,9 +22,9 @@
 //	}
 //
 // Files without a "gate" object are documentation-only and are skipped.
-// Metric direction: mb_per_s and *speedup* metrics are higher-is-better;
-// everything else (ns_per_op, *_us_virtual, allocs_per_op, ...) is
-// lower-is-better. Modeled virtual-time metrics are deterministic and gate
+// Metric direction: *_per_s rates (mb_per_s, ops_per_s, ...) and *speedup*
+// metrics are higher-is-better; everything else (ns_per_op, *_us_virtual,
+// allocs_per_op, ...) is lower-is-better. Modeled virtual-time metrics are deterministic and gate
 // tightly; wall-clock metrics should only be gated with generous tolerance
 // (they are machine-dependent tripwires, not precision checks).
 package main
@@ -88,7 +88,7 @@ func metricKey(unit string) string {
 }
 
 func higherIsBetter(key string) bool {
-	return key == "mb_per_s" || strings.Contains(key, "speedup")
+	return strings.HasSuffix(key, "_per_s") || strings.Contains(key, "speedup")
 }
 
 var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+\d+\s+(.*)$`)

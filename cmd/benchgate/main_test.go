@@ -88,6 +88,86 @@ func TestEvalGateMissingBenchmarkFails(t *testing.T) {
 	}
 }
 
+func TestHigherIsBetterDirections(t *testing.T) {
+	for key, want := range map[string]bool{
+		"mb_per_s":        true, // wire throughput
+		"ops_per_s":       true, // soak steady-state throughput
+		"replay_speedup":  true,
+		"ns_per_op":       false,
+		"p999_us":         false,
+		"ckpt_us_virtual": false,
+		"bytes_per_op":    false,
+		"fallbacks":       false,
+	} {
+		if got := higherIsBetter(key); got != want {
+			t.Errorf("higherIsBetter(%q) = %v, want %v", key, got, want)
+		}
+	}
+}
+
+// A throughput (higher-is-better) collapse and a tail (lower-is-better)
+// blowup must both fail; movement in the good direction must not.
+func TestEvalGateRateDirection(t *testing.T) {
+	gate := testGate("ops_per_s", "p999_us")
+	entries := map[string]map[string]float64{
+		"BenchmarkSoak": {"ops_per_s": 1000, "p999_us": 100},
+	}
+	run := func(ops, tail float64) int {
+		var out strings.Builder
+		failures, _ := evalGate(&out, "BENCH_x.json", gate, entries,
+			map[string]map[string]float64{"BenchmarkSoak": {"ops_per_s": ops, "p999_us": tail}})
+		return failures
+	}
+	if f := run(900, 120); f != 0 { // both within 25%
+		t.Fatalf("in-tolerance run: failures=%d, want 0", f)
+	}
+	if f := run(2000, 50); f != 0 { // both improved
+		t.Fatalf("improved run: failures=%d, want 0", f)
+	}
+	if f := run(500, 100); f != 1 { // throughput halved
+		t.Fatalf("throughput drop: failures=%d, want 1", f)
+	}
+	if f := run(1000, 200); f != 1 { // tail doubled
+		t.Fatalf("tail blowup: failures=%d, want 1", f)
+	}
+}
+
+// Deterministic zeros (fallbacks on a causal-only soak) must gate
+// exactly: zero passes, anything else fails at any tolerance.
+func TestEvalGateZeroBaseline(t *testing.T) {
+	gate := testGate("fallbacks")
+	entries := map[string]map[string]float64{
+		"BenchmarkSoak": {"fallbacks": 0},
+	}
+	var out strings.Builder
+	failures, _ := evalGate(&out, "BENCH_x.json", gate, entries,
+		map[string]map[string]float64{"BenchmarkSoak": {"fallbacks": 0}})
+	if failures != 0 {
+		t.Fatalf("exact-zero run: failures=%d\n%s", failures, out.String())
+	}
+	out.Reset()
+	failures, _ = evalGate(&out, "BENCH_x.json", gate, entries,
+		map[string]map[string]float64{"BenchmarkSoak": {"fallbacks": 2}})
+	if failures != 1 {
+		t.Fatalf("nonzero fallbacks passed a zero baseline\n%s", out.String())
+	}
+}
+
+func TestMetricKeyUnits(t *testing.T) {
+	for unit, want := range map[string]string{
+		"ns/op":             "ns_per_op",
+		"MB/s":              "mb_per_s",
+		"B/op":              "bytes_per_op",
+		"allocs/op":         "allocs_per_op",
+		"ops_per_s":         "ops_per_s",
+		"wire-bytes-per-op": "wire_bytes_per_op",
+	} {
+		if got := metricKey(unit); got != want {
+			t.Errorf("metricKey(%q) = %q, want %q", unit, got, want)
+		}
+	}
+}
+
 func TestEvalGateRatio(t *testing.T) {
 	gate := testGate("ckpt_us_virtual")
 	gate.Ratios = []ratioSpec{{Name: "pipelined-vs-serial", Metric: "ckpt_us_virtual", Base: "BenchmarkSerial", Test: "BenchmarkPipelined", Min: 1.5}}

@@ -3,6 +3,7 @@ package fabric
 import (
 	"errors"
 	"fmt"
+	"time"
 
 	"repro/internal/erasure"
 	"repro/internal/ftrma"
@@ -55,9 +56,25 @@ func (nd *Node) maybeArbiter() {
 		nd.crisisBusy = false
 		nd.mmu.Unlock()
 		if err != nil {
+			nd.broadcastCrisisFail(err)
 			nd.fail(err)
 		}
 	}()
+}
+
+// broadcastCrisisFail tells every survivor the crisis is unrecoverable,
+// so their Sync calls return the failure instead of parking forever at
+// the watermark barrier behind a replacement that cannot come.
+func (nd *Node) broadcastCrisisFail(cause error) {
+	var e wire.Enc
+	e.Str(cause.Error())
+	nd.mmu.Lock()
+	peers := nd.alivePeersLocked()
+	nd.mmu.Unlock()
+	payload := e.Bytes()
+	for _, p := range peers {
+		nd.bestEffortNotify(p, fCrisisFail, payload)
+	}
 }
 
 // runCrisis is the arbiter's recovery of one dead rank, start to finish:
@@ -251,10 +268,35 @@ func (nd *Node) runCrisis(victim, vinc, victims int) error {
 	nd.mmu.Unlock()
 	nd.logf("fabric: rank %d reconstructed (phase %d, %d put / %d get replays); awaiting replacement",
 		victim, vSnap.phase, len(in.puts), len(in.gets))
-	select {
-	case <-pi.handed:
-	case <-nd.stop:
-		return ErrClosed
+	// While parked, watch for further deaths: a second victim now means
+	// correlated loss — abandon the install and fail the run instead of
+	// waiting forever for a replacement whose install can never complete.
+	tick := time.NewTicker(nd.tun().GossipInterval)
+	defer tick.Stop()
+park:
+	for {
+		select {
+		case <-pi.handed:
+			break park
+		case <-nd.stop:
+			return ErrClosed
+		case <-tick.C:
+			nd.mmu.Lock()
+			dead := 0
+			for _, m := range nd.members {
+				if !m.Alive {
+					dead++
+				}
+			}
+			if dead > 1 {
+				if nd.pending == pi {
+					nd.pending = nil
+				}
+				nd.mmu.Unlock()
+				return fmt.Errorf("fabric: %d ranks dead while recovering rank %d; the fabric recovers single failures", dead, victim)
+			}
+			nd.mmu.Unlock()
+		}
 	}
 	installSpan.End()
 

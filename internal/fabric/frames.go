@@ -67,6 +67,11 @@ const (
 	fWindowFetch = 0x4E
 	// fShutdown (notify): orderly end of the run; AwaitShutdown returns.
 	fShutdown = 0x4F
+	// fCrisisFail (notify, arbiter → survivors): {msg}. The crisis is
+	// unrecoverable (correlated loss, a second death mid-recovery);
+	// survivors fail their run immediately instead of waiting forever at
+	// the watermark barrier for a replacement that cannot come.
+	fCrisisFail = 0x50
 )
 
 // fJoin reply modes.

@@ -28,6 +28,7 @@ func (nd *Node) acceptLoop() {
 			// attributed peer connections — probe connections from tests
 			// and joiners never hello and may idle.
 			Heartbeat: nd.tun().LeaseInterval,
+			BytesOut:  nd.om.wireOut, BytesIn: nd.om.wireIn,
 			OnDown: func(err error) {
 				st.mu.Lock()
 				rank, inc, helloed := st.rank, st.inc, st.helloed
@@ -79,6 +80,13 @@ func (nd *Node) handle(st *connState, t byte, payload []byte) (byte, []byte, err
 		return t, nil, nil
 	case fShutdown:
 		nd.shutOnce.Do(func() { close(nd.shutdown) })
+		return t, nil, nil
+	case fCrisisFail:
+		msg := d.Str()
+		if d.Failed() {
+			return t, nil, errBadFrame
+		}
+		nd.fail(fmt.Errorf("fabric: crisis failed at arbiter: %s", msg))
 		return t, nil, nil
 	}
 	// Everything below touches rank state: refuse it until the world

@@ -159,6 +159,7 @@ type Node struct {
 	crisisBusy bool
 	recoveries int
 	pending    *pendingInstall
+	gossipPos  int // rotating fan-out cursor, guarded by mmu
 
 	parMu  sync.Mutex
 	hosted map[int]*hostedGroup
@@ -278,7 +279,10 @@ func (nd *Node) joinOnce(addr string) (joinReply, error) {
 	if err != nil {
 		return r, err
 	}
-	wc := wire.New(nc, wire.Config{Heartbeat: nd.tun().LeaseInterval})
+	wc := wire.New(nc, wire.Config{
+		Heartbeat: nd.tun().LeaseInterval,
+		BytesOut:  nd.om.wireOut, BytesIn: nd.om.wireIn,
+	})
 	defer wc.Close()
 	var e wire.Enc
 	e.Str(nd.addr)
@@ -661,6 +665,15 @@ func (nd *Node) gossipLoop() {
 	}
 }
 
+// gossipFanout bounds how many peers one gossip round addresses. All-peers
+// rounds make the anti-entropy load O(n²) frames per interval fabric-wide,
+// which at a couple hundred ranks swamps the heartbeats it is meant to
+// backstop; a rotating bounded fan-out keeps per-round load O(n·k) and
+// still reaches every peer within ceil((n-1)/k) rounds — epidemic spread
+// converges faster than that in practice, and repair is reset-driven
+// anyway.
+const gossipFanout = 16
+
 func (nd *Node) gossipNow() {
 	if nd.failedOrClosed() != nil {
 		return
@@ -670,6 +683,15 @@ func (nd *Node) gossipNow() {
 	encMembers(&e, nd.members)
 	encHostings(&e, nd.hostings)
 	peers := nd.alivePeersLocked()
+	if len(peers) > gossipFanout {
+		start := nd.gossipPos % len(peers)
+		nd.gossipPos = (nd.gossipPos + gossipFanout) % len(peers)
+		window := make([]Member, 0, gossipFanout)
+		for i := 0; i < gossipFanout; i++ {
+			window = append(window, peers[(start+i)%len(peers)])
+		}
+		peers = window
+	}
 	nd.mmu.Unlock()
 	payload := e.Bytes()
 	for _, p := range peers {
@@ -718,6 +740,8 @@ func (nd *Node) dialPeer(m Member) (*peerConn, error) {
 		Handler:     func(t byte, p []byte) (byte, []byte, error) { return nd.handle(st, t, p) },
 		Heartbeat:   nd.tun().LeaseInterval,
 		ReadTimeout: lease,
+		BytesOut:    nd.om.wireOut,
+		BytesIn:     nd.om.wireIn,
 		OnDown: func(err error) {
 			if pc.quiet.Load() {
 				return
@@ -1089,9 +1113,11 @@ func (nd *Node) Sync() error {
 	nd.logMu.Lock()
 	p := nd.phase
 	nd.logMu.Unlock()
+	ckpt := time.Now()
 	if err := nd.checkpoint(p); err != nil {
 		return err
 	}
+	nd.om.ckptUs.ObserveSince(ckpt)
 	nd.logMu.Lock()
 	nd.phase = p + 1
 	nd.ecAt[p+1] = append([]int(nil), nd.ec...)

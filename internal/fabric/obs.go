@@ -25,9 +25,13 @@ type nodeMetrics struct {
 	replayGets     *obs.Counter // fabric.replay.gets
 	replayChunks   *obs.Counter // fabric.replay.chunks
 
+	wireOut *obs.Counter // fabric.wire.bytes.sent
+	wireIn  *obs.Counter // fabric.wire.bytes.recv
+
 	flushUs  *obs.Histogram // fabric.flush.us
 	gsyncUs  *obs.Histogram // fabric.gsync.wait.us
 	foldUs   *obs.Histogram // fabric.fold.us
+	ckptUs   *obs.Histogram // fabric.ckpt.us
 	replayUs *obs.Histogram // fabric.replay.install.us
 
 	// crisis spans by obs.CrisisStage: crisis.<stage>.us.
@@ -48,9 +52,12 @@ func newNodeMetrics(r *obs.Registry) *nodeMetrics {
 		replayPuts:     r.Counter("fabric.replay.puts"),
 		replayGets:     r.Counter("fabric.replay.gets"),
 		replayChunks:   r.Counter("fabric.replay.chunks"),
+		wireOut:        r.Counter("fabric.wire.bytes.sent"),
+		wireIn:         r.Counter("fabric.wire.bytes.recv"),
 		flushUs:        r.Histogram("fabric.flush.us"),
 		gsyncUs:        r.Histogram("fabric.gsync.wait.us"),
 		foldUs:         r.Histogram("fabric.fold.us"),
+		ckptUs:         r.Histogram("fabric.ckpt.us"),
 		replayUs:       r.Histogram("fabric.replay.install.us"),
 	}
 	m.crisis = make([]*obs.Histogram, len(obs.CrisisStages))

@@ -1,0 +1,56 @@
+package obs
+
+// Quantile and Delta turn HistogramSnapshots into the windowed tail
+// statistics of the soak report (internal/soak): the harness snapshots a
+// latency histogram at window boundaries (kill, recovered), subtracts,
+// and reads the p50/p99/p999 of just that window.
+
+// Quantile returns an upper bound of the q-quantile (0 < q <= 1) of the
+// snapshot: the inclusive upper edge 2^k-1 of the first bucket at which
+// the cumulative count reaches ceil(q * Count). Power-of-two buckets
+// bound the estimate to within 2x of the true value, which is the
+// resolution the bucketing chose for tails; zero observations yield 0.
+func (hs HistogramSnapshot) Quantile(q float64) uint64 {
+	if hs.Count == 0 || q <= 0 {
+		return 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	need := uint64(q * float64(hs.Count))
+	if float64(need) < q*float64(hs.Count) || need == 0 {
+		need++ // ceil, and at least one observation
+	}
+	var cum uint64
+	for k := 0; k < HistBuckets; k++ {
+		cum += hs.Buckets[k]
+		if cum >= need {
+			if k == 0 {
+				return 0 // bucket 0 holds exact zeros
+			}
+			if k >= 64 {
+				return ^uint64(0)
+			}
+			return 1<<uint(k) - 1
+		}
+	}
+	return ^uint64(0)
+}
+
+// Delta returns the histogram of the observations made after prev was
+// taken: counts, sum, and per-bucket counts all subtracted. prev must be
+// an earlier snapshot of the same histogram (counters are monotone);
+// buckets that did not move are omitted, like Registry.Snapshot does.
+func (hs HistogramSnapshot) Delta(prev HistogramSnapshot) HistogramSnapshot {
+	d := HistogramSnapshot{
+		Count:   hs.Count - prev.Count,
+		Sum:     hs.Sum - prev.Sum,
+		Buckets: make(map[int]uint64),
+	}
+	for k, v := range hs.Buckets {
+		if dv := v - prev.Buckets[k]; dv != 0 {
+			d.Buckets[k] = dv
+		}
+	}
+	return d
+}

@@ -1,0 +1,78 @@
+package obs
+
+import "testing"
+
+func snapOf(h *Histogram) HistogramSnapshot {
+	hs := HistogramSnapshot{Count: h.Count(), Sum: h.Sum(), Buckets: map[int]uint64{}}
+	for k := 0; k < HistBuckets; k++ {
+		if v := h.Bucket(k); v != 0 {
+			hs.Buckets[k] = v
+		}
+	}
+	return hs
+}
+
+func TestQuantileBounds(t *testing.T) {
+	var h Histogram
+	// 90 observations of ~100us, 9 of ~1000us, 1 of ~100000us: p50 must
+	// land in 100's bucket, p99 in 1000's, p999 in 100000's. Buckets are
+	// powers of two, so the quantile is the bucket's upper edge.
+	for i := 0; i < 90; i++ {
+		h.Observe(100)
+	}
+	for i := 0; i < 9; i++ {
+		h.Observe(1000)
+	}
+	h.Observe(100000)
+	hs := snapOf(&h)
+	if got, want := hs.Quantile(0.5), uint64(127); got != want {
+		t.Fatalf("p50 = %d, want %d", got, want)
+	}
+	if got, want := hs.Quantile(0.99), uint64(1023); got != want {
+		t.Fatalf("p99 = %d, want %d", got, want)
+	}
+	if got, want := hs.Quantile(0.999), uint64(131071); got != want {
+		t.Fatalf("p999 = %d, want %d", got, want)
+	}
+	if got := hs.Quantile(1); got != 131071 {
+		t.Fatalf("p100 = %d, want 131071", got)
+	}
+}
+
+func TestQuantileEdgeCases(t *testing.T) {
+	var empty HistogramSnapshot
+	if got := empty.Quantile(0.99); got != 0 {
+		t.Fatalf("empty quantile = %d, want 0", got)
+	}
+	var h Histogram
+	h.Observe(0)
+	h.Observe(0)
+	if got := snapOf(&h).Quantile(0.5); got != 0 {
+		t.Fatalf("all-zero quantile = %d, want 0", got)
+	}
+	h.Observe(^uint64(0))
+	if got := snapOf(&h).Quantile(1); got != ^uint64(0) {
+		t.Fatalf("max-value quantile = %d, want max", got)
+	}
+}
+
+func TestHistogramDelta(t *testing.T) {
+	var h Histogram
+	h.Observe(100)
+	h.Observe(100)
+	before := snapOf(&h)
+	h.Observe(100)
+	h.Observe(5000)
+	after := snapOf(&h)
+	d := after.Delta(before)
+	if d.Count != 2 || d.Sum != 5100 {
+		t.Fatalf("delta count/sum = %d/%d, want 2/5100", d.Count, d.Sum)
+	}
+	if d.Buckets[7] != 1 || d.Buckets[13] != 1 || len(d.Buckets) != 2 {
+		t.Fatalf("delta buckets = %v", d.Buckets)
+	}
+	// The window's p99 reflects only the new observations.
+	if got, want := d.Quantile(0.99), uint64(8191); got != want {
+		t.Fatalf("delta p99 = %d, want %d", got, want)
+	}
+}

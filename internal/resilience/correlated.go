@@ -35,6 +35,42 @@ type CorrelatedConfig struct {
 	// iterations' worth of virtual time (approximate); node-failure
 	// recovery rolls back to the last coordinated checkpoint.
 	CheckpointEveryIters int
+	// PeerParityHosts places each group's parity shards on elected peer
+	// ranks (ftrma's ElectParityHost policy) instead of the paper's
+	// infallible checksum processes. The cluster and fabric runtimes host
+	// parity this way, so predictions meant to match a real cluster run
+	// must set it: a node loss can then take a group's member copy and
+	// the parity guarding it down together — the §5.1 catastrophic case —
+	// which infallible-checksum simulations never see.
+	PeerParityHosts bool
+}
+
+// Verdict classifies the recovery one fail-stop crash admits.
+type Verdict int
+
+const (
+	// VerdictCausal: a single rank died; its mutual logs survive on the
+	// peers, so causal replay restores it without rollback.
+	VerdictCausal Verdict = iota
+	// VerdictFallback: multiple ranks died at once (mutual logs gone),
+	// but every group can still reconstruct — the coordinated rollback
+	// survives.
+	VerdictFallback
+	// VerdictCatastrophic: some group lost more state than its parity
+	// covers; no software recovery exists.
+	VerdictCatastrophic
+)
+
+func (v Verdict) String() string {
+	switch v {
+	case VerdictCausal:
+		return "causal"
+	case VerdictFallback:
+		return "fallback"
+	case VerdictCatastrophic:
+		return "catastrophic"
+	}
+	return fmt.Sprintf("verdict(%d)", int(v))
 }
 
 // CorrelatedReport summarizes a correlated-failure simulation.
@@ -101,7 +137,11 @@ func SimulateCorrelated(cfg CorrelatedConfig) (CorrelatedReport, error) {
 	ideal := ref.MaxTime()
 
 	w := rma.NewWorld(rma.Config{N: n, WindowWords: windowWords(n)})
-	ftCfg := ftrma.Config{Groups: cfg.Groups, ChecksumsPerGroup: 1, Log: ftrma.LogConfig{Puts: true}}
+	ftCfg := ftrma.Config{
+		Groups: cfg.Groups, ChecksumsPerGroup: 1,
+		Log:             ftrma.LogConfig{Puts: true},
+		PeerParityHosts: cfg.PeerParityHosts,
+	}
 	if cfg.CheckpointEveryIters > 0 {
 		// Calibrate the fixed interval from the fault-free iteration time.
 		ftCfg.FixedInterval = ideal / float64(cfg.Iters) * float64(cfg.CheckpointEveryIters) * 0.99
@@ -166,4 +206,56 @@ func SimulateCorrelated(cfg CorrelatedConfig) (CorrelatedReport, error) {
 		}
 	}
 	return rep, nil
+}
+
+// PredictCrash classifies the recovery one simultaneous fail-stop crash
+// of the given ranks admits under this config's grouping and parity
+// placement, by actually running it: warmIters workload iterations on
+// the in-process ft runtime, the crash, then Recover. The chaos and soak
+// harnesses derive their survivability expectations from this — the same
+// grouping, election policy, and reconstruction math the cluster runs,
+// minus the wire — so a cluster run disagreeing with the prediction is a
+// runtime bug, not a modeling gap. Set PeerParityHosts when the run
+// under test hosts parity on peer ranks (the cluster and fabric do).
+func (c CorrelatedConfig) PredictCrash(warmIters int, ranks []int) (Verdict, error) {
+	if err := c.Validate(); err != nil {
+		return 0, err
+	}
+	if len(ranks) == 0 {
+		return 0, errors.New("resilience: empty crash")
+	}
+	if len(ranks) == 1 {
+		return VerdictCausal, nil
+	}
+	n := c.Nodes * c.RanksPerNode
+	w := rma.NewWorld(rma.Config{N: n, WindowWords: windowWords(n)})
+	sys, err := ftrma.NewSystem(w, ftrma.Config{
+		Groups: c.Groups, ChecksumsPerGroup: 1,
+		Log:             ftrma.LogConfig{Puts: true},
+		PeerParityHosts: c.PeerParityHosts,
+	})
+	if err != nil {
+		return 0, err
+	}
+	if warmIters < 1 {
+		warmIters = 1
+	}
+	for it := 0; it < warmIters; it++ {
+		cur := it
+		w.Run(func(r int) { step(sys.Process(r), cur) })
+	}
+	for _, r := range ranks {
+		if r < 0 || r >= n {
+			return 0, fmt.Errorf("resilience: rank %d out of range 0..%d", r, n-1)
+		}
+		w.Kill(r)
+	}
+	switch _, err := sys.Recover(ranks[0]); {
+	case errors.Is(err, ftrma.ErrFallback):
+		return VerdictFallback, nil
+	case err != nil:
+		return VerdictCatastrophic, nil
+	default:
+		return VerdictCausal, nil
+	}
 }

@@ -78,6 +78,66 @@ func TestCorrelatedSingleRankNodesUseCausalRecovery(t *testing.T) {
 	}
 }
 
+func TestPredictCrashVerdicts(t *testing.T) {
+	// The chaos harness's machine: 2 nodes x 2 ranks, 2 groups, t-aware,
+	// parity hosted on peer ranks like the cluster runtime.
+	cfg := CorrelatedConfig{
+		Nodes: 2, RanksPerNode: 2, Iters: 8,
+		TAware: true, Groups: 2, PeerParityHosts: true,
+	}
+	node := func(n int) []int {
+		return []int{cfg.RankOfSlot(n, 0), cfg.RankOfSlot(n, 1)}
+	}
+	for _, tc := range []struct {
+		name  string
+		ranks []int
+		want  Verdict
+	}{
+		// Any lone death replays causally, whoever it is.
+		{"single-rank", []int{2}, VerdictCausal},
+		// Node 0 = ranks {0,1}: one member per group lost, both parity
+		// hosts (ranks 2 and 3) alive — the coordinated rollback covers it.
+		{"node0-fallback", node(0), VerdictFallback},
+		// Node 1 = ranks {2,3}: a group member dies together with a
+		// parity host guarding a group it belongs to — member copy and
+		// parity gone at once, the §5.1 catastrophic case.
+		{"node1-catastrophic", node(1), VerdictCatastrophic},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			got, err := cfg.PredictCrash(3, tc.ranks)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got != tc.want {
+				t.Fatalf("PredictCrash(%v) = %v, want %v", tc.ranks, got, tc.want)
+			}
+		})
+	}
+}
+
+func TestPredictCrashMatchesInfallibleSim(t *testing.T) {
+	// Without peer parity hosts the predictor must agree with the
+	// infallible-checksum simulation: t-aware node losses are fallbacks
+	// (TestCorrelatedTAwarePlacementSurvives), packed ones catastrophic
+	// (TestCorrelatedNaivePlacementIsCatastrophic).
+	taware := CorrelatedConfig{Nodes: 4, RanksPerNode: 2, Iters: 8, TAware: true, Groups: 4}
+	v, err := taware.PredictCrash(3, []int{taware.RankOfSlot(1, 0), taware.RankOfSlot(1, 1)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v != VerdictFallback {
+		t.Fatalf("t-aware node loss predicted %v, want fallback", v)
+	}
+	packed := CorrelatedConfig{Nodes: 4, RanksPerNode: 2, Iters: 8, TAware: false, Groups: 4}
+	v, err = packed.PredictCrash(3, []int{packed.RankOfSlot(1, 0), packed.RankOfSlot(1, 1)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v != VerdictCatastrophic {
+		t.Fatalf("packed node loss predicted %v, want catastrophic", v)
+	}
+}
+
 func TestCorrelatedConfigValidation(t *testing.T) {
 	bad := []CorrelatedConfig{
 		{Nodes: 1, RanksPerNode: 2, Iters: 4, Groups: 1},

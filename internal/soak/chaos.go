@@ -1,0 +1,174 @@
+package soak
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"repro/internal/failure"
+	"repro/internal/machine"
+)
+
+// EventKind is one chaos event's type.
+type EventKind int
+
+const (
+	// EvKill: fail-stop one rank (survivable; causal replay recovers it).
+	EvKill EventKind = iota
+	// EvNodeKill: fail-stop every rank of one placement node at once — a
+	// correlated failure. With more than one rank per node this exceeds
+	// the fabric's single-failure scope and the run must fail cleanly.
+	EvNodeKill
+	// EvMute: blackhole one rank's links both ways for less than the
+	// lease window, then restore — a transient transport fault the
+	// membership must ride out without condemning anybody.
+	EvMute
+)
+
+func (k EventKind) String() string {
+	switch k {
+	case EvKill:
+		return "kill"
+	case EvNodeKill:
+		return "node-kill"
+	case EvMute:
+		return "mute"
+	}
+	return fmt.Sprintf("event(%d)", int(k))
+}
+
+// Event is one scheduled chaos action, fired when every live rank's
+// watermark has reached Phase (so it lands mid-run, in think time).
+type Event struct {
+	Phase int
+	Kind  EventKind
+	Ranks []int
+}
+
+func (e Event) String() string {
+	return fmt.Sprintf("%v@phase%d ranks %v", e.Kind, e.Phase, e.Ranks)
+}
+
+// Chaos configures the seeded fault schedule of a soak run.
+type Chaos struct {
+	// Seed fixes the whole schedule (victims and order).
+	Seed int64
+	// Kills is how many single-rank fail-stops to inject, executed
+	// sequentially (the fabric recovers one failure at a time).
+	Kills int
+	// NodeKill, when > 0, additionally fail-stops every rank of
+	// placement node NodeKill-1 simultaneously at the end of the
+	// schedule (1-based so the zero value schedules no node kill).
+	NodeKill int
+	// Mutes is how many transient both-ways mute windows to inject.
+	Mutes int
+	// RanksPerNode partitions ranks onto placement nodes (default 1).
+	RanksPerNode int
+}
+
+// Schedule derives the concrete event list for a run of wl by sampling
+// TSUBAME failure schedules from internal/failure over a block placement
+// of the workload's ranks — the same machinery the resilience simulations
+// use, executed for real. Sampled crash times are rescaled onto the run's
+// phase axis; single-rank crashes become EvKill, and the correlated
+// whole-node crash (when requested) targets NodeKill's placement node.
+// Mute victims are drawn from the same stream. Events are ordered by
+// phase with the node kill last.
+func (c Chaos) Schedule(wl Workload) ([]Event, error) {
+	perNode := c.RanksPerNode
+	if perNode < 1 {
+		perNode = 1
+	}
+	if wl.Ranks%perNode != 0 {
+		return nil, fmt.Errorf("soak: %d ranks not divisible by %d per node", wl.Ranks, perNode)
+	}
+	nodes := wl.Ranks / perNode
+	fdh := machine.FDH{LevelNames: []string{"node"}, Counts: []int{nodes}}
+	pl, err := machine.BlockPlacement(fdh, wl.Ranks, perNode)
+	if err != nil {
+		return nil, err
+	}
+	killNode := c.NodeKill - 1 // -1: none
+	if killNode >= nodes {
+		return nil, fmt.Errorf("soak: node kill %d on a %d-node placement", killNode, nodes)
+	}
+
+	// Sample seeded schedules until the draw covers the requested event
+	// counts. Single-rank kills are process fail-stops, sampled over a
+	// one-rank-per-node placement (a node-level placement can only lose
+	// whole nodes); the correlated node kill samples the real placement.
+	// The PDFs are per-day rates, so the run's horizon is scanned as many
+	// virtual years as it takes.
+	pdfs := failure.TSUBAMEPDFs()
+	var kills [][]int
+	if c.Kills > 0 {
+		rankPl, err := machine.BlockPlacement(
+			machine.FDH{LevelNames: []string{"node"}, Counts: []int{wl.Ranks}}, wl.Ranks, 1)
+		if err != nil {
+			return nil, err
+		}
+		for attempt := int64(0); attempt < 1000 && len(kills) < c.Kills; attempt++ {
+			rng := rand.New(rand.NewSource(c.Seed + attempt))
+			for _, crash := range failure.SampleSchedule(rng, rankPl, pdfs, 365*86400, 1) {
+				if len(crash.Ranks) == 1 && len(kills) < c.Kills {
+					kills = append(kills, crash.Ranks)
+				}
+			}
+		}
+		if len(kills) < c.Kills {
+			return nil, fmt.Errorf("soak: sampled schedules yielded %d single-rank crashes, want %d", len(kills), c.Kills)
+		}
+	}
+	var nodeKill []int
+	if killNode >= 0 {
+		for attempt := int64(0); attempt < 1000 && nodeKill == nil; attempt++ {
+			rng := rand.New(rand.NewSource(splitmixInt(c.Seed) + attempt))
+			for _, crash := range failure.SampleSchedule(rng, pl, pdfs, 365*86400, 1) {
+				if len(crash.Ranks) >= 2 && pl.NodeOf[crash.Ranks[0]] == killNode {
+					nodeKill = append([]int(nil), crash.Ranks...)
+					break
+				}
+			}
+		}
+		if nodeKill == nil {
+			return nil, fmt.Errorf("soak: sampled schedules yielded no whole-node crash of node %d", killNode)
+		}
+	}
+
+	// Mute victims from the same seeded stream.
+	rng := rand.New(rand.NewSource(splitmixInt(c.Seed)))
+	var mutes []int
+	for i := 0; i < c.Mutes; i++ {
+		mutes = append(mutes, rng.Intn(wl.Ranks))
+	}
+
+	// Spread events across the run's interior phases: chaos must land
+	// mid-flight, never before phase 1 or so late nothing is left to do.
+	var evs []Event
+	for _, r := range kills {
+		evs = append(evs, Event{Kind: EvKill, Ranks: r})
+	}
+	for _, m := range mutes {
+		evs = append(evs, Event{Kind: EvMute, Ranks: []int{m}})
+	}
+	// Deterministic interleave of kills and mutes by seeded shuffle.
+	rng.Shuffle(len(evs), func(i, j int) { evs[i], evs[j] = evs[j], evs[i] })
+	if nodeKill != nil {
+		evs = append(evs, Event{Kind: EvNodeKill, Ranks: nodeKill})
+	}
+	// Distinct phases per event: two fail-stops in one phase would be an
+	// accidental double failure, turning a survivable schedule
+	// catastrophic. Strictly increasing assignment needs span >= events.
+	span := wl.Phases - 2
+	if len(evs) > 0 && span < len(evs) {
+		return nil, fmt.Errorf("soak: %d chaos events need at least %d phases, got %d",
+			len(evs), len(evs)+2, wl.Phases)
+	}
+	for i := range evs {
+		evs[i].Phase = 1 + i*span/len(evs)
+	}
+	sort.SliceStable(evs, func(i, j int) bool { return evs[i].Phase < evs[j].Phase })
+	return evs, nil
+}
+
+func splitmixInt(x int64) int64 { return int64(splitmix(uint64(x))) }

@@ -1,0 +1,257 @@
+package soak
+
+import (
+	"fmt"
+	"net"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/transport"
+	"repro/internal/transport/flaky"
+	"repro/internal/transport/shm"
+)
+
+// Transport selects how the soak's ranks talk to each other.
+type Transport int
+
+const (
+	// TransportTCP: every rank a real localhost socket.
+	TransportTCP Transport = iota
+	// TransportSHM: every rank an mmap ring endpoint of one shm fabric.
+	TransportSHM
+	// TransportMixed: shm rings between co-located ranks (same placement
+	// node), tcp otherwise — the one-box model of a multi-node machine.
+	TransportMixed
+)
+
+func (t Transport) String() string {
+	switch t {
+	case TransportTCP:
+		return "tcp"
+	case TransportSHM:
+		return "shm"
+	case TransportMixed:
+		return "mixed"
+	}
+	return fmt.Sprintf("transport(%d)", int(t))
+}
+
+// endpoint is one rank-slot's transport attachment: the listener it
+// accepts on, the fault-injectable dialer it dials through, and the
+// address peers reach it at.
+type endpoint struct {
+	addr   string
+	ln     net.Listener
+	dialer *flaky.Dialer
+}
+
+// endpoints builds the transport for n ranks plus spares replacement
+// slots (slot n+k is the k-th replacement's attachment). The returned
+// cleanup closes what the fabric nodes do not own (the shm fabric and
+// any unused listeners are closed by their nodes' Close or by cleanup).
+type endpoints struct {
+	eps     []endpoint
+	seedLn  net.Listener
+	seedTCP bool
+	shmFab  *shm.Fabric
+}
+
+func (e *endpoints) Close() {
+	for _, ep := range e.eps {
+		ep.ln.Close()
+	}
+	if e.seedLn != nil {
+		e.seedLn.Close()
+	}
+	if e.shmFab != nil {
+		e.shmFab.Close()
+	}
+}
+
+// mixAddr encodes a mixed-transport address: "mx|<node>|<shm endpoint>|<tcp addr>".
+// Plain addresses (no "mx|" prefix) are tcp — the seed's, notably.
+func mixAddr(node, shmEp int, tcpAddr string) string {
+	return fmt.Sprintf("mx|%d|%d|%s", node, shmEp, tcpAddr)
+}
+
+// mixDialer routes by co-location: targets on the same placement node go
+// over the shm rings, everything else over tcp.
+type mixDialer struct {
+	node int
+	shm  transport.Dialer
+	tcp  transport.Dialer
+}
+
+func (d mixDialer) Dial(addr string) (net.Conn, error) {
+	if !strings.HasPrefix(addr, "mx|") {
+		return d.tcp.Dial(addr)
+	}
+	parts := strings.SplitN(addr, "|", 4)
+	if len(parts) != 4 {
+		return nil, fmt.Errorf("soak: malformed mixed address %q", addr)
+	}
+	node, err := strconv.Atoi(parts[1])
+	if err != nil {
+		return nil, fmt.Errorf("soak: malformed mixed address %q", addr)
+	}
+	if node == d.node {
+		return d.shm.Dial(parts[2])
+	}
+	return d.tcp.Dial(parts[3])
+}
+
+// muxListener merges accepts from several listeners (a rank's shm ring
+// and tcp socket) into one.
+type muxListener struct {
+	lns   []net.Listener
+	conns chan net.Conn
+	done  chan struct{}
+	once  sync.Once
+	addr  strAddr
+}
+
+type strAddr string
+
+func (a strAddr) Network() string { return "soak" }
+func (a strAddr) String() string  { return string(a) }
+
+func newMux(addr string, lns ...net.Listener) *muxListener {
+	m := &muxListener{lns: lns, conns: make(chan net.Conn), done: make(chan struct{}), addr: strAddr(addr)}
+	for _, ln := range lns {
+		ln := ln
+		go func() {
+			for {
+				c, err := ln.Accept()
+				if err != nil {
+					return
+				}
+				select {
+				case m.conns <- c:
+				case <-m.done:
+					c.Close()
+					return
+				}
+			}
+		}()
+	}
+	return m
+}
+
+func (m *muxListener) Accept() (net.Conn, error) {
+	select {
+	case c := <-m.conns:
+		return c, nil
+	case <-m.done:
+		return nil, net.ErrClosed
+	}
+}
+
+func (m *muxListener) Close() error {
+	m.once.Do(func() {
+		close(m.done)
+		for _, ln := range m.lns {
+			ln.Close()
+		}
+	})
+	return nil
+}
+
+func (m *muxListener) Addr() net.Addr { return m.addr }
+
+// buildEndpoints constructs the rank attachments for the chosen
+// transport. ranksPerNode partitions ranks into placement nodes (used by
+// the mixed transport for co-location and by chaos for correlation);
+// slots beyond n are replacement attachments placed on the node of the
+// rank they may replace — unknown ahead of time, so spares get one shm
+// endpoint each and dial everything remote in mixed mode (a replacement
+// is a fresh host joining the machine).
+func buildEndpoints(tr Transport, n, spares, ranksPerNode int, dir string, ringBytes int) (*endpoints, error) {
+	out := &endpoints{}
+	total := n + spares
+	// Big fabrics on few cores die by a thousand wakeups: the ring poll
+	// is only a backstop (in-process bells deliver wakeups immediately),
+	// but tens of thousands of ring goroutines polling every 200µs is a
+	// scheduler collapse all by itself. Long poll, minimal spin.
+	shmCfg := shm.FabricConfig{
+		Dir: dir, RingBytes: ringBytes,
+		SpinYield: 4, PollInterval: 200 * time.Millisecond,
+	}
+	switch tr {
+	case TransportTCP:
+		for i := 0; i < total; i++ {
+			ln, err := net.Listen("tcp", "127.0.0.1:0")
+			if err != nil {
+				out.Close()
+				return nil, err
+			}
+			out.eps = append(out.eps, endpoint{
+				addr:   ln.Addr().String(),
+				ln:     ln,
+				dialer: flaky.WrapDialer(transport.NetDialer{}),
+			})
+		}
+		seedLn, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			out.Close()
+			return nil, err
+		}
+		out.seedLn, out.seedTCP = seedLn, true
+		return out, nil
+
+	case TransportSHM:
+		fab, err := shm.NewFabric(total+1, shmCfg)
+		if err != nil {
+			return nil, err
+		}
+		out.shmFab = fab
+		for i := 0; i < total; i++ {
+			out.eps = append(out.eps, endpoint{
+				addr:   strconv.Itoa(i),
+				ln:     fab.Listener(i),
+				dialer: flaky.WrapDialer(fab.Dialer(i)),
+			})
+		}
+		out.seedLn = fab.Listener(total)
+		return out, nil
+
+	case TransportMixed:
+		if ranksPerNode < 1 {
+			ranksPerNode = 1
+		}
+		fab, err := shm.NewFabric(total, shmCfg)
+		if err != nil {
+			return nil, err
+		}
+		out.shmFab = fab
+		for i := 0; i < total; i++ {
+			tln, err := net.Listen("tcp", "127.0.0.1:0")
+			if err != nil {
+				out.Close()
+				return nil, err
+			}
+			node := i / ranksPerNode
+			if i >= n {
+				// Replacements are fresh hosts: their own node, all-tcp
+				// to existing ranks, shm reachable for future co-location.
+				node = -1 - (i - n)
+			}
+			out.eps = append(out.eps, endpoint{
+				addr: mixAddr(node, i, tln.Addr().String()),
+				ln:   newMux(mixAddr(node, i, tln.Addr().String()), fab.Listener(i), tln),
+				dialer: flaky.WrapDialer(mixDialer{
+					node: node, shm: fab.Dialer(i), tcp: transport.NetDialer{},
+				}),
+			})
+		}
+		seedLn, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			out.Close()
+			return nil, err
+		}
+		out.seedLn, out.seedTCP = seedLn, true
+		return out, nil
+	}
+	return nil, fmt.Errorf("soak: unknown transport %v", tr)
+}

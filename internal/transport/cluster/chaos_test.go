@@ -10,6 +10,7 @@ package cluster
 // with NO coordinated fallback, and Stats must say so.
 
 import (
+	"fmt"
 	"math/rand"
 	"os/exec"
 	"strings"
@@ -43,7 +44,7 @@ func spawnRanked(t *testing.T, c *Coordinator, wl Workload) []*exec.Cmd {
 	for i := 0; i < wl.Ranks; i++ {
 		workers[i] = spawnWorkerForRank(t, c, i)
 		w := workers[i]
-		t.Cleanup(func() { w.Process.Kill() })
+		t.Cleanup(func() { reap(w) })
 	}
 	return workers
 }
@@ -97,7 +98,7 @@ func TestClusterCausalReplayKill9(t *testing.T) {
 	kill9(t, workers[victim])
 
 	replacement := spawnWorker(t, c.Addr())
-	defer replacement.Process.Kill()
+	defer reap(replacement)
 
 	got, err := c.Run()
 	if err != nil {
@@ -163,6 +164,88 @@ func correlatedNodeCrash(t *testing.T, ranks, perNode, node int) []int {
 	return nil
 }
 
+// TestClusterCorrelatedVerdictMatch closes the loop between the
+// simulation stack and the real cluster: for every placement node, the
+// expected outcome of a whole-node kill is not hardcoded but computed by
+// resilience.PredictCrash — the in-process run of the same grouping,
+// parity election, and reconstruction math — and the multi-process
+// cluster must land on exactly that verdict: a fallback-survivable node
+// loss finishes bit-identical with coordinated rollbacks, a catastrophic
+// one reports promptly and cleanly.
+func TestClusterCorrelatedVerdictMatch(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-process chaos skipped in -short")
+	}
+	wl := Workload{
+		Ranks:           4,
+		Phases:          10,
+		InsertsPerPhase: 4,
+		Mode:            ModeCausal,
+		PhaseDelay:      60 * time.Millisecond,
+	}
+	const perNode = 2
+	pred := resilience.CorrelatedConfig{
+		Nodes: wl.Ranks / perNode, RanksPerNode: perNode, Iters: 8,
+		TAware: true, Groups: defaultFT(wl.Ranks).Groups,
+		PeerParityHosts: true, // the cluster hosts parity on peer ranks
+	}
+	sawFallback, sawCatastrophic := false, false
+	for node := 0; node < pred.Nodes; node++ {
+		node := node
+		t.Run(fmt.Sprintf("node%d", node), func(t *testing.T) {
+			victims := correlatedNodeCrash(t, wl.Ranks, perNode, node)
+			verdict, err := pred.PredictCrash(3, victims)
+			if err != nil {
+				t.Fatalf("predict: %v", err)
+			}
+			t.Logf("resilience predicts %v for node %d (ranks %v)", verdict, node, victims)
+
+			c := chaosCoordinator(t, wl)
+			defer c.Close()
+			workers := spawnRanked(t, c, wl)
+			awaitPhase(t, c, victims[0], 3)
+			time.Sleep(wl.PhaseDelay / 2)
+			for _, v := range victims {
+				kill9(t, workers[v])
+			}
+			if verdict != resilience.VerdictCatastrophic {
+				for range victims {
+					r := spawnWorker(t, c.Addr())
+					defer reap(r)
+				}
+			}
+
+			got, err := c.Run()
+			switch verdict {
+			case resilience.VerdictFallback:
+				sawFallback = true
+				if err != nil {
+					t.Fatalf("predicted-survivable node kill failed the run: %v", err)
+				}
+				if st := c.Stats(); st.Fallbacks < 1 {
+					t.Fatalf("predicted fallback, but the run took none: %+v", st)
+				}
+				compareToOracle(t, wl, got)
+			case resilience.VerdictCatastrophic:
+				sawCatastrophic = true
+				if err == nil {
+					t.Fatal("predicted-catastrophic node kill reported success")
+				}
+				if !strings.Contains(err.Error(), "catastrophic") {
+					t.Fatalf("expected a catastrophic-failure report, got: %v", err)
+				}
+			default:
+				t.Fatalf("whole-node kill of %v predicted %v — the multi-rank case cannot be causal", victims, verdict)
+			}
+		})
+	}
+	// The 2x2 machine must exercise both sides of the prediction, or the
+	// match proves nothing.
+	if !t.Failed() && (!sawFallback || !sawCatastrophic) {
+		t.Fatalf("verdicts covered fallback=%v catastrophic=%v — need both", sawFallback, sawCatastrophic)
+	}
+}
+
 // TestClusterCorrelatedNodeKill9 drives a correlated multi-failure — both
 // ranks of one placement node SIGKILLed back to back, victims drawn from
 // a seeded TSUBAME failure schedule. The mutual logs die together, so
@@ -200,7 +283,7 @@ func TestClusterCorrelatedNodeKill9(t *testing.T) {
 	}
 	for range victims {
 		r := spawnWorker(t, c.Addr())
-		defer r.Process.Kill()
+		defer reap(r)
 	}
 
 	got, err := c.Run()
@@ -289,7 +372,7 @@ func TestClusterKillReplacementMidReplay(t *testing.T) {
 	kill9(t, workers[victim])
 
 	first := spawnWorker(t, c.Addr())
-	defer first.Process.Kill()
+	defer reap(first)
 
 	// Wait until the causal recovery has admitted the replacement
 	// (Replaying pins the rank, RanksJoined confirms the join), then kill
@@ -304,7 +387,7 @@ func TestClusterKillReplacementMidReplay(t *testing.T) {
 	kill9(t, first)
 
 	second := spawnWorker(t, c.Addr())
-	defer second.Process.Kill()
+	defer reap(second)
 
 	got, err := c.Run()
 	if err != nil {
@@ -349,7 +432,7 @@ func TestClusterLockHolderKill9(t *testing.T) {
 	kill9(t, workers[victim])
 
 	replacement := spawnWorker(t, c.Addr())
-	defer replacement.Process.Kill()
+	defer reap(replacement)
 
 	began := time.Now()
 	got, err := c.Run()
@@ -389,14 +472,14 @@ func TestClusterHostFrameFaults(t *testing.T) {
 	for i := 0; i < wl.Ranks; i++ {
 		workers[i] = spawnWorker(t, c.Addr(), faults)
 		w := workers[i]
-		t.Cleanup(func() { w.Process.Kill() })
+		t.Cleanup(func() { reap(w) })
 	}
 
 	awaitPhase(t, c, victim, 3)
 	kill9(t, workers[victim])
 
 	replacement := spawnWorker(t, c.Addr(), faults)
-	defer replacement.Process.Kill()
+	defer reap(replacement)
 
 	got, err := c.Run()
 	if err != nil {

@@ -154,7 +154,7 @@ func TestClusterCoordinatorlessKill9(t *testing.T) {
 			procs, members := awaitFabricBootstrap(t, seed, wl.Ranks,
 				obs.EnvDebugDir+"="+debugDir, obs.EnvFlightDir+"="+debugDir)
 			for _, p := range procs {
-				defer p.Process.Kill()
+				defer reap(p)
 			}
 			frames := seed.FramesServed()
 			if frames != uint64(wl.Ranks) {
@@ -173,7 +173,7 @@ func TestClusterCoordinatorlessKill9(t *testing.T) {
 			t.Logf("killed rank %d, spawning replacement via %s", tc.victim, survivor)
 			repl := spawnFabricWorker(t, survivor,
 				obs.EnvDebugDir+"="+debugDir, obs.EnvFlightDir+"="+debugDir)
-			defer repl.Process.Kill()
+			defer reap(repl)
 
 			got, err := CollectFabric(survivor, wl, 90*time.Second)
 			if err != nil {
@@ -278,7 +278,7 @@ func TestClusterFabricFaultFree(t *testing.T) {
 	defer seed.Close()
 	procs, members := awaitFabricBootstrap(t, seed, wl.Ranks)
 	for _, p := range procs {
-		defer p.Process.Kill()
+		defer reap(p)
 	}
 	frames := seed.FramesServed()
 	got, err := CollectFabric(members[0].Addr, wl, 60*time.Second)

@@ -62,6 +62,17 @@ func spawnWorker(t *testing.T, addr string, extraEnv ...string) *exec.Cmd {
 	return cmd
 }
 
+// reap kills w and waits for the kernel to reap it. Cleanup paths use
+// this instead of a bare Kill so a test never returns while its worker
+// processes are still dying and writing output — on a one-core box that
+// tail bleeds CPU into whichever test the shuffle runs next. Both calls
+// are best-effort: the worker may already be dead (the kill under test)
+// or already reaped (an explicit Wait in the test body).
+func reap(w *exec.Cmd) {
+	w.Process.Kill()
+	w.Wait()
+}
+
 func compareToOracle(t *testing.T, wl Workload, got [][]uint64) {
 	t.Helper()
 	want, err := wl.Oracle()
@@ -91,7 +102,7 @@ func TestClusterMultiProcess(t *testing.T) {
 	defer c.Close()
 	for i := 0; i < wl.Ranks; i++ {
 		w := spawnWorker(t, c.Addr())
-		defer w.Process.Kill()
+		defer reap(w)
 	}
 	got, err := c.Run()
 	if err != nil {
@@ -165,7 +176,7 @@ func TestClusterParityHostKill9(t *testing.T) {
 	workers := make([]*exec.Cmd, wl.Ranks)
 	for i := 0; i < wl.Ranks; i++ {
 		workers[i] = spawnWorkerForRank(t, c, i)
-		defer workers[i].Process.Kill()
+		defer reap(workers[i])
 	}
 
 	// Wait for the state distribution, find the elected host of group 0's
@@ -194,7 +205,7 @@ func TestClusterParityHostKill9(t *testing.T) {
 	workers[victim].Wait()
 
 	replacement := spawnWorker(t, c.Addr())
-	defer replacement.Process.Kill()
+	defer reap(replacement)
 
 	got, err := c.Run()
 	if err != nil {
@@ -243,7 +254,7 @@ func TestClusterKill9Recovery(t *testing.T) {
 	workers := make([]*exec.Cmd, wl.Ranks)
 	for i := 0; i < wl.Ranks; i++ {
 		workers[i] = spawnWorker(t, c.Addr())
-		defer workers[i].Process.Kill()
+		defer reap(workers[i])
 	}
 
 	// Wait until the victim rank has survived a couple of checkpointed
@@ -269,7 +280,7 @@ func TestClusterKill9Recovery(t *testing.T) {
 	// The batch system provides p_new: a fresh process joins and inherits
 	// the failed rank and the rolled-back resume phase.
 	replacement := spawnWorker(t, c.Addr())
-	defer replacement.Process.Kill()
+	defer reap(replacement)
 
 	got, err := c.Run()
 	if err != nil {

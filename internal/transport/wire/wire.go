@@ -147,7 +147,16 @@ type Config struct {
 	// catch lease tunings that pass by luck. Runs on the reader
 	// goroutine; it must not block. NearMisses counts regardless.
 	OnNearMiss func(gap time.Duration)
+	// BytesOut and BytesIn, when set, receive one Add per data frame with
+	// the frame's full on-wire size (header included, heartbeats excluded)
+	// so a host with many connections can aggregate bytes-on-wire into one
+	// cumulative counter (obs.Counter satisfies ByteSink). The per-Conn
+	// BytesSent/BytesReceived accessors count regardless.
+	BytesOut, BytesIn ByteSink
 }
+
+// ByteSink accumulates on-wire byte counts; obs.Counter satisfies it.
+type ByteSink interface{ Add(n uint64) }
 
 // nearMissThreshold resolves the silence gap beyond which a surviving
 // frame counts as a lease near miss.
@@ -174,10 +183,12 @@ type Conn struct {
 	pending map[uint32]chan frame
 	downErr error // set under pmu once down
 
-	downOnce sync.Once
-	sent     atomic.Uint64
-	received atomic.Uint64
-	nearMiss atomic.Uint64
+	downOnce  sync.Once
+	sent      atomic.Uint64
+	received  atomic.Uint64
+	sentBytes atomic.Uint64
+	recvBytes atomic.Uint64
+	nearMiss  atomic.Uint64
 }
 
 type frame struct {
@@ -204,6 +215,23 @@ func (c *Conn) Sent() uint64 { return c.sent.Load() }
 // Received returns the number of frames read.
 func (c *Conn) Received() uint64 { return c.received.Load() }
 
+// BytesSent returns the on-wire bytes of every data frame written
+// (9-byte header included; heartbeats excluded, like Sent).
+func (c *Conn) BytesSent() uint64 { return c.sentBytes.Load() }
+
+// BytesReceived returns the on-wire bytes of every data frame read
+// (header included, heartbeats excluded).
+func (c *Conn) BytesReceived() uint64 { return c.recvBytes.Load() }
+
+// countSent records one outgoing data frame of on-wire size n.
+func (c *Conn) countSent(n int) {
+	c.sent.Add(1)
+	c.sentBytes.Add(uint64(n))
+	if c.cfg.BytesOut != nil {
+		c.cfg.BytesOut.Add(uint64(n))
+	}
+}
+
 // NearMisses returns how many frames arrived in the last slice of the
 // lease window (see Config.OnNearMiss).
 func (c *Conn) NearMisses() uint64 { return c.nearMiss.Load() }
@@ -215,7 +243,9 @@ func (c *Conn) Close() error {
 }
 
 func (c *Conn) markDown(err error) {
+	first := false
 	c.downOnce.Do(func() {
+		first = true
 		c.pmu.Lock()
 		c.downErr = err
 		waiters := c.pending
@@ -225,10 +255,15 @@ func (c *Conn) markDown(err error) {
 		for _, ch := range waiters {
 			close(ch)
 		}
-		if c.cfg.OnDown != nil {
-			c.cfg.OnDown(err)
-		}
 	})
+	// OnDown runs outside the Once body: callbacks close other
+	// connections (a condemnation drops the peer's conn, whose own
+	// OnDown condemns back), and two connections tearing each other
+	// down from inside their Once bodies deadlock on the Once mutexes.
+	// The first marker still fires the callback exactly once.
+	if first && c.cfg.OnDown != nil {
+		c.cfg.OnDown(err)
+	}
 }
 
 // ErrFrameTooLarge reports a payload exceeding MaxFrame. The connection
@@ -286,7 +321,7 @@ func (c *Conn) writeFrame(t byte, id uint32, payload []byte) error {
 		return c.down()
 	}
 	if t != TypeHeartbeat {
-		c.sent.Add(1)
+		c.countSent(9 + len(payload))
 	}
 	return nil
 }
@@ -337,7 +372,7 @@ func (c *Conn) writeFrameVec(t byte, id uint32, v *Vec) error {
 		return c.down()
 	}
 	if t != TypeHeartbeat {
-		c.sent.Add(1)
+		c.countSent(9 + n)
 	}
 	return nil
 }
@@ -464,6 +499,12 @@ func (c *Conn) readLoop() {
 			}
 		}
 		c.received.Add(1)
+		if f.t != TypeHeartbeat {
+			c.recvBytes.Add(uint64(4 + n))
+			if c.cfg.BytesIn != nil {
+				c.cfg.BytesIn.Add(uint64(4 + n))
+			}
+		}
 		switch {
 		case f.t == TypeHeartbeat:
 			// Liveness only; the read itself reset the deadline.
